@@ -1,0 +1,80 @@
+"""Ablation A1: stable-matching heuristic vs the exact TAA optimum.
+
+Not a paper figure — validates the design choice of Section 5: how much
+optimality does the polynomial stable-matching heuristic give up versus
+brute force on instances small enough to enumerate?
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import Container, Resources, TaskKind, TaskRef
+from repro.core import (
+    CostModel,
+    HitConfig,
+    HitOptimizer,
+    TAAInstance,
+    solve_exact,
+)
+from repro.mapreduce import ShuffleFlow
+from repro.topology import TreeConfig, build_tree
+
+
+def build_instance(seed: int):
+    topo = build_tree(
+        TreeConfig(depth=2, fanout=2, redundancy=2, server_resources=(2.0,))
+    )
+    rng = np.random.default_rng(seed)
+    containers, flows = [], []
+    map_ids, reduce_ids = [], []
+    cid = 0
+    for i in range(3):
+        containers.append(Container(cid, Resources(1, 0), TaskRef(0, TaskKind.MAP, i)))
+        map_ids.append(cid)
+        cid += 1
+    for i in range(2):
+        containers.append(
+            Container(cid, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, i))
+        )
+        reduce_ids.append(cid)
+        cid += 1
+    fid = 0
+    for m in map_ids:
+        for r in reduce_ids:
+            size = float(rng.uniform(0.5, 2.0))
+            flows.append(ShuffleFlow(fid, 0, 0, 0, m, r, size, size))
+            fid += 1
+    return TAAInstance(
+        topo, containers, flows, cost_model=CostModel(congestion_weight=0.0)
+    )
+
+
+def measure_gaps(num_seeds: int = 10):
+    gaps = []
+    for seed in range(num_seeds):
+        taa = build_instance(seed)
+        exact = solve_exact(taa)
+        heuristic = HitOptimizer(taa, HitConfig(seed=seed)).optimize_initial_wave()
+        ratio = (
+            heuristic.final_cost / exact.cost if exact.cost > 0 else 1.0
+        )
+        gaps.append((seed, exact.cost, heuristic.final_cost, ratio))
+    return gaps
+
+
+def test_ablation_exact_gap(benchmark):
+    gaps = benchmark.pedantic(measure_gaps, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("seed", "exact cost", "heuristic cost", "ratio"),
+        gaps,
+        title="== Ablation A1: heuristic vs exact optimum ==",
+    ))
+    ratios = [g[3] for g in gaps]
+    mean_ratio = float(np.mean(ratios))
+    print(f"mean optimality ratio: {mean_ratio:.3f}")
+    # The heuristic is never better than exact, hits the optimum on a good
+    # fraction of the seeds, and stays well under 2x on average.
+    assert all(r >= 1.0 - 1e-9 for r in ratios)
+    assert sum(1 for r in ratios if r < 1.001) >= 3
+    assert mean_ratio < 1.7

@@ -1,0 +1,64 @@
+"""Ablation A6: does Hit's advantage survive server heterogeneity?
+
+The paper's related work (Tarazu, LATE) worries about heterogeneous
+clusters; Hit-Scheduler itself never models compute speed.  This sensitivity
+run widens the server-speed spread and checks that Hit's JCT advantage over
+the Capacity scheduler persists — placement quality should matter regardless
+of who computes faster, since the gains come from the network.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.stats import improvement
+from repro.experiments import configs
+from repro.schedulers import make_scheduler
+from repro.simulator import SimulationConfig, run_simulation
+
+from conftest import scale
+
+
+def run_sensitivity(seed: int, num_jobs: int, spreads=(0.0, 0.25, 0.5)):
+    jobs = configs.testbed_workload(seed=seed, num_jobs=num_jobs)
+    out = {}
+    for spread in spreads:
+        jct = {}
+        for name in ("capacity", "hit"):
+            base = configs.testbed_simulation_config(seed=seed)
+            config = SimulationConfig(
+                container_demand=base.container_demand,
+                map_slots_per_job=base.map_slots_per_job,
+                seed=seed,
+                server_speed_spread=spread,
+            )
+            metrics = run_simulation(
+                configs.testbed_tree(), make_scheduler(name, seed=seed),
+                jobs, config,
+            )
+            jct[name] = metrics.mean_jct()
+        out[spread] = {
+            "jct_capacity": jct["capacity"],
+            "jct_hit": jct["hit"],
+            "hit_improvement": improvement(jct["capacity"], jct["hit"]),
+        }
+    return out
+
+
+def test_ablation_heterogeneity(benchmark):
+    data = benchmark.pedantic(
+        run_sensitivity,
+        kwargs={"seed": 1, "num_jobs": scale(16, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (spread, v["jct_capacity"], v["jct_hit"], v["hit_improvement"])
+        for spread, v in sorted(data.items())
+    ]
+    print()
+    print(format_table(
+        ("speed spread", "capacity JCT", "hit JCT", "hit improvement"),
+        rows,
+        title="== Ablation A6: sensitivity to server heterogeneity ==",
+    ))
+    # Hit's advantage must persist at every heterogeneity level.
+    for spread, v in data.items():
+        assert v["hit_improvement"] > 0.10, f"spread={spread}"

@@ -1,0 +1,72 @@
+"""Ablation A3: scheduler decision latency vs cluster size.
+
+The paper claims Algorithm 2 runs in O(M x N) proposals (Section 5.2.3) and
+the subsequent-wave strategy in O(n^2).  This is a genuine micro-benchmark:
+it times one full initial-wave optimisation of a fixed-size job on growing
+clusters and checks that the measured proposal count respects the bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.cluster import Container, Resources, TaskKind, TaskRef
+from repro.core import (
+    HitConfig,
+    HitOptimizer,
+    TAAInstance,
+    build_preference_matrix,
+    stable_match,
+)
+from repro.mapreduce import ShuffleFlow
+from repro.topology import TreeConfig, build_tree
+
+
+def build_taa(fanout: int, seed: int = 0):
+    topo = build_tree(
+        TreeConfig(depth=2, fanout=fanout, redundancy=2, server_resources=(3.0,))
+    )
+    rng = np.random.default_rng(seed)
+    containers, flows = [], []
+    map_ids, reduce_ids = [], []
+    cid = 0
+    for i in range(8):
+        containers.append(Container(cid, Resources(1, 0), TaskRef(0, TaskKind.MAP, i)))
+        map_ids.append(cid)
+        cid += 1
+    for i in range(2):
+        containers.append(
+            Container(cid, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, i))
+        )
+        reduce_ids.append(cid)
+        cid += 1
+    fid = 0
+    for m in map_ids:
+        for r in reduce_ids:
+            size = float(rng.uniform(0.2, 1.0))
+            flows.append(ShuffleFlow(fid, 0, 0, 0, m, r, size, size))
+            fid += 1
+    return TAAInstance(topo, containers, flows)
+
+
+@pytest.mark.parametrize("fanout", [4, 8, 12])
+def test_ablation_matching_scaling(benchmark, fanout):
+    """Time one Algorithm1+Algorithm2 pass at growing cluster sizes."""
+    taa = build_taa(fanout)
+    HitOptimizer(taa, HitConfig(seed=0)).random_initial_placement()
+    taa.install_all_policies()
+
+    def one_pass():
+        preferences = build_preference_matrix(taa)
+        return stable_match(preferences, taa.cluster)
+
+    result = benchmark(one_pass)
+    servers = taa.topology.num_servers
+    containers = taa.num_containers
+    print()
+    print(format_table(
+        ("servers", "containers", "proposals", "bound M*N"),
+        [(servers, containers, result.proposals, servers * containers)],
+        title=f"== Ablation A3: matching pass at {servers} servers ==",
+    ))
+    assert result.proposals <= servers * containers

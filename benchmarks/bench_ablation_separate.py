@@ -1,0 +1,98 @@
+"""Ablation A2: the value of each half of the joint optimisation.
+
+The paper's thesis is that task assignment and network policy must be
+optimised *together* (Section 5.1.3 shows they separate cleanly, so the two
+halves can be measured independently).  This ablation compares, on the same
+workload and initial random placement:
+
+* ``static``            — random placement, static single-path routing;
+* ``policy-only``       — random placement, Algorithm 1 policies;
+* ``assignment-only``   — stable-matching placement, static routing;
+* ``joint``             — the full Hit-Scheduler.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import HitConfig, HitOptimizer
+from repro.experiments import build_static_workload, configs
+from repro.experiments.static import evaluate_policy_cost
+from repro.mapreduce import WorkloadGenerator
+
+from conftest import scale
+
+
+def run_variants(seed: int = 0, num_jobs: int = 6):
+    from repro.cluster import Container
+    from repro.core import TAAInstance
+
+    jobs = WorkloadGenerator(
+        seed=seed, input_size_range=(6.0, 12.0)
+    ).make_workload(num_jobs)
+
+    def fresh_taa():
+        topology = configs.testbed_tree()
+        workload = build_static_workload(topology, jobs, seed=seed)
+        taa = TAAInstance(
+            topology,
+            [Container(c.container_id, c.demand, c.task) for c in workload.containers],
+            workload.flows,
+        )
+        return taa
+
+    results = {}
+
+    # static: random placement + static routing.
+    taa = fresh_taa()
+    HitOptimizer(taa, HitConfig(seed=seed)).random_initial_placement()
+    snapshot = taa.cluster.placement_snapshot()
+    taa.install_static_policies()
+    results["static"] = evaluate_policy_cost(taa)
+
+    # policy-only: same random placement, optimal policies.
+    taa = fresh_taa()
+    for cid, sid in snapshot.items():
+        if sid is not None:
+            taa.cluster.place(cid, sid)
+    taa.install_all_policies()
+    results["policy-only"] = evaluate_policy_cost(taa)
+
+    # assignment-only: full matching, then static routing.
+    taa = fresh_taa()
+    HitOptimizer(taa, HitConfig(seed=seed)).optimize_initial_wave()
+    assignment = taa.cluster.placement_snapshot()
+    taa.install_static_policies()
+    results["assignment-only"] = evaluate_policy_cost(taa)
+
+    # joint: matching + optimal policies.
+    taa = fresh_taa()
+    for cid, sid in assignment.items():
+        if sid is not None:
+            taa.cluster.place(cid, sid)
+    taa.install_all_policies()
+    results["joint"] = evaluate_policy_cost(taa)
+    return results
+
+
+def test_ablation_separate_optimisation(benchmark):
+    results = benchmark.pedantic(
+        run_variants,
+        kwargs={"seed": 0, "num_jobs": scale(6, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    order = ["static", "policy-only", "assignment-only", "joint"]
+    print()
+    print(format_table(
+        ("variant", "Eq-3 cost", "reduction vs static"),
+        [
+            (k, results[k], 1 - results[k] / results["static"])
+            for k in order
+        ],
+        title="== Ablation A2: separated vs joint optimisation ==",
+    ))
+    # Each half helps on its own; the joint optimisation is the best.
+    assert results["policy-only"] <= results["static"] + 1e-9
+    assert results["assignment-only"] < results["static"]
+    assert results["joint"] <= results["assignment-only"] + 1e-9
+    assert results["joint"] <= results["policy-only"]

@@ -1,0 +1,61 @@
+"""Figure 10: sensitivity to the number of parallel jobs (512-node sim).
+
+Paper: Hit's overall cost reduction grows quickly with the job count, then
+saturates once more than ~12 jobs push the fabric toward its bandwidth
+bottleneck; PNA's reduction stays comparatively flat (~15%).
+"""
+
+from repro.analysis import format_paper_vs_measured, format_table
+from repro.experiments import fig10_job_numbers
+
+from conftest import QUICK, scale
+
+
+def test_fig10_job_numbers(benchmark):
+    job_counts = (3, 6, 9) if QUICK else (3, 6, 9, 12, 15, 18)
+    data = benchmark.pedantic(
+        fig10_job_numbers,
+        kwargs={
+            "seed": 0,
+            "job_counts": job_counts,
+            "num_servers": scale(512, 64),
+            # Quick mode shrinks jobs so they still fit the smaller cluster.
+            "input_size_range": (24.0, 48.0) if not QUICK else (6.0, 10.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (n, v["hit_reduction"], v["pna_reduction"])
+        for n, v in sorted(data.items())
+    ]
+    print()
+    print(format_table(
+        ("jobs", "hit reduction", "pna reduction"),
+        rows,
+        title="== Figure 10: cost reduction vs number of jobs ==",
+    ))
+    counts = sorted(data)
+    first, last = counts[0], counts[-1]
+    mid = counts[len(counts) // 2]
+    print(format_paper_vs_measured("Figure 10", [
+        (f"Hit reduction @ {first} jobs", "low end of curve",
+         data[first]["hit_reduction"]),
+        (f"Hit reduction @ {mid} jobs", "rising",
+         data[mid]["hit_reduction"]),
+        (f"Hit reduction @ {last} jobs", "saturated (~38%)",
+         data[last]["hit_reduction"]),
+        ("PNA reduction (last point)", "~15%, flat",
+         data[last]["pna_reduction"]),
+    ]))
+    # Shape 1: Hit beats PNA at every point.
+    for n, v in data.items():
+        assert v["hit_reduction"] > v["pna_reduction"], n
+    # Shape 2 (full scale only — the rising knee needs rack-spanning jobs on
+    # the 512-server fabric): the Hit curve rises from its first point and
+    # then saturates; the late-curve slope is smaller than the early one.
+    if not QUICK:
+        early_gain = data[mid]["hit_reduction"] - data[first]["hit_reduction"]
+        late_gain = data[last]["hit_reduction"] - data[mid]["hit_reduction"]
+        assert data[mid]["hit_reduction"] >= data[first]["hit_reduction"]
+        assert late_gain <= early_gain + 0.02

@@ -1,0 +1,46 @@
+"""Figure 1: traffic volume during the shuffle phase.
+
+Paper's observation: for shuffle-heavy jobs the shuffle volume contributes
+more than 75% of total communication traffic, while remote-Map traffic stays
+under 20%; shuffle-light jobs invert the ratio.
+"""
+
+from repro.analysis import format_paper_vs_measured, format_table
+from repro.experiments import fig1_traffic_volume
+
+from conftest import scale
+
+
+def test_fig1_traffic_volume(benchmark):
+    data = benchmark.pedantic(
+        fig1_traffic_volume,
+        kwargs={"seed": 0, "jobs_per_class": scale(4, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (cls, v["shuffle_volume"], v["remote_map_volume"], v["shuffle_share"])
+        for cls, v in data.items()
+    ]
+    print()
+    print(format_table(
+        ("class", "shuffle volume", "remote-map volume", "shuffle share"),
+        rows,
+        title="== Figure 1: traffic volume during shuffle phase ==",
+    ))
+    print(format_paper_vs_measured("Figure 1", [
+        ("heavy shuffle share", "> 0.75",
+         data["shuffle-heavy"]["shuffle_share"]),
+        ("heavy remote-map share", "< 0.20",
+         1 - data["shuffle-heavy"]["shuffle_share"]),
+        ("light shuffle share", "small",
+         data["shuffle-light"]["shuffle_share"]),
+    ]))
+    assert data["shuffle-heavy"]["shuffle_share"] > 0.75
+    assert 1 - data["shuffle-heavy"]["shuffle_share"] < 0.20
+    assert data["shuffle-light"]["shuffle_share"] < 0.5
+    assert (
+        data["shuffle-heavy"]["shuffle_share"]
+        >= data["shuffle-medium"]["shuffle_share"]
+        > data["shuffle-light"]["shuffle_share"]
+    )

@@ -1,0 +1,25 @@
+"""Section 2.3 / Figure 3 case study: two jobs on a 4-server tree.
+
+Paper arithmetic: the observed Capacity placement costs 112 GB.T; the paper's
+improved reduce placement costs 64 GB.T (a 42% improvement).  Hit-Scheduler,
+given the same pinned Map tasks, must do at least as well as the hand
+solution.
+"""
+
+from repro.analysis import format_paper_vs_measured
+from repro.experiments import fig3_case_study
+
+
+def test_fig3_case_study(benchmark):
+    result = benchmark.pedantic(fig3_case_study, rounds=1, iterations=1)
+    print()
+    print(format_paper_vs_measured("Figure 3 case study", [
+        ("Capacity placement cost (GB.T)", 112, result.baseline_cost),
+        ("paper's optimised cost (GB.T)", 64, result.paper_optimised_cost),
+        ("Hit-Scheduler cost (GB.T)", "<= 64", result.hit_cost),
+        ("improvement vs Capacity", "~42%", result.improvement_vs_baseline),
+    ]))
+    assert result.baseline_cost == 112.0
+    assert result.paper_optimised_cost == 64.0
+    assert result.hit_cost <= 64.0
+    assert result.improvement_vs_baseline >= 0.42

@@ -1,0 +1,51 @@
+"""Figure 7(a-b): average shuffle route length and shuffle delay.
+
+Paper: Hit-Scheduler shortens the average route from 6.5 to 4.4 switch hops
+(~30%) versus Capacity, and cuts the average shuffle packet delay from
+189 us to 131 us (~32%).
+"""
+
+import numpy as np
+
+from repro.analysis import format_paper_vs_measured
+from repro.analysis.stats import improvement
+
+
+def _aggregate(results, metric):
+    out = {}
+    for name in ("capacity", "pna", "hit"):
+        out[name] = float(np.mean([metric(r.metrics[name]) for r in results]))
+    return out
+
+
+def test_fig7a_route_length(benchmark, testbed_results):
+    results = benchmark.pedantic(lambda: testbed_results, rounds=1, iterations=1)
+    hops = _aggregate(results, lambda m: m.average_route_length())
+    reduction = improvement(hops["capacity"], hops["hit"])
+    print()
+    print(format_paper_vs_measured("Figure 7a (avg route length)", [
+        ("capacity avg hops", 6.5, hops["capacity"]),
+        ("pna avg hops", "(between)", hops["pna"]),
+        ("hit avg hops", 4.4, hops["hit"]),
+        ("hit reduction vs capacity", "~30%", reduction),
+    ]))
+    assert hops["hit"] < hops["pna"] < hops["capacity"]
+    assert reduction > 0.25  # at least the paper's ballpark
+
+
+def test_fig7b_shuffle_delay(benchmark, testbed_results):
+    delay = benchmark.pedantic(
+        _aggregate,
+        args=(testbed_results, lambda m: m.average_shuffle_delay_us()),
+        rounds=1,
+        iterations=1,
+    )
+    reduction = improvement(delay["capacity"], delay["hit"])
+    print()
+    print(format_paper_vs_measured("Figure 7b (avg shuffle delay)", [
+        ("capacity delay (us)", 189, delay["capacity"]),
+        ("hit delay (us)", 131, delay["hit"]),
+        ("reduction", "~32%", reduction),
+    ]))
+    assert delay["hit"] < delay["capacity"]
+    assert reduction > 0.2

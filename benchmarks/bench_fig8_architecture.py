@@ -1,0 +1,76 @@
+"""Figure 8(a-b): impact of workload class and network architecture.
+
+Paper: (a) shuffle-cost reduction for a shuffle-heavy workload reaches 38%
+for Hit vs 21% for PNA, with smaller gains on lighter classes; (b) across
+Tree / Fat-Tree / VL2 / BCube, Hit beats PNA by ~19% and Capacity by ~32%,
+and the Tree fits MapReduce traffic best.
+"""
+
+from repro.analysis import format_paper_vs_measured, format_table
+from repro.experiments import fig8a_workload_classes, fig8b_architectures
+
+from conftest import scale
+
+
+def test_fig8a_workload_classes(benchmark):
+    data = benchmark.pedantic(
+        fig8a_workload_classes,
+        kwargs={"seed": 0, "jobs_per_class": scale(8, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (cls, v["capacity_cost"], v["hit_reduction"], v["pna_reduction"])
+        for cls, v in data.items()
+    ]
+    print()
+    print(format_table(
+        ("class", "capacity cost", "hit reduction", "pna reduction"),
+        rows,
+        title="== Figure 8a: shuffle-cost reduction per class ==",
+    ))
+    print(format_paper_vs_measured("Figure 8a", [
+        ("heavy: Hit reduction", "~38%", data["shuffle-heavy"]["hit_reduction"]),
+        ("heavy: PNA reduction", "~21%", data["shuffle-heavy"]["pna_reduction"]),
+    ]))
+    for cls, v in data.items():
+        # Hit always reduces more than PNA; both beat Capacity.
+        assert v["hit_reduction"] > v["pna_reduction"] > 0, cls
+    # Shuffle-heavy gains at least as much as shuffle-light for Hit.
+    assert (
+        data["shuffle-heavy"]["hit_reduction"]
+        >= data["shuffle-light"]["hit_reduction"] - 0.05
+    )
+
+
+def test_fig8b_architectures(benchmark):
+    data = benchmark.pedantic(
+        fig8b_architectures,
+        kwargs={"seed": 0, "num_jobs": scale(6, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (arch, v["capacity"], v["pna"], v["hit"], v["hit_vs_capacity"], v["hit_vs_pna"])
+        for arch, v in data.items()
+    ]
+    print()
+    print(format_table(
+        ("architecture", "capacity", "pna", "hit", "hit/cap", "hit/pna"),
+        rows,
+        title="== Figure 8b: shuffle cost per architecture ==",
+    ))
+    mean_vs_cap = sum(v["hit_vs_capacity"] for v in data.values()) / len(data)
+    mean_vs_pna = sum(v["hit_vs_pna"] for v in data.values()) / len(data)
+    print(format_paper_vs_measured("Figure 8b", [
+        ("Hit vs Capacity (mean over archs)", "~32%", mean_vs_cap),
+        ("Hit vs PNA (mean over archs)", "~19%", mean_vs_pna),
+    ]))
+    for arch, v in data.items():
+        assert v["hit"] < v["pna"], arch
+        assert v["hit"] < v["capacity"], arch
+    # Paper: "Map-and-Reduce style fits the Tree network architecture very
+    # well because it results in less shuffle cost" — tree gives Hit its
+    # lowest per-volume cost among the switch-centric fabrics.
+    assert data["tree"]["hit"] <= data["fat-tree"]["hit"]
+    assert data["tree"]["hit"] <= data["vl2"]["hit"]

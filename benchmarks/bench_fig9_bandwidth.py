@@ -1,0 +1,51 @@
+"""Figure 9: sensitivity to network bandwidth (512-node simulation).
+
+Paper: throughput improvement over the Capacity scheduler grows as bandwidth
+tightens — up to ~48% at 0.1 Mbps — and Hit-Scheduler dominates PNA
+especially under limited bandwidth, because PNA assumes a static cost and a
+single fixed path.
+"""
+
+from repro.analysis import format_paper_vs_measured, format_table
+from repro.experiments import fig9_bandwidth_sensitivity
+
+from conftest import scale
+
+
+def test_fig9_bandwidth_sensitivity(benchmark):
+    bandwidths = (0.1, 0.5, 1.0, 5.0, 20.0, 60.0)
+    data = benchmark.pedantic(
+        fig9_bandwidth_sensitivity,
+        kwargs={
+            "seed": 0,
+            "bandwidths": bandwidths,
+            "num_jobs": scale(6, 3),
+            "num_servers": scale(512, 64),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (bw, v["hit_improvement"], v["pna_improvement"])
+        for bw, v in sorted(data.items())
+    ]
+    print()
+    print(format_table(
+        ("bandwidth (Mbps)", "hit improvement", "pna improvement"),
+        rows,
+        title="== Figure 9: throughput improvement vs Capacity ==",
+    ))
+    print(format_paper_vs_measured("Figure 9", [
+        ("Hit improvement @ 0.1 Mbps", "~48%", data[0.1]["hit_improvement"]),
+        ("Hit improvement @ 60 Mbps", "small", data[60.0]["hit_improvement"]),
+    ]))
+    # Shape 1: Hit >= PNA at every bandwidth; strictly better at the tightest.
+    for bw, v in data.items():
+        assert v["hit_improvement"] >= v["pna_improvement"] - 1e-9, bw
+    assert data[0.1]["hit_improvement"] > data[0.1]["pna_improvement"]
+    # Shape 2: improvement decays as bandwidth grows (network stops being
+    # the bottleneck).
+    assert data[0.1]["hit_improvement"] > data[5.0]["hit_improvement"]
+    assert data[5.0]["hit_improvement"] > data[60.0]["hit_improvement"]
+    # Shape 3: tight-bandwidth improvement is substantial (paper: ~48%).
+    assert data[0.1]["hit_improvement"] > 0.3

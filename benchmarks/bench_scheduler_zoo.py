@@ -1,0 +1,68 @@
+"""Scheduler zoo: all six strategies through the dynamic simulator.
+
+Not a paper figure — an end-to-end regression that the full scheduler
+lineup (including the rack-packing related-work baseline and the online
+variant) maintains the expected quality ordering on the testbed workload:
+
+    hit <= hit-online <= rackpack <= pna  (on shuffle cost)
+    and every network-aware gain shows up in mean JCT.
+"""
+
+from repro.analysis import bar_chart, format_table
+from repro.experiments import configs
+from repro.schedulers import make_scheduler
+from repro.simulator import run_simulation
+
+from conftest import scale
+
+SCHEDULERS = ("random", "capacity", "pna", "rackpack", "hit", "hit-online")
+
+
+def run_zoo(seed: int, num_jobs: int):
+    jobs = configs.testbed_workload(seed=seed, num_jobs=num_jobs)
+    out = {}
+    for name in SCHEDULERS:
+        metrics = run_simulation(
+            configs.testbed_tree(),
+            make_scheduler(name, seed=seed),
+            jobs,
+            configs.testbed_simulation_config(seed=seed),
+        )
+        out[name] = metrics.summary()
+    return out
+
+
+def test_scheduler_zoo(benchmark):
+    results = benchmark.pedantic(
+        run_zoo,
+        kwargs={"seed": 2, "num_jobs": scale(16, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (name, s["mean_jct"], s["avg_route_hops"], s["shuffle_cost"])
+        for name, s in results.items()
+    ]
+    print()
+    print(format_table(
+        ("scheduler", "mean JCT", "route hops", "shuffle cost"),
+        rows,
+        title="== scheduler zoo on the testbed workload ==",
+    ))
+    print()
+    print(bar_chart(
+        {name: s["shuffle_cost"] for name, s in results.items()},
+        title="shuffle cost (lower is better)",
+        value_fmt="{:.1f}",
+    ))
+    cost = {name: s["shuffle_cost"] for name, s in results.items()}
+    # Network-awareness ladder on shuffle cost.
+    assert cost["hit"] <= cost["rackpack"] + 1e-9
+    assert cost["rackpack"] <= cost["pna"] + 1e-9
+    assert cost["pna"] <= cost["random"] * 1.1
+    # The online variant never routes worse than plain hit.
+    assert cost["hit-online"] <= cost["hit"] + 1e-6
+    # And hit's JCT beats the topology-blind baselines.
+    jct = {name: s["mean_jct"] for name, s in results.items()}
+    assert jct["hit"] < jct["capacity"]
+    assert jct["hit"] < jct["random"]

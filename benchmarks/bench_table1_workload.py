@@ -1,0 +1,43 @@
+"""Table 1: the benchmark mix of the evaluation workload.
+
+Regenerates the job-type proportions from a large sampled workload and
+checks them against the paper's 40/20/40 class split.
+"""
+
+from collections import Counter
+
+from repro.analysis import format_table
+from repro.mapreduce import PUMA_BENCHMARKS, ShuffleClass, WorkloadGenerator
+
+
+def sample_mix(num_jobs: int = 2000, seed: int = 0) -> dict[str, float]:
+    generator = WorkloadGenerator(seed=seed)
+    jobs = generator.make_workload(num_jobs)
+    counts = Counter(j.name.rsplit("-", 1)[0] for j in jobs)
+    return {name: counts.get(name, 0) / num_jobs for name in
+            sorted(b.name for b in PUMA_BENCHMARKS)}
+
+
+def test_table1_benchmark_mix(benchmark):
+    mix = benchmark.pedantic(sample_mix, rounds=1, iterations=1)
+    expected = {b.name: b.proportion for b in PUMA_BENCHMARKS}
+    rows = [
+        (name, expected[name], mix[name])
+        for name in sorted(expected)
+    ]
+    print()
+    print(format_table(
+        ("benchmark", "paper proportion", "sampled proportion"),
+        rows,
+        title="== Table 1: benchmark mix ==",
+    ))
+    # Every sampled proportion within 3 points of Table 1.
+    for name, paper, sampled in rows:
+        assert abs(paper - sampled) < 0.03, name
+    # Class totals: 40/20/40.
+    generator = WorkloadGenerator(seed=1)
+    jobs = generator.make_workload(2000)
+    per_class = Counter(j.shuffle_class for j in jobs)
+    assert abs(per_class[ShuffleClass.HEAVY] / 2000 - 0.40) < 0.04
+    assert abs(per_class[ShuffleClass.MEDIUM] / 2000 - 0.20) < 0.04
+    assert abs(per_class[ShuffleClass.LIGHT] / 2000 - 0.40) < 0.04

@@ -1,0 +1,36 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once under pytest-benchmark timing, prints the regenerated
+rows/series next to the paper's reported numbers, and asserts the *shape*
+(who wins, roughly by how much, where the curve bends).  Absolute magnitudes
+come from a simulator, not the authors' testbed — EXPERIMENTS.md records the
+measured-vs-paper comparison for each run.
+
+Scale knob: set ``REPRO_BENCH_SCALE=quick`` to shrink the expensive runs
+(fewer seeds/jobs) during development; the default regenerates the full
+configurations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_SCALE", "full") == "quick"
+
+
+def scale(full: int, quick: int) -> int:
+    return quick if QUICK else full
+
+
+@pytest.fixture(scope="session")
+def testbed_results():
+    """The Figure 6/7 dynamic runs, shared by both benchmarks (expensive)."""
+    from repro.experiments import fig6_fig7_testbed
+
+    seeds = range(scale(4, 1))
+    return [
+        fig6_fig7_testbed(seed=s, num_jobs=scale(22, 8)) for s in seeds
+    ]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multi-tenant cluster simulation: the paper's testbed experiment in small.
+
+Runs the Table-1 PUMA-like workload mix through the discrete-event simulator
+under all three schedulers (Capacity, Probabilistic Network-Aware, Hit) and
+prints the Figure 6/7 metrics: mean job completion time, map/reduce task
+times, average shuffle route length and delay.
+
+Run:  python examples/multi_tenant_cluster.py [num_jobs]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.analysis.stats import improvement
+from repro.experiments import configs
+from repro.schedulers import make_scheduler
+from repro.simulator import run_simulation
+
+
+def main(num_jobs: int = 12) -> None:
+    jobs = configs.testbed_workload(seed=7, num_jobs=num_jobs)
+    heavy = sum(1 for j in jobs if j.shuffle_class.value == "shuffle-heavy")
+    print(
+        f"workload: {num_jobs} jobs from the Table-1 mix "
+        f"({heavy} shuffle-heavy), 64-server tree, 3 slots per server\n"
+    )
+
+    rows = []
+    summaries = {}
+    for name in ("capacity", "pna", "hit"):
+        topology = configs.testbed_tree()
+        metrics = run_simulation(
+            topology,
+            make_scheduler(name, seed=7),
+            jobs,
+            configs.testbed_simulation_config(seed=7),
+        )
+        s = metrics.summary()
+        summaries[name] = s
+        rows.append((
+            name,
+            s["mean_jct"],
+            float(metrics.task_durations("map").mean()),
+            float(metrics.task_durations("reduce").mean()),
+            s["avg_route_hops"],
+            s["avg_shuffle_delay_us"],
+        ))
+
+    print(format_table(
+        ("scheduler", "mean JCT", "map time", "reduce time",
+         "route hops", "delay (us)"),
+        rows,
+        title="== scheduler comparison (paper Figures 6 & 7) ==",
+    ))
+    print()
+    print(f"Hit vs Capacity JCT improvement: "
+          f"{improvement(summaries['capacity']['mean_jct'], summaries['hit']['mean_jct']):.1%}"
+          f"   (paper: ~28%)")
+    print(f"Hit vs PNA JCT improvement:      "
+          f"{improvement(summaries['pna']['mean_jct'], summaries['hit']['mean_jct']):.1%}"
+          f"   (paper: ~11%)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` can fall back to the legacy setuptools editable install
+when PEP-660 wheels cannot be built (no `wheel` available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of the ICPP 2018 Hit-Scheduler paper.
+
+Public API re-exports the pieces a downstream user needs: topology
+generators, the workload generator, the TAA core (Hit-Scheduler), the
+baseline schedulers and the discrete-event simulator.
+"""
+
+from . import analysis, cluster, core, experiments, mapreduce, schedulers, simulator, topology, yarnsim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "cluster",
+    "core",
+    "experiments",
+    "mapreduce",
+    "schedulers",
+    "simulator",
+    "topology",
+    "yarnsim",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Analysis helpers: CDFs, summary statistics and report tables."""
+
+from .cdf import EmpiricalCDF
+from .charts import bar_chart, series_chart, sparkline
+from .report import format_paper_vs_measured, format_table
+from .stats import describe, improvement, reduction
+
+__all__ = [
+    "EmpiricalCDF",
+    "format_table",
+    "format_paper_vs_measured",
+    "describe",
+    "improvement",
+    "reduction",
+    "bar_chart",
+    "sparkline",
+    "series_chart",
+]

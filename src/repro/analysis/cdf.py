@@ -1,0 +1,58 @@
+"""Empirical CDFs for the Figure-6-style plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF"]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical distribution function over a sample.
+
+    ``values`` are sorted ascending; ``probabilities[i]`` is the fraction of
+    the sample at or below ``values[i]``.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray | list[float]) -> "EmpiricalCDF":
+        arr = np.sort(np.asarray(samples, dtype=np.float64))
+        if arr.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        probs = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+        return cls(values=arr, probabilities=probs)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right") / self.values.size)
+
+    def percentile(self, q: float) -> float:
+        """Inverse CDF: smallest value with cumulative probability >= q."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        idx = int(np.searchsorted(self.probabilities, q, side="left"))
+        idx = min(idx, self.values.size - 1)
+        return float(self.values[idx])
+
+    @property
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """Down-sampled (value, probability) pairs for table/plot output."""
+        if points >= self.values.size:
+            return list(zip(self.values.tolist(), self.probabilities.tolist()))
+        idx = np.linspace(0, self.values.size - 1, points).astype(int)
+        return list(
+            zip(self.values[idx].tolist(), self.probabilities[idx].tolist())
+        )

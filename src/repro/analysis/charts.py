@@ -1,0 +1,78 @@
+"""Terminal charts for experiment reports.
+
+The benchmarks print their regenerated figures as tables; for series data
+(CDFs, sensitivity sweeps) a quick visual check beats reading numbers.
+These helpers render pure-ASCII horizontal bar charts and braille-free
+sparklines — no plotting dependency, safe in any log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "sparkline", "series_chart"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    title: str | None = None,
+    value_fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of label -> value (non-negative values).
+
+    Bars scale to the maximum value; zero-max charts render empty bars.
+    """
+    if not data:
+        raise ValueError("bar_chart needs at least one entry")
+    if any(v < 0 for v in data.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    peak = max(data.values())
+    label_width = max(len(k) for k in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        filled = round(width * value / peak) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(
+            f"{label.rjust(label_width)} | {bar.ljust(width)} {value_fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line intensity strip of a numeric series."""
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((v - lo) / (hi - lo) * top)] for v in values
+    )
+
+
+def series_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Multi-series (x, y) comparison as labelled sparklines.
+
+    All series are resampled onto their own x-order; the chart communicates
+    shape (rising/falling/knees), not exact values — the tables carry those.
+    """
+    if not series:
+        raise ValueError("series_chart needs at least one series")
+    lines = [title] if title else []
+    label_width = max(len(k) for k in series)
+    for label, points in series.items():
+        ys = [y for _, y in sorted(points)]
+        # Downsample long series to the chart width.
+        if len(ys) > width:
+            step = len(ys) / width
+            ys = [ys[int(i * step)] for i in range(width)]
+        lines.append(f"{label.rjust(label_width)} | {sparkline(ys)}")
+    return "\n".join(lines)

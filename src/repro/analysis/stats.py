@@ -1,0 +1,38 @@
+"""Aggregate statistics and improvement ratios used by the experiment
+harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["improvement", "reduction", "describe"]
+
+
+def improvement(baseline: float, candidate: float) -> float:
+    """Fractional improvement of ``candidate`` over ``baseline`` for a
+    lower-is-better metric: ``1 - candidate / baseline``.
+
+    Zero baseline yields 0 (no meaningful ratio).
+    """
+    if baseline == 0:
+        return 0.0
+    return 1.0 - candidate / baseline
+
+
+def reduction(baseline: float, candidate: float) -> float:
+    """Alias of :func:`improvement` named for cost metrics."""
+    return improvement(baseline, candidate)
+
+
+def describe(samples: np.ndarray | list[float]) -> dict[str, float]:
+    """Five-number-ish summary used in experiment printouts."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        return {"n": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "max": 0.0}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "max": float(arr.max()),
+    }

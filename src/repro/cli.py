@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Five subcommands cover the library's workflows without writing Python:
+
+* ``repro topology`` — build a fabric and print its structure;
+* ``repro workload`` — sample a Table-1 workload (optionally save a trace);
+* ``repro simulate`` — run the discrete-event simulator with a scheduler;
+* ``repro optimize`` — static placement comparison across schedulers;
+* ``repro experiment`` — regenerate one of the paper's figures.
+
+Every command takes ``--seed`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import format_table
+from .mapreduce import WorkloadGenerator, load_workload_file, save_workload_file
+from .schedulers import make_scheduler
+from .topology import (
+    BCubeConfig,
+    FatTreeConfig,
+    Tier,
+    TreeConfig,
+    VL2Config,
+    build_bcube,
+    build_fattree,
+    build_tree,
+    build_vl2,
+)
+
+__all__ = ["main", "build_parser"]
+
+SCHEDULER_CHOICES = (
+    "capacity", "capacity-ecmp", "pna", "hit", "hit-online", "random", "rackpack",
+)
+
+
+def _build_topology(args: argparse.Namespace):
+    if args.kind == "tree":
+        return build_tree(TreeConfig(
+            depth=args.depth, fanout=args.fanout, redundancy=args.redundancy,
+            server_resources=(args.slots,),
+        ))
+    if args.kind == "fattree":
+        return build_fattree(FatTreeConfig(k=args.k, server_resources=(args.slots,)))
+    if args.kind == "vl2":
+        return build_vl2(VL2Config(server_resources=(args.slots,)))
+    if args.kind == "bcube":
+        return build_bcube(BCubeConfig(n=args.n, k=args.levels,
+                                       server_resources=(args.slots,)))
+    raise ValueError(f"unknown topology kind {args.kind!r}")
+
+
+# ------------------------------------------------------------------ commands
+def cmd_topology(args: argparse.Namespace) -> int:
+    topo = _build_topology(args)
+    print(topo)
+    by_tier: dict[Tier, int] = {}
+    for w in topo.switch_ids:
+        by_tier[topo.tier_of(w)] = by_tier.get(topo.tier_of(w), 0) + 1
+    rows = [(t.label, n) for t, n in sorted(by_tier.items())]
+    print(format_table(("tier", "switches"), rows))
+    sample = topo.server_ids[: min(2, topo.num_servers)]
+    if len(sample) == 2:
+        a, b = sample
+        print(f"sample path {a}->{b}: {topo.shortest_path(a, b)}")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    generator = WorkloadGenerator(
+        seed=args.seed,
+        input_size_range=(args.min_size, args.max_size),
+    )
+    jobs = generator.make_workload(args.jobs, interarrival=args.interarrival)
+    rows = [
+        (j.job_id, j.name, j.shuffle_class.value, j.num_maps, j.num_reduces,
+         round(j.input_size, 2), round(j.shuffle_volume, 2))
+        for j in jobs
+    ]
+    print(format_table(
+        ("id", "name", "class", "maps", "reduces", "input", "shuffle"),
+        rows,
+        title=f"workload (seed={args.seed})",
+    ))
+    if args.output:
+        save_workload_file(args.output, jobs)
+        print(f"\nsaved to {args.output}")
+    return 0
+
+
+def _load_or_generate_jobs(args: argparse.Namespace):
+    if args.trace:
+        return load_workload_file(args.trace)
+    generator = WorkloadGenerator(
+        seed=args.seed, input_size_range=(4.0, 12.0),
+        map_rate=8.0, reduce_rate=8.0,
+    )
+    return generator.make_workload(args.jobs, interarrival=args.interarrival)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .experiments import configs
+    from .simulator import run_simulation, save_trace_file
+
+    jobs = _load_or_generate_jobs(args)
+    rows = []
+    for name in args.scheduler:
+        metrics = run_simulation(
+            configs.testbed_tree(),
+            make_scheduler(name, seed=args.seed),
+            jobs,
+            configs.testbed_simulation_config(seed=args.seed),
+        )
+        s = metrics.summary()
+        rows.append((
+            name, s["mean_jct"], s["avg_route_hops"],
+            s["avg_shuffle_delay_us"], s["shuffle_cost"],
+        ))
+        if args.save_trace:
+            path = f"{args.save_trace}.{name}.jsonl"
+            save_trace_file(path, metrics)
+            print(f"trace saved: {path}")
+    print(format_table(
+        ("scheduler", "mean JCT", "route hops", "delay (us)", "shuffle cost"),
+        rows,
+        title=f"simulation: {len(jobs)} jobs on the 64-server testbed tree",
+    ))
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .experiments import build_static_workload, configs, run_static_placement
+
+    jobs = _load_or_generate_jobs(args)
+    topology = configs.testbed_tree()
+    workload = build_static_workload(topology, jobs, seed=args.seed)
+    rows = []
+    for name in args.scheduler:
+        result = run_static_placement(
+            workload, make_scheduler(name, seed=args.seed), seed=args.seed
+        )
+        rows.append((name, result.shuffle_cost, result.avg_route_hops))
+    print(format_table(
+        ("scheduler", "shuffle cost (GB.T)", "avg route hops"),
+        rows,
+        title=f"static placement: {len(jobs)} jobs",
+    ))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        fig1_traffic_volume,
+        fig3_case_study,
+        fig8a_workload_classes,
+        fig8b_architectures,
+        fig9_bandwidth_sensitivity,
+        fig10_job_numbers,
+    )
+
+    name = args.figure
+    if name == "fig1":
+        data = fig1_traffic_volume(seed=args.seed)
+        rows = [(k, v["shuffle_volume"], v["remote_map_volume"], v["shuffle_share"])
+                for k, v in data.items()]
+        print(format_table(("class", "shuffle", "remote-map", "share"), rows))
+    elif name == "fig3":
+        r = fig3_case_study()
+        print(format_table(("metric", "GB.T"), [
+            ("capacity placement", r.baseline_cost),
+            ("paper optimised", r.paper_optimised_cost),
+            ("hit-scheduler", r.hit_cost),
+        ]))
+    elif name == "fig8a":
+        data = fig8a_workload_classes(seed=args.seed)
+        rows = [(k, v["hit_reduction"], v["pna_reduction"]) for k, v in data.items()]
+        print(format_table(("class", "hit reduction", "pna reduction"), rows))
+    elif name == "fig8b":
+        data = fig8b_architectures(seed=args.seed)
+        rows = [(k, v["capacity"], v["pna"], v["hit"]) for k, v in data.items()]
+        print(format_table(("architecture", "capacity", "pna", "hit"), rows))
+    elif name == "fig9":
+        data = fig9_bandwidth_sensitivity(seed=args.seed, num_servers=64, num_jobs=3)
+        rows = [(bw, v["hit_improvement"], v["pna_improvement"])
+                for bw, v in sorted(data.items())]
+        print(format_table(("bandwidth", "hit improvement", "pna improvement"), rows))
+    elif name == "fig10":
+        data = fig10_job_numbers(
+            seed=args.seed, job_counts=(3, 6, 9), num_servers=64,
+            input_size_range=(6.0, 10.0),
+        )
+        rows = [(n, v["hit_reduction"], v["pna_reduction"])
+                for n, v in sorted(data.items())]
+        print(format_table(("jobs", "hit reduction", "pna reduction"), rows))
+    else:
+        raise ValueError(f"unknown figure {name!r}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hit-Scheduler reproduction toolkit (ICPP 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="build and describe a fabric")
+    p.add_argument("kind", choices=("tree", "fattree", "vl2", "bcube"))
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--fanout", type=int, default=4)
+    p.add_argument("--redundancy", type=int, default=2)
+    p.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    p.add_argument("--n", type=int, default=4, help="BCube ports per switch")
+    p.add_argument("--levels", type=int, default=1, help="BCube level count k")
+    p.add_argument("--slots", type=float, default=2.0, help="slots per server")
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("workload", help="sample a Table-1 workload")
+    p.add_argument("--jobs", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-size", type=float, default=4.0)
+    p.add_argument("--max-size", type=float, default=12.0)
+    p.add_argument("--interarrival", type=float, default=0.0)
+    p.add_argument("--output", help="save as a JSON-lines trace file")
+    p.set_defaults(func=cmd_workload)
+
+    for cmd, func, help_text in (
+        ("simulate", cmd_simulate, "run the discrete-event simulator"),
+        ("optimize", cmd_optimize, "static placement comparison"),
+    ):
+        p = sub.add_parser(cmd, help=help_text)
+        p.add_argument(
+            "--scheduler", nargs="+", choices=SCHEDULER_CHOICES,
+            default=["capacity", "pna", "hit"],
+        )
+        p.add_argument("--jobs", type=int, default=8)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--interarrival", type=float, default=0.5)
+        p.add_argument("--trace", help="load jobs from a trace file instead")
+        if cmd == "simulate":
+            p.add_argument("--save-trace", help="save per-scheduler run traces")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure")
+    p.add_argument(
+        "figure", choices=("fig1", "fig3", "fig8a", "fig8b", "fig9", "fig10")
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

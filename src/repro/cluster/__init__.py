@@ -1,0 +1,7 @@
+"""Compute substrate: resources, containers and cluster placement state."""
+
+from .container import Container, TaskKind, TaskRef
+from .resources import Resources
+from .state import ClusterState
+
+__all__ = ["Container", "TaskKind", "TaskRef", "Resources", "ClusterState"]

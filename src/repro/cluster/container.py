@@ -1,0 +1,73 @@
+"""Containers: the unit of task hosting.
+
+In the paper (Section 3.1) each container hosts at most one Map or Reduce
+task (third constraint of Eq 3), demands a resource vector ``r_i`` and is
+placed on exactly one server (first constraint).  A shuffle flow's endpoints
+are containers: ``f.src`` runs the Map task, ``f.dst`` the Reduce task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .resources import Resources
+
+__all__ = ["TaskKind", "TaskRef", "Container"]
+
+
+class TaskKind(Enum):
+    """Whether a container hosts a Map or a Reduce task."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """Reference to a task within a job: ``(job_id, kind, index)``.
+
+    The binary assignment variables of the paper (``x_ij^m`` / ``x_ij^r``)
+    become the association between a :class:`TaskRef` and the container that
+    hosts it.
+    """
+
+    job_id: int
+    kind: TaskKind
+    index: int
+
+    def __str__(self) -> str:
+        tag = "M" if self.kind is TaskKind.MAP else "R"
+        return f"j{self.job_id}.{tag}{self.index}"
+
+
+@dataclass
+class Container:
+    """A container demanding ``demand`` resources and hosting ``task``.
+
+    ``server_id`` is ``None`` while unplaced — the paper's ``A(c_i) = 0``
+    state that Algorithm 2's main loop drains.
+    """
+
+    container_id: int
+    demand: Resources
+    task: Optional[TaskRef] = None
+    server_id: Optional[int] = None
+
+    @property
+    def is_placed(self) -> bool:
+        return self.server_id is not None
+
+    @property
+    def hosts_map(self) -> bool:
+        return self.task is not None and self.task.kind is TaskKind.MAP
+
+    @property
+    def hosts_reduce(self) -> bool:
+        return self.task is not None and self.task.kind is TaskKind.REDUCE
+
+    def __repr__(self) -> str:
+        where = f"@s{self.server_id}" if self.is_placed else "@?"
+        what = str(self.task) if self.task else "idle"
+        return f"Container({self.container_id}, {what}, {where})"

@@ -1,0 +1,47 @@
+"""The paper's contribution: TAA formulation, policy optimisation (Alg 1),
+stable-matching task assignment (Alg 2) and the Hit-Scheduler loop."""
+
+from .exact import ExactResult, solve_exact
+from .hit import HitConfig, HitOptimizer, HitResult
+from .localsearch import LocalSearchConfig, LocalSearchOptimizer, LocalSearchResult
+from .matching import MatchingResult, find_blocking_pairs, stable_match
+from .policy import CostModel, NoFeasiblePathError, Policy, PolicyController
+from .preference import PairCostCache, PreferenceMatrix, build_preference_matrix
+from .rebalance import RebalanceConfig, RebalanceReport, rebalance_flows
+from .taa import ConstraintViolation, TAAInstance
+from .utility import (
+    container_cost,
+    container_reschedule_utility,
+    joint_switch_reschedule_utility,
+    switch_reschedule_utility,
+)
+
+__all__ = [
+    "TAAInstance",
+    "ConstraintViolation",
+    "Policy",
+    "CostModel",
+    "PolicyController",
+    "NoFeasiblePathError",
+    "PreferenceMatrix",
+    "PairCostCache",
+    "build_preference_matrix",
+    "LocalSearchConfig",
+    "LocalSearchOptimizer",
+    "LocalSearchResult",
+    "RebalanceConfig",
+    "RebalanceReport",
+    "rebalance_flows",
+    "MatchingResult",
+    "stable_match",
+    "find_blocking_pairs",
+    "HitConfig",
+    "HitOptimizer",
+    "HitResult",
+    "ExactResult",
+    "solve_exact",
+    "switch_reschedule_utility",
+    "joint_switch_reschedule_utility",
+    "container_cost",
+    "container_reschedule_utility",
+]

@@ -1,0 +1,142 @@
+"""Brute-force exact TAA solver for small instances.
+
+The TAA problem is NP-hard (Section 4 reduces Multiple Knapsack to it), so
+no polynomial exact algorithm exists; this module provides an exponential
+one for validation: depth-first enumeration of all capacity-feasible
+container->server assignments with branch-and-bound pruning, scoring each
+complete assignment by optimally routing every flow.  The ablation benchmark
+``bench_ablation_exact_gap`` and the unit tests use it to measure how close
+the stable-matching heuristic gets to the optimum on instances the
+enumeration can still afford (roughly <= 8 containers on <= 6 servers).
+
+With the congestion term disabled and capacities slack, per-flow optimal
+routing is globally optimal (flows do not interact), so the returned cost is
+the true optimum.  With tight switch capacities the policy side is itself a
+knapsack and per-flow routing in decreasing-rate order is a greedy bound —
+the solver then reports the best assignment under that same policy rule,
+which is exactly how the heuristic scores placements, keeping the comparison
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.resources import Resources
+from .policy import NoFeasiblePathError
+from .taa import TAAInstance
+
+__all__ = ["ExactResult", "solve_exact"]
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Optimal assignment and its cost, plus search statistics."""
+
+    assignment: dict[int, int]
+    cost: float
+    nodes_explored: int
+    complete_assignments: int
+
+
+def _score(taa: TAAInstance, assignment: dict[int, int]) -> float:
+    """Cost of a complete assignment under optimal per-flow routing."""
+    controller = taa.controller
+    controller.clear()
+    total = 0.0
+    for flow in sorted(taa.flows, key=lambda f: -f.rate):
+        src = assignment[flow.src_container]
+        dst = assignment[flow.dst_container]
+        try:
+            policy = controller.route_flow(flow, src, dst)
+        except NoFeasiblePathError:
+            controller.clear()
+            return float("inf")
+        del policy
+        total += controller.policy_cost(flow)
+    controller.clear()
+    return total
+
+
+def solve_exact(
+    taa: TAAInstance,
+    max_containers: int = 10,
+    max_servers: int = 8,
+) -> ExactResult:
+    """Enumerate all feasible assignments and return the cheapest.
+
+    Guards with ``max_containers`` / ``max_servers`` so a mistaken call on a
+    big instance fails fast instead of burning hours.  The instance's current
+    placement and policies are left untouched (state is snapshotted and
+    restored around the search).
+    """
+    cluster = taa.cluster
+    container_ids = [c.container_id for c in cluster.containers()]
+    server_ids = list(cluster.server_ids)
+    if len(container_ids) > max_containers:
+        raise ValueError(
+            f"{len(container_ids)} containers exceed exact-solver limit "
+            f"{max_containers}"
+        )
+    if len(server_ids) > max_servers:
+        raise ValueError(
+            f"{len(server_ids)} servers exceed exact-solver limit {max_servers}"
+        )
+
+    snapshot = cluster.placement_snapshot()
+    saved_policies = taa.controller.policies()
+    demand = {c: cluster.container(c).demand for c in container_ids}
+    capacity = {s: cluster.capacity(s) for s in server_ids}
+
+    best_cost = float("inf")
+    best_assignment: dict[int, int] = {}
+    nodes = 0
+    complete = 0
+    used: dict[int, Resources] = {s: Resources.zero() for s in server_ids}
+    assignment: dict[int, int] = {}
+
+    def dfs(index: int) -> None:
+        nonlocal best_cost, best_assignment, nodes, complete
+        if index == len(container_ids):
+            complete += 1
+            cost = _score(taa, assignment)
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = dict(assignment)
+            return
+        cid = container_ids[index]
+        for sid in server_ids:
+            new_used = used[sid] + demand[cid]
+            if not new_used.fits_in(capacity[sid]):
+                continue
+            nodes += 1
+            used[sid] = new_used
+            assignment[cid] = sid
+            dfs(index + 1)
+            del assignment[cid]
+            used[sid] = used[sid] - demand[cid]
+
+    try:
+        dfs(0)
+    finally:
+        # Restore the caller's placement and policies.
+        for cid in container_ids:
+            if cluster.container(cid).is_placed:
+                cluster.unplace(cid)
+        for cid, sid in snapshot.items():
+            if sid is not None:
+                cluster.place(cid, sid)
+        taa.controller.clear()
+        for flow in taa.flows:
+            policy = saved_policies.get(flow.flow_id)
+            if policy is not None:
+                taa.controller.assign(flow, policy)
+
+    if not best_assignment and container_ids:
+        raise RuntimeError("no capacity-feasible assignment exists")
+    return ExactResult(
+        assignment=best_assignment,
+        cost=best_cost,
+        nodes_explored=nodes,
+        complete_assignments=complete,
+    )

@@ -1,0 +1,208 @@
+"""Tasks Assignment Algorithm (Algorithm 2): modified Gale-Shapley.
+
+The preferences of containers and servers can conflict, which the paper casts
+as a many-to-one stable matching (college-admissions / hospital-residents
+with capacities).  Containers propose; a server accepts while it has residual
+resource capacity and otherwise evicts its least-preferred tenants.  Two
+refinements from the paper's pseudo-code are implemented faithfully:
+
+* **rejected-top** — each server remembers the best (highest) preference rank
+  it has ever rejected;
+* **blacklists** — every container the server ranks at-or-below that
+  rejected-top treats the server as unavailable from then on.  (We realise
+  the blacklist lazily: a proposal to ``s`` is skipped when the proposer's
+  rank on ``s`` is no better than ``s``'s rejected-top.  This is equivalent
+  to the eager set-union of the pseudo-code and keeps the loop O(M x N).)
+
+A matching is *stable* when no container-server pair ``(c, s)`` both prefer
+each other over their current situation; :func:`find_blocking_pairs` checks
+that definition directly and is used by the test suite to validate the
+implementation on random instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..cluster.resources import Resources
+from ..cluster.state import ClusterState
+from .preference import PreferenceMatrix
+
+__all__ = ["MatchingResult", "stable_match", "find_blocking_pairs"]
+
+
+@dataclass
+class MatchingResult:
+    """Outcome of Algorithm 2.
+
+    ``assignment`` maps container id -> server id for every matched
+    container; ``unmatched`` lists containers whose preference list was
+    exhausted (possible when capacities are tight — the caller decides on a
+    fallback).  ``proposals`` counts loop iterations, the quantity the
+    O(M x N) complexity claim bounds.
+    """
+
+    assignment: dict[int, int]
+    unmatched: list[int]
+    proposals: int
+    evictions: int
+
+
+def stable_match(
+    preferences: PreferenceMatrix,
+    cluster: ClusterState,
+) -> MatchingResult:
+    """Run Algorithm 2 and return the stable assignment.
+
+    ``cluster`` supplies container demands and server capacities; the
+    matching works on scratch state and does **not** mutate the cluster —
+    the caller applies the assignment (see
+    :meth:`~repro.core.hit.HitOptimizer`), since an application step may also
+    need to handle unmatched containers.
+    """
+    container_ids = list(preferences.container_ids)
+    server_ids = list(preferences.server_ids)
+    in_matrix = set(container_ids)
+
+    # Containers outside this matching round (e.g. the fixed side of an
+    # alternating sweep) keep occupying their servers: charge their demand
+    # up-front so the matching never oversubscribes around them.
+    fixed_used: dict[int, Resources] = {s: Resources.zero() for s in server_ids}
+    for other in cluster.containers():
+        if other.container_id in in_matrix or other.server_id is None:
+            continue
+        if other.server_id in fixed_used:
+            fixed_used[other.server_id] = (
+                fixed_used[other.server_id] + other.demand
+            )
+
+    # Container-side preference lists and cursors.
+    pref_lists: dict[int, list[int]] = {
+        c: preferences.container_ranking(c) for c in container_ids
+    }
+    cursors: dict[int, int] = {c: 0 for c in container_ids}
+
+    # Server-side ranking (0 = most preferred container).
+    server_rank: dict[int, dict[int, int]] = {
+        s: preferences.server_rank_of(s) for s in server_ids
+    }
+    rejected_top: dict[int, int] = {s: len(container_ids) + 1 for s in server_ids}
+
+    capacity: dict[int, Resources] = {
+        s: cluster.capacity(s) - fixed_used[s] for s in server_ids
+    }
+    used: dict[int, Resources] = {s: Resources.zero() for s in server_ids}
+    accepted: dict[int, set[int]] = {s: set() for s in server_ids}
+    matched_to: dict[int, int] = {}
+
+    demand = {c: cluster.container(c).demand for c in container_ids}
+
+    free: deque[int] = deque(container_ids)
+    proposals = 0
+    evictions = 0
+
+    while free:
+        c = free.popleft()
+        placed = False
+        while cursors[c] < len(pref_lists[c]):
+            s = pref_lists[c][cursors[c]]
+            cursors[c] += 1
+            rank = server_rank[s].get(c)
+            if rank is None or rank >= rejected_top[s]:
+                # Blacklisted: s already rejected a container it prefers to c.
+                continue
+            proposals += 1
+            # Tentatively accept, then evict least-preferred until feasible.
+            accepted[s].add(c)
+            matched_to[c] = s
+            used[s] = used[s] + demand[c]
+            while not used[s].fits_in(capacity[s]):
+                worst = max(accepted[s], key=lambda x: server_rank[s][x])
+                accepted[s].discard(worst)
+                used[s] = used[s] - demand[worst]
+                del matched_to[worst]
+                evictions += 1
+                rejected_top[s] = min(rejected_top[s], server_rank[s][worst])
+                if worst != c:
+                    free.append(worst)
+            if c in accepted[s]:
+                placed = True
+                break
+            # c itself was evicted: continue down its list.
+        if not placed and c not in matched_to:
+            if cursors[c] >= len(pref_lists[c]):
+                pass  # exhausted; will be reported unmatched
+    unmatched = [c for c in container_ids if c not in matched_to]
+    return MatchingResult(
+        assignment=dict(matched_to),
+        unmatched=unmatched,
+        proposals=proposals,
+        evictions=evictions,
+    )
+
+
+def find_blocking_pairs(
+    result: MatchingResult,
+    preferences: PreferenceMatrix,
+    cluster: ClusterState,
+    tolerance: float = 1e-9,
+) -> list[tuple[int, int]]:
+    """All blocking pairs of a matching (empty list == stable).
+
+    ``(c, s)`` blocks when ``c`` strictly prefers ``s`` to its current match
+    (strictly lower cost, beyond ``tolerance``) **and** ``s`` can be made to
+    accommodate ``c`` profitably: either it has residual capacity for ``c``,
+    or it strictly prefers ``c`` to some accepted container whose eviction
+    would free enough room.
+    """
+    container_ids = list(preferences.container_ids)
+    server_ids = list(preferences.server_ids)
+    demand = {c: cluster.container(c).demand for c in container_ids}
+
+    used: dict[int, Resources] = {s: Resources.zero() for s in server_ids}
+    accepted: dict[int, list[int]] = {s: [] for s in server_ids}
+    in_matrix = set(container_ids)
+    for other in cluster.containers():
+        # Fixed containers occupy space but are never evictable.
+        if other.container_id in in_matrix or other.server_id is None:
+            continue
+        if other.server_id in used:
+            used[other.server_id] = used[other.server_id] + other.demand
+    for c, s in result.assignment.items():
+        used[s] = used[s] + demand[c]
+        accepted[s].append(c)
+
+    server_rank = {s: preferences.server_rank_of(s) for s in server_ids}
+    blocking: list[tuple[int, int]] = []
+    for c in container_ids:
+        current = result.assignment.get(c)
+        j = preferences.container_ids.index(c)
+        current_cost = (
+            preferences.cost[preferences.server_ids.index(current), j]
+            if current is not None
+            else float("inf")
+        )
+        for s in server_ids:
+            if s == current:
+                continue
+            i = preferences.server_ids.index(s)
+            cost = preferences.cost[i, j]
+            if not cost < current_cost - tolerance:
+                continue  # c does not strictly prefer s
+            rank_c = server_rank[s].get(c)
+            if rank_c is None:
+                continue
+            residual = cluster.capacity(s) - used[s]
+            if demand[c].fits_in(residual):
+                blocking.append((c, s))
+                continue
+            # Would evicting strictly-worse tenants make room?
+            worse = [a for a in accepted[s] if server_rank[s][a] > rank_c]
+            freed = residual
+            for a in sorted(worse, key=lambda x: -server_rank[s][x]):
+                freed = freed + demand[a]
+                if demand[c].fits_in(freed):
+                    blocking.append((c, s))
+                    break
+    return blocking

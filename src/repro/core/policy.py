@@ -1,0 +1,355 @@
+"""Network policies and the Policy Optimization Algorithm (Algorithm 1).
+
+A *policy* ``p_k`` (Section 3.1) is the ordered list of switches a shuffle
+flow must traverse, each with a required type; a policy is **satisfied** when
+every allocated switch matches its required type in order.  Policies and
+flows are one-to-one.
+
+The :class:`PolicyController` plays the role of the paper's centralised
+OpenFlow controller: it tracks the rate load ``sum(f.rate for p in A(w))`` on
+every switch, exposes the candidate-switch set of Eq 4, and computes the
+optimal routing path of a flow (Algorithm 1, line 5) as a shortest-path
+dynamic program over the equal-cost stage DAG between the two end servers.
+Rescheduling a switch ``p.list[i] -> w_hat`` (Eq 5) falls out of the DP: the
+returned path differs from the current one exactly in the switches whose
+replacement has positive utility.
+
+Cost model: traversing switch ``w`` costs ``rate * unit_cost(w)`` where
+``unit_cost`` is the per-switch delay unit ``c_s`` (1 T in the case study of
+Section 2.3) times an optional tier weight, plus an optional congestion term
+proportional to the switch's current utilisation.  With the defaults the
+model reduces to the paper's "cost = rate x number of switches traversed",
+and the congestion term only breaks ties toward less-loaded switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..mapreduce.shuffle import ShuffleFlow
+from ..topology.base import Tier, Topology
+from ..topology.routing import enumerate_paths, shortest_path_stages
+
+__all__ = ["Policy", "CostModel", "PolicyController", "NoFeasiblePathError"]
+
+_INF = float("inf")
+
+
+class NoFeasiblePathError(RuntimeError):
+    """Raised when no policy can carry a flow within switch capacities."""
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A satisfied policy: the route of one flow.
+
+    ``path`` is the full node sequence (servers included); ``switch_list``
+    the switches in traversal order (the paper's ``p.list``) and ``types``
+    their required types (``p.type``).
+    """
+
+    flow_id: int
+    path: tuple[int, ...]
+    switch_list: tuple[int, ...]
+    types: tuple[str, ...]
+
+    @property
+    def length(self) -> int:
+        """``p.len`` — the number of switches on the route."""
+        return len(self.switch_list)
+
+    def is_satisfied_by(self, topology: Topology) -> bool:
+        """Sixth constraint of Eq 3: every switch matches its required type."""
+        return all(
+            topology.switch(w).switch_type == t
+            for w, t in zip(self.switch_list, self.types)
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-switch traversal cost parameters.
+
+    ``unit_cost`` is ``c_s``; ``tier_weights`` lets experiments price core
+    switches differently; ``congestion_weight`` adds
+    ``congestion_weight * load / capacity`` per switch so that, at equal hop
+    count, the optimiser prefers idle switches (this is what makes policy
+    optimisation useful on symmetric fabrics, mirroring Figure 2's overloaded
+    ``w_1``).
+    """
+
+    unit_cost: float = 1.0
+    tier_weights: Mapping[Tier, float] = field(
+        default_factory=lambda: {
+            Tier.ACCESS: 1.0,
+            Tier.AGGREGATION: 1.0,
+            Tier.CORE: 1.0,
+        }
+    )
+    congestion_weight: float = 0.25
+
+    def switch_cost(self, topology: Topology, switch_id: int, load: float) -> float:
+        """Cost contribution of traversing one switch at the given load."""
+        switch = topology.switch(switch_id)
+        base = self.unit_cost * self.tier_weights.get(switch.tier, 1.0)
+        if self.congestion_weight > 0 and switch.capacity > 0:
+            base += self.congestion_weight * (load / switch.capacity)
+        return base
+
+
+class PolicyController:
+    """Central policy manager: switch loads, Eq 4 candidates, Algorithm 1.
+
+    The controller owns the mutable network side of a TAA instance.  The
+    compute side (container placement) lives in
+    :class:`~repro.cluster.state.ClusterState`; the two meet in
+    :class:`~repro.core.taa.TAAInstance`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cost_model: CostModel | None = None,
+        max_slack: int = 2,
+    ) -> None:
+        self.topology = topology
+        self.cost_model = cost_model or CostModel()
+        self.max_slack = max_slack
+        self._load: dict[int, float] = {w: 0.0 for w in topology.switch_ids}
+        self._base_load: dict[int, float] = {w: 0.0 for w in topology.switch_ids}
+        self._policies: dict[int, Policy] = {}
+        self._flow_rates: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ state
+    def load(self, switch_id: int) -> float:
+        """Aggregate rate currently routed through a switch (incl. base load)."""
+        return self._load[switch_id] + self._base_load[switch_id]
+
+    def set_base_load(self, switch_id: int, rate: float) -> None:
+        """External (background) load on a switch.
+
+        Planning instances use this to mirror the traffic other jobs already
+        impose on the fabric without importing their flows.
+        """
+        if rate < 0:
+            raise ValueError("base load must be non-negative")
+        self._base_load[switch_id] = rate
+
+    def base_loads_from(self, other: "PolicyController") -> None:
+        """Copy another controller's *total* loads in as base load."""
+        for w in self.topology.switch_ids:
+            self._base_load[w] = other.load(w)
+
+    def residual(self, switch_id: int) -> float:
+        return self.topology.switch(switch_id).capacity - self.load(switch_id)
+
+    def policy_of(self, flow_id: int) -> Policy | None:
+        return self._policies.get(flow_id)
+
+    def policies(self) -> dict[int, Policy]:
+        return dict(self._policies)
+
+    # ------------------------------------------------------------ Eq 4 helper
+    def candidate_switches(self, policy: Policy, position: int, rate: float) -> list[int]:
+        """Eq 4: same-type switches with residual capacity for the flow.
+
+        ``position`` indexes ``policy.switch_list``.  The current switch is
+        excluded, exactly as in the paper (``w_hat in W \\ p.list[i]``).
+        """
+        required_type = policy.types[position]
+        current = policy.switch_list[position]
+        return [
+            w
+            for w in self.topology.switch_ids
+            if w != current
+            and self.topology.switch(w).switch_type == required_type
+            and self.residual(w) >= rate
+        ]
+
+    # -------------------------------------------------------------- mutation
+    def assign(self, flow: ShuffleFlow, policy: Policy) -> None:
+        """Install a policy for a flow, charging its rate to the switches."""
+        if flow.flow_id in self._policies:
+            self.release(flow.flow_id)
+        for w in policy.switch_list:
+            self._load[w] += flow.rate
+        self._policies[flow.flow_id] = policy
+        self._flow_rates[flow.flow_id] = flow.rate
+
+    def release(self, flow_id: int) -> None:
+        """Remove a flow's policy, refunding its rate."""
+        policy = self._policies.pop(flow_id, None)
+        if policy is None:
+            return
+        rate = self._flow_rates.pop(flow_id)
+        for w in policy.switch_list:
+            self._load[w] -= rate
+            if -1e-9 < self._load[w] < 0:
+                self._load[w] = 0.0
+
+    def clear(self) -> None:
+        for flow_id in list(self._policies):
+            self.release(flow_id)
+
+    # --------------------------------------------------------- cost queries
+    def path_cost(self, path: Sequence[int], rate: float) -> float:
+        """Cost of carrying ``rate`` along a node path under current loads."""
+        return rate * sum(
+            self.cost_model.switch_cost(self.topology, n, self.load(n))
+            for n in path
+            if self.topology.is_switch(n)
+        )
+
+    def policy_cost(self, flow: ShuffleFlow) -> float:
+        """Shuffle cost of a flow under its installed policy (Eq 2).
+
+        The flow's own load is excluded from the congestion term so the cost
+        is comparable with candidate paths it is *not* yet installed on.
+        """
+        policy = self._policies.get(flow.flow_id)
+        if policy is None:
+            raise KeyError(f"flow {flow.flow_id} has no policy")
+        total = 0.0
+        for w in policy.switch_list:
+            total += self.cost_model.switch_cost(
+                self.topology, w, self.load(w) - flow.rate
+            )
+        return flow.rate * total
+
+    # ------------------------------------------------- Algorithm 1 machinery
+    def optimal_path(
+        self,
+        src_server: int,
+        dst_server: int,
+        rate: float,
+        enforce_capacity: bool = True,
+    ) -> tuple[tuple[int, ...], float]:
+        """Optimal shuffle path between two servers (Algorithm 1, line 5).
+
+        Runs a forward DP over the equal-cost stage DAG; when capacities
+        prune every shortest path, retries slack-extended paths up to
+        ``max_slack`` extra hops before raising
+        :class:`NoFeasiblePathError`.  Returns ``(path, cost)`` where cost is
+        ``rate``-scaled per the cost model.
+        """
+        if src_server == dst_server:
+            return ((src_server,), 0.0)
+        path = self._dag_best_path(src_server, dst_server, rate, enforce_capacity)
+        if path is not None:
+            return path, self.path_cost(path, rate)
+        if enforce_capacity:
+            for slack in range(1, self.max_slack + 1):
+                best: tuple[int, ...] | None = None
+                best_cost = _INF
+                for candidate in enumerate_paths(
+                    self.topology, src_server, dst_server, slack=slack, limit=512
+                ):
+                    if not self._path_feasible(candidate, rate):
+                        continue
+                    cost = self.path_cost(candidate, rate)
+                    if cost < best_cost:
+                        best, best_cost = candidate, cost
+                if best is not None:
+                    return best, best_cost
+        raise NoFeasiblePathError(
+            f"no feasible path for rate {rate} between servers "
+            f"{src_server} and {dst_server}"
+        )
+
+    def _path_feasible(self, path: Sequence[int], rate: float) -> bool:
+        return all(
+            self.residual(n) >= rate
+            for n in path
+            if self.topology.is_switch(n)
+        )
+
+    def _dag_best_path(
+        self,
+        src: int,
+        dst: int,
+        rate: float,
+        enforce_capacity: bool,
+    ) -> tuple[int, ...] | None:
+        """Forward DP over :func:`shortest_path_stages`; None when pruned dry."""
+        stages = shortest_path_stages(self.topology, src, dst)
+        topo = self.topology
+        # frontier[node] = cumulative cost at the previous stage.
+        frontier: dict[int, float] = {src: 0.0}
+        parents: dict[int, int] = {}
+        for stage in stages[1:]:
+            nxt: dict[int, float] = {}
+            for node in stage:
+                if (
+                    enforce_capacity
+                    and topo.is_switch(node)
+                    and self.residual(node) < rate
+                ):
+                    continue
+                node_cost = (
+                    self.cost_model.switch_cost(topo, node, self.load(node))
+                    if topo.is_switch(node)
+                    else 0.0
+                )
+                best_total = _INF
+                best_prev: int | None = None
+                for prev, prev_cost in frontier.items():
+                    if not topo.has_link(prev, node):
+                        continue
+                    total = prev_cost + node_cost
+                    if total < best_total or (
+                        total == best_total
+                        and best_prev is not None
+                        and prev < best_prev
+                    ):
+                        best_total = total
+                        best_prev = prev
+                if best_prev is not None:
+                    nxt[node] = best_total
+                    parents[node] = best_prev
+            if not nxt:
+                return None
+            frontier = nxt
+        if dst not in frontier:
+            return None
+        # Backtrack.
+        path = [dst]
+        node = dst
+        while node != src:
+            node = parents[node]
+            path.append(node)
+        return tuple(reversed(path))
+
+    # --------------------------------------------------------- policy builds
+    def make_policy(self, flow: ShuffleFlow, path: Sequence[int]) -> Policy:
+        """Wrap a node path as a satisfied policy for a flow."""
+        switch_list = tuple(n for n in path if self.topology.is_switch(n))
+        types = tuple(self.topology.switch(w).switch_type for w in switch_list)
+        return Policy(
+            flow_id=flow.flow_id,
+            path=tuple(path),
+            switch_list=switch_list,
+            types=types,
+        )
+
+    def route_flow(
+        self,
+        flow: ShuffleFlow,
+        src_server: int,
+        dst_server: int,
+        enforce_capacity: bool = True,
+    ) -> Policy:
+        """Compute + install the optimal policy for a flow (Algorithm 1 body)."""
+        self.release(flow.flow_id)
+        path, _ = self.optimal_path(
+            src_server, dst_server, flow.rate, enforce_capacity
+        )
+        policy = self.make_policy(flow, path)
+        self.assign(flow, policy)
+        return policy
+
+    def total_cost(self, flows: Iterable[ShuffleFlow]) -> float:
+        """Objective of Eq 3 over installed policies."""
+        return sum(
+            self.policy_cost(f) for f in flows if f.flow_id in self._policies
+        )

@@ -1,0 +1,192 @@
+"""Preference construction for the stable matching (Sections 5.2.1-5.2.2).
+
+Algorithm 1 ends with an ``M x N`` preference matrix ``P``: for every server
+``s`` and container-hosting-task ``c``, ``P(s, c)`` grades the assignment of
+``c`` onto ``s``.  We materialise the matrix from the cost side:
+
+* ``cost[s, c]`` — the shuffle cost ``C_c(s)`` of hosting container ``c`` on
+  server ``s`` (generalised Eq 9): the sum over incident flows of the
+  optimal-route cost to the opposite endpoint's current server.
+* A **container** ranks servers by ``cost[s, c]`` ascending — identical to
+  ranking by utility ``U(A(c) -> s) = C_c(A(c)) - C_c(s)`` descending
+  (Eq 10), since the first term is constant per container.
+* A **server** ranks containers by that same utility descending: it prefers
+  the tenants that gain the most traffic-cost reduction from living there.
+  (This is the asymmetry that makes the matching problem non-trivial: the
+  container term ``C_c(A(c))`` varies across containers.)
+
+Route costs are evaluated with the capacity constraint relaxed (grading
+pass — feasibility is enforced at matching and policy-installation time) and
+cached per server pair: with capacities relaxed the optimal route between two
+servers is independent of the flow's rate, so one DP per pair serves every
+flow between those racks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .taa import TAAInstance
+
+__all__ = ["PreferenceMatrix", "build_preference_matrix", "PairCostCache"]
+
+
+class PairCostCache:
+    """Memoised unit-rate optimal route costs between server pairs.
+
+    Costs are symmetric (reversing an undirected path traverses the same
+    switches), so the cache key is the unordered pair.  The cache must be
+    rebuilt whenever switch loads change materially — the builder constructs
+    a fresh one per optimisation round.
+    """
+
+    def __init__(self, taa: TAAInstance) -> None:
+        self._taa = taa
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def unit_cost(self, a: int, b: int) -> float:
+        """Optimal route cost between servers ``a`` and ``b`` at rate 1."""
+        if a == b:
+            return 0.0
+        key = (a, b) if a < b else (b, a)
+        cached = self._cache.get(key)
+        if cached is None:
+            _, cached = self._taa.controller.optimal_path(
+                key[0], key[1], rate=1.0, enforce_capacity=False
+            )
+            self._cache[key] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+@dataclass
+class PreferenceMatrix:
+    """The graded ``M x N`` matrix and both sides' derived rankings."""
+
+    server_ids: tuple[int, ...]
+    container_ids: tuple[int, ...]
+    #: ``cost[i, j]`` = C of hosting container ``container_ids[j]`` on server
+    #: ``server_ids[i]``; ``inf`` marks statically infeasible pairs (demand
+    #: exceeds the server's total capacity).
+    cost: np.ndarray
+    #: Per container: cost at its current placement (``inf`` when unplaced).
+    current_cost: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._server_index = {s: i for i, s in enumerate(self.server_ids)}
+        self._container_index = {c: j for j, c in enumerate(self.container_ids)}
+
+    # ------------------------------------------------------------- accessors
+    def grade(self, server_id: int, container_id: int) -> float:
+        """The paper's ``P(s, c)``: higher is better (negated cost)."""
+        return -float(
+            self.cost[self._server_index[server_id], self._container_index[container_id]]
+        )
+
+    def utility(self, server_id: int, container_id: int) -> float:
+        """Eq 10 utility of moving the container to the server."""
+        j = self._container_index[container_id]
+        return float(self.current_cost[j]) - float(
+            self.cost[self._server_index[server_id], j]
+        )
+
+    def container_ranking(self, container_id: int) -> list[int]:
+        """Server ids the container prefers, best (lowest cost) first.
+
+        Statically infeasible servers are omitted.  Ties break toward the
+        lower server id for determinism.
+        """
+        j = self._container_index[container_id]
+        column = self.cost[:, j]
+        order = np.argsort(column, kind="stable")
+        return [
+            self.server_ids[i] for i in order if np.isfinite(column[i])
+        ]
+
+    def server_ranking(self, server_id: int) -> list[int]:
+        """Container ids the server prefers, highest utility first."""
+        i = self._server_index[server_id]
+        # Unplaced containers have no current cost; grade them by -cost (the
+        # raw P(s, c)) so they still sort sensibly among the placed ones.
+        with np.errstate(invalid="ignore"):
+            utilities = np.where(
+                np.isfinite(self.current_cost),
+                self.current_cost - self.cost[i, :],
+                -self.cost[i, :],
+            )
+        utilities = np.nan_to_num(utilities, nan=-np.inf)
+        # Containers that cannot fit (cost inf) rank last and are dropped.
+        order = np.argsort(-utilities, kind="stable")
+        return [
+            self.container_ids[j]
+            for j in order
+            if np.isfinite(self.cost[i, j])
+        ]
+
+    def server_rank_of(self, server_id: int) -> dict[int, int]:
+        """``{container_id: rank}`` (0 = most preferred) for one server."""
+        return {c: r for r, c in enumerate(self.server_ranking(server_id))}
+
+
+def build_preference_matrix(
+    taa: TAAInstance,
+    container_ids: list[int] | None = None,
+) -> PreferenceMatrix:
+    """Run the grading pass of Algorithm 1 and assemble the matrix.
+
+    ``container_ids`` restricts the columns (subsequent-wave scheduling only
+    grades the new Map containers); by default every container that has at
+    least one incident flow is graded.  Containers with no flows are
+    placement-indifferent — grading them would add all-zero columns.
+    """
+    cluster = taa.cluster
+    if container_ids is None:
+        container_ids = [
+            c.container_id
+            for c in cluster.containers()
+            if taa.flows_of_container(c.container_id)
+        ]
+    server_ids = cluster.server_ids
+    cache = PairCostCache(taa)
+
+    m, n = len(server_ids), len(container_ids)
+    cost = np.zeros((m, n), dtype=np.float64)
+    current = np.full(n, np.inf, dtype=np.float64)
+    server_index = {s: i for i, s in enumerate(server_ids)}
+
+    for j, cid in enumerate(container_ids):
+        container = cluster.container(cid)
+        # Column of per-server costs, accumulated flow by flow.
+        column = np.zeros(m, dtype=np.float64)
+        for flow in taa.flows_of_container(cid):
+            other_cid = (
+                flow.dst_container
+                if flow.src_container == cid
+                else flow.src_container
+            )
+            other_server = cluster.container(other_cid).server_id
+            if other_server is None:
+                continue
+            unit = np.array(
+                [cache.unit_cost(s, other_server) for s in server_ids]
+            )
+            column += flow.rate * unit
+        # Static feasibility: demand must fit the server's *total* capacity
+        # (matching re-packs everything, so residuals are checked there).
+        for i, sid in enumerate(server_ids):
+            if not container.demand.fits_in(cluster.capacity(sid)):
+                column[i] = np.inf
+        cost[:, j] = column
+        if container.server_id is not None:
+            current[j] = column[server_index[container.server_id]]
+
+    return PreferenceMatrix(
+        server_ids=server_ids,
+        container_ids=tuple(container_ids),
+        cost=cost,
+        current_cost=current,
+    )

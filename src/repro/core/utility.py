@@ -1,0 +1,196 @@
+"""Utility functions of the separable optimisation (Eqs 5-11).
+
+The paper defines *utility* as the shuffle-traffic-cost reduction gained by a
+single reschedule — of one switch on a flow's policy (Eq 5 for intermediate
+switches, Eq 7 for end access switches) or of the server hosting a container
+(Eq 10) — and proves the utilities of independent reschedules add (Eqs 6 and
+11).  In our per-switch cost model the segment algebra collapses nicely: a
+flow's cost is ``rate * sum(switch_cost(w))`` over its switches, so replacing
+switch ``w`` by ``w_hat`` yields utility ``rate * (cost(w) - cost(w_hat))``
+provided ``w_hat`` is physically connectable at that position; additivity is
+then exact, which the property-based tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..cluster.state import ClusterState
+from ..mapreduce.shuffle import ShuffleFlow
+from .policy import NoFeasiblePathError, Policy, PolicyController
+
+__all__ = [
+    "switch_reschedule_utility",
+    "joint_switch_reschedule_utility",
+    "container_cost",
+    "container_reschedule_utility",
+]
+
+_NEG_INF = float("-inf")
+
+
+def _position_connectable(
+    controller: PolicyController, policy: Policy, position: int, new_switch: int
+) -> bool:
+    """True when ``new_switch`` can physically replace the switch at
+    ``position``: it must link to the path neighbours on both sides."""
+    path = policy.path
+    path_index = _path_index_of_switch(controller, policy, position)
+    before = path[path_index - 1]
+    after = path[path_index + 1]
+    topo = controller.topology
+    return topo.has_link(before, new_switch) and topo.has_link(new_switch, after)
+
+
+def _path_index_of_switch(
+    controller: PolicyController, policy: Policy, position: int
+) -> int:
+    """Index within ``policy.path`` of the ``position``-th switch."""
+    seen = -1
+    for idx, node in enumerate(policy.path):
+        if controller.topology.is_switch(node):
+            seen += 1
+            if seen == position:
+                return idx
+    raise IndexError(f"policy has no switch position {position}")
+
+
+def switch_reschedule_utility(
+    controller: PolicyController,
+    flow: ShuffleFlow,
+    position: int,
+    new_switch: int,
+) -> float:
+    """Eq 5 / Eq 7: utility of rescheduling one switch of a flow's policy.
+
+    Position 0 and the last position are the end access switches (Eq 7);
+    everything between is an intermediate switch (Eq 5) — both reduce to the
+    same expression in the per-switch cost model.  Returns ``-inf`` when the
+    replacement is not connectable, violates the type requirement, or lacks
+    residual capacity.
+    """
+    policy = controller.policy_of(flow.flow_id)
+    if policy is None:
+        raise KeyError(f"flow {flow.flow_id} has no installed policy")
+    if not 0 <= position < policy.length:
+        raise IndexError(f"position {position} out of range for {policy.length}")
+    old_switch = policy.switch_list[position]
+    if new_switch == old_switch:
+        return 0.0
+    topo = controller.topology
+    if topo.switch(new_switch).switch_type != policy.types[position]:
+        return _NEG_INF
+    if controller.residual(new_switch) < flow.rate:
+        return _NEG_INF
+    if not _position_connectable(controller, policy, position, new_switch):
+        return _NEG_INF
+    model = controller.cost_model
+    # Exclude the flow's own contribution from the old switch's load so the
+    # comparison is between states "flow on old" vs "flow on new".
+    old_cost = model.switch_cost(
+        topo, old_switch, controller.load(old_switch) - flow.rate
+    )
+    new_cost = model.switch_cost(topo, new_switch, controller.load(new_switch))
+    return flow.rate * (old_cost - new_cost)
+
+
+def joint_switch_reschedule_utility(
+    controller: PolicyController,
+    flow: ShuffleFlow,
+    replacements: Mapping[int, int],
+) -> float:
+    """Eq 6: utility of rescheduling several switches of one flow at once.
+
+    Computed directly (cost of the jointly-modified policy minus the current
+    cost) rather than by summing singles, so tests can check the additivity
+    claim ``U(joint) == sum(U(single))``.  Returns ``-inf`` when any
+    replacement is individually infeasible or when two replacements collide
+    on the same target switch.
+    """
+    policy = controller.policy_of(flow.flow_id)
+    if policy is None:
+        raise KeyError(f"flow {flow.flow_id} has no installed policy")
+    targets = list(replacements.values())
+    if len(set(targets)) != len(targets):
+        return _NEG_INF
+    new_list = list(policy.switch_list)
+    for position, new_switch in replacements.items():
+        if switch_reschedule_utility(controller, flow, position, new_switch) == _NEG_INF:
+            return _NEG_INF
+        new_list[position] = new_switch
+    model = controller.cost_model
+    topo = controller.topology
+    old_cost = sum(
+        model.switch_cost(topo, w, controller.load(w) - flow.rate)
+        for w in policy.switch_list
+    )
+    new_cost = 0.0
+    for w in new_list:
+        load = controller.load(w)
+        if w in policy.switch_list:
+            load -= flow.rate
+        new_cost += model.switch_cost(topo, w, load)
+    return flow.rate * (old_cost - new_cost)
+
+
+def container_cost(
+    controller: PolicyController,
+    cluster: ClusterState,
+    container_id: int,
+    server_id: int,
+    flows: Sequence[ShuffleFlow],
+) -> float:
+    """Generalised Eq 9: shuffle cost induced by hosting a container on a
+    server.
+
+    Sums, over every flow incident to the container, the optimal-route cost
+    with the container's endpoint moved to ``server_id`` and the opposite
+    endpoint at its current server.  Flows whose opposite endpoint is not yet
+    placed contribute nothing (their cost is decided by the later placement).
+    Routes are evaluated without the capacity constraint — this is a grading
+    pass; feasibility is enforced when policies are finally installed.
+    """
+    total = 0.0
+    for flow in flows:
+        if flow.src_container == container_id:
+            other = cluster.container(flow.dst_container).server_id
+            if other is None:
+                continue
+            src, dst = server_id, other
+        elif flow.dst_container == container_id:
+            other = cluster.container(flow.src_container).server_id
+            if other is None:
+                continue
+            src, dst = other, server_id
+        else:
+            continue
+        try:
+            _, cost = controller.optimal_path(
+                src, dst, flow.rate, enforce_capacity=False
+            )
+        except NoFeasiblePathError:  # pragma: no cover - disconnected fabric
+            return float("inf")
+        total += cost
+    return total
+
+
+def container_reschedule_utility(
+    controller: PolicyController,
+    cluster: ClusterState,
+    container_id: int,
+    new_server: int,
+    flows: Sequence[ShuffleFlow],
+) -> float:
+    """Eq 10: ``U(A(c_i) -> s_hat) = C_i(A(c_i)) - C_i(s_hat)``.
+
+    Requires the container to be currently placed; positive utility means the
+    move reduces shuffle cost.
+    """
+    container = cluster.container(container_id)
+    if container.server_id is None:
+        raise ValueError(f"container {container_id} is not placed")
+    current = container_cost(
+        controller, cluster, container_id, container.server_id, flows
+    )
+    moved = container_cost(controller, cluster, container_id, new_server, flows)
+    return current - moved

@@ -1,0 +1,38 @@
+"""Experiment harnesses: one driver per paper table/figure plus shared
+static-placement machinery and canonical configurations."""
+
+from . import configs
+from .figures import (
+    CaseStudyResult,
+    TestbedResult,
+    fig1_traffic_volume,
+    fig3_case_study,
+    fig6_fig7_testbed,
+    fig8a_workload_classes,
+    fig8b_architectures,
+    fig9_bandwidth_sensitivity,
+    fig10_job_numbers,
+)
+from .static import (
+    StaticResult,
+    StaticWorkload,
+    build_static_workload,
+    run_static_placement,
+)
+
+__all__ = [
+    "configs",
+    "fig1_traffic_volume",
+    "fig3_case_study",
+    "fig6_fig7_testbed",
+    "fig8a_workload_classes",
+    "fig8b_architectures",
+    "fig9_bandwidth_sensitivity",
+    "fig10_job_numbers",
+    "CaseStudyResult",
+    "TestbedResult",
+    "StaticResult",
+    "StaticWorkload",
+    "build_static_workload",
+    "run_static_placement",
+]

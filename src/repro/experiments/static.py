@@ -1,0 +1,203 @@
+"""Static placement experiments (no time dimension).
+
+Several of the paper's figures (8a, 8b, 10 and the Section 2.3 case study)
+compare *shuffle traffic cost* across schedulers, which needs no
+discrete-event execution: build the containers and flows of a workload,
+let each scheduler place them, route the flows per the scheduler's policy
+behaviour, and read the cost off the TAA instance.  This module is that
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.container import Container, TaskKind, TaskRef
+from ..cluster.resources import Resources
+from ..core.policy import CostModel
+from ..core.taa import TAAInstance
+from ..mapreduce.hdfs import HdfsModel
+from ..mapreduce.job import JobSpec, shuffle_matrix
+from ..mapreduce.shuffle import ShuffleFlow, build_flows
+from ..schedulers.base import Scheduler, SchedulingContext
+from ..topology.base import Topology
+
+__all__ = [
+    "StaticWorkload",
+    "StaticResult",
+    "build_static_workload",
+    "run_static_placement",
+    "evaluate_policy_cost",
+]
+
+
+@dataclass
+class StaticWorkload:
+    """Materialised containers + flows of a job list, ready for placement."""
+
+    topology: Topology
+    jobs: list[JobSpec]
+    containers: list[Container]
+    #: Per job: (map container ids, reduce container ids).
+    job_containers: dict[int, tuple[list[int], list[int]]]
+    flows: list[ShuffleFlow]
+    hdfs: HdfsModel
+
+
+@dataclass
+class StaticResult:
+    """Outcome of one scheduler's static placement of a workload."""
+
+    scheduler_name: str
+    taa: TAAInstance
+    #: Objective of Eq 3 under the scheduler's policies (rate x switch cost).
+    policy_cost: float
+    #: Paper's GB.T currency: sum over flows of size x traversed switches.
+    shuffle_cost: float
+    #: Mean traversed-switch count per flow (Figure 7a's unit).
+    avg_route_hops: float
+    total_shuffle_volume: float
+
+    def cost_reduction_vs(self, baseline: "StaticResult") -> float:
+        """Fractional shuffle-cost reduction against a baseline result."""
+        if baseline.shuffle_cost == 0:
+            return 0.0
+        return 1.0 - self.shuffle_cost / baseline.shuffle_cost
+
+
+def build_static_workload(
+    topology: Topology,
+    jobs: list[JobSpec],
+    container_demand: Resources = Resources(1.0, 0.0),
+    seed: int = 0,
+    rate_epoch: float = 1.0,
+    replication: int = 3,
+) -> StaticWorkload:
+    """Create (unplaced) containers and shuffle flows for every job.
+
+    Shuffle matrices are sampled from ``seed`` so that every scheduler
+    placement sees byte-identical flow sets.
+    """
+    rng = np.random.default_rng(seed)
+    hdfs = HdfsModel(topology, replication=replication, seed=seed + 1)
+    containers: list[Container] = []
+    job_containers: dict[int, tuple[list[int], list[int]]] = {}
+    flows: list[ShuffleFlow] = []
+    next_cid = 0
+    next_fid = 0
+    for spec in jobs:
+        hdfs.place_job_blocks(spec)
+        map_ids: list[int] = []
+        reduce_ids: list[int] = []
+        for i in range(spec.num_maps):
+            containers.append(
+                Container(next_cid, container_demand, TaskRef(spec.job_id, TaskKind.MAP, i))
+            )
+            map_ids.append(next_cid)
+            next_cid += 1
+        for i in range(spec.num_reduces):
+            containers.append(
+                Container(next_cid, container_demand, TaskRef(spec.job_id, TaskKind.REDUCE, i))
+            )
+            reduce_ids.append(next_cid)
+            next_cid += 1
+        matrix = shuffle_matrix(spec, rng)
+        job_flows = build_flows(
+            spec,
+            map_ids,
+            reduce_ids,
+            matrix=matrix,
+            rate_epoch=rate_epoch,
+            first_flow_id=next_fid,
+        )
+        next_fid += len(job_flows) + 1
+        flows.extend(job_flows)
+        job_containers[spec.job_id] = (map_ids, reduce_ids)
+    return StaticWorkload(
+        topology=topology,
+        jobs=jobs,
+        containers=containers,
+        job_containers=job_containers,
+        flows=flows,
+        hdfs=hdfs,
+    )
+
+
+def evaluate_policy_cost(
+    taa: TAAInstance, congestion_weight: float = 2.0
+) -> float:
+    """Re-price a placement's installed policies under a common yardstick.
+
+    Experiments that compare schedulers under load (Figure 10) need a cost
+    model where oversubscribing a switch is expensive; this evaluates the
+    Eq 3 objective with the given congestion weight over the flows exactly
+    as routed by whatever scheduler ran, without touching any scheduler's
+    own optimisation knobs.  Each flow's own rate is excluded from the load
+    it is priced against (consistent with
+    :meth:`~repro.core.policy.PolicyController.policy_cost`).
+    """
+    model = CostModel(congestion_weight=congestion_weight)
+    controller = taa.controller
+    topology = taa.topology
+    total = 0.0
+    for flow in taa.flows:
+        policy = controller.policy_of(flow.flow_id)
+        if policy is None:
+            continue
+        for switch in policy.switch_list:
+            load = max(controller.load(switch) - flow.rate, 0.0)
+            total += flow.rate * model.switch_cost(topology, switch, load)
+    return total
+
+
+def run_static_placement(
+    workload: StaticWorkload,
+    scheduler: Scheduler,
+    cost_model: CostModel | None = None,
+    seed: int = 0,
+) -> StaticResult:
+    """Place every job with ``scheduler`` and measure the shuffle cost.
+
+    Jobs are placed one at a time in submission order, each seeing the
+    placements of its predecessors — the same incremental view the dynamic
+    simulator provides.  After placement, flows are routed per the
+    scheduler's policy behaviour (static single path for baselines, optimal
+    capacity-aware policies for Hit).
+    """
+    taa = TAAInstance(
+        workload.topology,
+        # Fresh Container objects so one workload can be placed repeatedly.
+        [
+            Container(c.container_id, c.demand, c.task)
+            for c in workload.containers
+        ],
+        workload.flows,
+        cost_model=cost_model,
+    )
+    ctx = SchedulingContext(
+        taa=taa, hdfs=workload.hdfs, rng=np.random.default_rng(seed)
+    )
+    for spec in workload.jobs:
+        map_ids, reduce_ids = workload.job_containers[spec.job_id]
+        scheduler.place_initial_wave(ctx, spec, map_ids, reduce_ids)
+    scheduler.route_flows(taa)
+
+    switches_per_flow: list[int] = []
+    shuffle_cost = 0.0
+    volume = 0.0
+    for flow in taa.flows:
+        policy = taa.controller.policy_of(flow.flow_id)
+        hops = policy.length if policy is not None else 0
+        switches_per_flow.append(hops)
+        shuffle_cost += flow.size * hops
+        volume += flow.size
+    return StaticResult(
+        scheduler_name=scheduler.name,
+        taa=taa,
+        policy_cost=taa.total_shuffle_cost(),
+        shuffle_cost=shuffle_cost,
+        avg_route_hops=float(np.mean(switches_per_flow)) if switches_per_flow else 0.0,
+        total_shuffle_volume=volume,
+    )

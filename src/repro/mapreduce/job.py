@@ -1,0 +1,111 @@
+"""MapReduce job model.
+
+A job is described by a :class:`JobSpec` — sizes and rates, independent of
+any placement — from which the scheduler layer materialises tasks and
+containers.  The key derived object is the **shuffle matrix**: the volume of
+intermediate data each Map task sends each Reduce task.  Its row sums are the
+Map output partitions, its column sums the Reduce input sizes, and its total
+is the job's shuffle volume (the quantity Table 1 / Figure 1 classify jobs
+by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["ShuffleClass", "JobSpec", "shuffle_matrix"]
+
+
+class ShuffleClass(Enum):
+    """The paper's three workload classes (Table 1)."""
+
+    HEAVY = "shuffle-heavy"
+    MEDIUM = "shuffle-medium"
+    LIGHT = "shuffle-light"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of a MapReduce job.
+
+    ``input_size`` is the total HDFS input in size units (think GB);
+    ``shuffle_ratio`` scales it to the intermediate (shuffled) volume, the
+    defining statistic of the job's :class:`ShuffleClass`.  ``map_rate`` and
+    ``reduce_rate`` are compute throughputs (size units per time unit) that
+    set task durations in the simulator.  ``skew`` > 0 makes the reduce
+    partition sizes Zipf-like instead of uniform, modelling key skew.
+    """
+
+    job_id: int
+    name: str
+    shuffle_class: ShuffleClass
+    num_maps: int
+    num_reduces: int
+    input_size: float
+    shuffle_ratio: float
+    output_ratio: float = 0.5
+    map_rate: float = 2.0
+    reduce_rate: float = 2.0
+    skew: float = 0.0
+    submit_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_maps < 1 or self.num_reduces < 1:
+            raise ValueError(f"job {self.name}: needs >=1 map and reduce task")
+        if self.input_size <= 0:
+            raise ValueError(f"job {self.name}: input_size must be positive")
+        if self.shuffle_ratio < 0:
+            raise ValueError(f"job {self.name}: shuffle_ratio must be >= 0")
+        if self.map_rate <= 0 or self.reduce_rate <= 0:
+            raise ValueError(f"job {self.name}: compute rates must be positive")
+        if self.skew < 0:
+            raise ValueError(f"job {self.name}: skew must be >= 0")
+
+    # --------------------------------------------------------------- derived
+    @property
+    def shuffle_volume(self) -> float:
+        """Total intermediate data moved in the shuffle phase."""
+        return self.input_size * self.shuffle_ratio
+
+    @property
+    def map_input_size(self) -> float:
+        """Input split size per Map task (uniform splits)."""
+        return self.input_size / self.num_maps
+
+    @property
+    def map_duration(self) -> float:
+        """Pure compute time of one Map task."""
+        return self.map_input_size / self.map_rate
+
+    def reduce_duration(self, reduce_input: float) -> float:
+        """Pure compute time of a Reduce task given its shuffle input."""
+        return reduce_input / self.reduce_rate
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (job {self.job_id}, {self.shuffle_class.value}): "
+            f"{self.num_maps}M x {self.num_reduces}R, input {self.input_size:g}, "
+            f"shuffle {self.shuffle_volume:g}"
+        )
+
+
+def shuffle_matrix(spec: JobSpec, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Volume of intermediate data from each Map to each Reduce task.
+
+    Shape ``(num_maps, num_reduces)``; entries sum to ``spec.shuffle_volume``.
+    With ``skew == 0`` the matrix is uniform (hash partitioning of uniform
+    keys).  With ``skew > 0`` reduce partitions follow a Zipf-like weight
+    ``1 / rank**skew``, and ``rng`` (when given) shuffles which reducer gets
+    the heavy partition so repeated jobs do not all hammer reducer 0.
+    """
+    m, r = spec.num_maps, spec.num_reduces
+    weights = 1.0 / np.arange(1, r + 1, dtype=np.float64) ** spec.skew
+    if rng is not None and spec.skew > 0:
+        rng.shuffle(weights)
+    weights /= weights.sum()
+    per_map = spec.shuffle_volume / m
+    matrix = np.outer(np.full(m, per_map), weights)
+    return matrix

@@ -1,0 +1,107 @@
+"""Shuffle-flow construction.
+
+"Each map and reduce pair form a shuffle traffic flow" (Section 5.3): flow
+``f`` has a source container (hosting the Map task), a destination container
+(hosting the Reduce task), a ``size`` (bytes of that map-output partition)
+and a ``rate`` (the demand the network policy must carry).  This module turns
+a job's shuffle matrix into the flow set that the TAA instance, the policy
+controller and the flow-level network simulator all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .job import JobSpec, shuffle_matrix
+
+__all__ = ["ShuffleFlow", "build_flows", "flows_between"]
+
+
+@dataclass
+class ShuffleFlow:
+    """One Map→Reduce intermediate-data transfer.
+
+    ``src_container``/``dst_container`` identify the endpoints; ``size`` is
+    the partition volume and ``rate`` the demanded transfer rate used for
+    switch-capacity accounting (Eq 3's fifth constraint).  By default the
+    rate is the size divided by a nominal epoch so heavier partitions demand
+    proportionally more fabric.
+    """
+
+    flow_id: int
+    job_id: int
+    map_index: int
+    reduce_index: int
+    src_container: int
+    dst_container: int
+    size: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.rate < 0:
+            raise ValueError("flow size/rate must be non-negative")
+
+
+def build_flows(
+    spec: JobSpec,
+    map_containers: Sequence[int],
+    reduce_containers: Sequence[int],
+    rng: np.random.Generator | None = None,
+    rate_epoch: float = 1.0,
+    first_flow_id: int = 0,
+    matrix: np.ndarray | None = None,
+    min_size: float = 1e-9,
+) -> list[ShuffleFlow]:
+    """Materialise the ``num_maps x num_reduces`` flow set of a job.
+
+    ``map_containers[i]`` is the container hosting map ``i`` (likewise for
+    reduces).  ``matrix`` overrides the generated shuffle matrix — callers
+    that already sampled one (e.g. the simulator) pass it through so flow
+    sizes stay consistent.  Near-zero partitions (< ``min_size``) are dropped:
+    they carry no data and would only bloat the policy set.
+    """
+    if len(map_containers) != spec.num_maps:
+        raise ValueError("map_containers length must equal spec.num_maps")
+    if len(reduce_containers) != spec.num_reduces:
+        raise ValueError("reduce_containers length must equal spec.num_reduces")
+    if matrix is None:
+        matrix = shuffle_matrix(spec, rng)
+    elif matrix.shape != (spec.num_maps, spec.num_reduces):
+        raise ValueError("matrix shape mismatch with job spec")
+
+    flows: list[ShuffleFlow] = []
+    flow_id = first_flow_id
+    for mi in range(spec.num_maps):
+        for ri in range(spec.num_reduces):
+            size = float(matrix[mi, ri])
+            if size < min_size:
+                continue
+            flows.append(
+                ShuffleFlow(
+                    flow_id=flow_id,
+                    job_id=spec.job_id,
+                    map_index=mi,
+                    reduce_index=ri,
+                    src_container=int(map_containers[mi]),
+                    dst_container=int(reduce_containers[ri]),
+                    size=size,
+                    rate=size / rate_epoch,
+                )
+            )
+            flow_id += 1
+    return flows
+
+
+def flows_between(
+    flows: Iterable[ShuffleFlow], src_container: int, dst_container: int
+) -> list[ShuffleFlow]:
+    """The paper's ``P(c_i, c_j)`` selector: flows from one container to
+    another."""
+    return [
+        f
+        for f in flows
+        if f.src_container == src_container and f.dst_container == dst_container
+    ]

@@ -1,0 +1,98 @@
+"""Workload trace serialisation.
+
+Experiments want reproducible inputs that can be shipped around: this module
+round-trips a list of :class:`~repro.mapreduce.job.JobSpec` through JSON
+lines (one job per line), the format cluster-trace archives commonly use.
+The schema is versioned so future fields stay backward compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .job import JobSpec, ShuffleClass
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "job_to_record",
+    "job_from_record",
+    "dump_workload",
+    "load_workload",
+    "save_workload_file",
+    "load_workload_file",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def job_to_record(spec: JobSpec) -> dict:
+    """One JSON-serialisable record per job."""
+    return {
+        "v": TRACE_SCHEMA_VERSION,
+        "job_id": spec.job_id,
+        "name": spec.name,
+        "class": spec.shuffle_class.value,
+        "num_maps": spec.num_maps,
+        "num_reduces": spec.num_reduces,
+        "input_size": spec.input_size,
+        "shuffle_ratio": spec.shuffle_ratio,
+        "output_ratio": spec.output_ratio,
+        "map_rate": spec.map_rate,
+        "reduce_rate": spec.reduce_rate,
+        "skew": spec.skew,
+        "submit_time": spec.submit_time,
+    }
+
+
+def job_from_record(record: dict) -> JobSpec:
+    """Inverse of :func:`job_to_record`; validates the schema version."""
+    version = record.get("v", 0)
+    if version > TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"trace schema v{version} is newer than supported "
+            f"v{TRACE_SCHEMA_VERSION}"
+        )
+    return JobSpec(
+        job_id=int(record["job_id"]),
+        name=str(record["name"]),
+        shuffle_class=ShuffleClass(record["class"]),
+        num_maps=int(record["num_maps"]),
+        num_reduces=int(record["num_reduces"]),
+        input_size=float(record["input_size"]),
+        shuffle_ratio=float(record["shuffle_ratio"]),
+        output_ratio=float(record.get("output_ratio", 0.5)),
+        map_rate=float(record.get("map_rate", 2.0)),
+        reduce_rate=float(record.get("reduce_rate", 2.0)),
+        skew=float(record.get("skew", 0.0)),
+        submit_time=float(record.get("submit_time", 0.0)),
+    )
+
+
+def dump_workload(jobs: Iterable[JobSpec]) -> str:
+    """Serialise jobs to JSON lines (submission order preserved)."""
+    return "\n".join(json.dumps(job_to_record(j), sort_keys=True) for j in jobs)
+
+
+def load_workload(text: str) -> list[JobSpec]:
+    """Parse JSON-lines text back into job specs; blank lines are skipped."""
+    jobs = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {line_number}: invalid JSON") from exc
+        jobs.append(job_from_record(record))
+    return jobs
+
+
+def save_workload_file(path: str | Path, jobs: Iterable[JobSpec]) -> None:
+    Path(path).write_text(dump_workload(jobs) + "\n", encoding="utf-8")
+
+
+def load_workload_file(path: str | Path) -> list[JobSpec]:
+    return load_workload(Path(path).read_text(encoding="utf-8"))

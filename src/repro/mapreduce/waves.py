@@ -1,0 +1,72 @@
+"""Wave decomposition of a job's tasks.
+
+Hadoop slave nodes run up to a fixed number of concurrent Map (and Reduce)
+tasks; when a job has more tasks than available containers, tasks execute in
+*waves* (Section 5.3).  The scheduling strategy differs by wave: the initial
+wave jointly places Maps and Reduces (Section 5.3.1), while subsequent Map
+waves keep the Reduce endpoints fixed (Section 5.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WavePlan", "plan_waves"]
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """Tasks of one job grouped into execution waves.
+
+    ``map_waves[w]`` is the tuple of map-task indices running in wave ``w``;
+    ``reduce_waves`` likewise.  Reduce tasks "tend to complete in one wave"
+    (Section 5.3.2) whenever the slot count allows.
+    """
+
+    job_id: int
+    map_waves: tuple[tuple[int, ...], ...]
+    reduce_waves: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_map_waves(self) -> int:
+        return len(self.map_waves)
+
+    @property
+    def num_reduce_waves(self) -> int:
+        return len(self.reduce_waves)
+
+    @property
+    def is_single_wave(self) -> bool:
+        """True when every task fits in the first wave (the §5.3.1 case)."""
+        return self.num_map_waves <= 1 and self.num_reduce_waves <= 1
+
+
+def plan_waves(
+    job_id: int,
+    num_maps: int,
+    num_reduces: int,
+    map_slots: int,
+    reduce_slots: int,
+) -> WavePlan:
+    """Split tasks into waves given cluster-wide concurrent slot counts.
+
+    Tasks are assigned to waves in index order — wave ``w`` holds indices
+    ``[w*slots, (w+1)*slots)`` — matching Hadoop's FIFO dispatch of pending
+    task attempts.
+    """
+    if num_maps < 0 or num_reduces < 0:
+        raise ValueError("task counts must be non-negative")
+    if map_slots < 1 or reduce_slots < 1:
+        raise ValueError("slot counts must be >= 1")
+
+    def chunk(count: int, size: int) -> tuple[tuple[int, ...], ...]:
+        return tuple(
+            tuple(range(start, min(start + size, count)))
+            for start in range(0, count, size)
+        ) or ((),)
+
+    return WavePlan(
+        job_id=job_id,
+        map_waves=chunk(num_maps, map_slots),
+        reduce_waves=chunk(num_reduces, reduce_slots),
+    )

@@ -1,0 +1,169 @@
+"""PUMA-like workload generator (Table 1 of the paper).
+
+The paper characterises the Purdue MapReduce Benchmarks Suite into three
+shuffle classes and fixes the job mix of its evaluation workload:
+
+=================  ==========================================================
+Shuffle-heavy      terasort (5%), index (10%), join (10%),
+                   sequence-count (10%), adjacency (5%)            -> 40%
+Shuffle-medium     inverted-index (10%), term-vector (10%)         -> 20%
+Shuffle-light      grep (15%), wordcount (10%), classification (5%),
+                   histogram (10%)                                 -> 40%
+=================  ==========================================================
+
+Each benchmark gets a shuffle ratio (intermediate ÷ input volume) consistent
+with its class — heavy benchmarks shuffle roughly their whole input (terasort
+≈ 1.0), light ones a few percent (grep ≈ 0.02).  The generator samples jobs
+from the mix with explicit seeds so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .job import JobSpec, ShuffleClass
+
+__all__ = ["Benchmark", "PUMA_BENCHMARKS", "WorkloadGenerator", "class_mix"]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One PUMA benchmark: its class, mix weight and shuffle behaviour."""
+
+    name: str
+    shuffle_class: ShuffleClass
+    proportion: float
+    shuffle_ratio: float
+    output_ratio: float
+    skew: float = 0.0
+
+
+#: Table 1 of the paper, with shuffle ratios from the PUMA characterisation.
+PUMA_BENCHMARKS: tuple[Benchmark, ...] = (
+    # Shuffle-heavy (40%)
+    Benchmark("terasort", ShuffleClass.HEAVY, 0.05, 1.00, 1.00),
+    Benchmark("index", ShuffleClass.HEAVY, 0.10, 0.95, 0.40),
+    Benchmark("join", ShuffleClass.HEAVY, 0.10, 1.10, 0.60, skew=0.5),
+    Benchmark("sequence-count", ShuffleClass.HEAVY, 0.10, 0.90, 0.30),
+    Benchmark("adjacency", ShuffleClass.HEAVY, 0.05, 1.20, 0.70),
+    # Shuffle-medium (20%)
+    Benchmark("inverted-index", ShuffleClass.MEDIUM, 0.10, 0.40, 0.25),
+    Benchmark("term-vector", ShuffleClass.MEDIUM, 0.10, 0.35, 0.20),
+    # Shuffle-light (40%)
+    Benchmark("grep", ShuffleClass.LIGHT, 0.15, 0.02, 0.01),
+    Benchmark("wordcount", ShuffleClass.LIGHT, 0.10, 0.10, 0.05),
+    Benchmark("classification", ShuffleClass.LIGHT, 0.05, 0.05, 0.02),
+    Benchmark("histogram", ShuffleClass.LIGHT, 0.10, 0.03, 0.01),
+)
+
+
+def class_mix(
+    benchmarks: tuple[Benchmark, ...] = PUMA_BENCHMARKS,
+) -> dict[ShuffleClass, float]:
+    """Aggregate mix proportion per shuffle class (Table 1's row totals)."""
+    mix: dict[ShuffleClass, float] = {}
+    for b in benchmarks:
+        mix[b.shuffle_class] = mix.get(b.shuffle_class, 0.0) + b.proportion
+    return mix
+
+
+class WorkloadGenerator:
+    """Samples :class:`~repro.mapreduce.job.JobSpec` streams from Table 1.
+
+    Sizes are drawn uniformly from ``input_size_range``; task counts scale
+    with input size at ``split_size`` per Map task, and the Map:Reduce ratio
+    defaults to the common 4:1.  All randomness comes from the seeded
+    generator, so two generators with equal seeds emit identical workloads.
+    """
+
+    def __init__(
+        self,
+        seed: int | np.random.Generator = 0,
+        benchmarks: tuple[Benchmark, ...] = PUMA_BENCHMARKS,
+        input_size_range: tuple[float, float] = (8.0, 32.0),
+        split_size: float = 1.0,
+        reduces_per_maps: float = 0.25,
+        map_rate: float = 2.0,
+        reduce_rate: float = 2.0,
+    ) -> None:
+        total = sum(b.proportion for b in benchmarks)
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"benchmark proportions must sum to 1, got {total}")
+        if input_size_range[0] <= 0 or input_size_range[0] > input_size_range[1]:
+            raise ValueError("invalid input_size_range")
+        self.benchmarks = benchmarks
+        self.input_size_range = input_size_range
+        self.split_size = split_size
+        self.reduces_per_maps = reduces_per_maps
+        self.map_rate = map_rate
+        self.reduce_rate = reduce_rate
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._weights = np.array([b.proportion for b in benchmarks])
+        self._next_job_id = 0
+
+    def sample_benchmark(self) -> Benchmark:
+        idx = int(self._rng.choice(len(self.benchmarks), p=self._weights))
+        return self.benchmarks[idx]
+
+    def make_job(
+        self,
+        benchmark: Benchmark | None = None,
+        input_size: float | None = None,
+        submit_time: float = 0.0,
+    ) -> JobSpec:
+        """Sample one job; pass ``benchmark`` to pin the type (used by the
+        per-class figures)."""
+        bench = benchmark or self.sample_benchmark()
+        if input_size is None:
+            lo, hi = self.input_size_range
+            input_size = float(self._rng.uniform(lo, hi))
+        num_maps = max(1, round(input_size / self.split_size))
+        num_reduces = max(1, round(num_maps * self.reduces_per_maps))
+        spec = JobSpec(
+            job_id=self._next_job_id,
+            name=f"{bench.name}-{self._next_job_id}",
+            shuffle_class=bench.shuffle_class,
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            input_size=input_size,
+            shuffle_ratio=bench.shuffle_ratio,
+            output_ratio=bench.output_ratio,
+            map_rate=self.map_rate,
+            reduce_rate=self.reduce_rate,
+            skew=bench.skew,
+            submit_time=submit_time,
+        )
+        self._next_job_id += 1
+        return spec
+
+    def make_workload(
+        self,
+        num_jobs: int,
+        interarrival: float = 0.0,
+    ) -> list[JobSpec]:
+        """Sample ``num_jobs`` jobs; ``interarrival`` spaces submit times
+        (exponential when > 0, all-at-once when 0)."""
+        jobs: list[JobSpec] = []
+        t = 0.0
+        for _ in range(num_jobs):
+            jobs.append(self.make_job(submit_time=t))
+            if interarrival > 0:
+                t += float(self._rng.exponential(interarrival))
+        return jobs
+
+    def jobs_of_class(self, shuffle_class: ShuffleClass, num_jobs: int) -> list[JobSpec]:
+        """Sample jobs restricted to one shuffle class (Figures 1 and 8a)."""
+        pool = [b for b in self.benchmarks if b.shuffle_class == shuffle_class]
+        weights = np.array([b.proportion for b in pool])
+        weights = weights / weights.sum()
+        jobs = []
+        for _ in range(num_jobs):
+            bench = pool[int(self._rng.choice(len(pool), p=weights))]
+            jobs.append(self.make_job(benchmark=bench))
+        return jobs

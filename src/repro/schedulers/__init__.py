@@ -1,0 +1,48 @@
+"""Pluggable scheduling strategies: Hit-Scheduler and the paper's baselines."""
+
+from .base import Scheduler, SchedulingContext
+from .capacity import CapacityScheduler
+from .ecmp import EcmpCapacityScheduler
+from .hit import HitScheduler
+from .pna import PNAScheduler
+from .rackpack import RackPackScheduler
+from .random_ import RandomScheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulingContext",
+    "CapacityScheduler",
+    "EcmpCapacityScheduler",
+    "HitScheduler",
+    "PNAScheduler",
+    "RackPackScheduler",
+    "RandomScheduler",
+]
+
+
+def make_scheduler(name: str, seed: int = 0) -> Scheduler:
+    """Factory used by experiment harnesses: ``capacity`` | ``pna`` | ``hit``
+    | ``random`` | ``rackpack`` | ``hit-online`` | ``capacity-ecmp``."""
+    from ..core.hit import HitConfig
+
+    if name == "capacity":
+        return CapacityScheduler()
+    if name == "capacity-ecmp":
+        return EcmpCapacityScheduler(seed=seed)
+    if name == "pna":
+        return PNAScheduler(seed=seed)
+    if name == "hit":
+        return HitScheduler(HitConfig(seed=seed))
+    if name == "hit-online":
+        from ..core.rebalance import RebalanceConfig
+
+        scheduler = HitScheduler(
+            HitConfig(seed=seed), online_rebalance=RebalanceConfig()
+        )
+        scheduler.name = "hit-online"
+        return scheduler
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    if name == "rackpack":
+        return RackPackScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")

@@ -1,0 +1,99 @@
+"""Pluggable scheduler interface.
+
+The paper implements Hit-Scheduler "as a pluggable module on Hadoop YARN" and
+compares it against the stock Capacity Scheduler and the Probabilistic
+Network-Aware scheduler.  This module defines the plug point: every scheduler
+receives the same :class:`SchedulingContext` (the live TAA instance plus the
+HDFS model and a seeded RNG) and decides where each job's containers go.
+
+Two entry points mirror the paper's wave taxonomy (Section 5.3):
+
+* :meth:`Scheduler.place_initial_wave` — Map *and* Reduce containers of a job
+  are free;
+* :meth:`Scheduler.place_map_wave` — a subsequent Map wave with the Reduce
+  side already pinned.
+
+``route_flows`` decides the network-policy side: topology-unaware schedulers
+leave flows on the fabric's static shortest paths, while Hit-Scheduler
+installs optimised policies (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.taa import TAAInstance
+from ..mapreduce.hdfs import HdfsModel
+from ..mapreduce.job import JobSpec
+
+__all__ = ["SchedulingContext", "Scheduler"]
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a scheduler may consult when placing containers."""
+
+    taa: TAAInstance
+    hdfs: HdfsModel | None = None
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling strategies.
+
+    Concrete schedulers must be stateless across jobs beyond what they read
+    from the context — the simulator may interleave placements of many jobs.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "base"
+    #: Whether the scheduler installs optimised network policies.
+    network_aware: bool = False
+    #: When set, the simulator runs periodic policy-rebalancing sweeps over
+    #: live flows (Section 5.1.1's online rescheduling) with this config.
+    online_rebalance = None
+    #: Baseline multipath flag: the simulator routes this scheduler's flows
+    #: on a random equal-cost shortest path (ECMP hashing) instead of the
+    #: deterministic static route.
+    ecmp: bool = False
+
+    @abstractmethod
+    def place_initial_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+        reduce_containers: list[int],
+    ) -> None:
+        """Place the first wave: both task sides of ``job`` are unplaced."""
+
+    def place_map_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+    ) -> None:
+        """Place a subsequent Map wave (Reduce side fixed).
+
+        Default: treat it like an initial wave with no reduce containers —
+        subclasses with a smarter strategy (Hit) override.
+        """
+        self.place_initial_wave(ctx, job, map_containers, [])
+
+    def route_flows(self, taa: TAAInstance) -> None:
+        """Install network policies for all flows of the instance.
+
+        Topology-unaware baselines keep the static single path; overridden by
+        network-policy-optimising schedulers.
+        """
+        taa.install_static_policies()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,60 @@
+"""Hit-Scheduler plugged into the scheduler interface.
+
+Thin adapter: the optimisation lives in :mod:`repro.core.hit`; this class
+maps the scheduler API's wave entry points onto the corresponding core
+strategies and installs optimised policies (Algorithm 1) when routing.
+"""
+
+from __future__ import annotations
+
+from ..core.hit import HitConfig, HitOptimizer, HitResult
+from ..core.rebalance import RebalanceConfig
+from ..core.taa import TAAInstance
+from ..mapreduce.job import JobSpec
+from .base import Scheduler, SchedulingContext
+
+__all__ = ["HitScheduler"]
+
+
+class HitScheduler(Scheduler):
+    """Hierarchical-topology-aware scheduler (the paper's contribution)."""
+
+    name = "hit"
+    network_aware = True
+
+    def __init__(
+        self,
+        config: HitConfig | None = None,
+        online_rebalance: RebalanceConfig | None = None,
+    ) -> None:
+        self.config = config or HitConfig()
+        #: Enables the simulator's live-flow rebalancing sweeps when set.
+        self.online_rebalance = online_rebalance
+        #: Result of the most recent optimisation (cost trace etc.), exposed
+        #: for experiment harnesses.
+        self.last_result: HitResult | None = None
+
+    def place_initial_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+        reduce_containers: list[int],
+    ) -> None:
+        optimizer = HitOptimizer(ctx.taa, self.config)
+        self.last_result = optimizer.optimize_initial_wave(
+            container_ids=map_containers + reduce_containers
+        )
+
+    def place_map_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+    ) -> None:
+        optimizer = HitOptimizer(ctx.taa, self.config)
+        self.last_result = optimizer.optimize_subsequent_wave(map_containers)
+
+    def route_flows(self, taa: TAAInstance) -> None:
+        """Install the optimal (capacity-aware) policies for every flow."""
+        taa.install_all_policies()

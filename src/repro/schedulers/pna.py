@@ -1,0 +1,166 @@
+"""Probabilistic Network-Aware scheduler baseline (Shen et al., CLUSTER'16).
+
+The paper's strongest competitor: a transmission-cost-based placement that
+*does* consult the network topology and link bandwidth, but with the two
+simplifying assumptions the paper criticises (Sections 7.3-7.4):
+
+1. **static cost** — the cost between two nodes is a fixed function of the
+   topology (hop count weighted by nominal bandwidth), never of current load;
+2. **single fixed path** — each flow is assumed to follow the one static
+   shortest route; alternative equal-cost paths are invisible.
+
+Placement itself is probabilistic: a Reduce task is assigned to server ``s``
+with probability inversely proportional to its expected transmission cost
+``sum_m size(m -> r) * static_cost(server(m), s)``, which load-balances
+placements without ever reacting to actual congestion.  Map tasks are placed
+by input locality (node-local replica first, then rack-local, then the
+cheapest server by static cost) — this is why PNA beats Hit-Scheduler on the
+*map* phase in Figure 6(b) while losing on shuffle-dominated totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mapreduce.job import JobSpec
+from .base import Scheduler, SchedulingContext
+
+__all__ = ["PNAScheduler"]
+
+
+class PNAScheduler(Scheduler):
+    """Probabilistic placement on static network costs."""
+
+    name = "pna"
+    network_aware = False  # consults topology but never installs policies
+
+    def __init__(self, beta: float = 16.0, seed: int = 0) -> None:
+        """``beta`` sharpens the inverse-cost sampling distribution
+        (``p(s) ∝ cost(s)**-beta``); larger values approach greedy."""
+        if beta < 0:
+            raise ValueError("beta must be >= 0")
+        self.beta = beta
+        self._rng = np.random.default_rng(seed)
+        self._cost_cache: dict[tuple[int, int, int], float] = {}
+
+    # ------------------------------------------------------------ static cost
+    def static_cost(self, ctx: SchedulingContext, a: int, b: int) -> float:
+        """Fixed node-pair cost: switches on the deterministic shortest path.
+
+        Matches the paper's description of PNA ("simply decided by the number
+        of switches it will traverse").  Static by definition, so memoised
+        per topology and unordered pair.
+        """
+        if a == b:
+            return 0.0
+        topo = ctx.taa.topology
+        key = (id(topo), a, b) if a < b else (id(topo), b, a)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            path = topo.shortest_path(a, b)
+            cached = float(len(topo.switches_on_path(path)))
+            self._cost_cache[key] = cached
+        return cached
+
+    # -------------------------------------------------------------- placement
+    def place_initial_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+        reduce_containers: list[int],
+    ) -> None:
+        self._place_maps(ctx, job, map_containers)
+        self._place_reduces(ctx, reduce_containers)
+
+    def place_map_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+    ) -> None:
+        self._place_maps(ctx, job, map_containers)
+
+    # ------------------------------------------------------------------ maps
+    def _place_maps(
+        self, ctx: SchedulingContext, job: JobSpec, map_containers: list[int]
+    ) -> None:
+        cluster = ctx.taa.cluster
+        for cid in map_containers:
+            container = cluster.container(cid)
+            task = container.task
+            replicas: tuple[int, ...] = ()
+            if ctx.hdfs is not None and task is not None:
+                blocks = ctx.hdfs.blocks_of(job.job_id)
+                if task.index < len(blocks):
+                    replicas = blocks[task.index].replicas
+            sid = self._map_target(ctx, cid, replicas)
+            cluster.place(cid, sid)
+
+    def _map_target(
+        self, ctx: SchedulingContext, cid: int, replicas: tuple[int, ...]
+    ) -> int:
+        cluster = ctx.taa.cluster
+        # 1. node-local replica with room.
+        for sid in replicas:
+            if cluster.fits(cid, sid):
+                return sid
+        # 2. rack-local server with room.
+        if ctx.hdfs is not None and replicas:
+            replica_racks = {ctx.hdfs.rack_of(s) for s in replicas}
+            for sid in cluster.server_ids:
+                if ctx.hdfs.rack_of(sid) in replica_racks and cluster.fits(cid, sid):
+                    return sid
+        # 3. cheapest feasible server by static cost to the nearest replica.
+        best_sid, best_cost = None, float("inf")
+        for sid in cluster.server_ids:
+            if not cluster.fits(cid, sid):
+                continue
+            cost = (
+                min(self.static_cost(ctx, sid, r) for r in replicas)
+                if replicas
+                else 0.0
+            )
+            if cost < best_cost:
+                best_cost, best_sid = cost, sid
+        if best_sid is None:
+            raise RuntimeError(f"PNA: no server can host map container {cid}")
+        return best_sid
+
+    # --------------------------------------------------------------- reduces
+    def _place_reduces(
+        self, ctx: SchedulingContext, reduce_containers: list[int]
+    ) -> None:
+        cluster = ctx.taa.cluster
+        for cid in reduce_containers:
+            feasible = [s for s in cluster.server_ids if cluster.fits(cid, s)]
+            if not feasible:
+                raise RuntimeError(f"PNA: no server can host reduce container {cid}")
+            costs = np.array(
+                [self._expected_cost(ctx, cid, s) for s in feasible]
+            )
+            cluster.place(cid, self._sample(feasible, costs))
+
+    def _expected_cost(self, ctx: SchedulingContext, cid: int, sid: int) -> float:
+        """Expected transmission cost of hosting reduce container ``cid`` on
+        ``sid``: shuffle sizes weighted by the *static* pairwise cost."""
+        total = 0.0
+        for flow in ctx.taa.flows_of_container(cid):
+            if flow.dst_container != cid:
+                continue
+            src_server = ctx.taa.cluster.container(flow.src_container).server_id
+            if src_server is None:
+                continue
+            total += flow.size * self.static_cost(ctx, src_server, sid)
+        return total
+
+    def _sample(self, feasible: list[int], costs: np.ndarray) -> int:
+        """Inverse-cost-proportional sampling with zero-cost short-circuit."""
+        zero = costs <= 1e-12
+        if zero.any():
+            # Zero-cost servers (co-located with every source) win outright.
+            candidates = [s for s, z in zip(feasible, zero) if z]
+            return int(candidates[0])
+        weights = costs ** (-self.beta)
+        weights = weights / weights.sum()
+        return int(self._rng.choice(feasible, p=weights))

@@ -1,0 +1,42 @@
+"""Random placement: the sanity-check lower bound.
+
+Not a paper baseline, but useful for tests and ablations — any scheduler
+worth its salt must beat uniform-random feasible placement on shuffle cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mapreduce.job import JobSpec
+from .base import Scheduler, SchedulingContext
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Uniform-random feasible placement."""
+
+    name = "random"
+    network_aware = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def place_initial_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        map_containers: list[int],
+        reduce_containers: list[int],
+    ) -> None:
+        cluster = ctx.taa.cluster
+        for cid in map_containers + reduce_containers:
+            servers = list(cluster.server_ids)
+            self._rng.shuffle(servers)
+            for sid in servers:
+                if cluster.fits(cid, sid):
+                    cluster.place(cid, sid)
+                    break
+            else:
+                raise RuntimeError(f"random scheduler: nowhere to put {cid}")

@@ -1,0 +1,29 @@
+"""Discrete-event execution substrate: events, fluid network, engine,
+metrics."""
+
+from .engine import MapReduceSimulator, SimulationConfig, run_simulation
+from .events import Event, EventKind, EventQueue
+from .metrics import FlowRecord, JobRecord, MetricsCollector, TaskRecord
+from .network import ActiveFlow, DelayModel, FlowNetwork
+from .trace import TraceEvent, dump_trace, load_trace, save_trace_file, trace_from_metrics
+
+__all__ = [
+    "MapReduceSimulator",
+    "SimulationConfig",
+    "run_simulation",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "MetricsCollector",
+    "JobRecord",
+    "TaskRecord",
+    "FlowRecord",
+    "FlowNetwork",
+    "ActiveFlow",
+    "DelayModel",
+    "TraceEvent",
+    "trace_from_metrics",
+    "dump_trace",
+    "save_trace_file",
+    "load_trace",
+]

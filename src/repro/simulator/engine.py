@@ -1,0 +1,597 @@
+"""Discrete-event MapReduce simulation.
+
+Substitute for the paper's 9-node Hadoop YARN testbed: jobs arrive, a
+pluggable scheduler places their containers on the hierarchical fabric, Map
+tasks compute, each finished Map starts its shuffle flows into the max-min fair
+:class:`~repro.simulator.network.FlowNetwork`, and Reduce tasks finish after
+their last inbound flow plus compute time.  The collector then yields the
+job/task/flow statistics behind Figures 6 and 7.
+
+Execution model (simplifications are noted in DESIGN.md):
+
+* A job is **admitted** FIFO when the cluster has slots for its first Map
+  wave plus all its Reduce containers (Hadoop schedules reduces early —
+  "well before the completed distribution of Map output is known").
+* Map tasks of a wave run concurrently; the wave barrier releases the Map
+  containers, and subsequent waves are placed by the scheduler's
+  subsequent-wave entry point (Section 5.3.2).
+* A Map's input read is node-local, rack-local or remote per the HDFS block
+  placement; non-local reads add a fetch penalty to the task duration and are
+  accounted as remote-Map traffic (Figure 1).
+* Network-aware schedulers (Hit) route each starting flow through the live
+  :class:`~repro.core.policy.PolicyController` (optimal, capacity-aware);
+  baselines use the fabric's static shortest path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.container import Container, TaskKind, TaskRef
+from ..cluster.resources import Resources
+from ..cluster.state import ClusterState
+from ..core.policy import CostModel, NoFeasiblePathError, PolicyController
+from ..core.taa import TAAInstance
+from ..mapreduce.hdfs import HdfsModel
+from ..mapreduce.job import JobSpec, shuffle_matrix
+from ..mapreduce.shuffle import ShuffleFlow
+from ..schedulers.base import Scheduler, SchedulingContext
+from ..topology.base import Topology
+from .events import Event, EventKind, EventQueue
+from .metrics import FlowRecord, JobRecord, MetricsCollector, TaskRecord
+from .network import DelayModel, FlowNetwork
+
+__all__ = ["SimulationConfig", "MapReduceSimulator", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tunables of the execution model."""
+
+    container_demand: Resources = Resources(1.0, 0.0)
+    #: Cap on a single job's concurrent Map containers; None = as many as fit.
+    map_slots_per_job: int | None = None
+    #: Shuffle-rate normalisation: flow demand = size / rate_epoch.
+    rate_epoch: float = 1.0
+    #: Rack-local / remote input fetch penalties as multiples of
+    #: split_size / server_link_bandwidth.  Input streaming overlaps map
+    #: compute in Hadoop, so the penalty is a fraction of the full transfer.
+    rack_read_factor: float = 0.25
+    remote_read_factor: float = 0.5
+    hdfs_replication: int = 3
+    #: Server heterogeneity: compute speeds are sampled uniformly from
+    #: ``[1 - spread, 1 + spread]`` (0 = homogeneous cluster).  Models the
+    #: heterogeneous environments of the paper's related work (Tarazu, LATE).
+    server_speed_spread: float = 0.0
+    seed: int = 0
+    delay_model: DelayModel = field(default_factory=DelayModel)
+    cost_model: CostModel = field(default_factory=CostModel)
+    max_events: int = 2_000_000
+
+
+@dataclass
+class _ReduceState:
+    container_id: int
+    index: int
+    input_size: float
+    pending_flows: set[int] = field(default_factory=set)
+    start_time: float = 0.0
+    scheduled: bool = False
+
+
+@dataclass
+class _JobState:
+    spec: JobSpec
+    matrix: np.ndarray
+    submit_time: float
+    start_time: float = -1.0
+    wave_size: int = 0
+    next_map_index: int = 0
+    maps_running: int = 0
+    maps_finished: int = 0
+    map_containers: dict[int, int] = field(default_factory=dict)  # cid -> map idx
+    reduces: dict[int, _ReduceState] = field(default_factory=dict)  # by index
+    remote_map_traffic: float = 0.0
+    reduces_finished: int = 0
+
+    @property
+    def all_maps_done(self) -> bool:
+        return self.maps_finished >= self.spec.num_maps
+
+    @property
+    def done(self) -> bool:
+        return self.all_maps_done and self.reduces_finished >= self.spec.num_reduces
+
+
+class MapReduceSimulator:
+    """One simulation run: a scheduler, a fabric, a stream of jobs."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: Scheduler,
+        jobs: list[JobSpec],
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self.jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        self.cluster = ClusterState(topology)
+        self.controller = PolicyController(
+            topology, cost_model=self.config.cost_model
+        )
+        self.network = FlowNetwork(topology, self.config.delay_model)
+        self.metrics = MetricsCollector()
+        self.hdfs = HdfsModel(
+            topology,
+            replication=self.config.hdfs_replication,
+            seed=self.config.seed,
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+        # Separate stream for ECMP path draws: routing choices must not
+        # perturb workload sampling (keeps flow sizes identical across
+        # schedulers under one seed).
+        self._ecmp_rng = np.random.default_rng(self.config.seed + 0x5EED)
+        spread = self.config.server_speed_spread
+        if not 0.0 <= spread < 1.0:
+            raise ValueError("server_speed_spread must be in [0, 1)")
+        #: Per-server compute speed multipliers (1.0 = nominal).
+        self.server_speeds: dict[int, float] = {
+            sid: (
+                float(self._rng.uniform(1.0 - spread, 1.0 + spread))
+                if spread > 0
+                else 1.0
+            )
+            for sid in topology.server_ids
+        }
+        self._queue = EventQueue()
+        self._pending: list[_JobState] = []  # FIFO admission queue
+        self._jobs_by_id: dict[int, _JobState] = {}
+        self._flow_index: dict[int, tuple[int, int]] = {}  # fid -> (job, reduce idx)
+        self._flow_objects: dict[int, ShuffleFlow] = {}
+        self._flow_by_endpoints: dict[tuple[int, int], int] = {}
+        self._next_container_id = 0
+        self._next_flow_id = 0
+        self._net_epoch = 0
+        self._net_time = 0.0
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> MetricsCollector:
+        """Execute to completion and return the metrics collector."""
+        for spec in self.jobs:
+            self._queue.push(
+                Event(spec.submit_time, EventKind.JOB_ARRIVAL, payload=spec)
+            )
+        events = 0
+        while self._queue:
+            event = self._queue.pop()
+            events += 1
+            if events > self.config.max_events:
+                raise RuntimeError("simulation exceeded max_events — livelock?")
+            self._advance_network(event.time)
+            if event.kind is EventKind.NETWORK and event.epoch != self._net_epoch:
+                self._drain_completed(event.time)
+                continue
+            if event.kind is EventKind.JOB_ARRIVAL:
+                self._on_job_arrival(event.time, event.payload)
+            elif event.kind is EventKind.MAP_DONE:
+                self._on_map_done(event.time, *event.payload)
+                self._maybe_rebalance()
+            elif event.kind is EventKind.REDUCE_DONE:
+                self._on_reduce_done(event.time, *event.payload)
+            self._drain_completed(event.time)
+            self._schedule_network_checkpoint(event.time)
+        unfinished = [j for j in self._jobs_by_id.values() if not j.done]
+        if unfinished or self._pending:
+            raise RuntimeError(
+                f"simulation ended with {len(unfinished)} unfinished and "
+                f"{len(self._pending)} unadmitted jobs"
+            )
+        return self.metrics
+
+    # ---------------------------------------------------------- network glue
+    def _advance_network(self, now: float) -> None:
+        dt = now - self._net_time
+        if dt > 0:
+            self.network.advance(dt)
+        self._net_time = now
+
+    def _schedule_network_checkpoint(self, now: float) -> None:
+        self._net_epoch += 1
+        horizon = self.network.time_to_next_completion()
+        if horizon is not None:
+            self._queue.push(
+                Event(
+                    now + horizon,
+                    EventKind.NETWORK,
+                    epoch=self._net_epoch,
+                )
+            )
+
+    def _maybe_rebalance(self) -> None:
+        """Online policy rebalancing sweep (Section 5.1.1), when enabled.
+
+        Re-runs the optimal-path DP over live flows and migrates the ones
+        that gain past the hysteresis threshold, then syncs the fluid
+        network's paths with the controller's updated policies.
+        """
+        config = getattr(self.scheduler, "online_rebalance", None)
+        if config is None:
+            return
+        active_ids = {f.flow_id for f in self.network.active_flows}
+        if not active_ids:
+            return
+        from ..core.rebalance import rebalance_flows
+
+        live = [self._flow_objects[fid] for fid in active_ids]
+        rebalance_flows(self.controller, live, config)
+        for fid in active_ids:
+            policy = self.controller.policy_of(fid)
+            if policy is None:
+                continue
+            current = next(
+                f for f in self.network.active_flows if f.flow_id == fid
+            )
+            if policy.path != current.path:
+                self.network.reroute_flow(fid, policy.path)
+
+    def _drain_completed(self, now: float) -> None:
+        for fid in self.network.completed_flows():
+            active = self.network.remove_flow(fid)
+            self.controller.release(fid)
+            flow = self._flow_objects.pop(fid)
+            self.metrics.record_flow(
+                FlowRecord(
+                    flow_id=fid,
+                    job_id=flow.job_id,
+                    size=flow.size,
+                    start=active.start_time,
+                    finish=now,
+                    num_switches=active.num_switches,
+                    delay_us=active.start_delay_us,
+                )
+            )
+            self._flow_done(now, fid)
+
+    def _flow_done(self, now: float, fid: int) -> None:
+        job_id, reduce_index = self._flow_index.pop(fid)
+        job = self._jobs_by_id[job_id]
+        reduce_state = job.reduces[reduce_index]
+        reduce_state.pending_flows.discard(fid)
+        self._maybe_finish_reduce(now, job, reduce_state)
+
+    def _maybe_finish_reduce(
+        self, now: float, job: _JobState, reduce_state: _ReduceState
+    ) -> None:
+        if reduce_state.scheduled or not job.all_maps_done:
+            return
+        if reduce_state.pending_flows:
+            return
+        reduce_state.scheduled = True
+        server = self.cluster.container(reduce_state.container_id).server_id
+        speed = self.server_speeds[server] if server is not None else 1.0
+        compute = job.spec.reduce_duration(reduce_state.input_size) / speed
+        self._queue.push(
+            Event(
+                now + compute,
+                EventKind.REDUCE_DONE,
+                payload=(job.spec.job_id, reduce_state.index),
+            )
+        )
+
+    # ------------------------------------------------------------- admission
+    def _free_slots(self) -> int:
+        demand = self.config.container_demand
+        slots = 0
+        for sid in self.cluster.server_ids:
+            residual = self.cluster.residual(sid)
+            if demand.memory > 0:
+                by_mem = int(residual.memory // demand.memory)
+            else:
+                by_mem = self.topology.num_servers * 1000
+            if demand.vcores > 0:
+                by_cpu = int(residual.vcores // demand.vcores)
+            else:
+                by_cpu = by_mem
+            slots += min(by_mem, by_cpu)
+        return slots
+
+    def _on_job_arrival(self, now: float, spec: JobSpec) -> None:
+        state = _JobState(
+            spec=spec,
+            matrix=shuffle_matrix(spec, self._rng),
+            submit_time=now,
+        )
+        self.hdfs.place_job_blocks(spec)
+        self._jobs_by_id[spec.job_id] = state
+        self._pending.append(state)
+        self._try_admit(now)
+
+    def _try_admit(self, now: float) -> None:
+        while self._pending:
+            job = self._pending[0]
+            spec = job.spec
+            free = self._free_slots()
+            wave = spec.num_maps
+            if self.config.map_slots_per_job is not None:
+                wave = min(wave, self.config.map_slots_per_job)
+            needed_min = 1 + spec.num_reduces  # at least one map slot
+            if free < needed_min:
+                return  # FIFO: head blocks the queue (no starvation)
+            wave = min(wave, max(1, free - spec.num_reduces))
+            self._pending.pop(0)
+            job.wave_size = wave
+            job.start_time = now
+            self._start_job(now, job)
+
+    # -------------------------------------------------------------- placement
+    def _new_container(self, task: TaskRef) -> int:
+        cid = self._next_container_id
+        self._next_container_id += 1
+        container = Container(
+            container_id=cid, demand=self.config.container_demand, task=task
+        )
+        self.cluster.add_container(container)
+        return cid
+
+    def _make_flows(
+        self, job: _JobState, map_cids: dict[int, int]
+    ) -> list[ShuffleFlow]:
+        """Flows from the given wave's maps to every reduce of the job."""
+        flows = []
+        for cid, mi in map_cids.items():
+            for reduce_state in job.reduces.values():
+                size = float(job.matrix[mi, reduce_state.index])
+                if size <= 1e-12:
+                    continue
+                flows.append(
+                    ShuffleFlow(
+                        flow_id=self._next_flow_id,
+                        job_id=job.spec.job_id,
+                        map_index=mi,
+                        reduce_index=reduce_state.index,
+                        src_container=cid,
+                        dst_container=reduce_state.container_id,
+                        size=size,
+                        rate=size / self.config.rate_epoch,
+                    )
+                )
+                self._next_flow_id += 1
+        return flows
+
+    def _planning_context(
+        self, flows: list[ShuffleFlow]
+    ) -> SchedulingContext:
+        """Per-job planning instance over the shared cluster state."""
+        planner = PolicyController(
+            self.topology, cost_model=self.config.cost_model
+        )
+        planner.base_loads_from(self.controller)
+        taa = TAAInstance(
+            self.topology,
+            containers=[],
+            flows=flows,
+            cluster=self.cluster,
+            controller=planner,
+        )
+        return SchedulingContext(taa=taa, hdfs=self.hdfs, rng=self._rng)
+
+    def _start_job(self, now: float, job: _JobState) -> None:
+        spec = job.spec
+        for ri in range(spec.num_reduces):
+            cid = self._new_container(TaskRef(spec.job_id, TaskKind.REDUCE, ri))
+            job.reduces[ri] = _ReduceState(
+                container_id=cid,
+                index=ri,
+                input_size=float(job.matrix[:, ri].sum()),
+                start_time=now,
+            )
+        map_cids: dict[int, int] = {}
+        for _ in range(min(job.wave_size, spec.num_maps)):
+            mi = job.next_map_index
+            job.next_map_index += 1
+            cid = self._new_container(TaskRef(spec.job_id, TaskKind.MAP, mi))
+            map_cids[cid] = mi
+        job.map_containers = map_cids
+
+        flows = self._make_flows(job, map_cids)
+        self._register_flows(job, flows)
+        ctx = self._planning_context(flows)
+        self.scheduler.place_initial_wave(
+            ctx,
+            spec,
+            list(map_cids),
+            [r.container_id for r in job.reduces.values()],
+        )
+        self._launch_maps(now, job, map_cids)
+
+    def _register_flows(self, job: _JobState, flows: list[ShuffleFlow]) -> None:
+        for flow in flows:
+            self._flow_objects[flow.flow_id] = flow
+            self._flow_index[flow.flow_id] = (job.spec.job_id, flow.reduce_index)
+            self._flow_by_endpoints[(flow.src_container, flow.dst_container)] = (
+                flow.flow_id
+            )
+            job.reduces[flow.reduce_index].pending_flows.add(flow.flow_id)
+
+    def _launch_maps(
+        self, now: float, job: _JobState, map_cids: dict[int, int]
+    ) -> None:
+        spec = job.spec
+        for cid, mi in map_cids.items():
+            server = self.cluster.container(cid).server_id
+            assert server is not None, "scheduler left a map container unplaced"
+            duration = (
+                spec.map_duration / self.server_speeds[server]
+                + self._read_penalty(job, mi, server)
+            )
+            job.maps_running += 1
+            self._queue.push(
+                Event(
+                    now + duration,
+                    EventKind.MAP_DONE,
+                    payload=(spec.job_id, cid, mi, now),
+                )
+            )
+
+    def _read_penalty(self, job: _JobState, map_index: int, server: int) -> float:
+        locality = self.hdfs.locality(job.spec.job_id, map_index, server)
+        if locality == "node-local":
+            return 0.0
+        split = job.spec.map_input_size
+        job.remote_map_traffic += split
+        bandwidth = min(
+            self.topology.link(server, n).bandwidth
+            for n in self.topology.neighbors(server)
+        )
+        factor = (
+            self.config.rack_read_factor
+            if locality == "rack-local"
+            else self.config.remote_read_factor
+        )
+        return factor * split / bandwidth
+
+    # --------------------------------------------------------------- map side
+    def _on_map_done(
+        self, now: float, job_id: int, cid: int, map_index: int, started: float
+    ) -> None:
+        job = self._jobs_by_id[job_id]
+        job.maps_running -= 1
+        job.maps_finished += 1
+        self.metrics.record_task(
+            TaskRecord(
+                job_id=job_id,
+                kind="map",
+                index=map_index,
+                start=started,
+                finish=now,
+            )
+        )
+        self._start_flows_from(now, job, cid, map_index)
+
+        if job.maps_running == 0:
+            # Wave barrier: recycle the map containers.
+            for done_cid in job.map_containers:
+                if self.cluster.container(done_cid).is_placed:
+                    self.cluster.unplace(done_cid)
+            job.map_containers = {}
+            if job.next_map_index < job.spec.num_maps:
+                self._start_next_wave(now, job)
+            else:
+                for reduce_state in job.reduces.values():
+                    self._maybe_finish_reduce(now, job, reduce_state)
+            self._try_admit(now)
+
+    def _start_next_wave(self, now: float, job: _JobState) -> None:
+        spec = job.spec
+        remaining = spec.num_maps - job.next_map_index
+        count = min(job.wave_size, remaining)
+        map_cids: dict[int, int] = {}
+        for _ in range(count):
+            mi = job.next_map_index
+            job.next_map_index += 1
+            cid = self._new_container(TaskRef(spec.job_id, TaskKind.MAP, mi))
+            map_cids[cid] = mi
+        job.map_containers = map_cids
+        flows = self._make_flows(job, map_cids)
+        self._register_flows(job, flows)
+        ctx = self._planning_context(flows)
+        self.scheduler.place_map_wave(ctx, spec, list(map_cids))
+        self._launch_maps(now, job, map_cids)
+
+    def _start_flows_from(
+        self, now: float, job: _JobState, map_cid: int, map_index: int
+    ) -> None:
+        src = self.cluster.container(map_cid).server_id
+        assert src is not None
+        for reduce_state in job.reduces.values():
+            fid = self._flow_by_endpoints.pop(
+                (map_cid, reduce_state.container_id), None
+            )
+            if fid is None:
+                continue
+            flow = self._flow_objects[fid]
+            dst = self.cluster.container(reduce_state.container_id).server_id
+            assert dst is not None
+            if src == dst:
+                # Local shuffle: no network traversal, instant delivery.
+                self.metrics.record_flow(
+                    FlowRecord(
+                        flow_id=fid,
+                        job_id=job.spec.job_id,
+                        size=flow.size,
+                        start=now,
+                        finish=now,
+                        num_switches=0,
+                        delay_us=0.0,
+                    )
+                )
+                del self._flow_objects[fid]
+                self._flow_done(now, fid)
+                continue
+            path = self._route(flow, src, dst)
+            self.network.add_flow(fid, path, flow.size, now)
+
+    def _route(self, flow: ShuffleFlow, src: int, dst: int) -> tuple[int, ...]:
+        if self.scheduler.network_aware:
+            try:
+                policy = self.controller.route_flow(flow, src, dst)
+                return policy.path
+            except NoFeasiblePathError:
+                # Fabric saturated: fall through to capacity-ignoring optimum
+                # (the physical network still carries it, just congested).
+                policy = self.controller.route_flow(
+                    flow, src, dst, enforce_capacity=False
+                )
+                return policy.path
+        if getattr(self.scheduler, "ecmp", False):
+            # ECMP hashing: uniform choice over the equal-cost path set.
+            from ..topology.routing import enumerate_paths
+
+            candidates = enumerate_paths(self.topology, src, dst, slack=0,
+                                         limit=64)
+            return candidates[int(self._ecmp_rng.integers(len(candidates)))]
+        return self.topology.shortest_path(src, dst)
+
+    # ------------------------------------------------------------ reduce side
+    def _on_reduce_done(self, now: float, job_id: int, reduce_index: int) -> None:
+        job = self._jobs_by_id[job_id]
+        reduce_state = job.reduces[reduce_index]
+        self.metrics.record_task(
+            TaskRecord(
+                job_id=job_id,
+                kind="reduce",
+                index=reduce_index,
+                start=reduce_state.start_time,
+                finish=now,
+            )
+        )
+        self.cluster.unplace(reduce_state.container_id)
+        job.reduces_finished += 1
+        if job.done:
+            self.metrics.record_job(
+                JobRecord(
+                    job_id=job_id,
+                    name=job.spec.name,
+                    shuffle_class=job.spec.shuffle_class.value,
+                    submit_time=job.submit_time,
+                    start_time=job.start_time,
+                    finish_time=now,
+                    shuffle_volume=job.spec.shuffle_volume,
+                    remote_map_traffic=job.remote_map_traffic,
+                )
+            )
+        self._try_admit(now)
+
+
+def run_simulation(
+    topology: Topology,
+    scheduler: Scheduler,
+    jobs: list[JobSpec],
+    config: SimulationConfig | None = None,
+) -> MetricsCollector:
+    """Convenience one-shot runner."""
+    return MapReduceSimulator(topology, scheduler, jobs, config).run()

@@ -1,0 +1,63 @@
+"""Event queue for the discrete-event simulation.
+
+A thin, deterministic wrapper over :mod:`heapq`: events at equal timestamps
+pop in insertion order (sequence-number tie-break), which keeps simulations
+bit-reproducible across runs regardless of payload types.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """The simulation's event taxonomy."""
+
+    JOB_ARRIVAL = auto()
+    MAP_DONE = auto()
+    NETWORK = auto()        # tentative next-flow-completion checkpoint
+    REDUCE_DONE = auto()
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """One scheduled occurrence; ``payload`` semantics depend on ``kind``."""
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    #: Epoch tag for tentative events (NETWORK): stale epochs are skipped.
+    epoch: int = 0
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,167 @@
+"""Measurement plane of the simulator.
+
+Collects exactly the quantities the paper's evaluation section reports:
+
+* per-job completion times (Figure 6a's CDF),
+* per-task Map / Reduce execution times (Figures 6b/6c),
+* per-flow route length in switch hops and packet-delay estimate
+  (Figures 7a/7b),
+* shuffle traffic volume and shuffle *cost* in size x switch-hops units —
+  the GB.T currency of the Section 2.3 case study (Figures 8 and 10),
+* remote-Map traffic volume (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["JobRecord", "FlowRecord", "TaskRecord", "MetricsCollector"]
+
+
+@dataclass
+class TaskRecord:
+    """One finished task attempt."""
+
+    job_id: int
+    kind: str  # "map" | "reduce"
+    index: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class FlowRecord:
+    """One completed shuffle flow."""
+
+    flow_id: int
+    job_id: int
+    size: float
+    start: float
+    finish: float
+    num_switches: int
+    delay_us: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def cost(self) -> float:
+        """Size x switch-hops: the paper's GB.T shuffle-cost unit."""
+        return self.size * self.num_switches
+
+
+@dataclass
+class JobRecord:
+    """One finished job."""
+
+    job_id: int
+    name: str
+    shuffle_class: str
+    submit_time: float
+    start_time: float
+    finish_time: float
+    shuffle_volume: float
+    remote_map_traffic: float
+
+    @property
+    def completion_time(self) -> float:
+        """JCT measured from submission (includes queueing)."""
+        return self.finish_time - self.submit_time
+
+
+class MetricsCollector:
+    """Accumulates records during a run and answers aggregate queries."""
+
+    def __init__(self) -> None:
+        self.jobs: list[JobRecord] = []
+        self.tasks: list[TaskRecord] = []
+        self.flows: list[FlowRecord] = []
+
+    # -------------------------------------------------------------- recording
+    def record_job(self, record: JobRecord) -> None:
+        self.jobs.append(record)
+
+    def record_task(self, record: TaskRecord) -> None:
+        self.tasks.append(record)
+
+    def record_flow(self, record: FlowRecord) -> None:
+        self.flows.append(record)
+
+    # ------------------------------------------------------------- aggregates
+    def job_completion_times(self) -> np.ndarray:
+        return np.array([j.completion_time for j in self.jobs])
+
+    def task_durations(self, kind: str) -> np.ndarray:
+        return np.array([t.duration for t in self.tasks if t.kind == kind])
+
+    def mean_jct(self) -> float:
+        times = self.job_completion_times()
+        return float(times.mean()) if times.size else 0.0
+
+    def average_route_length(self) -> float:
+        """Mean switch count over *networked* shuffle flows (Figure 7a).
+
+        Co-located (zero-switch) flows are included — a scheduler that
+        co-locates endpoints legitimately shortens the average route.
+        """
+        if not self.flows:
+            return 0.0
+        return float(np.mean([f.num_switches for f in self.flows]))
+
+    def average_shuffle_delay_us(self) -> float:
+        """Mean packet-delay estimate over networked flows (Figure 7b)."""
+        networked = [f.delay_us for f in self.flows if f.num_switches > 0]
+        return float(np.mean(networked)) if networked else 0.0
+
+    def average_flow_duration(self) -> float:
+        networked = [f.duration for f in self.flows if f.num_switches > 0]
+        return float(np.mean(networked)) if networked else 0.0
+
+    def total_shuffle_cost(self) -> float:
+        """Sum of size x switch-hops over all flows (GB.T units)."""
+        return float(sum(f.cost for f in self.flows))
+
+    def total_shuffle_volume(self) -> float:
+        return float(sum(f.size for f in self.flows))
+
+    def total_remote_map_traffic(self) -> float:
+        return float(sum(j.remote_map_traffic for j in self.jobs))
+
+    def throughput(self) -> float:
+        """Shuffle bytes delivered per unit makespan."""
+        if not self.flows:
+            return 0.0
+        makespan = max(f.finish for f in self.flows) - min(
+            f.start for f in self.flows
+        )
+        if makespan <= 0:
+            return float("inf")
+        return self.total_shuffle_volume() / makespan
+
+    def makespan(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return max(j.finish_time for j in self.jobs) - min(
+            j.submit_time for j in self.jobs
+        )
+
+    def summary(self) -> dict[str, float]:
+        """One-line dictionary for experiment tables."""
+        return {
+            "jobs": float(len(self.jobs)),
+            "mean_jct": self.mean_jct(),
+            "avg_route_hops": self.average_route_length(),
+            "avg_shuffle_delay_us": self.average_shuffle_delay_us(),
+            "avg_flow_duration": self.average_flow_duration(),
+            "shuffle_cost": self.total_shuffle_cost(),
+            "shuffle_volume": self.total_shuffle_volume(),
+            "remote_map_traffic": self.total_remote_map_traffic(),
+            "makespan": self.makespan(),
+        }

@@ -1,0 +1,128 @@
+"""Human-readable fabric descriptions.
+
+``describe_topology`` summarises a fabric's structure (per-tier switch
+counts, oversubscription ratios, path-diversity statistics) and
+``ascii_tree`` renders small trees for docs and debugging.  Both are
+read-only views over :class:`~repro.topology.base.Topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Tier, Topology
+from .routing import count_shortest_paths
+
+__all__ = ["TopologySummary", "describe_topology", "ascii_tree"]
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Aggregate structural facts about a fabric."""
+
+    name: str
+    num_servers: int
+    num_switches: int
+    num_links: int
+    switches_per_tier: dict[str, int]
+    diameter_hops: int
+    mean_server_distance: float
+    #: Mean count of equal-cost shortest paths over sampled server pairs.
+    mean_path_diversity: float
+    #: Ratio of total server-link bandwidth to total top-tier link bandwidth
+    #: (> 1 means the fabric is oversubscribed).
+    oversubscription: float
+
+
+def describe_topology(
+    topology: Topology, sample_pairs: int = 64, seed: int = 0
+) -> TopologySummary:
+    """Compute a :class:`TopologySummary` (sampling pairs on big fabrics)."""
+    servers = list(topology.server_ids)
+    rng = np.random.default_rng(seed)
+    if len(servers) < 2:
+        raise ValueError("need at least two servers to describe distances")
+
+    pairs: list[tuple[int, int]] = []
+    max_pairs = len(servers) * (len(servers) - 1) // 2
+    if max_pairs <= sample_pairs:
+        pairs = [
+            (a, b)
+            for i, a in enumerate(servers)
+            for b in servers[i + 1:]
+        ]
+    else:
+        while len(pairs) < sample_pairs:
+            a, b = rng.choice(servers, size=2, replace=False)
+            pairs.append((int(a), int(b)))
+
+    distances = [topology.hop_distance(a, b) for a, b in pairs]
+    diversity = [count_shortest_paths(topology, a, b) for a, b in pairs]
+
+    per_tier: dict[str, int] = {}
+    for w in topology.switch_ids:
+        label = topology.tier_of(w).label
+        per_tier[label] = per_tier.get(label, 0) + 1
+
+    server_bw = 0.0
+    top_bw = 0.0
+    top_tier = max(
+        (topology.tier_of(w) for w in topology.switch_ids), default=Tier.ACCESS
+    )
+    for link in topology.links:
+        endpoints = (link.u, link.v)
+        if any(topology.is_server(n) for n in endpoints):
+            server_bw += link.bandwidth
+        if any(
+            topology.is_switch(n) and topology.tier_of(n) == top_tier
+            for n in endpoints
+        ):
+            top_bw += link.bandwidth
+
+    return TopologySummary(
+        name=topology.name,
+        num_servers=topology.num_servers,
+        num_switches=topology.num_switches,
+        num_links=len(topology.links),
+        switches_per_tier=per_tier,
+        diameter_hops=int(max(distances)),
+        mean_server_distance=float(np.mean(distances)),
+        mean_path_diversity=float(np.mean(diversity)),
+        oversubscription=(server_bw / top_bw) if top_bw > 0 else float("inf"),
+    )
+
+
+def ascii_tree(topology: Topology, max_servers: int = 32) -> str:
+    """Render a (small) hierarchical fabric as an indented tree.
+
+    Switches are grouped by tier from the top down; each access switch lists
+    its servers.  Refuses fabrics above ``max_servers`` — this is a debugging
+    aid, not a layout engine.
+    """
+    if topology.num_servers > max_servers:
+        raise ValueError(
+            f"ascii_tree is for small fabrics (<= {max_servers} servers)"
+        )
+    lines = [topology.name]
+    tiers = sorted(
+        {topology.tier_of(w) for w in topology.switch_ids}, reverse=True
+    )
+    for tier in tiers:
+        lines.append(f"  [{tier.label}]")
+        for w in topology.switches_of_tier(tier):
+            down = [
+                n
+                for n in topology.neighbors(w)
+                if topology.is_server(n)
+                or (topology.is_switch(n) and topology.tier_of(n) < tier)
+            ]
+            names = ", ".join(
+                topology.server(n).name
+                if topology.is_server(n)
+                else topology.switch(n).name
+                for n in sorted(down)
+            )
+            lines.append(f"    {topology.switch(w).name} -> {names}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Routing utilities: equal-cost path structure for policy optimisation.
+
+A network *policy* in the paper (Section 3.1) is an ordered list of typed
+switches a shuffle flow must traverse.  Optimising a policy (Algorithm 1)
+means replacing individual switches with same-type alternatives that have
+residual capacity (Eq 4).  On a hierarchical fabric the alternatives at each
+position are exactly the nodes that lie at the same depth on *some*
+equal-length route — the stages of the shortest-path DAG between the two
+endpoints.  This module computes that structure:
+
+* :func:`shortest_path_stages` — for a node pair, the list of candidate node
+  sets per hop index (the layered graph Algorithm 1's DP runs over);
+* :func:`enumerate_paths` — explicit enumeration of equal-cost (optionally
+  slack-extended) paths, used by the exact solver and by tests as ground
+  truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Topology, UNREACHABLE
+
+#: Per-topology memo of stage decompositions, keyed by id(topology) then
+#: (src, dst).  Topologies are immutable after construction, so the cache
+#: never invalidates; a WeakValueDictionary is unnecessary because the entry
+#: count is bounded by server-pair counts the experiments actually touch.
+_STAGE_CACHE: dict[int, dict[tuple[int, int], list[tuple[int, ...]]]] = {}
+
+__all__ = [
+    "shortest_path_stages",
+    "enumerate_paths",
+    "count_shortest_paths",
+]
+
+
+def shortest_path_stages(
+    topology: Topology, src: int, dst: int
+) -> list[tuple[int, ...]]:
+    """Candidate node sets per position of any shortest ``src``→``dst`` path.
+
+    Returns ``stages`` with ``stages[0] == (src,)``, ``stages[-1] == (dst,)``
+    and ``stages[j]`` = every node ``n`` with ``d(src, n) == j`` and
+    ``d(n, dst) == D - j`` where ``D`` is the shortest-path hop distance.  Two
+    consecutive stages are always joined by at least one physical link, but
+    not every cross-stage node pair is adjacent — the policy DP must check
+    adjacency edge by edge.
+
+    Raises ``ValueError`` when the endpoints are disconnected.
+    """
+    if src == dst:
+        return [(src,)]
+    per_topo = _STAGE_CACHE.setdefault(id(topology), {})
+    cached = per_topo.get((src, dst))
+    if cached is not None:
+        return cached
+    dist_src = topology.hop_distances_from(src)
+    dist_dst = topology.hop_distances_from(dst)
+    total = int(dist_src[dst])
+    if total == UNREACHABLE:
+        raise ValueError(f"no path between {src} and {dst}")
+    # Nodes on some shortest path satisfy d(src, n) + d(n, dst) == total.
+    on_path = dist_src + dist_dst == total
+    stages: list[tuple[int, ...]] = [(src,)]
+    for j in range(1, total):
+        stage = tuple(
+            int(n) for n in np.nonzero(on_path & (dist_src == j))[0]
+        )
+        stages.append(stage)
+    stages.append((dst,))
+    per_topo[(src, dst)] = stages
+    return stages
+
+
+def enumerate_paths(
+    topology: Topology,
+    src: int,
+    dst: int,
+    slack: int = 0,
+    limit: int = 10_000,
+) -> list[tuple[int, ...]]:
+    """All simple paths from ``src`` to ``dst`` of length ≤ shortest + slack.
+
+    Enumeration is a depth-first search pruned with the distance-to-target
+    labels, so the search only ever expands prefixes that can still finish
+    within budget.  ``limit`` caps the number of returned paths (a fat-tree
+    pair can have hundreds); paths are produced in lexicographic neighbour
+    order so the output is deterministic.
+    """
+    if slack < 0:
+        raise ValueError("slack must be >= 0")
+    if src == dst:
+        return [(src,)]
+    dist_dst = topology.hop_distances_from(dst)
+    if dist_dst[src] == UNREACHABLE:
+        raise ValueError(f"no path between {src} and {dst}")
+    budget = int(dist_dst[src]) + slack
+
+    paths: list[tuple[int, ...]] = []
+    prefix: list[int] = [src]
+    on_path = {src}
+
+    def dfs(node: int, remaining: int) -> None:
+        if len(paths) >= limit:
+            return
+        for neigh in topology.neighbors(node):
+            if neigh in on_path:
+                continue
+            if neigh == dst:
+                paths.append(tuple(prefix) + (dst,))
+                if len(paths) >= limit:
+                    return
+                continue
+            needed = dist_dst[neigh]
+            if needed == UNREACHABLE or needed > remaining - 1:
+                continue
+            prefix.append(neigh)
+            on_path.add(neigh)
+            dfs(neigh, remaining - 1)
+            prefix.pop()
+            on_path.remove(neigh)
+
+    dfs(src, budget)
+    return paths
+
+
+def count_shortest_paths(topology: Topology, src: int, dst: int) -> int:
+    """Number of distinct shortest paths between two nodes.
+
+    Computed by dynamic programming over the shortest-path DAG (product of
+    per-stage adjacency counts), so it stays cheap even when explicit
+    enumeration would blow up.
+    """
+    if src == dst:
+        return 1
+    stages = shortest_path_stages(topology, src, dst)
+    counts = {src: 1}
+    for stage in stages[1:]:
+        nxt: dict[int, int] = {}
+        for node in stage:
+            total = sum(
+                c for prev, c in counts.items() if topology.has_link(prev, node)
+            )
+            if total:
+                nxt[node] = total
+        counts = nxt
+    return counts.get(dst, 0)
+
+
+def path_is_valid(topology: Topology, path: Sequence[int]) -> bool:
+    """True when consecutive nodes of ``path`` are physically adjacent and no
+    node repeats."""
+    if len(path) != len(set(path)):
+        return False
+    return all(topology.has_link(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,19 @@
+"""YARN-like control plane (Section 6): requests, RM, AM, NodeManagers."""
+
+from .am import ApplicationMaster
+from .nm import LaunchedContainer, NodeManager
+from .request import ANY_HOST, HitResourceRequest, ResourceRequest
+from .rm import GrantedContainer, ResourceManager
+from .topologyaware import TopologyAwareTaskDict
+
+__all__ = [
+    "ApplicationMaster",
+    "NodeManager",
+    "LaunchedContainer",
+    "ResourceManager",
+    "GrantedContainer",
+    "ResourceRequest",
+    "HitResourceRequest",
+    "ANY_HOST",
+    "TopologyAwareTaskDict",
+]

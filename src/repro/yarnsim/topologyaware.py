@@ -1,0 +1,58 @@
+"""``mapred.job.topologyaware`` — the offline/online bridge (Section 6).
+
+The paper's implementation splits Hit-Scheduler into an offline phase (profile
+each application's shuffle data rate, capture the topology) and an online
+phase where a new class ``mapred.job.topologyaware`` carries the optimised
+task placement into the YARN plumbing.  :class:`TopologyAwareTaskDict` is
+that class file: a mapping from task to preferred hostname, built from a
+:class:`~repro.core.hit.HitResult` (or any container->server assignment) and
+consumed when emitting :class:`~repro.yarnsim.request.HitResourceRequest`
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.container import TaskRef
+from ..cluster.state import ClusterState
+from ..topology.base import Topology
+
+__all__ = ["TopologyAwareTaskDict"]
+
+
+@dataclass
+class TopologyAwareTaskDict:
+    """Preferred host per task, keyed by the task's string form."""
+
+    _preferred: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_placement(
+        cls,
+        cluster: ClusterState,
+        topology: Topology,
+        placement: dict[int, int | None],
+    ) -> "TopologyAwareTaskDict":
+        """Build from a container->server placement snapshot."""
+        table: dict[str, str] = {}
+        for cid, sid in placement.items():
+            if sid is None:
+                continue
+            task = cluster.container(cid).task
+            if task is None:
+                continue
+            table[str(task)] = topology.server(sid).name
+        return cls(_preferred=table)
+
+    def preferred_host(self, task: TaskRef) -> str | None:
+        return self._preferred.get(str(task))
+
+    def set_preferred_host(self, task: TaskRef, hostname: str) -> None:
+        self._preferred[str(task)] = hostname
+
+    def __len__(self) -> int:
+        return len(self._preferred)
+
+    def __contains__(self, task: TaskRef) -> bool:
+        return str(task) in self._preferred

@@ -1,0 +1,101 @@
+"""CDFs, statistics and report formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    EmpiricalCDF,
+    describe,
+    format_paper_vs_measured,
+    format_table,
+    improvement,
+    reduction,
+)
+
+
+class TestCDF:
+    def test_basic_probabilities(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(4.0) == 1.0
+        assert cdf.at(100.0) == 1.0
+
+    def test_percentiles(self):
+        cdf = EmpiricalCDF.from_samples([10, 20, 30, 40, 50])
+        assert cdf.percentile(0.2) == 10
+        assert cdf.percentile(1.0) == 50
+        assert cdf.median == 30
+
+    def test_mean(self):
+        assert EmpiricalCDF.from_samples([1, 2, 3]).mean == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples([])
+
+    def test_bad_quantile_rejected(self):
+        cdf = EmpiricalCDF.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.percentile(0.0)
+        with pytest.raises(ValueError):
+            cdf.percentile(1.5)
+
+    def test_series_downsamples(self):
+        cdf = EmpiricalCDF.from_samples(list(range(100)))
+        series = cdf.series(points=10)
+        assert len(series) == 10
+        assert series[-1] == (99.0, 1.0)
+
+    def test_series_full_when_small(self):
+        cdf = EmpiricalCDF.from_samples([1, 2])
+        assert len(cdf.series(points=10)) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_property_monotone_nondecreasing(self, samples):
+        cdf = EmpiricalCDF.from_samples(samples)
+        assert (np.diff(cdf.values) >= 0).all()
+        assert (np.diff(cdf.probabilities) > 0).all() or len(samples) == 1
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+
+
+class TestStats:
+    def test_improvement(self):
+        assert improvement(10.0, 7.0) == pytest.approx(0.3)
+        assert improvement(10.0, 12.0) == pytest.approx(-0.2)
+        assert improvement(0.0, 5.0) == 0.0
+
+    def test_reduction_alias(self):
+        assert reduction(4.0, 1.0) == improvement(4.0, 1.0)
+
+    def test_describe(self):
+        d = describe([1.0, 2.0, 3.0, 4.0])
+        assert d["n"] == 4
+        assert d["mean"] == 2.5
+        assert d["max"] == 4.0
+
+    def test_describe_empty(self):
+        assert describe([])["n"] == 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "metric"], [["x", 1.0], ["yy", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "metric" in lines[0]
+
+    def test_format_table_title(self):
+        out = format_table(["a"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_paper_vs_measured_block(self):
+        out = format_paper_vs_measured(
+            "Fig 6", [("JCT improvement", "~28%", 0.31)]
+        )
+        assert "Fig 6" in out
+        assert "~28%" in out
+        assert "0.310" in out

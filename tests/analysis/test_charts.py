@@ -1,0 +1,79 @@
+"""ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis import bar_chart, series_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_labels_aligned(self):
+        out = bar_chart({"x": 1.0, "long-label": 1.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline([0, 1, 2, 3, 4, 5])
+        from repro.analysis.charts import _SPARK_LEVELS
+
+        indices = [_SPARK_LEVELS.index(c) for c in s]
+        assert indices == sorted(indices)
+
+    def test_flat_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestSeriesChart:
+    def test_one_line_per_series(self):
+        out = series_chart({
+            "hit": [(0, 1.0), (1, 0.5)],
+            "capacity": [(0, 1.0), (1, 1.0)],
+        })
+        assert len(out.splitlines()) == 2
+
+    def test_downsamples_long_series(self):
+        points = [(i, float(i)) for i in range(200)]
+        out = series_chart({"s": points}, width=20)
+        line = out.splitlines()[0]
+        assert len(line.split("| ")[1]) <= 20
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            series_chart({})
+
+    def test_sorts_by_x(self):
+        # Unsorted input must not change the rendered shape.
+        a = series_chart({"s": [(0, 0.0), (1, 5.0), (2, 0.0)]})
+        b = series_chart({"s": [(2, 0.0), (0, 0.0), (1, 5.0)]})
+        assert a == b

@@ -1,0 +1,45 @@
+"""Container and TaskRef semantics."""
+
+import pytest
+
+from repro.cluster import Container, Resources, TaskKind, TaskRef
+
+
+class TestTaskRef:
+    def test_string_form_matches_hadoop_style(self):
+        assert str(TaskRef(3, TaskKind.MAP, 7)) == "j3.M7"
+        assert str(TaskRef(0, TaskKind.REDUCE, 2)) == "j0.R2"
+
+    def test_hashable_and_equal(self):
+        a = TaskRef(1, TaskKind.MAP, 0)
+        b = TaskRef(1, TaskKind.MAP, 0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TaskRef(1, TaskKind.REDUCE, 0)
+
+    def test_usable_as_dict_key(self):
+        table = {TaskRef(0, TaskKind.MAP, 0): "s1"}
+        assert table[TaskRef(0, TaskKind.MAP, 0)] == "s1"
+
+
+class TestContainer:
+    def test_unplaced_by_default(self):
+        c = Container(0, Resources(1, 0))
+        assert not c.is_placed
+        assert c.server_id is None
+
+    def test_kind_predicates(self):
+        m = Container(0, Resources(1, 0), TaskRef(0, TaskKind.MAP, 0))
+        r = Container(1, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, 0))
+        idle = Container(2, Resources(1, 0))
+        assert m.hosts_map and not m.hosts_reduce
+        assert r.hosts_reduce and not r.hosts_map
+        assert not idle.hosts_map and not idle.hosts_reduce
+
+    def test_repr_readable(self):
+        c = Container(5, Resources(1, 0), TaskRef(2, TaskKind.MAP, 1), server_id=3)
+        text = repr(c)
+        assert "j2.M1" in text and "@s3" in text
+
+    def test_repr_unplaced(self):
+        assert "@?" in repr(Container(0, Resources(1, 0)))

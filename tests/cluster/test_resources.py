@@ -1,0 +1,86 @@
+"""Resource-vector arithmetic and ordering, incl. property-based checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import Resources
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestConstruction:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Resources(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            Resources(0.0, -0.5)
+
+    def test_zero(self):
+        z = Resources.zero()
+        assert z.is_zero
+        assert z.memory == 0 and z.vcores == 0
+
+    def test_from_tuple_pads_missing(self):
+        r = Resources.from_tuple((3.0,))
+        assert r == Resources(3.0, 0.0)
+
+    def test_from_tuple_full(self):
+        assert Resources.from_tuple((3.0, 2.0)) == Resources(3.0, 2.0)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Resources(1, 2) + Resources(3, 4) == Resources(4, 6)
+
+    def test_sub(self):
+        assert Resources(3, 4) - Resources(1, 2) == Resources(2, 2)
+
+    def test_sub_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            Resources(1, 1) - Resources(2, 0)
+
+    def test_scalar_multiply(self):
+        assert Resources(1, 2) * 3 == Resources(3, 6)
+        assert 3 * Resources(1, 2) == Resources(3, 6)
+
+    def test_iter_and_tuple(self):
+        assert tuple(Resources(1, 2)) == (1, 2)
+        assert Resources(1, 2).as_tuple() == (1, 2)
+
+
+class TestOrdering:
+    def test_fits_in(self):
+        assert Resources(1, 1).fits_in(Resources(2, 2))
+        assert Resources(2, 2).fits_in(Resources(2, 2))
+        assert not Resources(3, 1).fits_in(Resources(2, 2))
+        assert not Resources(1, 3).fits_in(Resources(2, 2))
+
+    def test_dominates(self):
+        assert Resources(2, 2).dominates(Resources(1, 2))
+        assert not Resources(2, 2).dominates(Resources(3, 0))
+
+    def test_partial_order_incomparable(self):
+        a, b = Resources(2, 1), Resources(1, 2)
+        assert not a.fits_in(b) and not b.fits_in(a)
+
+
+@given(m1=finite, v1=finite, m2=finite, v2=finite)
+def test_property_add_then_sub_roundtrips(m1, v1, m2, v2):
+    a, b = Resources(m1, v1), Resources(m2, v2)
+    back = (a + b) - b
+    assert back.memory == pytest.approx(a.memory, abs=1e-6, rel=1e-9)
+    assert back.vcores == pytest.approx(a.vcores, abs=1e-6, rel=1e-9)
+
+
+@given(m1=finite, v1=finite, m2=finite, v2=finite)
+def test_property_fits_in_consistent_with_sum(m1, v1, m2, v2):
+    a, b = Resources(m1, v1), Resources(m2, v2)
+    assert a.fits_in(a + b)
+
+
+@given(m=finite, v=finite)
+def test_property_zero_is_identity(m, v):
+    r = Resources(m, v)
+    assert r + Resources.zero() == r
+    assert Resources.zero().fits_in(r)

@@ -1,0 +1,144 @@
+"""ClusterState placement bookkeeping and capacity enforcement."""
+
+import pytest
+
+from repro.cluster import ClusterState, Container, Resources, TaskKind, TaskRef
+from repro.topology import TreeConfig, build_tree
+
+
+@pytest.fixture
+def cluster():
+    topo = build_tree(TreeConfig(depth=2, fanout=2, redundancy=1, server_resources=(2.0,)))
+    return ClusterState(topo)
+
+
+def c(cid, mem=1.0):
+    return Container(cid, Resources(mem, 0.0))
+
+
+class TestContainers:
+    def test_add_and_lookup(self, cluster):
+        cluster.add_container(c(0))
+        assert cluster.container(0).container_id == 0
+        assert cluster.num_containers == 1
+
+    def test_duplicate_id_rejected(self, cluster):
+        cluster.add_container(c(0))
+        with pytest.raises(ValueError, match="duplicate"):
+            cluster.add_container(c(0))
+
+    def test_add_preplaced_container(self, cluster):
+        cluster.add_container(Container(0, Resources(1, 0), server_id=1))
+        assert cluster.container(0).server_id == 1
+        assert cluster.used(1) == Resources(1, 0)
+
+    def test_unplaced_list(self, cluster):
+        cluster.add_containers([c(0), c(1)])
+        cluster.place(0, 0)
+        assert [x.container_id for x in cluster.unplaced_containers()] == [1]
+
+    def test_task_kind_helpers(self, cluster):
+        m = Container(0, Resources(1, 0), TaskRef(0, TaskKind.MAP, 0))
+        r = Container(1, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, 0))
+        idle = Container(2, Resources(1, 0))
+        assert m.hosts_map and not m.hosts_reduce
+        assert r.hosts_reduce and not r.hosts_map
+        assert not idle.hosts_map and not idle.hosts_reduce
+
+
+class TestPlacement:
+    def test_place_updates_accounting(self, cluster):
+        cluster.add_container(c(0))
+        cluster.place(0, 2)
+        assert cluster.container(0).server_id == 2
+        assert cluster.used(2) == Resources(1, 0)
+        assert cluster.residual(2) == Resources(1, 0)
+        assert cluster.hosted_on(2) == (0,)
+
+    def test_place_respects_capacity(self, cluster):
+        cluster.add_containers([c(0, 2.0), c(1, 1.0)])
+        cluster.place(0, 0)
+        with pytest.raises(ValueError, match="capacity"):
+            cluster.place(1, 0)
+
+    def test_double_place_rejected(self, cluster):
+        cluster.add_container(c(0))
+        cluster.place(0, 0)
+        with pytest.raises(ValueError, match="already placed"):
+            cluster.place(0, 1)
+
+    def test_unknown_server_rejected(self, cluster):
+        cluster.add_container(c(0))
+        with pytest.raises(KeyError):
+            cluster.place(0, 999)
+
+    def test_unplace_refunds(self, cluster):
+        cluster.add_container(c(0))
+        cluster.place(0, 1)
+        cluster.unplace(0)
+        assert cluster.container(0).server_id is None
+        assert cluster.used(1).is_zero
+        assert cluster.hosted_on(1) == ()
+
+    def test_unplace_unplaced_rejected(self, cluster):
+        cluster.add_container(c(0))
+        with pytest.raises(ValueError, match="not placed"):
+            cluster.unplace(0)
+
+    def test_move(self, cluster):
+        cluster.add_container(c(0))
+        cluster.place(0, 0)
+        cluster.move(0, 3)
+        assert cluster.container(0).server_id == 3
+        assert cluster.used(0).is_zero
+
+    def test_move_to_same_server_noop(self, cluster):
+        cluster.add_container(c(0))
+        cluster.place(0, 0)
+        cluster.move(0, 0)
+        assert cluster.container(0).server_id == 0
+
+    def test_move_rolls_back_on_failure(self, cluster):
+        cluster.add_containers([c(0, 2.0), c(1, 2.0)])
+        cluster.place(0, 0)
+        cluster.place(1, 1)
+        with pytest.raises(ValueError):
+            cluster.move(1, 0)  # server 0 is full
+        # rollback: container 1 still on server 1
+        assert cluster.container(1).server_id == 1
+        assert cluster.used(1) == Resources(2, 0)
+
+
+class TestQueries:
+    def test_fits(self, cluster):
+        cluster.add_containers([c(0, 2.0), c(1, 1.0)])
+        assert cluster.fits(0, 0)
+        cluster.place(0, 0)
+        assert not cluster.fits(1, 0)
+
+    def test_candidate_servers_eq8(self, cluster):
+        cluster.add_containers([c(0, 2.0), c(1, 2.0)])
+        cluster.place(0, 0)
+        # server 0 full; candidates for c1 exclude it.
+        assert 0 not in cluster.candidate_servers(1)
+        assert set(cluster.candidate_servers(1)) == {1, 2, 3}
+
+    def test_current_server_always_candidate(self, cluster):
+        cluster.add_container(c(0, 2.0))
+        cluster.place(0, 0)
+        assert 0 in cluster.candidate_servers(0)
+
+    def test_snapshot(self, cluster):
+        cluster.add_containers([c(0), c(1)])
+        cluster.place(0, 2)
+        assert cluster.placement_snapshot() == {0: 2, 1: None}
+
+    def test_validate_passes_on_consistent_state(self, cluster):
+        cluster.add_containers([c(0), c(1)])
+        cluster.place(0, 0)
+        cluster.place(1, 0)
+        cluster.validate()
+
+    def test_capacity_from_topology(self, cluster):
+        for sid in cluster.server_ids:
+            assert cluster.capacity(sid) == Resources(2.0, 0.0)

@@ -1,0 +1,85 @@
+"""Shared fixtures: small topologies and workloads the whole suite reuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Container, Resources, TaskKind, TaskRef
+from repro.core import TAAInstance
+from repro.mapreduce import JobSpec, ShuffleClass, WorkloadGenerator, build_flows
+from repro.topology import TreeConfig, build_tree
+
+
+@pytest.fixture
+def small_tree():
+    """16 servers, 2 racks-of-4 levels, redundancy 2 (multipath)."""
+    return build_tree(TreeConfig(depth=2, fanout=4, redundancy=2))
+
+
+@pytest.fixture
+def flat_tree():
+    """4 servers, 2 racks, single-path (the case-study fabric)."""
+    return build_tree(
+        TreeConfig(depth=2, fanout=2, redundancy=1, server_resources=(2.0,))
+    )
+
+
+@pytest.fixture
+def deep_tree():
+    """64 servers, 3 tiers, redundancy 2."""
+    return build_tree(TreeConfig(depth=3, fanout=4, redundancy=2))
+
+
+def make_job(
+    job_id: int = 0,
+    num_maps: int = 4,
+    num_reduces: int = 2,
+    input_size: float = 4.0,
+    shuffle_ratio: float = 1.0,
+    skew: float = 0.0,
+) -> JobSpec:
+    """Convenience JobSpec factory for tests."""
+    return JobSpec(
+        job_id=job_id,
+        name=f"test-{job_id}",
+        shuffle_class=ShuffleClass.HEAVY,
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        input_size=input_size,
+        shuffle_ratio=shuffle_ratio,
+        skew=skew,
+    )
+
+
+def make_taa(
+    topology,
+    job: JobSpec | None = None,
+    demand: Resources = Resources(1.0, 0.0),
+    seed: int = 0,
+) -> tuple[TAAInstance, list[int], list[int]]:
+    """Build a one-job TAA instance with unplaced containers.
+
+    Returns ``(taa, map_container_ids, reduce_container_ids)``.
+    """
+    job = job or make_job()
+    containers = []
+    map_ids, reduce_ids = [], []
+    cid = 0
+    for i in range(job.num_maps):
+        containers.append(Container(cid, demand, TaskRef(job.job_id, TaskKind.MAP, i)))
+        map_ids.append(cid)
+        cid += 1
+    for i in range(job.num_reduces):
+        containers.append(
+            Container(cid, demand, TaskRef(job.job_id, TaskKind.REDUCE, i))
+        )
+        reduce_ids.append(cid)
+        cid += 1
+    flows = build_flows(job, map_ids, reduce_ids, rng=np.random.default_rng(seed))
+    return TAAInstance(topology, containers, flows), map_ids, reduce_ids
+
+
+@pytest.fixture
+def workload_generator():
+    return WorkloadGenerator(seed=42, input_size_range=(2.0, 6.0))

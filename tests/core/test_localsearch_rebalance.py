@@ -1,0 +1,157 @@
+"""Local search (hill climbing on Eq 5/10 utilities) and online rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Container, Resources, TaskKind, TaskRef
+from repro.core import (
+    HitConfig,
+    HitOptimizer,
+    LocalSearchConfig,
+    LocalSearchOptimizer,
+    RebalanceConfig,
+    RebalanceReport,
+    TAAInstance,
+    rebalance_flows,
+)
+from repro.mapreduce import ShuffleFlow
+from repro.topology import TreeConfig, build_tree
+
+from ..conftest import make_job, make_taa
+
+
+class TestLocalSearch:
+    def make_placed(self, small_tree, seed=0):
+        taa, *_ = make_taa(small_tree)
+        HitOptimizer(taa, HitConfig(seed=seed)).random_initial_placement()
+        taa.install_all_policies()
+        return taa
+
+    def test_requires_placement(self, small_tree):
+        taa, *_ = make_taa(small_tree)
+        with pytest.raises(ValueError, match="fully placed"):
+            LocalSearchOptimizer(taa).optimize()
+
+    def test_never_increases_cost(self, small_tree):
+        taa = self.make_placed(small_tree)
+        result = LocalSearchOptimizer(taa).optimize()
+        assert result.final_cost <= result.initial_cost + 1e-9
+        # Each recorded step is monotone non-increasing.
+        for a, b in zip(result.move_trace, result.move_trace[1:]):
+            assert b <= a + 1e-9
+
+    def test_reaches_local_optimum(self, small_tree):
+        taa = self.make_placed(small_tree)
+        LocalSearchOptimizer(taa).optimize()
+        # At termination no single move clears the threshold.
+        opt = LocalSearchOptimizer(taa)
+        assert opt.best_container_move() is None
+        assert opt.best_switch_move() is None
+
+    def test_instance_stays_feasible(self, small_tree):
+        taa = self.make_placed(small_tree)
+        LocalSearchOptimizer(taa).optimize()
+        assert taa.verify_constraints() == []
+
+    def test_move_budget_respected(self, small_tree):
+        taa = self.make_placed(small_tree)
+        result = LocalSearchOptimizer(
+            taa, LocalSearchConfig(max_moves=2)
+        ).optimize()
+        assert result.moves_applied <= 2
+
+    def test_container_moves_only(self, small_tree):
+        taa = self.make_placed(small_tree)
+        result = LocalSearchOptimizer(
+            taa, LocalSearchConfig(switch_moves=False)
+        ).optimize()
+        assert result.switch_moves == 0
+
+    def test_comparable_to_matching_on_small_instance(self, small_tree):
+        """Hill climbing lands in the same cost neighbourhood as matching."""
+        taa_ls = self.make_placed(small_tree, seed=3)
+        ls = LocalSearchOptimizer(taa_ls).optimize()
+        taa_m, *_ = make_taa(small_tree)
+        m = HitOptimizer(taa_m, HitConfig(seed=3)).optimize_initial_wave()
+        assert ls.final_cost <= 3 * max(m.final_cost, 1e-9)
+
+
+def _congested_instance():
+    """Two flows forced through the same rack with redundancy-2 switches:
+    static routing piles both onto replica 0, rebalancing should split them."""
+    topo = build_tree(
+        TreeConfig(
+            depth=2, fanout=2, redundancy=2,
+            access_capacity=3.0, core_capacity=3.0,
+            server_resources=(4.0,),
+        )
+    )
+    containers = [
+        Container(0, Resources(1, 0), TaskRef(0, TaskKind.MAP, 0)),
+        Container(1, Resources(1, 0), TaskRef(0, TaskKind.MAP, 1)),
+        Container(2, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, 0)),
+        Container(3, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, 1)),
+    ]
+    flows = [
+        ShuffleFlow(0, 0, 0, 0, 0, 2, size=2.0, rate=2.0),
+        ShuffleFlow(1, 0, 1, 1, 1, 3, size=2.0, rate=2.0),
+    ]
+    taa = TAAInstance(topo, containers, flows)
+    taa.cluster.place(0, 0)
+    taa.cluster.place(1, 0)
+    taa.cluster.place(2, 3)
+    taa.cluster.place(3, 3)
+    # Static single-path routing: both flows share the replica-0 switches.
+    taa.install_static_policies()
+    return taa
+
+
+class TestRebalance:
+    def test_migrates_off_shared_switches(self):
+        taa = _congested_instance()
+        flows = list(taa.flows)
+        before = sum(taa.controller.policy_cost(f) for f in flows)
+        report = rebalance_flows(taa.controller, flows)
+        assert report.migrations >= 1
+        assert report.cost_after < before
+        assert report.gain > 0
+
+    def test_hysteresis_blocks_marginal_moves(self):
+        taa = _congested_instance()
+        flows = list(taa.flows)
+        report = rebalance_flows(
+            taa.controller, flows, RebalanceConfig(min_relative_gain=0.99)
+        )
+        assert report.migrations == 0
+        assert report.cost_after == pytest.approx(report.cost_before)
+
+    def test_idempotent_after_convergence(self):
+        taa = _congested_instance()
+        flows = list(taa.flows)
+        rebalance_flows(taa.controller, flows)
+        second = rebalance_flows(taa.controller, flows)
+        assert second.migrations == 0
+
+    def test_policies_stay_satisfied(self):
+        taa = _congested_instance()
+        rebalance_flows(taa.controller, list(taa.flows))
+        assert taa.verify_constraints() == []
+
+    def test_migration_budget(self):
+        taa = _congested_instance()
+        report = rebalance_flows(
+            taa.controller, list(taa.flows), RebalanceConfig(max_migrations=1)
+        )
+        assert report.migrations <= 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RebalanceConfig(min_relative_gain=1.0)
+        with pytest.raises(ValueError):
+            RebalanceConfig(max_migrations=0)
+
+    def test_flows_without_policies_skipped(self, small_tree):
+        taa, *_ = make_taa(small_tree)
+        report = rebalance_flows(taa.controller, list(taa.flows))
+        assert report.flows_considered == 0
+        assert report.migrations == 0

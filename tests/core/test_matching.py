@@ -1,0 +1,172 @@
+"""Algorithm 2: modified Gale-Shapley stable matching with capacities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterState, Container, Resources
+from repro.core import find_blocking_pairs, stable_match
+from repro.core.preference import PreferenceMatrix
+from repro.topology import Link, Server, Switch, Tier, Topology
+
+
+def make_cluster(server_caps, demands):
+    """A trivial star topology with the given per-server capacities."""
+    n = len(server_caps)
+    servers = [
+        Server(i, f"s{i}", resource_capacity=(cap,)) for i, cap in enumerate(server_caps)
+    ]
+    switch = Switch(n, "w", Tier.ACCESS, 100.0)
+    links = [Link(i, n, 10.0) for i in range(n)]
+    topo = Topology(servers, [switch], links)
+    cluster = ClusterState(topo)
+    for cid, demand in enumerate(demands):
+        cluster.add_container(Container(cid, Resources(demand, 0.0)))
+    return cluster
+
+
+def make_preferences(cost_matrix, cluster, current=None):
+    """PreferenceMatrix from an explicit server x container cost array."""
+    cost = np.asarray(cost_matrix, dtype=np.float64)
+    m, n = cost.shape
+    current_cost = np.full(n, np.inf)
+    if current is not None:
+        current_cost = np.asarray(current, dtype=np.float64)
+    return PreferenceMatrix(
+        server_ids=tuple(range(m)),
+        container_ids=tuple(range(n)),
+        cost=cost,
+        current_cost=current_cost,
+    )
+
+
+class TestBasicMatching:
+    def test_everyone_gets_first_choice_when_room(self):
+        cluster = make_cluster([2.0, 2.0], [1.0, 1.0])
+        pref = make_preferences([[1.0, 5.0], [5.0, 1.0]], cluster)
+        result = stable_match(pref, cluster)
+        assert result.assignment == {0: 0, 1: 1}
+        assert result.unmatched == []
+
+    def test_capacity_forces_second_choice(self):
+        # Both containers prefer server 0, which fits only one.
+        cluster = make_cluster([1.0, 2.0], [1.0, 1.0])
+        # Server prefers the container with higher utility = current - cost.
+        pref = make_preferences(
+            [[1.0, 1.0], [5.0, 5.0]], cluster, current=[10.0, 3.0]
+        )
+        result = stable_match(pref, cluster)
+        # Container 0 has utility 9 on server 0; container 1 only 2.
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+
+    def test_eviction_cascades(self):
+        # c1 arrives at s0 first, then c0 (preferred by s0) evicts it.
+        cluster = make_cluster([1.0, 1.0], [1.0, 1.0])
+        pref = make_preferences(
+            [[1.0, 1.0], [2.0, 2.0]], cluster, current=[10.0, 1.5]
+        )
+        result = stable_match(pref, cluster)
+        assert result.assignment == {0: 0, 1: 1}
+        assert result.evictions >= 0
+
+    def test_unmatched_when_nothing_fits(self):
+        cluster = make_cluster([1.0], [1.0, 1.0])
+        pref = make_preferences([[1.0, 1.0]], cluster, current=[5.0, 2.0])
+        result = stable_match(pref, cluster)
+        assert len(result.assignment) == 1
+        assert len(result.unmatched) == 1
+
+    def test_infinite_cost_servers_skipped(self):
+        cluster = make_cluster([2.0, 2.0], [1.0])
+        pref = make_preferences([[np.inf], [3.0]], cluster)
+        result = stable_match(pref, cluster)
+        assert result.assignment == {0: 1}
+
+    def test_matching_does_not_mutate_cluster(self):
+        cluster = make_cluster([2.0, 2.0], [1.0, 1.0])
+        pref = make_preferences([[1.0, 2.0], [2.0, 1.0]], cluster)
+        stable_match(pref, cluster)
+        assert all(not c.is_placed for c in cluster.containers())
+
+    def test_respects_fixed_containers_outside_matrix(self):
+        # Container 1 is already placed on server 0 and not in the matrix;
+        # its demand must count against server 0's capacity.
+        cluster = make_cluster([1.0, 2.0], [1.0, 1.0])
+        cluster.place(1, 0)
+        pref = make_preferences(
+            [[1.0], [5.0]], cluster, current=[np.inf]
+        )
+        # Matrix only covers container 0.
+        pref = PreferenceMatrix(
+            server_ids=(0, 1),
+            container_ids=(0,),
+            cost=np.array([[1.0], [5.0]]),
+            current_cost=np.array([np.inf]),
+        )
+        result = stable_match(pref, cluster)
+        assert result.assignment[0] == 1  # server 0 is effectively full
+
+    def test_proposal_bound(self):
+        """O(M x N): proposals never exceed servers x containers."""
+        rng = np.random.default_rng(0)
+        m, n = 6, 12
+        cluster = make_cluster([2.0] * m, [1.0] * n)
+        cost = rng.uniform(1, 10, size=(m, n))
+        pref = make_preferences(cost, cluster, current=rng.uniform(5, 15, n))
+        result = stable_match(pref, cluster)
+        assert result.proposals <= m * n
+
+
+class TestStability:
+    def check_stable(self, m, n, seed, caps=2.0):
+        rng = np.random.default_rng(seed)
+        cluster = make_cluster([caps] * m, [1.0] * n)
+        cost = rng.uniform(1, 10, size=(m, n))
+        current = rng.uniform(1, 20, size=n)
+        pref = make_preferences(cost, cluster, current=current)
+        result = stable_match(pref, cluster)
+        blocking = find_blocking_pairs(result, pref, cluster)
+        assert blocking == [], f"blocking pairs found: {blocking}"
+        return result
+
+    def test_stable_small(self):
+        self.check_stable(3, 5, seed=1)
+
+    def test_stable_medium(self):
+        self.check_stable(8, 20, seed=2)
+
+    def test_stable_tight_capacity(self):
+        self.check_stable(10, 10, seed=3, caps=1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(2, 8),
+        n=st.integers(1, 16),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_no_blocking_pairs(self, m, n, seed):
+        """Uniform-demand random instances always yield a stable matching."""
+        self.check_stable(m, n, seed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(2, 6), n=st.integers(1, 12), seed=st.integers(0, 9999))
+    def test_property_capacity_never_violated(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(1.0, 3.0, size=m)
+        demands = rng.uniform(0.3, 1.2, size=n)
+        cluster = make_cluster(list(caps), list(demands))
+        cost = rng.uniform(1, 10, size=(m, n))
+        pref = make_preferences(cost, cluster, current=rng.uniform(1, 20, n))
+        result = stable_match(pref, cluster)
+        used = {s: 0.0 for s in range(m)}
+        for c, s in result.assignment.items():
+            used[s] += demands[c]
+        for s in range(m):
+            assert used[s] <= caps[s] + 1e-9
+
+    def test_deterministic(self):
+        r1 = self.check_stable(5, 10, seed=7)
+        r2 = self.check_stable(5, 10, seed=7)
+        assert r1.assignment == r2.assignment

@@ -1,0 +1,85 @@
+"""Proposer-optimality of the container-proposing deferred acceptance.
+
+Classical theory: with strict preferences, the proposing side's deferred-
+acceptance outcome is *proposer-optimal* — every container weakly prefers
+its assigned server to its assignment in any other stable matching.  We
+verify this on small instances by enumerating every capacity-feasible
+assignment, filtering the stable ones with the independent blocking-pair
+checker, and comparing.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import find_blocking_pairs, stable_match
+from repro.core.matching import MatchingResult
+
+from .test_matching import make_cluster, make_preferences
+
+
+def enumerate_stable_matchings(pref, cluster, capacities):
+    """All stable full matchings of a tiny instance (brute force)."""
+    containers = list(pref.container_ids)
+    servers = list(pref.server_ids)
+    stable = []
+    for assignment_tuple in itertools.product(servers, repeat=len(containers)):
+        counts = {s: 0 for s in servers}
+        for s in assignment_tuple:
+            counts[s] += 1
+        if any(counts[s] > capacities[i] for i, s in enumerate(servers)):
+            continue
+        result = MatchingResult(
+            assignment=dict(zip(containers, assignment_tuple)),
+            unmatched=[],
+            proposals=0,
+            evictions=0,
+        )
+        if not find_blocking_pairs(result, pref, cluster):
+            stable.append(result.assignment)
+    return stable
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_property_container_optimal_among_stable_matchings(seed):
+    rng = np.random.default_rng(seed)
+    m, n = 3, 4
+    caps = [2.0, 1.0, 1.0]
+    cluster = make_cluster(caps, [1.0] * n)
+    cost = rng.uniform(1, 10, size=(m, n))
+    pref = make_preferences(cost, cluster, current=rng.uniform(5, 15, n))
+
+    ours = stable_match(pref, cluster)
+    if ours.unmatched:
+        return  # capacity-tight corner; optimality statement needs full match
+    all_stable = enumerate_stable_matchings(
+        pref, cluster, [int(c) for c in caps]
+    )
+    assert ours.assignment in all_stable, "our matching must itself be stable"
+
+    # Container-optimality: for every container, no stable matching gives it
+    # a strictly cheaper server than ours does.
+    for other in all_stable:
+        for j, cid in enumerate(pref.container_ids):
+            ours_cost = cost[pref.server_ids.index(ours.assignment[cid]), j]
+            other_cost = cost[pref.server_ids.index(other[cid]), j]
+            assert ours_cost <= other_cost + 1e-9, (
+                f"container {cid}: stable matching {other} beats ours"
+            )
+
+
+def test_unique_stable_matching_found_exactly():
+    """With aligned preferences there is one stable matching; we return it."""
+    cluster = make_cluster([1.0, 1.0], [1.0, 1.0])
+    # Both sides agree: container 0 with server 0, container 1 with server 1.
+    pref = make_preferences(
+        [[1.0, 8.0], [8.0, 1.0]], cluster, current=[9.0, 9.0]
+    )
+    ours = stable_match(pref, cluster)
+    all_stable = enumerate_stable_matchings(pref, cluster, [1, 1])
+    assert all_stable == [{0: 0, 1: 1}]
+    assert ours.assignment == {0: 0, 1: 1}

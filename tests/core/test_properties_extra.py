@@ -1,0 +1,150 @@
+"""Deeper property-based checks on the core algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CostModel,
+    PolicyController,
+    build_preference_matrix,
+    find_blocking_pairs,
+)
+from repro.core.matching import MatchingResult
+from repro.mapreduce import ShuffleFlow
+from repro.topology import TreeConfig, build_tree, enumerate_paths
+
+from ..conftest import make_taa
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    src=st.integers(0, 15),
+    dst=st.integers(0, 15),
+    rate=st.floats(0.1, 5.0, allow_nan=False),
+)
+def test_property_dp_optimal_under_random_congestion(seed, src, dst, rate):
+    """Algorithm 1's DP equals brute-force minimisation over all shortest
+    paths even with arbitrary background loads on every switch."""
+    if src == dst:
+        return
+    topo = build_tree(TreeConfig(depth=2, fanout=4, redundancy=2))
+    controller = PolicyController(
+        topo, cost_model=CostModel(congestion_weight=1.0)
+    )
+    rng = np.random.default_rng(seed)
+    for w in topo.switch_ids:
+        controller.set_base_load(w, float(rng.uniform(0, 50)))
+    path, cost = controller.optimal_path(src, dst, rate, enforce_capacity=False)
+    brute = min(
+        controller.path_cost(p, rate)
+        for p in enumerate_paths(topo, src, dst, slack=0)
+    )
+    assert cost == pytest.approx(brute)
+    assert path[0] == src and path[-1] == dst
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 9_999))
+def test_property_preference_matrix_matches_direct_sum(seed):
+    """Vectorised matrix entries equal the direct per-flow cost sum."""
+    topo = build_tree(TreeConfig(depth=2, fanout=4, redundancy=2))
+    taa, map_ids, reduce_ids = make_taa(topo, seed=seed)
+    rng = np.random.default_rng(seed)
+    for cid in map_ids + reduce_ids:
+        servers = [s for s in taa.cluster.server_ids if taa.cluster.fits(cid, s)]
+        taa.cluster.place(cid, int(rng.choice(servers)))
+    taa.install_all_policies()
+    pref = build_preference_matrix(taa)
+    # Check one random (server, container) cell against a direct evaluation.
+    cid = int(rng.choice(pref.container_ids))
+    sid = int(rng.choice(pref.server_ids))
+    direct = 0.0
+    for flow in taa.flows_of_container(cid):
+        other_cid = (
+            flow.dst_container if flow.src_container == cid else flow.src_container
+        )
+        other = taa.cluster.container(other_cid).server_id
+        if other is None:
+            continue
+        _, unit = taa.controller.optimal_path(
+            sid, other, 1.0, enforce_capacity=False
+        )
+        direct += flow.rate * unit
+    j = pref.container_ids.index(cid)
+    i = pref.server_ids.index(sid)
+    assert pref.cost[i, j] == pytest.approx(direct)
+
+
+class TestBlockingPairDetector:
+    """The stability checker must catch planted instabilities."""
+
+    def test_detects_obviously_unstable_assignment(self):
+        from repro.cluster import ClusterState, Container, Resources
+        from repro.core.preference import PreferenceMatrix
+        from repro.topology import Link, Server, Switch, Tier, Topology
+
+        servers = [Server(0, "s0", (1.0,)), Server(1, "s1", (1.0,))]
+        switch = Switch(2, "w", Tier.ACCESS, 10.0)
+        topo = Topology(servers, [switch], [Link(0, 2, 1.0), Link(1, 2, 1.0)])
+        cluster = ClusterState(topo)
+        cluster.add_container(Container(0, Resources(1, 0)))
+        cluster.add_container(Container(1, Resources(1, 0)))
+        # Container 0 strongly prefers server 0; container 1 is indifferent.
+        pref = PreferenceMatrix(
+            server_ids=(0, 1),
+            container_ids=(0, 1),
+            cost=np.array([[1.0, 5.0], [9.0, 5.0]]),
+            current_cost=np.array([9.0, 5.0]),
+        )
+        # Planted *unstable* assignment: 0 -> s1 (its worst), 1 -> s0.
+        bad = MatchingResult(
+            assignment={0: 1, 1: 0}, unmatched=[], proposals=0, evictions=0
+        )
+        blocking = find_blocking_pairs(bad, pref, cluster)
+        assert (0, 0) in blocking
+
+    def test_accepts_the_stable_counterpart(self):
+        from repro.cluster import ClusterState, Container, Resources
+        from repro.core.preference import PreferenceMatrix
+        from repro.topology import Link, Server, Switch, Tier, Topology
+
+        servers = [Server(0, "s0", (1.0,)), Server(1, "s1", (1.0,))]
+        switch = Switch(2, "w", Tier.ACCESS, 10.0)
+        topo = Topology(servers, [switch], [Link(0, 2, 1.0), Link(1, 2, 1.0)])
+        cluster = ClusterState(topo)
+        cluster.add_container(Container(0, Resources(1, 0)))
+        cluster.add_container(Container(1, Resources(1, 0)))
+        pref = PreferenceMatrix(
+            server_ids=(0, 1),
+            container_ids=(0, 1),
+            cost=np.array([[1.0, 5.0], [9.0, 5.0]]),
+            current_cost=np.array([9.0, 5.0]),
+        )
+        good = MatchingResult(
+            assignment={0: 0, 1: 1}, unmatched=[], proposals=0, evictions=0
+        )
+        assert find_blocking_pairs(good, pref, cluster) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 9_999),
+    rate=st.floats(0.1, 3.0, allow_nan=False),
+)
+def test_property_policy_cost_linear_in_rate(seed, rate):
+    """Without capacity binding, doubling a flow's rate doubles its cost."""
+    topo = build_tree(TreeConfig(depth=2, fanout=4, redundancy=2))
+    rng = np.random.default_rng(seed)
+    src, dst = (int(x) for x in rng.choice(16, size=2, replace=False))
+    controller = PolicyController(topo, cost_model=CostModel(congestion_weight=0.0))
+    f1 = ShuffleFlow(0, 0, 0, 0, 100, 101, rate, rate)
+    f2 = ShuffleFlow(1, 0, 0, 0, 100, 101, 2 * rate, 2 * rate)
+    controller.route_flow(f1, src, dst)
+    c1 = controller.policy_cost(f1)
+    controller.clear()
+    controller.route_flow(f2, src, dst)
+    c2 = controller.policy_cost(f2)
+    assert c2 == pytest.approx(2 * c1)

@@ -1,0 +1,192 @@
+"""Utility functions: Eqs 5-7 and 10, and the additivity claims (Eqs 6, 11)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Container, Resources, TaskKind, TaskRef
+from repro.core import (
+    TAAInstance,
+    container_cost,
+    container_reschedule_utility,
+    joint_switch_reschedule_utility,
+    switch_reschedule_utility,
+)
+from repro.mapreduce import ShuffleFlow
+from repro.topology import TreeConfig, build_tree
+
+NEG_INF = float("-inf")
+
+
+def build_instance(depth=2, fanout=4, redundancy=2, rate=1.0):
+    topo = build_tree(TreeConfig(depth=depth, fanout=fanout, redundancy=redundancy))
+    containers = [
+        Container(0, Resources(1, 0), TaskRef(0, TaskKind.MAP, 0)),
+        Container(1, Resources(1, 0), TaskRef(0, TaskKind.REDUCE, 0)),
+    ]
+    flows = [ShuffleFlow(0, 0, 0, 0, 0, 1, size=rate, rate=rate)]
+    taa = TAAInstance(topo, containers, flows)
+    taa.cluster.place(0, 0)
+    taa.cluster.place(1, topo.server_ids[-1])
+    taa.install_all_policies()
+    return taa
+
+
+class TestSwitchUtility:
+    def test_same_switch_zero(self):
+        taa = build_instance()
+        f = taa.flows[0]
+        policy = taa.controller.policy_of(0)
+        assert (
+            switch_reschedule_utility(taa.controller, f, 0, policy.switch_list[0])
+            == 0.0
+        )
+
+    def test_feasible_replacement_has_finite_utility(self):
+        taa = build_instance()
+        f = taa.flows[0]
+        policy = taa.controller.policy_of(0)
+        candidates = taa.controller.candidate_switches(policy, 0, f.rate)
+        connectable = [
+            w
+            for w in candidates
+            if switch_reschedule_utility(taa.controller, f, 0, w) > NEG_INF
+        ]
+        assert connectable  # redundancy 2 guarantees an alternative
+
+    def test_wrong_type_rejected(self):
+        taa = build_instance(depth=2)
+        f = taa.flows[0]
+        topo = taa.topology
+        from repro.topology import Tier
+
+        core = next(w for w in topo.switch_ids if topo.tier_of(w) == Tier.CORE)
+        # position 0 is an access switch; a core replacement violates type.
+        assert (
+            switch_reschedule_utility(taa.controller, f, 0, core) == NEG_INF
+        )
+
+    def test_overloaded_candidate_rejected(self):
+        taa = build_instance()
+        f = taa.flows[0]
+        policy = taa.controller.policy_of(0)
+        cand = taa.controller.candidate_switches(policy, 0, f.rate)
+        target = cand[0]
+        taa.controller.set_base_load(
+            target, taa.topology.switch(target).capacity
+        )
+        assert switch_reschedule_utility(taa.controller, f, 0, target) == NEG_INF
+
+    def test_loaded_current_switch_gives_positive_utility(self):
+        taa = build_instance()
+        f = taa.flows[0]
+        policy = taa.controller.policy_of(0)
+        current = policy.switch_list[0]
+        # Make the current switch congested; moving away must gain utility.
+        taa.controller.set_base_load(current, 6.0)
+        alternatives = [
+            w
+            for w in taa.controller.candidate_switches(policy, 0, f.rate)
+            if switch_reschedule_utility(taa.controller, f, 0, w) > NEG_INF
+        ]
+        assert any(
+            switch_reschedule_utility(taa.controller, f, 0, w) > 0
+            for w in alternatives
+        )
+
+    def test_out_of_range_position(self):
+        taa = build_instance()
+        with pytest.raises(IndexError):
+            switch_reschedule_utility(taa.controller, taa.flows[0], 99, 0)
+
+    def test_requires_installed_policy(self):
+        taa = build_instance()
+        stray = ShuffleFlow(42, 0, 0, 0, 0, 1, 1.0, 1.0)
+        with pytest.raises(KeyError):
+            switch_reschedule_utility(taa.controller, stray, 0, 0)
+
+
+class TestAdditivity:
+    def test_eq6_joint_equals_sum_of_singles(self):
+        """U(w2->w2', w3->w3') == U(w2->w2') + U(w3->w3') (Eq 6)."""
+        taa = build_instance(depth=3, fanout=2, redundancy=2)
+        f = taa.flows[0]
+        controller = taa.controller
+        policy = controller.policy_of(0)
+        # Pick two distinct positions with connectable alternatives.
+        choices = {}
+        for pos in range(policy.length):
+            for cand in controller.candidate_switches(policy, pos, f.rate):
+                if switch_reschedule_utility(controller, f, pos, cand) > NEG_INF:
+                    choices[pos] = cand
+                    break
+            if len(choices) == 2:
+                break
+        assert len(choices) == 2, "fixture must offer two replaceable positions"
+        joint = joint_switch_reschedule_utility(controller, f, choices)
+        singles = sum(
+            switch_reschedule_utility(controller, f, pos, cand)
+            for pos, cand in choices.items()
+        )
+        assert joint == pytest.approx(singles)
+
+    def test_joint_detects_collision(self):
+        taa = build_instance()
+        f = taa.flows[0]
+        policy = taa.controller.policy_of(0)
+        cand = next(
+            w
+            for w in taa.controller.candidate_switches(policy, 0, f.rate)
+            if switch_reschedule_utility(taa.controller, f, 0, w) > NEG_INF
+        )
+        assert (
+            joint_switch_reschedule_utility(taa.controller, f, {0: cand, 1: cand})
+            == NEG_INF
+        )
+
+    def test_eq11_switch_and_container_moves_independent(self):
+        """Separability (Eq 11): total cost change from moving the container
+        equals the utility predicted before any policy rescheduling."""
+        taa = build_instance()
+        f = taa.flows[0]
+        cluster, controller = taa.cluster, taa.controller
+        target = taa.topology.server_ids[1]
+        predicted = container_reschedule_utility(
+            controller, cluster, 1, target, taa.flows
+        )
+        before = container_cost(controller, cluster, 1, cluster.container(1).server_id, taa.flows)
+        after = container_cost(controller, cluster, 1, target, taa.flows)
+        assert predicted == pytest.approx(before - after)
+
+
+class TestContainerUtility:
+    def test_cost_zero_when_colocated(self):
+        taa = build_instance()
+        cost = container_cost(
+            taa.controller, taa.cluster, 1, 0, taa.flows
+        )  # dst moved onto src's server
+        assert cost == 0.0
+
+    def test_cost_scales_with_rate(self):
+        taa1 = build_instance(rate=1.0)
+        taa2 = build_instance(rate=3.0)
+        far = taa1.topology.server_ids[-1]
+        c1 = container_cost(taa1.controller, taa1.cluster, 1, far, taa1.flows)
+        c2 = container_cost(taa2.controller, taa2.cluster, 1, far, taa2.flows)
+        assert c2 == pytest.approx(3 * c1, rel=0.2)
+
+    def test_unplaced_other_endpoint_ignored(self):
+        taa = build_instance()
+        taa.cluster.unplace(0)
+        assert container_cost(taa.controller, taa.cluster, 1, 3, taa.flows) == 0.0
+
+    def test_utility_requires_placed_container(self):
+        taa = build_instance()
+        taa.cluster.unplace(1)
+        with pytest.raises(ValueError):
+            container_reschedule_utility(taa.controller, taa.cluster, 1, 0, taa.flows)
+
+    def test_moving_closer_positive_utility(self):
+        taa = build_instance()
+        # Reduce currently on the far rack; moving next to the map gains.
+        u = container_reschedule_utility(taa.controller, taa.cluster, 1, 0, taa.flows)
+        assert u > 0

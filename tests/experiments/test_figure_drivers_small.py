@@ -1,0 +1,58 @@
+"""Figure-9/10 drivers at miniature scale (shape smoke tests).
+
+The benchmarks run these at the paper's 512-server scale; the tests only
+check the drivers execute end-to-end and keep their defining orderings at
+64 servers with a tiny workload.
+"""
+
+import pytest
+
+from repro.experiments import fig9_bandwidth_sensitivity, fig10_job_numbers
+
+
+@pytest.fixture(scope="module")
+def fig9_small():
+    return fig9_bandwidth_sensitivity(
+        seed=0, bandwidths=(0.1, 1.0, 20.0), num_jobs=2, num_servers=64
+    )
+
+
+class TestFig9Driver:
+    def test_improvement_decays_with_bandwidth(self, fig9_small):
+        assert (
+            fig9_small[0.1]["hit_improvement"]
+            > fig9_small[1.0]["hit_improvement"]
+            > fig9_small[20.0]["hit_improvement"]
+        )
+
+    def test_hit_at_least_pna(self, fig9_small):
+        for bw, v in fig9_small.items():
+            assert v["hit_improvement"] >= v["pna_improvement"] - 1e-9, bw
+
+    def test_throughputs_positive(self, fig9_small):
+        for v in fig9_small.values():
+            for key in ("throughput_capacity", "throughput_pna", "throughput_hit"):
+                assert v[key] > 0
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            fig9_bandwidth_sensitivity(num_servers=100)
+
+
+class TestFig10Driver:
+    def test_runs_and_orders(self):
+        data = fig10_job_numbers(
+            seed=0, job_counts=(2, 4), num_servers=64,
+            input_size_range=(4.0, 8.0),
+        )
+        assert set(data) == {2, 4}
+        for n, v in data.items():
+            assert v["hit_reduction"] > v["pna_reduction"], n
+            assert v["cost_hit"] < v["cost_capacity"]
+
+    def test_congestion_weight_zero_still_works(self):
+        data = fig10_job_numbers(
+            seed=0, job_counts=(2,), num_servers=64,
+            input_size_range=(4.0, 8.0), congestion_weight=0.0,
+        )
+        assert data[2]["hit_reduction"] > 0

@@ -1,0 +1,109 @@
+"""HDFS block placement: replication, rack-awareness and locality."""
+
+import pytest
+
+from repro.mapreduce import HdfsModel, rack_of_servers
+from repro.topology import TreeConfig, build_tree
+
+from ..conftest import make_job
+
+
+@pytest.fixture
+def topo():
+    return build_tree(TreeConfig(depth=2, fanout=4, redundancy=1))
+
+
+class TestRacks:
+    def test_rack_groups_by_access_switch(self, topo):
+        racks = rack_of_servers(topo)
+        assert racks[0] == racks[3]  # same rack of 4
+        assert racks[0] != racks[4]
+
+    def test_all_servers_assigned(self, topo):
+        racks = rack_of_servers(topo)
+        assert set(racks) == set(topo.server_ids)
+
+    def test_redundant_access_uses_lowest_id(self):
+        topo = build_tree(TreeConfig(depth=2, fanout=2, redundancy=2))
+        racks = rack_of_servers(topo)
+        assert racks[0] == racks[1]
+
+
+class TestPlacement:
+    def test_one_block_per_map(self, topo):
+        hdfs = HdfsModel(topo, seed=0)
+        job = make_job(num_maps=6)
+        blocks = hdfs.place_job_blocks(job)
+        assert len(blocks) == 6
+
+    def test_replication_factor(self, topo):
+        hdfs = HdfsModel(topo, replication=3, seed=0)
+        for block in hdfs.place_job_blocks(make_job(num_maps=10)):
+            assert len(block.replicas) == 3
+            assert len(set(block.replicas)) == 3
+
+    def test_second_replica_on_other_rack(self, topo):
+        hdfs = HdfsModel(topo, replication=3, seed=0)
+        for block in hdfs.place_job_blocks(make_job(num_maps=10)):
+            r = [hdfs.rack_of(s) for s in block.replicas]
+            assert r[0] != r[1]
+
+    def test_replication_capped_by_cluster(self):
+        topo = build_tree(TreeConfig(depth=1, fanout=2))
+        hdfs = HdfsModel(topo, replication=5, seed=0)
+        blocks = hdfs.place_job_blocks(make_job(num_maps=2))
+        assert all(len(b.replicas) <= 2 for b in blocks)
+
+    def test_idempotent_per_job(self, topo):
+        hdfs = HdfsModel(topo, seed=0)
+        job = make_job()
+        assert hdfs.place_job_blocks(job) is hdfs.place_job_blocks(job)
+
+    def test_deterministic_given_seed(self, topo):
+        job = make_job(num_maps=8)
+        b1 = HdfsModel(topo, seed=9).place_job_blocks(job)
+        b2 = HdfsModel(topo, seed=9).place_job_blocks(job)
+        assert [x.replicas for x in b1] == [x.replicas for x in b2]
+
+    def test_writer_affinity_clusters_blocks(self, topo):
+        hdfs = HdfsModel(topo, seed=3)
+        blocks = hdfs.place_job_blocks(make_job(num_maps=20))
+        first_replicas = [b.replicas[0] for b in blocks]
+        # With 70% writer affinity the modal first-replica dominates.
+        most_common = max(set(first_replicas), key=first_replicas.count)
+        assert first_replicas.count(most_common) >= 10
+
+
+class TestLocality:
+    def test_classification(self, topo):
+        hdfs = HdfsModel(topo, replication=2, seed=0)
+        job = make_job(num_maps=1)
+        hdfs.place_job_blocks(job)
+        block = hdfs.blocks_of(job.job_id)[0]
+        local = block.replicas[0]
+        assert hdfs.locality(job.job_id, 0, local) == "node-local"
+        same_rack = next(
+            s
+            for s in topo.server_ids
+            if s not in block.replicas and hdfs.rack_of(s) == hdfs.rack_of(local)
+        )
+        assert hdfs.locality(job.job_id, 0, same_rack) == "rack-local"
+
+    def test_remote_map_traffic_counts_nonlocal(self, topo):
+        hdfs = HdfsModel(topo, replication=1, seed=0)
+        job = make_job(num_maps=2, input_size=4.0)  # split = 2.0
+        hdfs.place_job_blocks(job)
+        blocks = hdfs.blocks_of(job.job_id)
+        local_server = blocks[0].replicas[0]
+        other = next(s for s in topo.server_ids if s not in blocks[1].replicas)
+        traffic = hdfs.remote_map_traffic(job, {0: local_server, 1: other})
+        assert traffic == pytest.approx(2.0)
+
+    def test_remote_map_traffic_zero_when_all_local(self, topo):
+        hdfs = HdfsModel(topo, replication=1, seed=0)
+        job = make_job(num_maps=3, input_size=3.0)
+        hdfs.place_job_blocks(job)
+        placement = {
+            i: b.replicas[0] for i, b in enumerate(hdfs.blocks_of(job.job_id))
+        }
+        assert hdfs.remote_map_traffic(job, placement) == 0.0

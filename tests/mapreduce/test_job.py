@@ -1,0 +1,98 @@
+"""JobSpec invariants and shuffle-matrix properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import JobSpec, ShuffleClass, shuffle_matrix
+
+from ..conftest import make_job
+
+
+class TestJobSpec:
+    def test_derived_quantities(self):
+        job = make_job(num_maps=4, num_reduces=2, input_size=8.0, shuffle_ratio=0.5)
+        assert job.shuffle_volume == 4.0
+        assert job.map_input_size == 2.0
+        assert job.map_duration == 1.0  # 2.0 / default rate 2.0
+        assert job.reduce_duration(4.0) == 2.0
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            make_job(num_maps=0)
+        with pytest.raises(ValueError):
+            make_job(num_reduces=0)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            make_job(input_size=0.0)
+        with pytest.raises(ValueError):
+            make_job(shuffle_ratio=-0.1)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            JobSpec(0, "j", ShuffleClass.LIGHT, 1, 1, 1.0, 0.5, map_rate=0)
+
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ValueError):
+            make_job(skew=-1.0)
+
+    def test_describe_mentions_key_facts(self):
+        text = make_job(job_id=7).describe()
+        assert "job 7" in text and "4M x 2R" in text
+
+
+class TestShuffleMatrix:
+    def test_shape(self):
+        m = shuffle_matrix(make_job(num_maps=4, num_reduces=3))
+        assert m.shape == (4, 3)
+
+    def test_total_is_shuffle_volume(self):
+        job = make_job(input_size=8.0, shuffle_ratio=0.75)
+        m = shuffle_matrix(job)
+        assert m.sum() == pytest.approx(job.shuffle_volume)
+
+    def test_uniform_when_no_skew(self):
+        m = shuffle_matrix(make_job(num_maps=3, num_reduces=4, skew=0.0))
+        assert np.allclose(m, m[0, 0])
+
+    def test_skew_makes_unequal_partitions(self):
+        m = shuffle_matrix(make_job(num_maps=4, num_reduces=4, skew=1.0))
+        col = m.sum(axis=0)
+        assert col.max() > 2 * col.min()
+
+    def test_skew_shuffled_by_rng(self):
+        job = make_job(num_maps=2, num_reduces=8, skew=1.0)
+        m1 = shuffle_matrix(job, np.random.default_rng(1))
+        m2 = shuffle_matrix(job, np.random.default_rng(2))
+        assert not np.allclose(m1, m2)
+
+    def test_deterministic_given_seed(self):
+        job = make_job(num_maps=2, num_reduces=8, skew=1.0)
+        m1 = shuffle_matrix(job, np.random.default_rng(5))
+        m2 = shuffle_matrix(job, np.random.default_rng(5))
+        assert np.allclose(m1, m2)
+
+    def test_rows_equal_per_map_share(self):
+        job = make_job(num_maps=5, num_reduces=3)
+        m = shuffle_matrix(job)
+        assert np.allclose(m.sum(axis=1), job.shuffle_volume / 5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    maps=st.integers(1, 20),
+    reduces=st.integers(1, 20),
+    size=st.floats(0.5, 100.0, allow_nan=False),
+    ratio=st.floats(0.0, 2.0, allow_nan=False),
+    skew=st.floats(0.0, 2.0, allow_nan=False),
+)
+def test_property_matrix_nonnegative_and_conserves_volume(
+    maps, reduces, size, ratio, skew
+):
+    job = make_job(num_maps=maps, num_reduces=reduces, input_size=size,
+                   shuffle_ratio=ratio, skew=skew)
+    m = shuffle_matrix(job, np.random.default_rng(0))
+    assert (m >= 0).all()
+    assert m.sum() == pytest.approx(job.shuffle_volume, rel=1e-9, abs=1e-9)

@@ -1,0 +1,72 @@
+"""Workload trace serialisation round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import (
+    WorkloadGenerator,
+    dump_workload,
+    load_workload,
+    load_workload_file,
+    save_workload_file,
+)
+from repro.mapreduce.trace import TRACE_SCHEMA_VERSION, job_from_record, job_to_record
+
+from ..conftest import make_job
+
+
+class TestRoundTrip:
+    def test_single_job(self):
+        job = make_job(job_id=7, num_maps=5, num_reduces=2, skew=0.5)
+        restored = job_from_record(job_to_record(job))
+        assert restored == job
+
+    def test_workload_text_roundtrip(self):
+        jobs = WorkloadGenerator(seed=2).make_workload(8, interarrival=1.5)
+        assert load_workload(dump_workload(jobs)) == jobs
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = WorkloadGenerator(seed=3).make_workload(5)
+        path = tmp_path / "trace.jsonl"
+        save_workload_file(path, jobs)
+        assert load_workload_file(path) == jobs
+
+    def test_blank_lines_skipped(self):
+        jobs = WorkloadGenerator(seed=0).make_workload(2)
+        text = "\n\n" + dump_workload(jobs) + "\n\n"
+        assert load_workload(text) == jobs
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        maps=st.integers(1, 40),
+        reduces=st.integers(1, 20),
+        size=st.floats(0.1, 1000.0, allow_nan=False),
+        ratio=st.floats(0.0, 3.0, allow_nan=False),
+    )
+    def test_property_roundtrip(self, maps, reduces, size, ratio):
+        job = make_job(num_maps=maps, num_reduces=reduces,
+                       input_size=size, shuffle_ratio=ratio)
+        assert job_from_record(job_to_record(job)) == job
+
+
+class TestValidation:
+    def test_rejects_newer_schema(self):
+        record = job_to_record(make_job())
+        record["v"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            job_from_record(record)
+
+    def test_rejects_invalid_json_with_line_number(self):
+        good = dump_workload([make_job()])
+        with pytest.raises(ValueError, match="line 2"):
+            load_workload(good + "\nnot json")
+
+    def test_missing_optional_fields_default(self):
+        record = job_to_record(make_job())
+        for optional in ("output_ratio", "map_rate", "reduce_rate", "skew",
+                         "submit_time"):
+            del record[optional]
+        job = job_from_record(record)
+        assert job.map_rate == 2.0
+        assert job.skew == 0.0

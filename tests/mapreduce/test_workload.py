@@ -1,0 +1,106 @@
+"""The Table-1 workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    PUMA_BENCHMARKS,
+    ShuffleClass,
+    WorkloadGenerator,
+    class_mix,
+)
+
+
+class TestTable1:
+    def test_proportions_sum_to_one(self):
+        assert sum(b.proportion for b in PUMA_BENCHMARKS) == pytest.approx(1.0)
+
+    def test_class_mix_matches_paper(self):
+        mix = class_mix()
+        assert mix[ShuffleClass.HEAVY] == pytest.approx(0.40)
+        assert mix[ShuffleClass.MEDIUM] == pytest.approx(0.20)
+        assert mix[ShuffleClass.LIGHT] == pytest.approx(0.40)
+
+    def test_benchmark_names_match_paper(self):
+        names = {b.name for b in PUMA_BENCHMARKS}
+        assert names == {
+            "terasort", "index", "join", "sequence-count", "adjacency",
+            "inverted-index", "term-vector",
+            "grep", "wordcount", "classification", "histogram",
+        }
+
+    def test_shuffle_ratios_ordered_by_class(self):
+        by_class = {}
+        for b in PUMA_BENCHMARKS:
+            by_class.setdefault(b.shuffle_class, []).append(b.shuffle_ratio)
+        assert min(by_class[ShuffleClass.HEAVY]) > max(by_class[ShuffleClass.MEDIUM])
+        assert min(by_class[ShuffleClass.MEDIUM]) > max(by_class[ShuffleClass.LIGHT])
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = WorkloadGenerator(seed=5).make_workload(10)
+        b = WorkloadGenerator(seed=5).make_workload(10)
+        assert [(j.name, j.input_size) for j in a] == [
+            (j.name, j.input_size) for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1).make_workload(10)
+        b = WorkloadGenerator(seed=2).make_workload(10)
+        assert [j.name for j in a] != [j.name for j in b]
+
+    def test_job_ids_unique_and_sequential(self):
+        jobs = WorkloadGenerator(seed=0).make_workload(5)
+        assert [j.job_id for j in jobs] == list(range(5))
+
+    def test_input_size_in_range(self):
+        gen = WorkloadGenerator(seed=0, input_size_range=(2.0, 4.0))
+        for job in gen.make_workload(20):
+            assert 2.0 <= job.input_size <= 4.0
+
+    def test_task_counts_scale_with_input(self):
+        gen = WorkloadGenerator(seed=0, split_size=1.0, reduces_per_maps=0.5)
+        job = gen.make_job(input_size=8.0)
+        assert job.num_maps == 8
+        assert job.num_reduces == 4
+
+    def test_interarrival_spaces_submit_times(self):
+        jobs = WorkloadGenerator(seed=0).make_workload(10, interarrival=5.0)
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        assert times[-1] > 0
+
+    def test_zero_interarrival_all_at_once(self):
+        jobs = WorkloadGenerator(seed=0).make_workload(5, interarrival=0.0)
+        assert all(j.submit_time == 0.0 for j in jobs)
+
+    def test_jobs_of_class_restricted(self):
+        gen = WorkloadGenerator(seed=0)
+        for sc in ShuffleClass:
+            for job in gen.jobs_of_class(sc, 5):
+                assert job.shuffle_class == sc
+
+    def test_mix_approximates_table1(self):
+        gen = WorkloadGenerator(seed=0)
+        jobs = gen.make_workload(600)
+        heavy = sum(1 for j in jobs if j.shuffle_class == ShuffleClass.HEAVY)
+        assert 0.30 < heavy / 600 < 0.50
+
+    def test_rejects_bad_proportions(self):
+        from repro.mapreduce.workload import Benchmark
+
+        bad = (Benchmark("x", ShuffleClass.HEAVY, 0.5, 1.0, 1.0),)
+        with pytest.raises(ValueError, match="sum to 1"):
+            WorkloadGenerator(benchmarks=bad)
+
+    def test_rejects_bad_size_range(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(input_size_range=(4.0, 2.0))
+
+    def test_pinned_benchmark(self):
+        gen = WorkloadGenerator(seed=0)
+        bench = PUMA_BENCHMARKS[0]  # terasort
+        job = gen.make_job(benchmark=bench)
+        assert job.name.startswith("terasort")
+        assert job.shuffle_ratio == bench.shuffle_ratio

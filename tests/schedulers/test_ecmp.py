@@ -1,0 +1,91 @@
+"""EcmpCapacityScheduler: multipath routing over Capacity placement."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import HdfsModel
+from repro.schedulers import EcmpCapacityScheduler, SchedulingContext, make_scheduler
+
+from ..conftest import make_job, make_taa
+
+
+def context(taa, topo, job, seed=0):
+    hdfs = HdfsModel(topo, seed=seed)
+    hdfs.place_job_blocks(job)
+    return SchedulingContext(taa=taa, hdfs=hdfs, rng=np.random.default_rng(seed))
+
+
+class TestEcmp:
+    def test_factory_and_flags(self):
+        sched = make_scheduler("capacity-ecmp", seed=1)
+        assert isinstance(sched, EcmpCapacityScheduler)
+        assert sched.ecmp is True
+        assert sched.network_aware is False
+
+    def test_placement_identical_to_capacity(self, small_tree):
+        """Only routing differs; the placements are byte-identical."""
+        job = make_job()
+        placements = {}
+        for name in ("capacity", "capacity-ecmp"):
+            taa, map_ids, reduce_ids = make_taa(small_tree, job)
+            ctx = context(taa, small_tree, job)
+            make_scheduler(name, seed=0).place_initial_wave(
+                ctx, job, map_ids, reduce_ids
+            )
+            placements[name] = taa.cluster.placement_snapshot()
+        assert placements["capacity"] == placements["capacity-ecmp"]
+
+    def test_route_flows_spreads_over_replicas(self, small_tree):
+        """With redundancy 2, ECMP must use more than one replica switch."""
+        job = make_job(num_maps=8, num_reduces=2, input_size=8.0)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        sched = EcmpCapacityScheduler(seed=0)
+        sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+        sched.route_flows(taa)
+        used_switches = set()
+        for flow in taa.flows:
+            policy = taa.controller.policy_of(flow.flow_id)
+            assert policy is not None
+            used_switches.update(policy.switch_list)
+        # The deterministic static router would only ever touch replica-0
+        # switches; ECMP must reach beyond that half of the fabric.
+        static_taa, m2, r2 = make_taa(small_tree, job)
+        ctx2 = context(static_taa, small_tree, job)
+        cap = make_scheduler("capacity", seed=0)
+        cap.place_initial_wave(ctx2, job, m2, r2)
+        cap.route_flows(static_taa)
+        static_switches = set()
+        for flow in static_taa.flows:
+            policy = static_taa.controller.policy_of(flow.flow_id)
+            static_switches.update(policy.switch_list)
+        assert len(used_switches) > len(static_switches)
+
+    def test_ecmp_routes_have_shortest_length(self, small_tree):
+        job = make_job(num_maps=4, num_reduces=2)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        sched = EcmpCapacityScheduler(seed=3)
+        sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+        sched.route_flows(taa)
+        for flow in taa.flows:
+            policy = taa.controller.policy_of(flow.flow_id)
+            src = taa.cluster.container(flow.src_container).server_id
+            dst = taa.cluster.container(flow.dst_container).server_id
+            if src == dst:
+                continue
+            assert len(policy.path) - 1 == small_tree.hop_distance(src, dst)
+
+    def test_seeded_determinism(self, small_tree):
+        job = make_job()
+        routes = []
+        for _ in range(2):
+            taa, map_ids, reduce_ids = make_taa(small_tree, job)
+            ctx = context(taa, small_tree, job)
+            sched = EcmpCapacityScheduler(seed=7)
+            sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+            sched.route_flows(taa)
+            routes.append(tuple(
+                taa.controller.policy_of(f.flow_id).path for f in taa.flows
+            ))
+        assert routes[0] == routes[1]

@@ -1,0 +1,117 @@
+"""RackPackScheduler: minimal-rack-footprint placement."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import HdfsModel, rack_of_servers
+from repro.schedulers import RackPackScheduler, SchedulingContext, make_scheduler
+
+from ..conftest import make_job, make_taa
+
+
+def context(taa, topo, job, seed=0):
+    hdfs = HdfsModel(topo, seed=seed)
+    hdfs.place_job_blocks(job)
+    return SchedulingContext(taa=taa, hdfs=hdfs, rng=np.random.default_rng(seed))
+
+
+class TestRackPack:
+    def test_factory(self):
+        assert make_scheduler("rackpack").name == "rackpack"
+
+    def test_job_fits_in_one_rack(self, small_tree):
+        # small_tree: racks of 4 servers x 2 slots = 8 slots; job needs 6.
+        job = make_job(num_maps=4, num_reduces=2)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        RackPackScheduler().place_initial_wave(
+            context(taa, small_tree, job), job, map_ids, reduce_ids
+        )
+        racks = rack_of_servers(small_tree)
+        used = {
+            racks[taa.cluster.container(cid).server_id]
+            for cid in map_ids + reduce_ids
+        }
+        assert len(used) == 1
+
+    def test_overflow_spills_to_second_rack(self, small_tree):
+        job = make_job(num_maps=10, num_reduces=2, input_size=10.0)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        RackPackScheduler().place_initial_wave(
+            context(taa, small_tree, job), job, map_ids, reduce_ids
+        )
+        racks = rack_of_servers(small_tree)
+        used = {
+            racks[taa.cluster.container(cid).server_id]
+            for cid in map_ids + reduce_ids
+        }
+        assert len(used) == 2  # 12 containers / 8 per rack
+
+    def test_second_job_prefers_fresh_rack(self, small_tree):
+        job1 = make_job(job_id=0, num_maps=4, num_reduces=2)
+        taa, m1, r1 = make_taa(small_tree, job1)
+        sched = RackPackScheduler()
+        ctx = context(taa, small_tree, job1)
+        sched.place_initial_wave(ctx, job1, m1, r1)
+        racks = rack_of_servers(small_tree)
+        rack1 = {racks[taa.cluster.container(c).server_id] for c in m1 + r1}
+
+        from repro.cluster import Container, Resources, TaskKind, TaskRef
+
+        m2, r2 = [], []
+        cid = 100
+        for i in range(4):
+            taa.cluster.add_container(
+                Container(cid, Resources(1, 0), TaskRef(1, TaskKind.MAP, i))
+            )
+            m2.append(cid)
+            cid += 1
+        for i in range(2):
+            taa.cluster.add_container(
+                Container(cid, Resources(1, 0), TaskRef(1, TaskKind.REDUCE, i))
+            )
+            r2.append(cid)
+            cid += 1
+        job2 = make_job(job_id=1, num_maps=4, num_reduces=2)
+        sched.place_initial_wave(ctx, job2, m2, r2)
+        rack2 = {racks[taa.cluster.container(c).server_id] for c in m2 + r2}
+        # Job 2 must not split across job 1's rack remnants: it gets the
+        # emptiest rack, which is a fresh one.
+        assert rack2.isdisjoint(rack1)
+
+    def test_wave_reuses_job_rack(self, small_tree):
+        job = make_job(num_maps=4, num_reduces=2)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        sched = RackPackScheduler()
+        ctx = context(taa, small_tree, job)
+        # Place reduces first (simulating an earlier wave)...
+        sched.place_initial_wave(ctx, job, [], reduce_ids)
+        racks = rack_of_servers(small_tree)
+        reduce_rack = {
+            racks[taa.cluster.container(c).server_id] for c in reduce_ids
+        }
+        # ... then a later map wave lands in the same rack.
+        sched.place_map_wave(ctx, job, map_ids)
+        map_rack = {racks[taa.cluster.container(c).server_id] for c in map_ids}
+        assert map_rack == reduce_rack
+
+    def test_cheaper_than_capacity_costlier_than_hit(self, small_tree):
+        """Rack packing sits between topology-blind and cost-driven."""
+        job = make_job(num_maps=6, num_reduces=2, input_size=6.0)
+        costs = {}
+        for name in ("capacity", "rackpack", "hit"):
+            taa, map_ids, reduce_ids = make_taa(small_tree, job)
+            ctx = context(taa, small_tree, job, seed=1)
+            sched = make_scheduler(name, seed=1)
+            sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+            sched.route_flows(taa)
+            costs[name] = taa.total_shuffle_cost()
+        assert costs["rackpack"] <= costs["capacity"]
+        assert costs["hit"] <= costs["rackpack"]
+
+    def test_raises_when_nothing_fits(self, flat_tree):
+        job = make_job(num_maps=8, num_reduces=2)
+        taa, map_ids, reduce_ids = make_taa(flat_tree, job)
+        with pytest.raises(RuntimeError, match="no rack"):
+            RackPackScheduler().place_initial_wave(
+                context(taa, flat_tree, job), job, map_ids, reduce_ids
+            )

@@ -1,0 +1,181 @@
+"""Behavioural tests for all four scheduling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import HdfsModel
+from repro.schedulers import (
+    CapacityScheduler,
+    HitScheduler,
+    PNAScheduler,
+    RandomScheduler,
+    SchedulingContext,
+    make_scheduler,
+)
+
+from ..conftest import make_job, make_taa
+
+
+def context(taa, topo, job, seed=0):
+    hdfs = HdfsModel(topo, seed=seed)
+    hdfs.place_job_blocks(job)
+    return SchedulingContext(taa=taa, hdfs=hdfs, rng=np.random.default_rng(seed))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("capacity", CapacityScheduler),
+        ("pna", PNAScheduler),
+        ("hit", HitScheduler),
+        ("random", RandomScheduler),
+    ])
+    def test_make_scheduler(self, name, cls):
+        sched = make_scheduler(name, seed=1)
+        assert isinstance(sched, cls)
+        assert sched.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo")
+
+    def test_only_hit_is_network_aware(self):
+        assert make_scheduler("hit").network_aware
+        for name in ("capacity", "pna", "random"):
+            assert not make_scheduler(name).network_aware
+
+
+class TestCommonContract:
+    """Every scheduler must place every container feasibly."""
+
+    @pytest.mark.parametrize("name", ["capacity", "pna", "hit", "random"])
+    def test_places_all_containers(self, small_tree, name):
+        job = make_job()
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        make_scheduler(name, seed=0).place_initial_wave(ctx, job, map_ids, reduce_ids)
+        assert taa.cluster.unplaced_containers() == []
+        taa.cluster.validate()
+
+    @pytest.mark.parametrize("name", ["capacity", "pna", "hit"])
+    def test_map_wave_places_only_maps(self, small_tree, name):
+        job = make_job()
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        for i, cid in enumerate(reduce_ids):
+            taa.cluster.place(cid, 12 + i)
+        ctx = context(taa, small_tree, job)
+        make_scheduler(name, seed=0).place_map_wave(ctx, job, map_ids)
+        for cid in map_ids:
+            assert taa.cluster.container(cid).is_placed
+
+    @pytest.mark.parametrize("name", ["capacity", "pna", "hit", "random"])
+    def test_route_flows_installs_policies(self, small_tree, name):
+        job = make_job()
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        sched = make_scheduler(name, seed=0)
+        sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+        sched.route_flows(taa)
+        for flow in taa.flows:
+            assert taa.controller.policy_of(flow.flow_id) is not None
+
+
+class TestCapacity:
+    def test_maps_prefer_replica_nodes(self, small_tree):
+        job = make_job()
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        CapacityScheduler().place_initial_wave(ctx, job, map_ids, reduce_ids)
+        blocks = ctx.hdfs.blocks_of(job.job_id)
+        local = sum(
+            1
+            for i, cid in enumerate(map_ids)
+            if blocks[i].is_local(taa.cluster.container(cid).server_id)
+        )
+        assert local == len(map_ids)  # empty cluster: all node-local
+
+    def test_reduces_round_robin_spread(self, small_tree):
+        job = make_job(num_maps=1, num_reduces=4)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        CapacityScheduler().place_initial_wave(ctx, job, map_ids, reduce_ids)
+        servers = {taa.cluster.container(cid).server_id for cid in reduce_ids}
+        assert len(servers) == 4  # one per heartbeat slot
+
+    def test_cursor_persists_across_jobs(self, small_tree):
+        job1, job2 = make_job(0, num_maps=1, num_reduces=1), make_job(1, num_maps=1, num_reduces=1)
+        sched = CapacityScheduler()
+        taa, m1, r1 = make_taa(small_tree, job1)
+        ctx = context(taa, small_tree, job1)
+        sched.place_initial_wave(ctx, job1, m1, r1)
+        first = taa.cluster.container(r1[0]).server_id
+        # A second job's wildcard placements continue from the cursor.
+        from repro.cluster import Container, Resources, TaskKind, TaskRef
+
+        c = Container(100, Resources(1, 0), TaskRef(1, TaskKind.REDUCE, 0))
+        taa.cluster.add_container(c)
+        sched._round_robin(ctx, [100])
+        assert taa.cluster.container(100).server_id != first
+
+
+class TestPNA:
+    def test_reduce_placement_minimises_static_cost(self, small_tree):
+        job = make_job(num_maps=4, num_reduces=1)
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        # Pin all maps on rack 0 by hand, then let PNA place the reduce.
+        for i, cid in enumerate(map_ids):
+            taa.cluster.place(cid, i)  # servers 0..3 = rack 0
+        pna = PNAScheduler(seed=0)
+        pna._place_reduces(ctx, reduce_ids)
+        assert taa.cluster.container(reduce_ids[0]).server_id in {0, 1, 2, 3}
+
+    def test_probabilistic_with_low_beta(self, small_tree):
+        """beta=0 ignores cost: placements spread beyond the best rack."""
+        job = make_job(num_maps=4, num_reduces=1)
+        seen = set()
+        for seed in range(12):
+            taa, map_ids, reduce_ids = make_taa(small_tree, job)
+            ctx = context(taa, small_tree, job, seed=seed)
+            for i, cid in enumerate(map_ids):
+                taa.cluster.place(cid, i)
+            pna = PNAScheduler(beta=0.0, seed=seed)
+            pna._place_reduces(ctx, reduce_ids)
+            seen.add(taa.cluster.container(reduce_ids[0]).server_id)
+        assert len(seen) > 4
+
+    def test_static_cost_is_switch_count(self, small_tree):
+        job = make_job()
+        taa, *_ = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        pna = PNAScheduler()
+        assert pna.static_cost(ctx, 0, 0) == 0.0
+        assert pna.static_cost(ctx, 0, 1) == 1.0  # same rack: one access switch
+        assert pna.static_cost(ctx, 0, 15) == 3.0  # cross-rack: acc-core-acc
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            PNAScheduler(beta=-1.0)
+
+
+class TestHitSchedulerAdapter:
+    def test_exposes_last_result(self, small_tree):
+        job = make_job()
+        taa, map_ids, reduce_ids = make_taa(small_tree, job)
+        ctx = context(taa, small_tree, job)
+        sched = HitScheduler()
+        assert sched.last_result is None
+        sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+        assert sched.last_result is not None
+        assert sched.last_result.final_cost <= sched.last_result.initial_cost + 1e-9
+
+    def test_beats_random_on_shuffle_cost(self, small_tree):
+        job = make_job(num_maps=4, num_reduces=2, input_size=8.0)
+        costs = {}
+        for name in ("hit", "random"):
+            taa, map_ids, reduce_ids = make_taa(small_tree, job)
+            ctx = context(taa, small_tree, job)
+            sched = make_scheduler(name, seed=0)
+            sched.place_initial_wave(ctx, job, map_ids, reduce_ids)
+            sched.route_flows(taa)
+            costs[name] = taa.total_shuffle_cost()
+        assert costs["hit"] <= costs["random"]

@@ -1,0 +1,135 @@
+"""End-to-end discrete-event simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Resources
+from repro.mapreduce import JobSpec, ShuffleClass, WorkloadGenerator
+from repro.schedulers import make_scheduler
+from repro.simulator import MapReduceSimulator, SimulationConfig, run_simulation
+from repro.topology import TreeConfig, build_tree
+
+from ..conftest import make_job
+
+
+@pytest.fixture
+def topo():
+    return build_tree(
+        TreeConfig(depth=2, fanout=4, redundancy=2, server_resources=(2.0,))
+    )
+
+
+def small_jobs(n=3, seed=0, interarrival=1.0):
+    gen = WorkloadGenerator(seed=seed, input_size_range=(2.0, 4.0))
+    return gen.make_workload(n, interarrival=interarrival)
+
+
+class TestBasicExecution:
+    @pytest.mark.parametrize("name", ["capacity", "pna", "hit", "random"])
+    def test_all_jobs_complete(self, topo, name):
+        jobs = small_jobs(3)
+        metrics = run_simulation(topo, make_scheduler(name, seed=0), jobs)
+        assert len(metrics.jobs) == 3
+        assert all(j.finish_time >= j.submit_time for j in metrics.jobs)
+
+    def test_task_counts_match_specs(self, topo):
+        jobs = small_jobs(2)
+        metrics = run_simulation(topo, make_scheduler("capacity"), jobs)
+        maps = metrics.task_durations("map")
+        reduces = metrics.task_durations("reduce")
+        assert maps.size == sum(j.num_maps for j in jobs)
+        assert reduces.size == sum(j.num_reduces for j in jobs)
+
+    def test_flow_volume_conserved(self, topo):
+        jobs = small_jobs(2)
+        metrics = run_simulation(topo, make_scheduler("capacity"), jobs)
+        expected = sum(j.shuffle_volume for j in jobs)
+        assert metrics.total_shuffle_volume() == pytest.approx(expected, rel=1e-6)
+
+    def test_deterministic_given_seed(self, topo):
+        jobs = small_jobs(3)
+        m1 = run_simulation(topo, make_scheduler("hit", seed=4), jobs,
+                            SimulationConfig(seed=4))
+        m2 = run_simulation(topo, make_scheduler("hit", seed=4), jobs,
+                            SimulationConfig(seed=4))
+        assert m1.job_completion_times().tolist() == m2.job_completion_times().tolist()
+
+    def test_cluster_empty_after_run(self, topo):
+        sim = MapReduceSimulator(topo, make_scheduler("capacity"), small_jobs(2))
+        sim.run()
+        for sid in sim.cluster.server_ids:
+            assert sim.cluster.used(sid).is_zero
+
+    def test_reduce_finishes_after_its_flows(self, topo):
+        jobs = [make_job(num_maps=2, num_reduces=1, input_size=2.0)]
+        metrics = run_simulation(topo, make_scheduler("capacity"), jobs)
+        reduce_finish = max(
+            t.finish for t in metrics.tasks if t.kind == "reduce"
+        )
+        last_flow = max((f.finish for f in metrics.flows), default=0.0)
+        assert reduce_finish >= last_flow
+
+
+class TestWaves:
+    def test_multiple_waves_executed(self, topo):
+        # 12 maps but only 4 concurrent map slots -> 3 waves.
+        jobs = [make_job(num_maps=12, num_reduces=2, input_size=6.0)]
+        config = SimulationConfig(map_slots_per_job=4)
+        metrics = run_simulation(topo, make_scheduler("capacity"), jobs, config)
+        assert metrics.task_durations("map").size == 12
+        assert len(metrics.jobs) == 1
+
+    def test_wave_barrier_orders_map_starts(self, topo):
+        jobs = [make_job(num_maps=8, num_reduces=1, input_size=4.0)]
+        config = SimulationConfig(map_slots_per_job=4)
+        metrics = run_simulation(topo, make_scheduler("capacity"), jobs, config)
+        starts = sorted(t.start for t in metrics.tasks if t.kind == "map")
+        # Two distinct wave start times.
+        assert len(set(round(s, 9) for s in starts)) >= 2
+
+    def test_hit_subsequent_wave_near_reduces(self, topo):
+        jobs = [make_job(num_maps=8, num_reduces=1, input_size=4.0)]
+        config = SimulationConfig(map_slots_per_job=4)
+        metrics = run_simulation(topo, make_scheduler("hit", seed=0), jobs, config)
+        assert len(metrics.jobs) == 1
+
+
+class TestAdmission:
+    def test_fifo_queueing_when_cluster_small(self):
+        tiny = build_tree(
+            TreeConfig(depth=2, fanout=2, redundancy=1, server_resources=(2.0,))
+        )
+        # 8 slots; each job needs 4 maps + 1 reduce = 5 -> one at a time.
+        jobs = [
+            make_job(job_id=i, num_maps=4, num_reduces=1, input_size=2.0)
+            for i in range(3)
+        ]
+        metrics = run_simulation(tiny, make_scheduler("capacity"), jobs)
+        assert len(metrics.jobs) == 3
+        # Later jobs queue: their JCT includes waiting.
+        jct = {j.job_id: j.completion_time for j in metrics.jobs}
+        assert jct[2] > jct[0]
+
+    def test_remote_map_traffic_recorded(self, topo):
+        jobs = small_jobs(4, interarrival=0.0)
+        metrics = run_simulation(topo, make_scheduler("random", seed=0), jobs)
+        # Random placement on a 16-server cluster: some maps must be remote.
+        assert metrics.total_remote_map_traffic() > 0
+
+
+class TestSchedulerOrdering:
+    def test_hit_no_worse_shuffle_cost_than_capacity(self, topo):
+        jobs = small_jobs(4, seed=3)
+        cost = {}
+        for name in ("capacity", "hit"):
+            metrics = run_simulation(topo, make_scheduler(name, seed=3), jobs)
+            cost[name] = metrics.total_shuffle_cost()
+        assert cost["hit"] <= cost["capacity"] + 1e-9
+
+    def test_hit_shorter_routes(self, topo):
+        jobs = small_jobs(4, seed=3)
+        hops = {}
+        for name in ("capacity", "hit"):
+            metrics = run_simulation(topo, make_scheduler(name, seed=3), jobs)
+            hops[name] = metrics.average_route_length()
+        assert hops["hit"] < hops["capacity"]

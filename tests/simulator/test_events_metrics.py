@@ -1,0 +1,117 @@
+"""Event queue ordering and metrics aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    Event,
+    EventKind,
+    EventQueue,
+    FlowRecord,
+    JobRecord,
+    MetricsCollector,
+    TaskRecord,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.MAP_DONE))
+        q.push(Event(1.0, EventKind.JOB_ARRIVAL))
+        q.push(Event(3.0, EventKind.NETWORK))
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [EventKind.JOB_ARRIVAL, EventKind.MAP_DONE, EventKind.NETWORK]
+
+    def test_fifo_at_equal_time(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.MAP_DONE, payload="a"))
+        q.push(Event(1.0, EventKind.MAP_DONE, payload="b"))
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(Event(5.0, EventKind.NETWORK))
+        assert q.peek_time() == 5.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, EventKind.NETWORK))
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(Event(0.0, EventKind.NETWORK))
+        assert q and len(q) == 1
+
+
+class TestMetrics:
+    def make_collector(self):
+        m = MetricsCollector()
+        m.record_job(JobRecord(0, "a", "shuffle-heavy", 0.0, 0.5, 10.0, 5.0, 1.0))
+        m.record_job(JobRecord(1, "b", "shuffle-light", 2.0, 2.0, 6.0, 1.0, 0.0))
+        m.record_task(TaskRecord(0, "map", 0, 0.0, 1.0))
+        m.record_task(TaskRecord(0, "map", 1, 0.0, 3.0))
+        m.record_task(TaskRecord(0, "reduce", 0, 1.0, 9.0))
+        m.record_flow(FlowRecord(0, 0, size=4.0, start=1.0, finish=3.0,
+                                 num_switches=3, delay_us=100.0))
+        m.record_flow(FlowRecord(1, 0, size=2.0, start=1.0, finish=2.0,
+                                 num_switches=1, delay_us=50.0))
+        m.record_flow(FlowRecord(2, 1, size=1.0, start=3.0, finish=3.0,
+                                 num_switches=0, delay_us=0.0))
+        return m
+
+    def test_jct(self):
+        m = self.make_collector()
+        assert m.job_completion_times().tolist() == [10.0, 4.0]
+        assert m.mean_jct() == 7.0
+
+    def test_task_durations(self):
+        m = self.make_collector()
+        assert m.task_durations("map").tolist() == [1.0, 3.0]
+        assert m.task_durations("reduce").tolist() == [8.0]
+
+    def test_route_length_includes_local_flows(self):
+        m = self.make_collector()
+        assert m.average_route_length() == pytest.approx((3 + 1 + 0) / 3)
+
+    def test_delay_excludes_local_flows(self):
+        m = self.make_collector()
+        assert m.average_shuffle_delay_us() == pytest.approx(75.0)
+
+    def test_shuffle_cost(self):
+        m = self.make_collector()
+        assert m.total_shuffle_cost() == pytest.approx(4 * 3 + 2 * 1 + 0)
+
+    def test_volume_and_remote_traffic(self):
+        m = self.make_collector()
+        assert m.total_shuffle_volume() == 7.0
+        assert m.total_remote_map_traffic() == 1.0
+
+    def test_makespan(self):
+        m = self.make_collector()
+        assert m.makespan() == 10.0
+
+    def test_throughput(self):
+        m = self.make_collector()
+        # flows span 1.0 .. 3.0 -> 7 volume / 2 time
+        assert m.throughput() == pytest.approx(3.5)
+
+    def test_summary_keys(self):
+        summary = self.make_collector().summary()
+        for key in ("jobs", "mean_jct", "avg_route_hops", "shuffle_cost"):
+            assert key in summary
+
+    def test_empty_collector_safe(self):
+        m = MetricsCollector()
+        assert m.mean_jct() == 0.0
+        assert m.average_route_length() == 0.0
+        assert m.average_shuffle_delay_us() == 0.0
+        assert m.makespan() == 0.0
+        assert m.throughput() == 0.0

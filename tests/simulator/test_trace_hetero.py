@@ -1,0 +1,160 @@
+"""Simulation traces, flow rerouting and server heterogeneity."""
+
+import json
+
+import pytest
+
+from repro.schedulers import make_scheduler
+from repro.simulator import (
+    FlowNetwork,
+    MapReduceSimulator,
+    SimulationConfig,
+    dump_trace,
+    load_trace,
+    run_simulation,
+    trace_from_metrics,
+)
+from repro.topology import TreeConfig, build_tree
+
+from ..conftest import make_job
+
+
+@pytest.fixture
+def topo():
+    return build_tree(
+        TreeConfig(depth=2, fanout=4, redundancy=2, server_resources=(2.0,))
+    )
+
+
+class TestSimulationTrace:
+    def run_once(self, topo):
+        jobs = [make_job(num_maps=3, num_reduces=2, input_size=3.0)]
+        return run_simulation(topo, make_scheduler("capacity"), jobs)
+
+    def test_events_time_sorted(self, topo):
+        events = trace_from_metrics(self.run_once(topo))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_event_kinds_complete(self, topo):
+        events = trace_from_metrics(self.run_once(topo))
+        kinds = {e.kind for e in events}
+        assert {
+            "job_submit", "job_finish", "map_start", "map_finish",
+            "reduce_start", "reduce_finish", "flow_start", "flow_finish",
+        } <= kinds
+
+    def test_counts_match_metrics(self, topo):
+        metrics = self.run_once(topo)
+        events = trace_from_metrics(metrics)
+        assert sum(1 for e in events if e.kind == "map_finish") == len(
+            [t for t in metrics.tasks if t.kind == "map"]
+        )
+        assert sum(1 for e in events if e.kind == "flow_finish") == len(
+            metrics.flows
+        )
+
+    def test_json_roundtrip(self, topo):
+        metrics = self.run_once(topo)
+        records = load_trace(dump_trace(metrics))
+        assert len(records) == len(trace_from_metrics(metrics))
+        assert all("t" in r and "kind" in r for r in records)
+
+    def test_deterministic_serialisation(self, topo):
+        metrics = self.run_once(topo)
+        assert dump_trace(metrics) == dump_trace(metrics)
+
+
+class TestReroute:
+    def test_reroute_preserves_remaining(self, topo):
+        net = FlowNetwork(topo)
+        path1 = topo.shortest_path(0, 15)
+        net.add_flow(0, path1, size=10.0)
+        net.advance(0.1)
+        remaining = net.active_flows[0].remaining
+        # Find an alternative path via enumeration.
+        from repro.topology import enumerate_paths
+
+        alt = next(
+            p for p in enumerate_paths(topo, 0, 15, slack=0) if p != path1
+        )
+        flow = net.reroute_flow(0, alt)
+        assert flow.remaining == remaining
+        assert flow.path == alt
+
+    def test_reroute_requires_same_endpoints(self, topo):
+        net = FlowNetwork(topo)
+        net.add_flow(0, topo.shortest_path(0, 15), 1.0)
+        with pytest.raises(ValueError, match="endpoints"):
+            net.reroute_flow(0, topo.shortest_path(1, 15))
+
+    def test_reroute_changes_rates(self, topo):
+        """Moving a flow off a shared link raises both flows' rates."""
+        net = FlowNetwork(topo)
+        p = topo.shortest_path(0, 15)
+        net.add_flow(0, p, 100.0)
+        net.add_flow(1, p, 100.0)
+        net.recompute_rates()
+        before = net.active_flows[0].rate
+        from repro.topology import enumerate_paths
+
+        alt = next(
+            q
+            for q in enumerate_paths(topo, 0, 15, slack=0)
+            if q[1] != p[1] and q[-2] != p[-2]
+        )
+        net.reroute_flow(1, alt)
+        net.recompute_rates()
+        assert net.active_flows[0].rate > before
+
+
+class TestHeterogeneity:
+    def test_homogeneous_by_default(self, topo):
+        sim = MapReduceSimulator(
+            topo, make_scheduler("capacity"), [make_job()], SimulationConfig()
+        )
+        assert set(sim.server_speeds.values()) == {1.0}
+
+    def test_speeds_sampled_in_range(self, topo):
+        config = SimulationConfig(server_speed_spread=0.4, seed=1)
+        sim = MapReduceSimulator(topo, make_scheduler("capacity"),
+                                 [make_job()], config)
+        for speed in sim.server_speeds.values():
+            assert 0.6 <= speed <= 1.4
+        assert len(set(sim.server_speeds.values())) > 1
+
+    def test_rejects_bad_spread(self, topo):
+        with pytest.raises(ValueError, match="spread"):
+            MapReduceSimulator(
+                topo, make_scheduler("capacity"), [make_job()],
+                SimulationConfig(server_speed_spread=1.0),
+            )
+
+    def test_heterogeneity_stretches_map_tail(self, topo):
+        """Slow servers lengthen the slowest map tasks."""
+        jobs = [make_job(num_maps=8, num_reduces=1, input_size=8.0)]
+        homo = run_simulation(topo, make_scheduler("capacity"), jobs,
+                              SimulationConfig(seed=3))
+        hetero = run_simulation(topo, make_scheduler("capacity"), jobs,
+                                SimulationConfig(seed=3,
+                                                 server_speed_spread=0.5))
+        assert hetero.task_durations("map").max() > homo.task_durations("map").max()
+
+    def test_all_jobs_still_complete(self, topo):
+        jobs = [make_job(job_id=i, num_maps=4, num_reduces=2) for i in range(2)]
+        metrics = run_simulation(
+            topo, make_scheduler("hit", seed=0), jobs,
+            SimulationConfig(seed=0, server_speed_spread=0.3),
+        )
+        assert len(metrics.jobs) == 2
+
+
+class TestHitOnline:
+    def test_hit_online_completes_and_matches_quality(self, topo):
+        jobs = [make_job(job_id=i, num_maps=6, num_reduces=2, input_size=6.0)
+                for i in range(3)]
+        plain = run_simulation(topo, make_scheduler("hit", seed=1), jobs)
+        online = run_simulation(topo, make_scheduler("hit-online", seed=1), jobs)
+        assert len(online.jobs) == 3
+        # Online rebalancing never makes routing worse.
+        assert online.total_shuffle_cost() <= plain.total_shuffle_cost() + 1e-6

@@ -1,0 +1,96 @@
+"""CLI smoke and behaviour tests (everything runs in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scheduler_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheduler", "fifo"])
+
+
+class TestTopologyCommand:
+    @pytest.mark.parametrize("kind", ["tree", "fattree", "vl2", "bcube"])
+    def test_builds_and_prints(self, kind, capsys):
+        assert main(["topology", kind]) == 0
+        out = capsys.readouterr().out
+        assert "Topology(" in out
+        assert "switches" in out
+
+    def test_tree_parameters_respected(self, capsys):
+        main(["topology", "tree", "--depth", "3", "--fanout", "2"])
+        assert "servers=8" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_prints_table(self, capsys):
+        assert main(["workload", "--jobs", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "shuffle" in out
+
+    def test_saves_trace(self, tmp_path, capsys):
+        path = tmp_path / "wl.jsonl"
+        main(["workload", "--jobs", "3", "--output", str(path)])
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == 3
+        record = json.loads(lines[0])
+        assert {"job_id", "class", "num_maps"} <= set(record)
+
+    def test_deterministic_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["workload", "--jobs", "4", "--seed", "9", "--output", str(a)])
+        main(["workload", "--jobs", "4", "--seed", "9", "--output", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestOptimizeCommand:
+    def test_runs_with_generated_jobs(self, capsys):
+        assert main([
+            "optimize", "--jobs", "3", "--scheduler", "capacity", "hit",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "capacity" in out and "hit" in out
+
+    def test_runs_from_trace(self, tmp_path, capsys):
+        path = tmp_path / "wl.jsonl"
+        main(["workload", "--jobs", "2", "--output", str(path)])
+        capsys.readouterr()
+        assert main([
+            "optimize", "--trace", str(path), "--scheduler", "rackpack",
+        ]) == 0
+        assert "rackpack" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_runs_and_saves_trace(self, tmp_path, capsys):
+        prefix = tmp_path / "run"
+        assert main([
+            "simulate", "--jobs", "3", "--scheduler", "capacity",
+            "--save-trace", str(prefix),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean JCT" in out
+        trace_file = tmp_path / "run.capacity.jsonl"
+        assert trace_file.exists()
+        records = [json.loads(l) for l in trace_file.read_text().splitlines() if l]
+        kinds = {r["kind"] for r in records}
+        assert {"job_submit", "job_finish", "map_finish"} <= kinds
+
+
+class TestExperimentCommand:
+    def test_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "112" in out and "64" in out

@@ -1,0 +1,77 @@
+"""Topology summaries and ASCII rendering."""
+
+import pytest
+
+from repro.topology import (
+    TreeConfig,
+    ascii_tree,
+    build_fattree,
+    build_tree,
+    describe_topology,
+)
+
+
+class TestDescribe:
+    def test_tree_summary(self):
+        topo = build_tree(TreeConfig(depth=2, fanout=4, redundancy=2))
+        summary = describe_topology(topo)
+        assert summary.num_servers == 16
+        assert summary.switches_per_tier == {"access": 8, "core": 2}
+        assert summary.diameter_hops == 4
+        assert 2.0 < summary.mean_server_distance <= 4.0
+        assert summary.mean_path_diversity > 1.0  # redundancy 2
+
+    def test_single_path_tree_diversity_one(self):
+        topo = build_tree(TreeConfig(depth=2, fanout=4, redundancy=1))
+        assert describe_topology(topo).mean_path_diversity == 1.0
+
+    def test_oversubscription_reflects_bandwidths(self):
+        thin = build_tree(TreeConfig(depth=2, fanout=4, redundancy=1,
+                                     server_link_bandwidth=10.0,
+                                     fabric_link_bandwidth=10.0))
+        fat = build_tree(TreeConfig(depth=2, fanout=4, redundancy=1,
+                                    server_link_bandwidth=10.0,
+                                    fabric_link_bandwidth=40.0))
+        assert describe_topology(thin).oversubscription > describe_topology(
+            fat
+        ).oversubscription
+
+    def test_sampling_on_large_fabric(self):
+        topo = build_fattree(k=6)  # 54 servers -> 1431 pairs, sampled
+        summary = describe_topology(topo, sample_pairs=32, seed=1)
+        assert summary.diameter_hops <= 6
+        assert summary.mean_server_distance > 0
+
+    def test_deterministic_given_seed(self):
+        topo = build_fattree(k=6)
+        a = describe_topology(topo, sample_pairs=16, seed=2)
+        b = describe_topology(topo, sample_pairs=16, seed=2)
+        assert a == b
+
+    def test_rejects_single_server(self):
+        topo = build_tree(TreeConfig(depth=1, fanout=1))
+        with pytest.raises(ValueError):
+            describe_topology(topo)
+
+
+class TestAsciiTree:
+    def test_renders_every_switch(self):
+        topo = build_tree(TreeConfig(depth=2, fanout=2, redundancy=1))
+        art = ascii_tree(topo)
+        for w in topo.switch_ids:
+            assert topo.switch(w).name in art
+
+    def test_servers_listed_under_access(self):
+        topo = build_tree(TreeConfig(depth=2, fanout=2, redundancy=1))
+        art = ascii_tree(topo)
+        assert "s0" in art and "s3" in art
+
+    def test_tiers_top_down(self):
+        topo = build_tree(TreeConfig(depth=2, fanout=2, redundancy=1))
+        art = ascii_tree(topo)
+        assert art.index("[core]") < art.index("[access]")
+
+    def test_refuses_big_fabrics(self):
+        topo = build_tree(TreeConfig(depth=3, fanout=4))
+        with pytest.raises(ValueError, match="small fabrics"):
+            ascii_tree(topo)

@@ -1,0 +1,184 @@
+"""Structural tests for the four fabric generators (Figure 8b's lineup)."""
+
+import pytest
+
+from repro.topology import (
+    BCubeConfig,
+    FatTreeConfig,
+    Tier,
+    TreeConfig,
+    VL2Config,
+    build_bcube,
+    build_fattree,
+    build_tree,
+    build_vl2,
+)
+
+
+class TestTree:
+    def test_server_count(self):
+        assert build_tree(depth=2, fanout=4).num_servers == 16
+        assert build_tree(depth=3, fanout=4).num_servers == 64
+
+    def test_switch_count_scales_with_redundancy(self):
+        plain = build_tree(depth=2, fanout=4, redundancy=1)
+        doubled = build_tree(depth=2, fanout=4, redundancy=2)
+        assert doubled.num_switches == 2 * plain.num_switches
+
+    def test_depth2_tiers(self):
+        topo = build_tree(depth=2, fanout=4)
+        tiers = {topo.tier_of(w) for w in topo.switch_ids}
+        assert tiers == {Tier.ACCESS, Tier.CORE}
+
+    def test_depth3_has_aggregation(self):
+        topo = build_tree(depth=3, fanout=2)
+        tiers = {topo.tier_of(w) for w in topo.switch_ids}
+        assert tiers == {Tier.ACCESS, Tier.AGGREGATION, Tier.CORE}
+
+    def test_depth1_single_tier(self):
+        topo = build_tree(depth=1, fanout=4)
+        assert topo.num_servers == 4
+        assert all(topo.tier_of(w) == Tier.ACCESS for w in topo.switch_ids)
+
+    def test_same_rack_distance(self):
+        topo = build_tree(depth=2, fanout=4, redundancy=1)
+        # servers 0..3 share the rack
+        assert topo.hop_distance(0, 3) == 2
+        assert topo.hop_distance(0, 4) == 4  # cross-rack
+
+    def test_redundancy_multiplies_shortest_paths(self):
+        from repro.topology import count_shortest_paths
+
+        r1 = build_tree(depth=2, fanout=4, redundancy=1)
+        r2 = build_tree(depth=2, fanout=4, redundancy=2)
+        assert count_shortest_paths(r1, 0, 15) == 1
+        assert count_shortest_paths(r2, 0, 15) == 8  # 2 * 2 * 2 replicas
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TreeConfig(depth=0)
+        with pytest.raises(ValueError):
+            TreeConfig(fanout=0)
+        with pytest.raises(ValueError):
+            TreeConfig(redundancy=0)
+
+    def test_config_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            build_tree(TreeConfig(), depth=2)
+
+    def test_capacities_by_tier(self):
+        cfg = TreeConfig(depth=3, fanout=2, access_capacity=5.0, core_capacity=50.0)
+        topo = build_tree(cfg)
+        for w in topo.switch_ids:
+            if topo.tier_of(w) == Tier.ACCESS:
+                assert topo.switch(w).capacity == 5.0
+            elif topo.tier_of(w) == Tier.CORE:
+                assert topo.switch(w).capacity == 50.0
+
+    def test_validates_connected(self):
+        topo = build_tree(depth=3, fanout=3, redundancy=2)
+        dist = topo.hop_distances_from(0)
+        assert (dist[list(topo.server_ids)] >= 0).all()
+
+
+class TestFatTree:
+    def test_server_count(self):
+        assert build_fattree(k=4).num_servers == 16
+        assert build_fattree(k=6).num_servers == 54
+
+    def test_switch_counts(self):
+        topo = build_fattree(k=4)
+        # k=4: 8 edge + 8 agg + 4 core = 20
+        assert topo.num_switches == 20
+        assert len(topo.switches_of_tier(Tier.CORE)) == 4
+        assert len(topo.switches_of_tier(Tier.ACCESS)) == 8
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError, match="even"):
+            build_fattree(k=3)
+
+    def test_same_pod_distance(self):
+        topo = build_fattree(k=4)
+        # servers 0,1 share an edge switch: distance 2.
+        assert topo.hop_distance(0, 1) == 2
+        # servers 0,2 same pod, different edge: via aggregation, distance 4.
+        assert topo.hop_distance(0, 2) == 4
+        # cross-pod: via core, distance 6.
+        assert topo.hop_distance(0, 8) == 6
+
+    def test_cross_pod_multipath(self):
+        from repro.topology import count_shortest_paths
+
+        topo = build_fattree(k=4)
+        # (k/2)^2 = 4 core paths between cross-pod servers.
+        assert count_shortest_paths(topo, 0, 8) == 4
+
+    def test_every_server_has_one_uplink(self):
+        topo = build_fattree(k=4)
+        for sid in topo.server_ids:
+            assert topo.degree(sid) == 1
+
+
+class TestVL2:
+    def test_server_count(self):
+        assert build_vl2().num_servers == 64
+        assert build_vl2(num_tor=4, servers_per_tor=2).num_servers == 8
+
+    def test_layer_sizes(self):
+        topo = build_vl2(num_intermediate=3, num_aggregation=5, num_tor=6)
+        assert len(topo.switches_of_tier(Tier.CORE)) == 3
+        assert len(topo.switches_of_tier(Tier.AGGREGATION)) == 5
+        assert len(topo.switches_of_tier(Tier.ACCESS)) == 6
+
+    def test_aggregation_intermediate_complete_bipartite(self):
+        topo = build_vl2(num_intermediate=3, num_aggregation=4, num_tor=4)
+        aggs = topo.switches_of_tier(Tier.AGGREGATION)
+        ints = topo.switches_of_tier(Tier.CORE)
+        for a in aggs:
+            for i in ints:
+                assert topo.has_link(a, i)
+
+    def test_tor_uplink_count(self):
+        topo = build_vl2(num_tor=6, tor_uplinks=2)
+        aggs = set(topo.switches_of_tier(Tier.AGGREGATION))
+        for tor in topo.switches_of_tier(Tier.ACCESS):
+            uplinks = [n for n in topo.neighbors(tor) if n in aggs]
+            assert len(uplinks) == 2
+
+    def test_rejects_bad_uplinks(self):
+        with pytest.raises(ValueError):
+            VL2Config(tor_uplinks=9, num_aggregation=4)
+
+
+class TestBCube:
+    def test_server_and_switch_counts(self):
+        topo = build_bcube(n=4, k=1)
+        assert topo.num_servers == 16
+        assert topo.num_switches == 8  # 2 levels x 4 switches
+
+    def test_bcube0_is_star(self):
+        topo = build_bcube(n=4, k=0)
+        assert topo.num_servers == 4
+        assert topo.num_switches == 1
+        assert topo.hop_distance(0, 3) == 2
+
+    def test_server_degree_is_k_plus_1(self):
+        topo = build_bcube(n=4, k=1)
+        for sid in topo.server_ids:
+            assert topo.degree(sid) == 2
+
+    def test_switch_degree_is_n(self):
+        topo = build_bcube(n=4, k=1)
+        for w in topo.switch_ids:
+            assert topo.degree(w) == 4
+
+    def test_one_switch_distance_within_level0_group(self):
+        topo = build_bcube(n=4, k=1)
+        # servers 0..3 share the level-0 switch.
+        assert topo.hop_distance(0, 1) == 2
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            BCubeConfig(n=1)
+        with pytest.raises(ValueError):
+            BCubeConfig(k=-1)

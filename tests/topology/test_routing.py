@@ -1,0 +1,138 @@
+"""Routing utilities: stage DAGs, path enumeration and their consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    build_bcube,
+    build_fattree,
+    build_tree,
+    count_shortest_paths,
+    enumerate_paths,
+    path_is_valid,
+    shortest_path_stages,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_tree(depth=2, fanout=4, redundancy=2)
+
+
+class TestStages:
+    def test_endpoints_are_singleton_stages(self, tree):
+        stages = shortest_path_stages(tree, 0, 15)
+        assert stages[0] == (0,)
+        assert stages[-1] == (15,)
+
+    def test_stage_count_matches_distance(self, tree):
+        stages = shortest_path_stages(tree, 0, 15)
+        assert len(stages) == tree.hop_distance(0, 15) + 1
+
+    def test_same_node(self, tree):
+        assert shortest_path_stages(tree, 3, 3) == [(3,)]
+
+    def test_consecutive_stages_connected(self, tree):
+        stages = shortest_path_stages(tree, 0, 15)
+        for a_stage, b_stage in zip(stages, stages[1:]):
+            assert any(
+                tree.has_link(a, b) for a in a_stage for b in b_stage
+            )
+
+    def test_stage_nodes_lie_on_shortest_paths(self, tree):
+        stages = shortest_path_stages(tree, 0, 15)
+        total = tree.hop_distance(0, 15)
+        for j, stage in enumerate(stages):
+            for node in stage:
+                assert tree.hop_distance(0, node) == j
+                assert tree.hop_distance(node, 15) == total - j
+
+    def test_redundant_switches_appear(self, tree):
+        # Within-rack stage should offer both access replicas.
+        stages = shortest_path_stages(tree, 0, 1)
+        assert len(stages[1]) == 2
+
+    def test_cached_identity(self, tree):
+        assert shortest_path_stages(tree, 0, 15) is shortest_path_stages(tree, 0, 15)
+
+
+class TestEnumeration:
+    def test_slack0_paths_all_shortest(self, tree):
+        d = tree.hop_distance(0, 15)
+        for path in enumerate_paths(tree, 0, 15, slack=0):
+            assert len(path) == d + 1
+            assert path_is_valid(tree, path)
+
+    def test_count_matches_dp(self, tree):
+        paths = enumerate_paths(tree, 0, 15, slack=0)
+        assert len(paths) == count_shortest_paths(tree, 0, 15)
+
+    def test_count_matches_dp_fattree(self):
+        ft = build_fattree(k=4)
+        assert len(enumerate_paths(ft, 0, 8, slack=0)) == count_shortest_paths(
+            ft, 0, 8
+        )
+
+    def test_slack_extends_path_set(self, tree):
+        shortest = enumerate_paths(tree, 0, 15, slack=0)
+        extended = enumerate_paths(tree, 0, 15, slack=2)
+        assert set(shortest) <= set(extended)
+        assert len(extended) > len(shortest)
+
+    def test_paths_are_simple(self, tree):
+        for path in enumerate_paths(tree, 0, 15, slack=2):
+            assert len(path) == len(set(path))
+
+    def test_limit_respected(self, tree):
+        assert len(enumerate_paths(tree, 0, 15, slack=2, limit=3)) == 3
+
+    def test_negative_slack_rejected(self, tree):
+        with pytest.raises(ValueError):
+            enumerate_paths(tree, 0, 15, slack=-1)
+
+    def test_same_node(self, tree):
+        assert enumerate_paths(tree, 2, 2) == [(2,)]
+
+    def test_deterministic_order(self, tree):
+        assert enumerate_paths(tree, 0, 15, slack=1) == enumerate_paths(
+            tree, 0, 15, slack=1
+        )
+
+
+class TestPathValidity:
+    def test_valid_path(self, tree):
+        assert path_is_valid(tree, tree.shortest_path(0, 15))
+
+    def test_rejects_repeats(self, tree):
+        p = tree.shortest_path(0, 15)
+        assert not path_is_valid(tree, p + (p[-2],))
+
+    def test_rejects_non_adjacent(self, tree):
+        assert not path_is_valid(tree, (0, 15))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+)
+def test_property_stage_dag_counts_all_enumerated_paths(src, dst):
+    """For every server pair, DP path counting equals brute enumeration."""
+    tree = build_tree(depth=2, fanout=4, redundancy=2)
+    assert count_shortest_paths(tree, src, dst) == len(
+        enumerate_paths(tree, src, dst, slack=0)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+)
+def test_property_bcube_paths_valid(src, dst):
+    """BCube enumeration returns simple, physically connected paths."""
+    topo = build_bcube(n=4, k=1)
+    for path in enumerate_paths(topo, src, dst, slack=0, limit=64):
+        assert path_is_valid(topo, path)
+        assert path[0] == src and path[-1] == dst
