@@ -5,9 +5,9 @@ generators, the workload generator, the TAA core (Hit-Scheduler), the
 baseline schedulers and the discrete-event simulator.
 """
 
-from . import analysis, cluster, core, experiments, mapreduce, schedulers, simulator, topology, yarnsim
+from . import analysis, cluster, core, experiments, mapreduce, obs, schedulers, simulator, topology, yarnsim
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -15,6 +15,7 @@ __all__ = [
     "core",
     "experiments",
     "mapreduce",
+    "obs",
     "schedulers",
     "simulator",
     "topology",

@@ -2,13 +2,14 @@
 
 from .cdf import EmpiricalCDF
 from .charts import bar_chart, series_chart, sparkline
-from .report import format_paper_vs_measured, format_table
+from .report import format_paper_vs_measured, format_table, format_violations
 from .stats import describe, improvement, reduction
 
 __all__ = [
     "EmpiricalCDF",
     "format_table",
     "format_paper_vs_measured",
+    "format_violations",
     "describe",
     "improvement",
     "reduction",

@@ -94,8 +94,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _load_or_generate_jobs(args: argparse.Namespace):
-    if args.trace:
-        return load_workload_file(args.trace)
+    if args.jobs_trace:
+        return load_workload_file(args.jobs_trace)
     generator = WorkloadGenerator(
         seed=args.seed, input_size_range=(4.0, 12.0),
         map_rate=8.0, reduce_rate=8.0,
@@ -103,54 +103,99 @@ def _load_or_generate_jobs(args: argparse.Namespace):
     return generator.make_workload(args.jobs, interarrival=args.interarrival)
 
 
+def _make_observability(args: argparse.Namespace):
+    """Checker/tracer pair from the ``--check-invariants``/``--trace`` flags.
+
+    Falls back to whatever is already installed process-wide (the
+    ``REPRO_CHECK_INVARIANTS``/``REPRO_TRACE`` environment switches) so the
+    command's ``observe()`` scope re-installs rather than shadows it.
+    """
+    from .obs import InvariantChecker, Tracer
+    from .obs.runtime import STATE
+
+    checker = (
+        InvariantChecker(mode="collect")
+        if getattr(args, "check_invariants", False)
+        else STATE.checker
+    )
+    trace_path = getattr(args, "trace_file", None)
+    if trace_path:
+        tracer = Tracer.to_path(trace_path)
+    else:
+        tracer = STATE.tracer if STATE.tracer.enabled else None
+    return checker, tracer
+
+
+def _report_observability(checker, tracer) -> int:
+    """Print the violations summary / close the trace; non-zero on breaches."""
+    from .analysis import format_violations
+
+    status = 0
+    if checker is not None:
+        print()
+        print(format_violations(checker.violations))
+        if checker.violations:
+            status = 1
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written: {tracer.events_written} events")
+    return status
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from .experiments import configs
+    from .obs import observe
     from .simulator import run_simulation, save_trace_file
 
     jobs = _load_or_generate_jobs(args)
+    checker, tracer = _make_observability(args)
     rows = []
-    for name in args.scheduler:
-        metrics = run_simulation(
-            configs.testbed_tree(),
-            make_scheduler(name, seed=args.seed),
-            jobs,
-            configs.testbed_simulation_config(seed=args.seed),
-        )
-        s = metrics.summary()
-        rows.append((
-            name, s["mean_jct"], s["avg_route_hops"],
-            s["avg_shuffle_delay_us"], s["shuffle_cost"],
-        ))
-        if args.save_trace:
-            path = f"{args.save_trace}.{name}.jsonl"
-            save_trace_file(path, metrics)
-            print(f"trace saved: {path}")
+    with observe(checker=checker, tracer=tracer):
+        for name in args.scheduler:
+            metrics = run_simulation(
+                configs.testbed_tree(),
+                make_scheduler(name, seed=args.seed),
+                jobs,
+                configs.testbed_simulation_config(seed=args.seed),
+            )
+            s = metrics.summary()
+            rows.append((
+                name, s["mean_jct"], s["avg_route_hops"],
+                s["avg_shuffle_delay_us"], s["shuffle_cost"],
+            ))
+            if args.save_trace:
+                path = f"{args.save_trace}.{name}.jsonl"
+                save_trace_file(path, metrics)
+                print(f"trace saved: {path}")
     print(format_table(
         ("scheduler", "mean JCT", "route hops", "delay (us)", "shuffle cost"),
         rows,
         title=f"simulation: {len(jobs)} jobs on the 64-server testbed tree",
     ))
-    return 0
+    return _report_observability(checker, tracer)
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     from .experiments import build_static_workload, configs, run_static_placement
+    from .obs import observe
 
     jobs = _load_or_generate_jobs(args)
     topology = configs.testbed_tree()
     workload = build_static_workload(topology, jobs, seed=args.seed)
+    checker, tracer = _make_observability(args)
     rows = []
-    for name in args.scheduler:
-        result = run_static_placement(
-            workload, make_scheduler(name, seed=args.seed), seed=args.seed
-        )
-        rows.append((name, result.shuffle_cost, result.avg_route_hops))
+    with observe(checker=checker, tracer=tracer):
+        for name in args.scheduler:
+            result = run_static_placement(
+                workload, make_scheduler(name, seed=args.seed), seed=args.seed
+            )
+            rows.append((name, result.shuffle_cost, result.avg_route_hops))
     print(format_table(
         ("scheduler", "shuffle cost (GB.T)", "avg route hops"),
         rows,
         title=f"static placement: {len(jobs)} jobs",
     ))
-    return 0
+    return _report_observability(checker, tracer)
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -242,7 +287,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=8)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--interarrival", type=float, default=0.5)
-        p.add_argument("--trace", help="load jobs from a trace file instead")
+        p.add_argument(
+            "--jobs-trace", dest="jobs_trace",
+            help="load jobs from a workload trace file instead",
+        )
+        p.add_argument(
+            "--check-invariants", action="store_true",
+            help="verify the paper's runtime invariants and print a "
+                 "violations summary (non-zero exit on breaches)",
+        )
+        p.add_argument(
+            "--trace", dest="trace_file", metavar="FILE",
+            help="write counters/timers/spans as JSON lines to FILE",
+        )
         if cmd == "simulate":
             p.add_argument("--save-trace", help="save per-scheduler run traces")
         p.set_defaults(func=func)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.state import ClusterState
+from ..obs.runtime import STATE as _OBS
 from .matching import MatchingResult, stable_match
 from .preference import PairCostCache, build_preference_matrix
 from .taa import TAAInstance
@@ -191,13 +192,18 @@ class HitOptimizer:
             side = [cid for cid in side if taa.flows_of_container(cid)]
             if not side:
                 continue
-            preferences = build_preference_matrix(taa, container_ids=side)
-            matching = stable_match(preferences, taa.cluster)
-            matchings.append(matching)
-            self._apply_assignment(matching)
-            taa.install_all_policies()
+            with _OBS.tracer.span(
+                "hit.sweep", round=round_idx, containers=len(side)
+            ):
+                preferences = build_preference_matrix(taa, container_ids=side)
+                matching = stable_match(preferences, taa.cluster)
+                matchings.append(matching)
+                self._apply_assignment(matching)
+                taa.install_all_policies()
             cost = taa.total_shuffle_cost()
             trace.append(cost)
+            if _OBS.enabled and _OBS.checker is not None:
+                _OBS.checker.check_taa(taa, where=f"hit.sweep[{round_idx}]")
             if cost < best_cost * (1 - self.config.tolerance):
                 best_cost = cost
                 best_placement = taa.cluster.placement_snapshot()
@@ -271,6 +277,8 @@ class HitOptimizer:
                 raise RuntimeError(f"no feasible server for map container {cid}")
             cluster.place(cid, best_sid)
         taa.install_all_policies()
+        if _OBS.enabled and _OBS.checker is not None:
+            _OBS.checker.check_taa(taa, where="hit.subsequent_wave")
         final = taa.total_shuffle_cost()
         return HitResult(
             cost_trace=[final],

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..cluster.resources import Resources
 from ..cluster.state import ClusterState
+from ..obs.runtime import STATE as _OBS
 from .preference import PreferenceMatrix
 
 __all__ = ["MatchingResult", "stable_match", "find_blocking_pairs"]
@@ -134,12 +135,30 @@ def stable_match(
             if cursors[c] >= len(pref_lists[c]):
                 pass  # exhausted; will be reported unmatched
     unmatched = [c for c in container_ids if c not in matched_to]
-    return MatchingResult(
+    result = MatchingResult(
         assignment=dict(matched_to),
         unmatched=unmatched,
         proposals=proposals,
         evictions=evictions,
     )
+    if _OBS.enabled:
+        tracer = _OBS.tracer
+        tracer.count("alg2.match")
+        tracer.count("alg2.proposals", proposals)
+        tracer.count("alg2.evictions", evictions)
+        tracer.event(
+            "alg2.match",
+            containers=len(container_ids),
+            servers=len(server_ids),
+            proposals=proposals,
+            evictions=evictions,
+            unmatched=len(unmatched),
+        )
+        if _OBS.checker is not None:
+            _OBS.checker.check_matching_stability(
+                result, preferences, cluster, where="stable_match"
+            )
+    return result
 
 
 def find_blocking_pairs(

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..mapreduce.shuffle import ShuffleFlow
+from ..obs.runtime import STATE as _OBS
 from ..topology.base import Tier, Topology
 from ..topology.routing import enumerate_paths, shortest_path_stages
 
@@ -120,11 +121,50 @@ class PolicyController:
         self._base_load: dict[int, float] = {w: 0.0 for w in topology.switch_ids}
         self._policies: dict[int, Policy] = {}
         self._flow_rates: dict[int, float] = {}
+        # Per-switch count of installed flows traversing it: when a switch
+        # empties, its incremental load is snapped back to exactly 0.0 so
+        # repeated assign/release round-trips cannot accumulate float drift.
+        self._flows_on: dict[int, int] = {w: 0 for w in topology.switch_ids}
+        # Capacity-negotiated accounting (Eq 4): flows routed with the
+        # capacity constraint enforced.  Baseline policies (static/ECMP) and
+        # the saturation fallback are installed uncapacitated and are exempt
+        # from the switch-capacity invariant by design.
+        self._capacitated: set[int] = set()
+        self._cap_load: dict[int, float] = {w: 0.0 for w in topology.switch_ids}
+        self._cap_flows_on: dict[int, int] = {w: 0 for w in topology.switch_ids}
 
     # ------------------------------------------------------------------ state
     def load(self, switch_id: int) -> float:
         """Aggregate rate currently routed through a switch (incl. base load)."""
         return self._load[switch_id] + self._base_load[switch_id]
+
+    def base_load(self, switch_id: int) -> float:
+        """The external (background) component of a switch's load."""
+        return self._base_load[switch_id]
+
+    def capacitated_load(self, switch_id: int) -> float:
+        """Load from capacity-negotiated flows only (what Eq 4 bounds),
+        including the base load the negotiation had to route around."""
+        return self._cap_load[switch_id] + self._base_load[switch_id]
+
+    def is_capacitated(self, flow_id: int) -> bool:
+        """Whether a flow's policy was installed under the Eq 4 constraint."""
+        return flow_id in self._capacitated
+
+    def flow_rate(self, flow_id: int) -> float:
+        """Rate an installed flow is charged at (KeyError when absent)."""
+        return self._flow_rates[flow_id]
+
+    def recomputed_loads(self) -> dict[int, float]:
+        """Per-switch load re-derived from scratch off the installed
+        policies — the ground truth the incremental ``_load`` accounting is
+        verified against by the switch-load-consistency invariant."""
+        loads = {w: 0.0 for w in self.topology.switch_ids}
+        for fid, policy in self._policies.items():
+            rate = self._flow_rates[fid]
+            for w in policy.switch_list:
+                loads[w] += rate
+        return loads
 
     def set_base_load(self, switch_id: int, rate: float) -> None:
         """External (background) load on a switch.
@@ -168,29 +208,77 @@ class PolicyController:
         ]
 
     # -------------------------------------------------------------- mutation
-    def assign(self, flow: ShuffleFlow, policy: Policy) -> None:
-        """Install a policy for a flow, charging its rate to the switches."""
+    def assign(
+        self, flow: ShuffleFlow, policy: Policy, *, capacitated: bool = True
+    ) -> None:
+        """Install a policy for a flow, charging its rate to the switches.
+
+        ``capacitated`` records whether the route was negotiated under the
+        Eq 4 capacity constraint; uncapacitated installs (baselines, the
+        saturation fallback) are exempt from the switch-capacity invariant.
+        """
         if flow.flow_id in self._policies:
             self.release(flow.flow_id)
         for w in policy.switch_list:
             self._load[w] += flow.rate
+            self._flows_on[w] += 1
+        if capacitated:
+            self._capacitated.add(flow.flow_id)
+            for w in policy.switch_list:
+                self._cap_load[w] += flow.rate
+                self._cap_flows_on[w] += 1
         self._policies[flow.flow_id] = policy
         self._flow_rates[flow.flow_id] = flow.rate
+        if _OBS.enabled:
+            _OBS.tracer.count("alg1.assign")
+            if _OBS.checker is not None:
+                _OBS.checker.check_switch_capacity(
+                    self,
+                    where=f"assign flow {flow.flow_id}",
+                    switches=policy.switch_list,
+                )
 
     def release(self, flow_id: int) -> None:
-        """Remove a flow's policy, refunding its rate."""
+        """Remove a flow's policy, refunding its rate.
+
+        Loads are snapped back to exactly ``0.0`` whenever a switch's last
+        flow leaves, so assign→release round-trips restore ``_load`` to its
+        base value bit-for-bit (no float drift, no stale entries).
+        """
         policy = self._policies.pop(flow_id, None)
         if policy is None:
             return
         rate = self._flow_rates.pop(flow_id)
+        capacitated = flow_id in self._capacitated
+        if capacitated:
+            self._capacitated.discard(flow_id)
         for w in policy.switch_list:
-            self._load[w] -= rate
-            if -1e-9 < self._load[w] < 0:
+            self._flows_on[w] -= 1
+            if self._flows_on[w] <= 0:
+                self._flows_on[w] = 0
                 self._load[w] = 0.0
+            else:
+                self._load[w] = max(self._load[w] - rate, 0.0)
+            if capacitated:
+                self._cap_flows_on[w] -= 1
+                if self._cap_flows_on[w] <= 0:
+                    self._cap_flows_on[w] = 0
+                    self._cap_load[w] = 0.0
+                else:
+                    self._cap_load[w] = max(self._cap_load[w] - rate, 0.0)
+        if _OBS.enabled:
+            _OBS.tracer.count("alg1.release")
 
     def clear(self) -> None:
-        for flow_id in list(self._policies):
-            self.release(flow_id)
+        """Drop every installed policy and reset loads to exactly zero."""
+        self._policies.clear()
+        self._flow_rates.clear()
+        self._capacitated.clear()
+        for w in self.topology.switch_ids:
+            self._load[w] = 0.0
+            self._cap_load[w] = 0.0
+            self._flows_on[w] = 0
+            self._cap_flows_on[w] = 0
 
     # --------------------------------------------------------- cost queries
     def path_cost(self, path: Sequence[int], rate: float) -> float:
@@ -235,10 +323,39 @@ class PolicyController:
         """
         if src_server == dst_server:
             return ((src_server,), 0.0)
+        if _OBS.enabled:
+            return self._optimal_path_traced(
+                src_server, dst_server, rate, enforce_capacity
+            )
+        return self._optimal_path_impl(
+            src_server, dst_server, rate, enforce_capacity
+        )
+
+    def _optimal_path_traced(
+        self, src_server: int, dst_server: int, rate: float,
+        enforce_capacity: bool,
+    ) -> tuple[tuple[int, ...], float]:
+        tracer = _OBS.tracer
+        tracer.count("alg1.optimal_path")
+        with tracer.timeit("alg1.optimal_path"):
+            try:
+                return self._optimal_path_impl(
+                    src_server, dst_server, rate, enforce_capacity
+                )
+            except NoFeasiblePathError:
+                tracer.count("alg1.no_feasible_path")
+                raise
+
+    def _optimal_path_impl(
+        self, src_server: int, dst_server: int, rate: float,
+        enforce_capacity: bool,
+    ) -> tuple[tuple[int, ...], float]:
         path = self._dag_best_path(src_server, dst_server, rate, enforce_capacity)
         if path is not None:
             return path, self.path_cost(path, rate)
         if enforce_capacity:
+            if _OBS.enabled:
+                _OBS.tracer.count("alg1.slack_fallback")
             for slack in range(1, self.max_slack + 1):
                 best: tuple[int, ...] | None = None
                 best_cost = _INF
@@ -345,7 +462,7 @@ class PolicyController:
             src_server, dst_server, flow.rate, enforce_capacity
         )
         policy = self.make_policy(flow, path)
-        self.assign(flow, policy)
+        self.assign(flow, policy, capacitated=enforce_capacity)
         return policy
 
     def total_cost(self, flows: Iterable[ShuffleFlow]) -> float:

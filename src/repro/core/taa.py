@@ -148,7 +148,7 @@ class TAAInstance:
                 continue
             path = self.topology.shortest_path(src, dst)
             policy = self.controller.make_policy(flow, path)
-            self.controller.assign(flow, policy)
+            self.controller.assign(flow, policy, capacitated=False)
 
     def install_ecmp_policies(self, seed: int = 0) -> None:
         """Route every flow on a uniformly random equal-cost shortest path.
@@ -178,7 +178,9 @@ class TAAInstance:
             candidates = enumerate_paths(self.topology, src, dst, slack=0,
                                          limit=64)
             path = candidates[int(rng.integers(len(candidates)))]
-            self.controller.assign(flow, self.controller.make_policy(flow, path))
+            self.controller.assign(
+                flow, self.controller.make_policy(flow, path), capacitated=False
+            )
 
     # ------------------------------------------------------------ validation
     def verify_constraints(self) -> list[ConstraintViolation]:

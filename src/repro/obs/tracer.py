@@ -1,0 +1,186 @@
+"""Lightweight structured tracing: counters, timers, JSON-lines spans.
+
+Two tracer flavours share one interface:
+
+* :class:`NullTracer` — the default; every operation is a no-op and the
+  singleton :data:`NULL_TRACER` is what instrumented code sees when tracing
+  is off.  Hot paths additionally guard on ``STATE.enabled`` (see
+  :mod:`repro.obs.runtime`) so the disabled cost is one attribute load and a
+  branch.
+* :class:`Tracer` — accumulates named counters and aggregate timers
+  in-process and, when given a sink, emits one JSON object per line
+  (``{"ev": ..., "name": ..., ...}``) for offline analysis.
+
+Two timing APIs with different granularity:
+
+* :meth:`Tracer.timeit` — aggregate-only context manager for hot paths
+  (e.g. every Algorithm 1 DP call); records ``calls``/``total_ms`` but never
+  writes a line per call.
+* :meth:`Tracer.span` — coarse phases (a Hit optimisation sweep, a whole
+  simulation run); aggregates *and* writes a ``span`` line with duration and
+  caller-supplied attributes.
+
+The JSONL schema is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import IO, Any, Iterator
+
+__all__ = ["NullTracer", "NULL_TRACER", "Tracer", "TimerStat"]
+
+
+class NullTracer:
+    """Do-nothing tracer; the disabled default."""
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    @contextmanager
+    def timeit(self, name: str) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        yield
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op instance — instrumented modules read this when tracing is off.
+NULL_TRACER = NullTracer()
+
+
+class TimerStat:
+    """Aggregate of one named timer: call count and total elapsed time."""
+
+    __slots__ = ("calls", "total_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.calls if self.calls else 0.0
+
+
+class Tracer:
+    """Counter/timer aggregation plus optional JSON-lines event output.
+
+    ``sink`` is any text file-like object; pass ``None`` to aggregate only
+    (counters and timers still accumulate, nothing is written).  The tracer
+    owns sinks it opened via :meth:`to_path` and closes them in
+    :meth:`close`; caller-supplied sinks are flushed but left open.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: IO[str] | None = None) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, TimerStat] = {}
+        self._sink = sink
+        self._owns_sink = False
+        self._t0 = time.perf_counter()
+        self.events_written = 0
+
+    @classmethod
+    def to_path(cls, path: str) -> "Tracer":
+        """Tracer writing JSON lines to ``path`` (truncates an existing file)."""
+        tracer = cls(sink=open(path, "w", encoding="utf-8"))
+        tracer._owns_sink = True
+        return tracer
+
+    # ------------------------------------------------------------- recording
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a named counter (aggregate only, never a JSONL line)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit one point event as a JSONL line (no-op without a sink)."""
+        self._write({"ev": "event", "name": name, "t_ms": self._now_ms(), **attrs})
+
+    @contextmanager
+    def timeit(self, name: str) -> Iterator[None]:
+        """Aggregate-only timing for hot paths; no per-call output."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers.setdefault(name, TimerStat()).add(
+                time.perf_counter() - start
+            )
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Timed phase: aggregates like :meth:`timeit` and writes a
+        ``span`` line with the duration and the given attributes."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timers.setdefault(name, TimerStat()).add(elapsed)
+            self._write(
+                {
+                    "ev": "span",
+                    "name": name,
+                    "t_ms": self._now_ms(),
+                    "dur_ms": round(elapsed * 1e3, 6),
+                    **attrs,
+                }
+            )
+
+    # ----------------------------------------------------------------- output
+    def _now_ms(self) -> float:
+        return round((time.perf_counter() - self._t0) * 1e3, 6)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._sink is None:
+            return
+        self._sink.write(json.dumps(record, default=str) + "\n")
+        self.events_written += 1
+
+    def summary(self) -> dict[str, Any]:
+        """Counters plus per-timer call counts / totals, for reports."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {
+                    "calls": stat.calls,
+                    "total_ms": round(stat.total_ms, 3),
+                    "mean_ms": round(stat.mean_ms, 6),
+                }
+                for name, stat in sorted(self.timers.items())
+            },
+        }
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Write a final ``summary`` line and close an owned sink."""
+        if self._sink is not None:
+            self._write({"ev": "summary", "name": "tracer", **self.summary()})
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+                self._sink = None

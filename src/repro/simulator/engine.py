@@ -37,6 +37,7 @@ from ..core.taa import TAAInstance
 from ..mapreduce.hdfs import HdfsModel
 from ..mapreduce.job import JobSpec, shuffle_matrix
 from ..mapreduce.shuffle import ShuffleFlow
+from ..obs.runtime import STATE as _OBS
 from ..schedulers.base import Scheduler, SchedulingContext
 from ..topology.base import Topology
 from .events import Event, EventKind, EventQueue
@@ -166,31 +167,64 @@ class MapReduceSimulator:
                 Event(spec.submit_time, EventKind.JOB_ARRIVAL, payload=spec)
             )
         events = 0
+        observed = _OBS.enabled
+        if observed:
+            _OBS.tracer.event(
+                "sim.run.start",
+                scheduler=self.scheduler.name,
+                jobs=len(self.jobs),
+                servers=self.topology.num_servers,
+            )
         while self._queue:
             event = self._queue.pop()
             events += 1
             if events > self.config.max_events:
                 raise RuntimeError("simulation exceeded max_events — livelock?")
-            self._advance_network(event.time)
-            if event.kind is EventKind.NETWORK and event.epoch != self._net_epoch:
-                self._drain_completed(event.time)
+            if observed:
+                self._dispatch_traced(event)
                 continue
-            if event.kind is EventKind.JOB_ARRIVAL:
-                self._on_job_arrival(event.time, event.payload)
-            elif event.kind is EventKind.MAP_DONE:
-                self._on_map_done(event.time, *event.payload)
-                self._maybe_rebalance()
-            elif event.kind is EventKind.REDUCE_DONE:
-                self._on_reduce_done(event.time, *event.payload)
-            self._drain_completed(event.time)
-            self._schedule_network_checkpoint(event.time)
+            self._dispatch(event)
         unfinished = [j for j in self._jobs_by_id.values() if not j.done]
         if unfinished or self._pending:
             raise RuntimeError(
                 f"simulation ended with {len(unfinished)} unfinished and "
                 f"{len(self._pending)} unadmitted jobs"
             )
+        if observed:
+            _OBS.tracer.event(
+                "sim.run.end", scheduler=self.scheduler.name, events=events
+            )
+            if _OBS.checker is not None:
+                # End-of-run quiescence: every flow drained, every policy
+                # released, switch loads back to exactly their base values.
+                _OBS.checker.check_quiescent(
+                    self.controller, self.network, where="sim.run.end"
+                )
         return self.metrics
+
+    def _dispatch(self, event: Event) -> None:
+        """Process one event (the hot loop body)."""
+        self._advance_network(event.time)
+        if event.kind is EventKind.NETWORK and event.epoch != self._net_epoch:
+            self._drain_completed(event.time)
+            return
+        if event.kind is EventKind.JOB_ARRIVAL:
+            self._on_job_arrival(event.time, event.payload)
+        elif event.kind is EventKind.MAP_DONE:
+            self._on_map_done(event.time, *event.payload)
+            self._maybe_rebalance()
+        elif event.kind is EventKind.REDUCE_DONE:
+            self._on_reduce_done(event.time, *event.payload)
+        self._drain_completed(event.time)
+        self._schedule_network_checkpoint(event.time)
+
+    def _dispatch_traced(self, event: Event) -> None:
+        """Observed-mode dispatch: event counters/timers plus the network
+        and controller invariant checkpoints."""
+        tracer = _OBS.tracer
+        tracer.count(f"sim.event.{event.kind.name.lower()}")
+        with tracer.timeit("sim.dispatch"):
+            self._dispatch(event)
 
     # ---------------------------------------------------------- network glue
     def _advance_network(self, now: float) -> None:
@@ -198,6 +232,12 @@ class MapReduceSimulator:
         if dt > 0:
             self.network.advance(dt)
         self._net_time = now
+        if _OBS.enabled and _OBS.checker is not None:
+            # Checkpoint: the fluid allocation must stay feasible every time
+            # simulated time moves.
+            _OBS.checker.check_flow_conservation(
+                self.network, where=f"advance t={now:.6g}"
+            )
 
     def _schedule_network_checkpoint(self, now: float) -> None:
         self._net_epoch += 1
@@ -255,6 +295,12 @@ class MapReduceSimulator:
                 )
             )
             self._flow_done(now, fid)
+        if _OBS.enabled and _OBS.checker is not None:
+            # Checkpoint: after completions are drained the controller's
+            # bookkeeping and the shared cluster must be consistent.
+            where = f"drain t={now:.6g}"
+            _OBS.checker.check_controller(self.controller, where=where)
+            _OBS.checker.check_server_capacity(self.cluster, where=where)
 
     def _flow_done(self, now: float, fid: int) -> None:
         job_id, reduce_index = self._flow_index.pop(fid)

@@ -93,6 +93,21 @@ class FlowNetwork:
                 res.append(self._switch_resource[node])
         return tuple(res)
 
+    @property
+    def resource_capacities(self) -> np.ndarray:
+        """Capacity per resource index (directed links, then switches).
+
+        Read-only view for verification code; mutating it would corrupt the
+        allocator.
+        """
+        return self._caps
+
+    def ensure_rates(self) -> None:
+        """Recompute max-min rates if the flow set changed since the last
+        allocation — lets external checks read consistent rates."""
+        if self._dirty:
+            self.recompute_rates()
+
     def switch_utilisation(self, switch_id: int) -> float:
         """Current rate through a switch divided by its capacity."""
         res = self._switch_resource[switch_id]

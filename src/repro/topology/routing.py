@@ -17,17 +17,24 @@ endpoints.  This module computes that structure:
 
 from __future__ import annotations
 
+import weakref
 from typing import Sequence
 
 import numpy as np
 
 from .base import Topology, UNREACHABLE
 
-#: Per-topology memo of stage decompositions, keyed by id(topology) then
-#: (src, dst).  Topologies are immutable after construction, so the cache
-#: never invalidates; a WeakValueDictionary is unnecessary because the entry
-#: count is bounded by server-pair counts the experiments actually touch.
-_STAGE_CACHE: dict[int, dict[tuple[int, int], list[tuple[int, ...]]]] = {}
+#: Per-topology memo of stage decompositions, keyed by the topology object
+#: (weakly — entries vanish with their topology) then (src, dst).
+#: Topologies are immutable after construction, so entries never go stale.
+#: A plain id(topology)-keyed dict would be wrong: once a topology is
+#: garbage-collected a *new* topology can reuse the same id() and silently
+#: inherit the old one's stages, making the policy DP walk a graph that no
+#: longer exists (surfaced by the randomized property suite, which builds
+#: hundreds of short-lived topologies).
+_STAGE_CACHE: "weakref.WeakKeyDictionary[Topology, dict[tuple[int, int], list[tuple[int, ...]]]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 __all__ = [
     "shortest_path_stages",
@@ -52,7 +59,7 @@ def shortest_path_stages(
     """
     if src == dst:
         return [(src,)]
-    per_topo = _STAGE_CACHE.setdefault(id(topology), {})
+    per_topo = _STAGE_CACHE.setdefault(topology, {})
     cached = per_topo.get((src, dst))
     if cached is not None:
         return cached

@@ -1,0 +1,169 @@
+"""Property-based tests for Algorithm 2 over randomized TAA instances.
+
+Each instance draws a random hierarchical topology and a random workload
+from a fixed per-case seed, grades it with the real preference pipeline
+(Algorithm 1's pair-cost DP), runs the stable matching, and asserts the two
+properties the paper proves:
+
+* **stability** — the assignment admits no blocking pair (Theorem 2);
+* **capacity feasibility** — applying the assignment never oversubscribes a
+  server (Eq 3, fourth constraint).
+
+The suite covers well over 200 distinct instances: 160 full
+topology+workload draws plus 60 adversarial synthetic cost matrices with
+tight capacities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, Container, Resources, TaskKind, TaskRef
+from repro.core import TAAInstance, build_preference_matrix, find_blocking_pairs, stable_match
+from repro.core.preference import PreferenceMatrix
+from repro.mapreduce import ShuffleFlow
+from repro.obs import InvariantChecker
+from repro.topology import TreeConfig, build_tree
+
+
+def random_instance(seed: int) -> TAAInstance:
+    """A random small TAA instance: topology shape, demands, flows all drawn
+    from ``seed``."""
+    rng = np.random.default_rng(seed)
+    fanout = int(rng.integers(2, 5))
+    redundancy = int(rng.integers(1, 3))
+    slots = float(rng.integers(2, 4))
+    topo = build_tree(
+        TreeConfig(depth=2, fanout=fanout, redundancy=redundancy,
+                   server_resources=(slots,))
+    )
+    num_maps = int(rng.integers(2, 6))
+    num_reduces = int(rng.integers(1, 3))
+    containers, flows = [], []
+    map_ids, reduce_ids = [], []
+    cid = 0
+    for i in range(num_maps):
+        containers.append(
+            Container(cid, Resources(1.0, 0.0), TaskRef(0, TaskKind.MAP, i))
+        )
+        map_ids.append(cid)
+        cid += 1
+    for i in range(num_reduces):
+        containers.append(
+            Container(cid, Resources(1.0, 0.0), TaskRef(0, TaskKind.REDUCE, i))
+        )
+        reduce_ids.append(cid)
+        cid += 1
+    fid = 0
+    for m in map_ids:
+        for r in reduce_ids:
+            size = float(rng.uniform(0.1, 2.0))
+            flows.append(ShuffleFlow(fid, 0, 0, 0, m, r, size, size))
+            fid += 1
+    taa = TAAInstance(topo, containers, flows)
+    # Random initial placement so current costs (and thereby server-side
+    # utilities) are defined for a random subset of containers.
+    for container in taa.cluster.containers():
+        if rng.random() < 0.3:
+            continue  # leave some containers unplaced
+        candidates = [
+            s for s in taa.cluster.server_ids
+            if taa.cluster.fits(container.container_id, s)
+        ]
+        if candidates:
+            taa.cluster.place(
+                container.container_id,
+                int(rng.choice(candidates)),
+            )
+    taa.install_all_policies()
+    return taa
+
+
+def assert_capacity_feasible(result, cluster: ClusterState) -> None:
+    """Applying the assignment on fresh scratch state must fit every server."""
+    used: dict[int, Resources] = {s: Resources.zero() for s in cluster.server_ids}
+    in_matrix = set(result.assignment) | set(result.unmatched)
+    for other in cluster.containers():
+        if other.container_id in in_matrix or other.server_id is None:
+            continue
+        used[other.server_id] = used[other.server_id] + other.demand
+    for cid, sid in result.assignment.items():
+        used[sid] = used[sid] + cluster.container(cid).demand
+    for sid in cluster.server_ids:
+        assert used[sid].fits_in(cluster.capacity(sid)), (
+            f"server {sid} oversubscribed: {used[sid]} > {cluster.capacity(sid)}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(160))
+def test_random_instances_stable_and_feasible(seed):
+    taa = random_instance(seed)
+    preferences = build_preference_matrix(taa)
+    result = stable_match(preferences, taa.cluster)
+    assert find_blocking_pairs(result, preferences, taa.cluster) == [], seed
+    assert_capacity_feasible(result, taa.cluster)
+    # The InvariantChecker's stability check must agree with the direct
+    # blocking-pair enumeration.
+    checker = InvariantChecker(mode="collect")
+    checker.check_matching_stability(result, preferences, taa.cluster)
+    assert checker.violations == []
+
+
+def synthetic_case(seed: int, uniform_demand: bool):
+    """Adversarial synthetic case: random costs, tight random capacities.
+
+    With ``uniform_demand`` every container needs one slot (the paper's
+    setting, where Algorithm 2's stability guarantee holds); otherwise
+    demands are heterogeneous — stability can be unattainable then, but
+    capacity feasibility must still hold.
+    """
+    rng = np.random.default_rng(10_000 + seed)
+    m = int(rng.integers(2, 6))   # servers
+    n = int(rng.integers(2, 9))   # containers
+    from tests.core.test_matching import make_cluster
+
+    caps = [float(rng.integers(1, 4)) for _ in range(m)]
+    if uniform_demand:
+        demands = [1.0] * n
+    else:
+        demands = [float(rng.integers(1, 3)) for _ in range(n)]
+    cluster = make_cluster(caps, demands)
+    cost = rng.uniform(0.0, 10.0, size=(m, n))
+    # Some containers already have a (virtual) current cost, some don't.
+    current = np.where(rng.random(n) < 0.5, rng.uniform(0.0, 12.0, n), np.inf)
+    preferences = PreferenceMatrix(
+        server_ids=tuple(range(m)),
+        container_ids=tuple(range(n)),
+        cost=cost,
+        current_cost=current,
+    )
+    return preferences, cluster
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_synthetic_tight_capacity_instances(seed):
+    preferences, cluster = synthetic_case(seed, uniform_demand=True)
+    result = stable_match(preferences, cluster)
+    assert find_blocking_pairs(result, preferences, cluster) == [], seed
+    assert_capacity_feasible(result, cluster)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_synthetic_heterogeneous_demand_feasibility(seed):
+    """Heterogeneous demands: stability is not guaranteed by theory, but the
+    matching must still never oversubscribe a server."""
+    preferences, cluster = synthetic_case(seed, uniform_demand=False)
+    result = stable_match(preferences, cluster)
+    assert_capacity_feasible(result, cluster)
+
+
+def test_matching_is_deterministic_across_repeats():
+    """Same seed, same instance → byte-identical assignment (fixed seeds are
+    only meaningful if the pipeline is deterministic)."""
+    for seed in (3, 41, 97):
+        taa1 = random_instance(seed)
+        taa2 = random_instance(seed)
+        r1 = stable_match(build_preference_matrix(taa1), taa1.cluster)
+        r2 = stable_match(build_preference_matrix(taa2), taa2.cluster)
+        assert r1.assignment == r2.assignment
+        assert r1.unmatched == r2.unmatched
+        assert r1.proposals == r2.proposals

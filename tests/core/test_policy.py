@@ -136,6 +136,45 @@ class TestLoadAccounting:
         with pytest.raises(ValueError):
             controller.set_base_load(controller.topology.switch_ids[0], -1.0)
 
+    def test_assign_release_round_trip_is_exact(self, controller, tree):
+        """Many assign→release cycles with drift-prone rates must leave
+        ``load(w)`` *exactly* at the base load (bitwise, not approximately).
+
+        Float subtraction does not invert float addition (e.g. summing ten
+        0.1-rate flows and subtracting them back strands ~1e-17 on the
+        switch); ``release`` therefore snaps a switch to zero tracked load
+        when its last flow leaves.  The quiescence invariant and the
+        simulator's end-of-run check both rely on this exactness.
+        """
+        base = {w: 0.25 for w in tree.switch_ids}
+        for w, rate in base.items():
+            controller.set_base_load(w, rate)
+        for round_ in range(3):
+            flows = [
+                flow(fid=i, rate=0.1 + 0.1 * (i % 3)) for i in range(10)
+            ]
+            for i, f in enumerate(flows):
+                controller.route_flow(f, i % 4, 15 - (i % 4))
+            for f in flows:
+                controller.release(f.flow_id)
+            for w in tree.switch_ids:
+                assert controller.load(w) == base[w], (round_, w)
+                assert controller.capacitated_load(w) == base[w]
+        assert controller.policies() == {}
+        assert controller.recomputed_loads() == {
+            w: 0.0 for w in tree.switch_ids
+        }
+
+    def test_clear_resets_to_exact_zero(self, controller, tree):
+        for i in range(6):
+            controller.route_flow(flow(fid=i, rate=0.3), i % 4, 15)
+        controller.clear()
+        for w in tree.switch_ids:
+            assert controller.load(w) == 0.0
+            assert controller.capacitated_load(w) == 0.0
+        with pytest.raises(KeyError):
+            controller.flow_rate(0)
+
 
 class TestPolicyObjects:
     def test_policy_satisfied_by_construction(self, controller, tree):

@@ -1,0 +1,142 @@
+"""Differential tests for Algorithm 1 and the Hit pipeline.
+
+Two oracles:
+
+* **brute force** — `optimal_path`'s stage DP must return exactly the
+  cheapest path that explicit enumeration over the equal-cost path set
+  finds, on small Tree and FatTree fabrics, under random switch loads, with
+  and without the capacity constraint;
+* **baselines** — on identical seeds and workloads, the Hit placement can
+  never produce a higher shuffle cost than the Random or ECMP baselines
+  (the whole point of the optimisation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import CostModel, NoFeasiblePathError, PolicyController
+from repro.experiments import build_static_workload, run_static_placement
+from repro.experiments import configs
+from repro.mapreduce import WorkloadGenerator
+from repro.schedulers import make_scheduler
+from repro.topology import (
+    FatTreeConfig,
+    TreeConfig,
+    build_fattree,
+    build_tree,
+)
+from repro.topology.routing import enumerate_paths
+
+
+def brute_force_best(controller, src, dst, rate, enforce_capacity, slack_max):
+    """Cheapest feasible path by explicit enumeration (slack-extended)."""
+    best, best_cost = None, float("inf")
+    for slack in range(slack_max + 1):
+        for path in enumerate_paths(
+            controller.topology, src, dst, slack=slack, limit=4096
+        ):
+            if enforce_capacity and not all(
+                controller.residual(n) >= rate
+                for n in path
+                if controller.topology.is_switch(n)
+            ):
+                continue
+            cost = controller.path_cost(path, rate)
+            if cost < best_cost - 1e-12:
+                best, best_cost = path, cost
+        if best is not None:
+            # Mirror the DP's semantics: shortest feasible length wins; only
+            # extend the slack when everything shorter is pruned.
+            return best, best_cost
+    return best, best_cost
+
+
+TOPOLOGIES = {
+    "tree": lambda: build_tree(
+        TreeConfig(depth=2, fanout=3, redundancy=2, server_resources=(2.0,))
+    ),
+    "fattree": lambda: build_fattree(FatTreeConfig(k=4, server_resources=(2.0,))),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", range(12))
+def test_dp_matches_brute_force_under_random_load(kind, seed):
+    topo = TOPOLOGIES[kind]()
+    rng = np.random.default_rng(seed)
+    controller = PolicyController(
+        topo, cost_model=CostModel(congestion_weight=0.5)
+    )
+    # Random background load pattern, below capacity so paths stay feasible.
+    for w in topo.switch_ids:
+        cap = topo.switch(w).capacity
+        controller.set_base_load(w, float(rng.uniform(0.0, 0.6 * cap)))
+    servers = list(topo.server_ids)
+    for _ in range(6):
+        src, dst = rng.choice(servers, size=2, replace=False)
+        src, dst = int(src), int(dst)
+        rate = float(rng.uniform(0.1, 1.5))
+        for enforce in (False, True):
+            expected_path, expected_cost = brute_force_best(
+                controller, src, dst, rate, enforce, controller.max_slack
+            )
+            try:
+                path, cost = controller.optimal_path(
+                    src, dst, rate, enforce_capacity=enforce
+                )
+            except NoFeasiblePathError:
+                assert expected_path is None, (
+                    f"DP failed but enumeration found {expected_path}"
+                )
+                continue
+            assert expected_path is not None
+            assert cost == pytest.approx(expected_cost), (
+                f"{kind} seed={seed} {src}->{dst} enforce={enforce}: "
+                f"DP {path} costs {cost}, brute force {expected_path} "
+                f"costs {expected_cost}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_dp_matches_brute_force_with_tight_capacity(seed):
+    """Capacity pruning: load a random switch to the brim and re-compare."""
+    topo = TOPOLOGIES["tree"]()
+    rng = np.random.default_rng(100 + seed)
+    controller = PolicyController(topo)
+    # Saturate a random third of the switches.
+    for w in topo.switch_ids:
+        if rng.random() < 0.33:
+            controller.set_base_load(w, topo.switch(w).capacity)
+    servers = list(topo.server_ids)
+    src, dst = (int(x) for x in rng.choice(servers, size=2, replace=False))
+    rate = 0.5
+    expected_path, expected_cost = brute_force_best(
+        controller, src, dst, rate, True, controller.max_slack
+    )
+    try:
+        _, cost = controller.optimal_path(src, dst, rate, enforce_capacity=True)
+    except NoFeasiblePathError:
+        assert expected_path is None
+        return
+    assert expected_path is not None
+    assert cost == pytest.approx(expected_cost)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_hit_no_worse_than_random_and_ecmp(seed):
+    """Same seed, same workload: Hit's static shuffle cost must not exceed
+    the Random or ECMP baselines'."""
+    generator = WorkloadGenerator(
+        seed=seed, input_size_range=(4.0, 10.0), map_rate=8.0, reduce_rate=8.0
+    )
+    jobs = generator.make_workload(4)
+    costs = {}
+    for name in ("hit", "random", "capacity-ecmp"):
+        topology = configs.testbed_tree()
+        workload = build_static_workload(topology, jobs, seed=seed)
+        result = run_static_placement(
+            workload, make_scheduler(name, seed=seed), seed=seed
+        )
+        costs[name] = result.shuffle_cost
+    assert costs["hit"] <= costs["random"] + 1e-9, costs
+    assert costs["hit"] <= costs["capacity-ecmp"] + 1e-9, costs

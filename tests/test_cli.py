@@ -68,7 +68,7 @@ class TestOptimizeCommand:
         main(["workload", "--jobs", "2", "--output", str(path)])
         capsys.readouterr()
         assert main([
-            "optimize", "--trace", str(path), "--scheduler", "rackpack",
+            "optimize", "--jobs-trace", str(path), "--scheduler", "rackpack",
         ]) == 0
         assert "rackpack" in capsys.readouterr().out
 
