@@ -75,6 +75,11 @@ class HitOptimizer:
         self.taa = taa
         self.config = config or HitConfig()
         self._rng = np.random.default_rng(self.config.seed)
+        # One pair-cost cache for the optimiser's lifetime: it tracks the
+        # controller's load version, so the all-pairs matrix is built at most
+        # once per sweep and shared by the grading pass, the matching
+        # fallback and subsequent-wave placement.
+        self._pair_cache = PairCostCache(taa)
 
     # ------------------------------------------------------------- placement
     def random_initial_placement(
@@ -124,7 +129,7 @@ class HitOptimizer:
     def _fallback_place(self, container_id: int) -> None:
         """First-fit by route cost for a container the matching rejected."""
         cluster = self.taa.cluster
-        cache = PairCostCache(self.taa)
+        cache = self._pair_cache
         best_sid: int | None = None
         best_cost = float("inf")
         for sid in cluster.server_ids:
@@ -195,7 +200,9 @@ class HitOptimizer:
             with _OBS.tracer.span(
                 "hit.sweep", round=round_idx, containers=len(side)
             ):
-                preferences = build_preference_matrix(taa, container_ids=side)
+                preferences = build_preference_matrix(
+                    taa, container_ids=side, cache=self._pair_cache
+                )
                 matching = stable_match(preferences, taa.cluster)
                 matchings.append(matching)
                 self._apply_assignment(matching)
@@ -244,7 +251,7 @@ class HitOptimizer:
         """
         taa = self.taa
         cluster = taa.cluster
-        cache = PairCostCache(taa)
+        cache = self._pair_cache
 
         def outgoing_rate(cid: int) -> float:
             return sum(

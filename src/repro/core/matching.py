@@ -84,10 +84,13 @@ def stable_match(
     }
     cursors: dict[int, int] = {c: 0 for c in container_ids}
 
-    # Server-side ranking (0 = most preferred container).
-    server_rank: dict[int, dict[int, int]] = {
-        s: preferences.server_rank_of(s) for s in server_ids
-    }
+    # Server-side ranking (0 = most preferred container): lazy argsort-backed
+    # arrays, materialised per server on first proposal — most servers on a
+    # large fabric are never proposed to.  ``rank_of(s)[cidx[c]]`` is the
+    # rank of container ``c``, with infeasible pairs at the sentinel value
+    # ``n + 1`` (always at-or-beyond any rejected-top threshold).
+    cidx = preferences.container_index
+    rank_of = preferences.server_rank_array
     rejected_top: dict[int, int] = {s: len(container_ids) + 1 for s in server_ids}
 
     capacity: dict[int, Resources] = {
@@ -105,13 +108,13 @@ def stable_match(
 
     while free:
         c = free.popleft()
-        placed = False
         while cursors[c] < len(pref_lists[c]):
             s = pref_lists[c][cursors[c]]
             cursors[c] += 1
-            rank = server_rank[s].get(c)
-            if rank is None or rank >= rejected_top[s]:
-                # Blacklisted: s already rejected a container it prefers to c.
+            ranks = rank_of(s)
+            if int(ranks[cidx[c]]) >= rejected_top[s]:
+                # Blacklisted (or infeasible): s already rejected a container
+                # it prefers to c.
                 continue
             proposals += 1
             # Tentatively accept, then evict least-preferred until feasible.
@@ -119,21 +122,17 @@ def stable_match(
             matched_to[c] = s
             used[s] = used[s] + demand[c]
             while not used[s].fits_in(capacity[s]):
-                worst = max(accepted[s], key=lambda x: server_rank[s][x])
+                worst = max(accepted[s], key=lambda x: ranks[cidx[x]])
                 accepted[s].discard(worst)
                 used[s] = used[s] - demand[worst]
                 del matched_to[worst]
                 evictions += 1
-                rejected_top[s] = min(rejected_top[s], server_rank[s][worst])
+                rejected_top[s] = min(rejected_top[s], int(ranks[cidx[worst]]))
                 if worst != c:
                     free.append(worst)
             if c in accepted[s]:
-                placed = True
                 break
             # c itself was evicted: continue down its list.
-        if not placed and c not in matched_to:
-            if cursors[c] >= len(pref_lists[c]):
-                pass  # exhausted; will be reported unmatched
     unmatched = [c for c in container_ids if c not in matched_to]
     result = MatchingResult(
         assignment=dict(matched_to),
@@ -192,34 +191,36 @@ def find_blocking_pairs(
         used[s] = used[s] + demand[c]
         accepted[s].append(c)
 
-    server_rank = {s: preferences.server_rank_of(s) for s in server_ids}
+    sidx = preferences.server_index
+    cidx = preferences.container_index
+    num_containers = len(container_ids)
     blocking: list[tuple[int, int]] = []
     for c in container_ids:
         current = result.assignment.get(c)
-        j = preferences.container_ids.index(c)
+        j = cidx[c]
         current_cost = (
-            preferences.cost[preferences.server_ids.index(current), j]
+            preferences.cost[sidx[current], j]
             if current is not None
             else float("inf")
         )
         for s in server_ids:
             if s == current:
                 continue
-            i = preferences.server_ids.index(s)
-            cost = preferences.cost[i, j]
+            cost = preferences.cost[sidx[s], j]
             if not cost < current_cost - tolerance:
                 continue  # c does not strictly prefer s
-            rank_c = server_rank[s].get(c)
-            if rank_c is None:
-                continue
+            ranks = preferences.server_rank_array(s)
+            rank_c = int(ranks[j])
+            if rank_c >= num_containers:
+                continue  # infeasible on s (sentinel rank)
             residual = cluster.capacity(s) - used[s]
             if demand[c].fits_in(residual):
                 blocking.append((c, s))
                 continue
             # Would evicting strictly-worse tenants make room?
-            worse = [a for a in accepted[s] if server_rank[s][a] > rank_c]
+            worse = [a for a in accepted[s] if ranks[cidx[a]] > rank_c]
             freed = residual
-            for a in sorted(worse, key=lambda x: -server_rank[s][x]):
+            for a in sorted(worse, key=lambda x: -int(ranks[cidx[x]])):
                 freed = freed + demand[a]
                 if demand[c].fits_in(freed):
                     blocking.append((c, s))

@@ -27,10 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..mapreduce.shuffle import ShuffleFlow
 from ..obs.runtime import STATE as _OBS
 from ..topology.base import Tier, Topology
-from ..topology.routing import enumerate_paths, shortest_path_stages
+from ..topology.routing import enumerate_paths, stage_adjacency
 
 __all__ = ["Policy", "CostModel", "PolicyController", "NoFeasiblePathError"]
 
@@ -132,6 +134,32 @@ class PolicyController:
         self._capacitated: set[int] = set()
         self._cap_load: dict[int, float] = {w: 0.0 for w in topology.switch_ids}
         self._cap_flows_on: dict[int, int] = {w: 0 for w in topology.switch_ids}
+        # Monotone counter bumped on every load mutation; consumers that
+        # cache load-derived quantities (the all-pairs unit-cost matrix)
+        # compare it to decide when to invalidate.
+        self._load_version: int = 0
+        # Node-indexed mirrors of the `_load`/`_base_load` dicts (servers
+        # stay 0.0) plus the static per-node cost-model terms, so the DP can
+        # gather whole stages without per-node dict/attribute chasing.  The
+        # dicts remain the canonical accounting; mirrors are re-assigned from
+        # them after every mutation.
+        n = topology.num_nodes
+        self._load_arr = np.zeros(n, dtype=np.float64)
+        self._base_arr = np.zeros(n, dtype=np.float64)
+        self._switch_mask = np.zeros(n, dtype=bool)
+        self._cost_base = np.zeros(n, dtype=np.float64)
+        self._switch_cap = np.zeros(n, dtype=np.float64)
+        cm = self.cost_model
+        for w in topology.switch_ids:
+            switch = topology.switch(w)
+            self._switch_mask[w] = True
+            self._cost_base[w] = cm.unit_cost * cm.tier_weights.get(switch.tier, 1.0)
+            self._switch_cap[w] = switch.capacity
+
+    @property
+    def load_version(self) -> int:
+        """Bumped whenever any switch load changes (install/release/base)."""
+        return self._load_version
 
     # ------------------------------------------------------------------ state
     def load(self, switch_id: int) -> float:
@@ -175,11 +203,15 @@ class PolicyController:
         if rate < 0:
             raise ValueError("base load must be non-negative")
         self._base_load[switch_id] = rate
+        self._base_arr[switch_id] = rate
+        self._load_version += 1
 
     def base_loads_from(self, other: "PolicyController") -> None:
         """Copy another controller's *total* loads in as base load."""
         for w in self.topology.switch_ids:
             self._base_load[w] = other.load(w)
+            self._base_arr[w] = self._base_load[w]
+        self._load_version += 1
 
     def residual(self, switch_id: int) -> float:
         return self.topology.switch(switch_id).capacity - self.load(switch_id)
@@ -221,7 +253,9 @@ class PolicyController:
             self.release(flow.flow_id)
         for w in policy.switch_list:
             self._load[w] += flow.rate
+            self._load_arr[w] = self._load[w]
             self._flows_on[w] += 1
+        self._load_version += 1
         if capacitated:
             self._capacitated.add(flow.flow_id)
             for w in policy.switch_list:
@@ -259,6 +293,7 @@ class PolicyController:
                 self._load[w] = 0.0
             else:
                 self._load[w] = max(self._load[w] - rate, 0.0)
+            self._load_arr[w] = self._load[w]
             if capacitated:
                 self._cap_flows_on[w] -= 1
                 if self._cap_flows_on[w] <= 0:
@@ -266,6 +301,7 @@ class PolicyController:
                     self._cap_load[w] = 0.0
                 else:
                     self._cap_load[w] = max(self._cap_load[w] - rate, 0.0)
+        self._load_version += 1
         if _OBS.enabled:
             _OBS.tracer.count("alg1.release")
 
@@ -279,6 +315,8 @@ class PolicyController:
             self._cap_load[w] = 0.0
             self._flows_on[w] = 0
             self._cap_flows_on[w] = 0
+        self._load_arr[:] = 0.0
+        self._load_version += 1
 
     # --------------------------------------------------------- cost queries
     def path_cost(self, path: Sequence[int], rate: float) -> float:
@@ -288,6 +326,29 @@ class PolicyController:
             for n in path
             if self.topology.is_switch(n)
         )
+
+    def node_cost_vector(self, nodes: np.ndarray) -> np.ndarray:
+        """Per-node traversal costs under current loads, vectorised.
+
+        Element-for-element this computes exactly what
+        :meth:`CostModel.switch_cost` returns (same operation order, so the
+        floats are bit-identical); servers contribute 0.0.
+        """
+        costs = self._cost_base[nodes].copy()
+        cw = self.cost_model.congestion_weight
+        if cw > 0:
+            mask = self._switch_cap[nodes] > 0
+            if mask.any():
+                loads = self._load_arr[nodes] + self._base_arr[nodes]
+                costs[mask] += cw * (
+                    loads[mask] / self._switch_cap[nodes][mask]
+                )
+        return costs
+
+    def all_node_costs(self) -> np.ndarray:
+        """Traversal-cost vector over every node id (the batched solver's
+        input); recompute after any load mutation (see :attr:`load_version`)."""
+        return self.node_cost_vector(np.arange(self.topology.num_nodes))
 
     def policy_cost(self, flow: ShuffleFlow) -> float:
         """Shuffle cost of a flow under its installed policy (Eq 2).
@@ -388,53 +449,47 @@ class PolicyController:
         rate: float,
         enforce_capacity: bool,
     ) -> tuple[int, ...] | None:
-        """Forward DP over :func:`shortest_path_stages`; None when pruned dry."""
-        stages = shortest_path_stages(self.topology, src, dst)
-        topo = self.topology
-        # frontier[node] = cumulative cost at the previous stage.
-        frontier: dict[int, float] = {src: 0.0}
-        parents: dict[int, int] = {}
-        for stage in stages[1:]:
-            nxt: dict[int, float] = {}
-            for node in stage:
-                if (
-                    enforce_capacity
-                    and topo.is_switch(node)
-                    and self.residual(node) < rate
-                ):
-                    continue
-                node_cost = (
-                    self.cost_model.switch_cost(topo, node, self.load(node))
-                    if topo.is_switch(node)
-                    else 0.0
-                )
-                best_total = _INF
-                best_prev: int | None = None
-                for prev, prev_cost in frontier.items():
-                    if not topo.has_link(prev, node):
-                        continue
-                    total = prev_cost + node_cost
-                    if total < best_total or (
-                        total == best_total
-                        and best_prev is not None
-                        and prev < best_prev
-                    ):
-                        best_total = total
-                        best_prev = prev
-                if best_prev is not None:
-                    nxt[node] = best_total
-                    parents[node] = best_prev
-            if not nxt:
+        """Masked-array min-plus DP over the cached stage adjacency.
+
+        Vectorised replacement for the frontier×stage scalar DP: per stage
+        transition, candidate totals are a ``(prev, cur)`` matrix built from
+        the cached boolean adjacency (:func:`stage_adjacency`), capacity
+        pruning is a boolean mask, and ``argmin`` over the prev axis both
+        selects parents and reproduces the scalar tie-break (lowest prev node
+        id — stages are ascending).  Returns ``None`` when pruning empties a
+        stage or ``dst`` ends unreachable.
+        """
+        stages, mats = stage_adjacency(self.topology, src, dst)
+        if len(stages) == 1:
+            return (src,)
+        parent_idx: list[np.ndarray] = []
+        current = np.zeros(1, dtype=np.float64)
+        for k in range(1, len(stages)):
+            nodes = stages[k]
+            costs = self.node_cost_vector(nodes)
+            totals = (
+                np.where(mats[k - 1], current[:, None], _INF) + costs[None, :]
+            )
+            best = totals.min(axis=0)
+            parents = totals.argmin(axis=0)
+            if enforce_capacity:
+                switches = self._switch_mask[nodes]
+                if switches.any():
+                    loads = self._load_arr[nodes] + self._base_arr[nodes]
+                    infeasible = switches & (
+                        self._switch_cap[nodes] - loads < rate
+                    )
+                    best[infeasible] = _INF
+            if not np.isfinite(best).any():
                 return None
-            frontier = nxt
-        if dst not in frontier:
-            return None
-        # Backtrack.
+            parent_idx.append(parents)
+            current = best
+        # Last stage is (dst,) alone; backtrack through the parent indices.
         path = [dst]
-        node = dst
-        while node != src:
-            node = parents[node]
-            path.append(node)
+        idx = 0
+        for k in range(len(stages) - 1, 0, -1):
+            idx = int(parent_idx[k - 1][idx])
+            path.append(int(stages[k - 1][idx]))
         return tuple(reversed(path))
 
     # --------------------------------------------------------- policy builds

@@ -16,10 +16,16 @@ Algorithm 1 ends with an ``M x N`` preference matrix ``P``: for every server
   container term ``C_c(A(c))`` varies across containers.)
 
 Route costs are evaluated with the capacity constraint relaxed (grading
-pass — feasibility is enforced at matching and policy-installation time) and
-cached per server pair: with capacities relaxed the optimal route between two
-servers is independent of the flow's rate, so one DP per pair serves every
-flow between those racks.
+pass — feasibility is enforced at matching and policy-installation time).
+With capacities relaxed the optimal route between two servers is independent
+of the flow's rate, so the costs depend only on the server pair — and the
+grading pass prices them **all at once**: one batched layered min-plus DP
+per source server (:func:`~repro.topology.routing.single_source_unit_costs`)
+fills an ``S x S`` all-pairs unit-cost matrix, and each preference column is
+then assembled as ``column += rate * U[:, other]`` array gathers.  The
+matrix is keyed to the controller's load version and rebuilt only when
+switch loads actually change, so every consumer in a sweep (grading, the
+matching fallback, subsequent-wave placement) shares one build.
 """
 
 from __future__ import annotations
@@ -28,39 +34,101 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.runtime import STATE as _OBS
+from ..topology.routing import single_source_unit_costs
 from .taa import TAAInstance
 
 __all__ = ["PreferenceMatrix", "build_preference_matrix", "PairCostCache"]
 
 
 class PairCostCache:
-    """Memoised unit-rate optimal route costs between server pairs.
+    """Unit-rate optimal route costs between server pairs, matrix-backed.
 
-    Costs are symmetric (reversing an undirected path traverses the same
-    switches), so the cache key is the unordered pair.  The cache must be
-    rebuilt whenever switch loads change materially — the builder constructs
-    a fresh one per optimisation round.
+    A thin view over the all-pairs unit-cost matrix ``U``: ``U[i, j]`` is the
+    relaxed-capacity optimal route cost between servers ``server_ids[i]`` and
+    ``server_ids[j]`` at rate 1.  Costs are symmetric (reversing an
+    undirected path traverses the same switches); each entry is priced from
+    the lower-id endpoint, matching the canonical orientation the scalar
+    per-pair DP used.  The matrix is built lazily by ``S`` batched
+    single-source passes and invalidated automatically whenever the
+    controller's switch loads change (:attr:`PolicyController.load_version`),
+    so one long-lived cache can be shared across sweeps.
     """
 
     def __init__(self, taa: TAAInstance) -> None:
         self._taa = taa
-        self._cache: dict[tuple[int, int], float] = {}
+        self._server_ids: tuple[int, ...] = taa.cluster.server_ids
+        self._server_index: dict[int, int] = {
+            s: i for i, s in enumerate(self._server_ids)
+        }
+        self._matrix: np.ndarray | None = None
+        self._version: int = -1
+
+    # --------------------------------------------------------------- building
+    def _ensure(self) -> np.ndarray:
+        controller = self._taa.controller
+        if self._matrix is None or self._version != controller.load_version:
+            if _OBS.enabled:
+                _OBS.tracer.count("pref.unit_matrix.build")
+                with _OBS.tracer.timeit("pref.unit_matrix"):
+                    self._matrix = self._build()
+            else:
+                self._matrix = self._build()
+            self._version = controller.load_version
+        return self._matrix
+
+    def _build(self) -> np.ndarray:
+        topology = self._taa.topology
+        node_costs = self._taa.controller.all_node_costs()
+        servers = np.asarray(self._server_ids, dtype=np.int64)
+        s = len(servers)
+        rows = np.zeros((s, s), dtype=np.float64)
+        # Row i prices every pair whose lower-id endpoint is server i, so the
+        # last server's row is never consulted and is skipped.
+        for i in range(s - 1):
+            rows[i] = single_source_unit_costs(
+                topology, int(servers[i]), node_costs
+            )[servers]
+        upper = np.triu_indices(s, k=1)
+        matrix = np.zeros((s, s), dtype=np.float64)
+        matrix[upper] = rows[upper]
+        matrix += matrix.T
+        return matrix
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def matrix(self) -> np.ndarray:
+        """The ``S x S`` all-pairs unit-cost matrix (built on first use)."""
+        return self._ensure()
+
+    @property
+    def server_ids(self) -> tuple[int, ...]:
+        return self._server_ids
+
+    @property
+    def server_index(self) -> dict[int, int]:
+        """``{server_id: row/column index}`` into :attr:`matrix`."""
+        return self._server_index
 
     def unit_cost(self, a: int, b: int) -> float:
         """Optimal route cost between servers ``a`` and ``b`` at rate 1."""
         if a == b:
             return 0.0
-        key = (a, b) if a < b else (b, a)
-        cached = self._cache.get(key)
-        if cached is None:
-            _, cached = self._taa.controller.optimal_path(
-                key[0], key[1], rate=1.0, enforce_capacity=False
-            )
-            self._cache[key] = cached
-        return cached
+        return float(
+            self._ensure()[self._server_index[a], self._server_index[b]]
+        )
+
+    def column(self, server_id: int) -> np.ndarray:
+        """Unit costs from *every* server to ``server_id`` (one gather)."""
+        return self._ensure()[:, self._server_index[server_id]]
 
     def __len__(self) -> int:
-        return len(self._cache)
+        """Number of distinct server pairs currently priced (0 until the
+        matrix is first built, then all of them)."""
+        if self._matrix is None:
+            return 0
+        s = len(self._server_ids)
+        return s * (s - 1) // 2
 
 
 @dataclass
@@ -79,8 +147,20 @@ class PreferenceMatrix:
     def __post_init__(self) -> None:
         self._server_index = {s: i for i, s in enumerate(self.server_ids)}
         self._container_index = {c: j for j, c in enumerate(self.container_ids)}
+        #: Lazily filled per-server rank arrays (see :meth:`server_rank_array`).
+        self._rank_arrays: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------- accessors
+    @property
+    def server_index(self) -> dict[int, int]:
+        """``{server_id: row index}`` into :attr:`cost`."""
+        return self._server_index
+
+    @property
+    def container_index(self) -> dict[int, int]:
+        """``{container_id: column index}`` into :attr:`cost`."""
+        return self._container_index
+
     def grade(self, server_id: int, container_id: int) -> float:
         """The paper's ``P(s, c)``: higher is better (negated cost)."""
         return -float(
@@ -107,18 +187,22 @@ class PreferenceMatrix:
             self.server_ids[i] for i in order if np.isfinite(column[i])
         ]
 
-    def server_ranking(self, server_id: int) -> list[int]:
-        """Container ids the server prefers, highest utility first."""
-        i = self._server_index[server_id]
+    def _server_utilities(self, row: int) -> np.ndarray:
+        """The utility vector one server grades every container with."""
         # Unplaced containers have no current cost; grade them by -cost (the
         # raw P(s, c)) so they still sort sensibly among the placed ones.
         with np.errstate(invalid="ignore"):
             utilities = np.where(
                 np.isfinite(self.current_cost),
-                self.current_cost - self.cost[i, :],
-                -self.cost[i, :],
+                self.current_cost - self.cost[row, :],
+                -self.cost[row, :],
             )
-        utilities = np.nan_to_num(utilities, nan=-np.inf)
+        return np.nan_to_num(utilities, nan=-np.inf)
+
+    def server_ranking(self, server_id: int) -> list[int]:
+        """Container ids the server prefers, highest utility first."""
+        i = self._server_index[server_id]
+        utilities = self._server_utilities(i)
         # Containers that cannot fit (cost inf) rank last and are dropped.
         order = np.argsort(-utilities, kind="stable")
         return [
@@ -127,14 +211,52 @@ class PreferenceMatrix:
             if np.isfinite(self.cost[i, j])
         ]
 
+    #: Rank value marking a statically infeasible (server, container) pair in
+    #: :meth:`server_rank_array` — always at-or-beyond a server's
+    #: rejected-top threshold, so the matching loop skips such proposals just
+    #: as it would a missing rank.
+    INFEASIBLE_RANK_OFFSET = 1
+
+    def server_rank_array(self, server_id: int) -> np.ndarray:
+        """Argsort-backed rank vector of one server, lazily materialised.
+
+        ``result[j]`` is the rank (0 = most preferred) the server gives
+        container ``container_ids[j]``, consistent with
+        :meth:`server_ranking`; statically infeasible containers get the
+        sentinel ``len(container_ids) + INFEASIBLE_RANK_OFFSET`` instead of a
+        rank.  Computed once per server on first access — Algorithm 2 only
+        ever touches the servers that are actually proposed to, so eager
+        materialisation of every server's ranking is wasted work on large
+        fabrics.
+        """
+        i = self._server_index[server_id]
+        cached = self._rank_arrays.get(i)
+        if cached is not None:
+            return cached
+        n = len(self.container_ids)
+        order = np.argsort(-self._server_utilities(i), kind="stable")
+        feasible_in_order = order[np.isfinite(self.cost[i, order])]
+        ranks = np.full(n, n + self.INFEASIBLE_RANK_OFFSET, dtype=np.int64)
+        ranks[feasible_in_order] = np.arange(feasible_in_order.size)
+        ranks.setflags(write=False)
+        self._rank_arrays[i] = ranks
+        return ranks
+
     def server_rank_of(self, server_id: int) -> dict[int, int]:
         """``{container_id: rank}`` (0 = most preferred) for one server."""
-        return {c: r for r, c in enumerate(self.server_ranking(server_id))}
+        ranks = self.server_rank_array(server_id)
+        n = len(self.container_ids)
+        return {
+            c: int(ranks[j])
+            for j, c in enumerate(self.container_ids)
+            if ranks[j] < n
+        }
 
 
 def build_preference_matrix(
     taa: TAAInstance,
     container_ids: list[int] | None = None,
+    cache: PairCostCache | None = None,
 ) -> PreferenceMatrix:
     """Run the grading pass of Algorithm 1 and assemble the matrix.
 
@@ -142,7 +264,21 @@ def build_preference_matrix(
     grades the new Map containers); by default every container that has at
     least one incident flow is graded.  Containers with no flows are
     placement-indifferent — grading them would add all-zero columns.
+    ``cache`` lets the caller share one :class:`PairCostCache` (and its
+    all-pairs matrix) across the grading pass and the matching fallback; a
+    fresh one is built when omitted.
     """
+    if _OBS.enabled:
+        with _OBS.tracer.timeit("pref.build"):
+            return _build_preference_matrix(taa, container_ids, cache)
+    return _build_preference_matrix(taa, container_ids, cache)
+
+
+def _build_preference_matrix(
+    taa: TAAInstance,
+    container_ids: list[int] | None,
+    cache: PairCostCache | None,
+) -> PreferenceMatrix:
     cluster = taa.cluster
     if container_ids is None:
         container_ids = [
@@ -151,16 +287,25 @@ def build_preference_matrix(
             if taa.flows_of_container(c.container_id)
         ]
     server_ids = cluster.server_ids
-    cache = PairCostCache(taa)
+    if cache is None:
+        cache = PairCostCache(taa)
+    unit = cache.matrix
+    server_index = cache.server_index
 
     m, n = len(server_ids), len(container_ids)
     cost = np.zeros((m, n), dtype=np.float64)
     current = np.full(n, np.inf, dtype=np.float64)
-    server_index = {s: i for i, s in enumerate(server_ids)}
+    # Static feasibility is a pure array comparison: demand must fit the
+    # server's *total* capacity (matching re-packs everything, so residuals
+    # are checked there).
+    capacities = np.array(
+        [cluster.capacity(s).as_tuple() for s in server_ids], dtype=np.float64
+    )
 
     for j, cid in enumerate(container_ids):
         container = cluster.container(cid)
-        # Column of per-server costs, accumulated flow by flow.
+        # Column of per-server costs, accumulated flow by flow as gathers
+        # out of the shared all-pairs matrix.
         column = np.zeros(m, dtype=np.float64)
         for flow in taa.flows_of_container(cid):
             other_cid = (
@@ -171,15 +316,9 @@ def build_preference_matrix(
             other_server = cluster.container(other_cid).server_id
             if other_server is None:
                 continue
-            unit = np.array(
-                [cache.unit_cost(s, other_server) for s in server_ids]
-            )
-            column += flow.rate * unit
-        # Static feasibility: demand must fit the server's *total* capacity
-        # (matching re-packs everything, so residuals are checked there).
-        for i, sid in enumerate(server_ids):
-            if not container.demand.fits_in(cluster.capacity(sid)):
-                column[i] = np.inf
+            column += flow.rate * unit[:, server_index[other_server]]
+        demand = np.asarray(container.demand.as_tuple(), dtype=np.float64)
+        column[(capacities < demand).any(axis=1)] = np.inf
         cost[:, j] = column
         if container.server_id is not None:
             current[j] = column[server_index[container.server_id]]

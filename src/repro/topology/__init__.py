@@ -10,10 +10,13 @@ from .bcube import BCubeConfig, build_bcube
 from .describe import TopologySummary, ascii_tree, describe_topology
 from .fattree import FatTreeConfig, build_fattree
 from .routing import (
+    bfs_layers,
     count_shortest_paths,
     enumerate_paths,
     path_is_valid,
     shortest_path_stages,
+    single_source_unit_costs,
+    stage_adjacency,
 )
 from .tree import TreeConfig, build_tree
 from .vl2 import VL2Config, build_vl2
@@ -34,6 +37,9 @@ __all__ = [
     "BCubeConfig",
     "build_bcube",
     "shortest_path_stages",
+    "stage_adjacency",
+    "bfs_layers",
+    "single_source_unit_costs",
     "enumerate_paths",
     "count_shortest_paths",
     "path_is_valid",

@@ -170,6 +170,7 @@ class Topology:
             tuple(sorted(neigh)) for neigh in adjacency
         ]
         self._distance_cache: dict[int, np.ndarray] = {}
+        self._adjacency_matrix: np.ndarray | None = None
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -239,6 +240,22 @@ class Topology:
 
     def neighbors(self, node_id: int) -> tuple[int, ...]:
         return self._adjacency[node_id]
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency, ``A[u, v]`` True iff ``u``—``v`` is a link.
+
+        Built once on first use and returned read-only; vectorised routing
+        kernels slice per-stage sub-matrices out of it instead of issuing
+        per-pair :meth:`has_link` calls.
+        """
+        if self._adjacency_matrix is None:
+            matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=bool)
+            for u, v in self._links:
+                matrix[u, v] = True
+                matrix[v, u] = True
+            matrix.setflags(write=False)
+            self._adjacency_matrix = matrix
+        return self._adjacency_matrix
 
     def degree(self, node_id: int) -> int:
         return len(self._adjacency[node_id])

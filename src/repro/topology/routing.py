@@ -36,8 +36,24 @@ _STAGE_CACHE: "weakref.WeakKeyDictionary[Topology, dict[tuple[int, int], list[tu
     weakref.WeakKeyDictionary()
 )
 
+#: Vectorised companion to :data:`_STAGE_CACHE`: per (src, dst), the stages
+#: as integer arrays plus the boolean adjacency matrix between each pair of
+#: consecutive stages.  Same weak keying and staleness argument as above.
+_STAGE_ADJ_CACHE: "weakref.WeakKeyDictionary[Topology, dict[tuple[int, int], tuple[list[np.ndarray], list[np.ndarray]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Per-source BFS layer decomposition used by the batched unit-cost solver:
+#: layer node arrays plus consecutive-layer adjacency matrices.
+_LAYER_CACHE: "weakref.WeakKeyDictionary[Topology, dict[int, tuple[list[np.ndarray], list[np.ndarray]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
 __all__ = [
     "shortest_path_stages",
+    "stage_adjacency",
+    "bfs_layers",
+    "single_source_unit_costs",
     "enumerate_paths",
     "count_shortest_paths",
 ]
@@ -79,6 +95,96 @@ def shortest_path_stages(
     stages.append((dst,))
     per_topo[(src, dst)] = stages
     return stages
+
+
+def stage_adjacency(
+    topology: Topology, src: int, dst: int
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Vectorised form of :func:`shortest_path_stages` for the policy DP.
+
+    Returns ``(stages, mats)`` where ``stages[k]`` is the k-th stage as an
+    int64 array (ascending node ids, identical contents to
+    ``shortest_path_stages``) and ``mats[k]`` is the boolean matrix of shape
+    ``(len(stages[k]), len(stages[k+1]))`` with ``mats[k][i, j]`` True iff
+    ``stages[k][i]`` and ``stages[k+1][j]`` are physically adjacent.  Cached
+    per (topology, src, dst); topologies are immutable so entries never go
+    stale.
+    """
+    per_topo = _STAGE_ADJ_CACHE.setdefault(topology, {})
+    cached = per_topo.get((src, dst))
+    if cached is not None:
+        return cached
+    stage_tuples = shortest_path_stages(topology, src, dst)
+    stages = [np.asarray(stage, dtype=np.int64) for stage in stage_tuples]
+    adjacency = topology.adjacency_matrix()
+    mats = [
+        adjacency[np.ix_(stages[k], stages[k + 1])]
+        for k in range(len(stages) - 1)
+    ]
+    entry = (stages, mats)
+    per_topo[(src, dst)] = entry
+    return entry
+
+
+def bfs_layers(
+    topology: Topology, src: int
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """BFS layer decomposition from ``src`` with inter-layer adjacency.
+
+    ``layers[d]`` holds every node at hop distance ``d`` from ``src``
+    (ascending ids; unreachable nodes appear in no layer) and ``mats[d]`` is
+    the boolean adjacency between ``layers[d]`` and ``layers[d+1]``.  This is
+    the structure :func:`single_source_unit_costs` prices routes over — any
+    hop-shortest path to a node at layer ``d`` enters it from layer ``d-1``.
+    Cached per (topology, src).
+    """
+    per_topo = _LAYER_CACHE.setdefault(topology, {})
+    cached = per_topo.get(src)
+    if cached is not None:
+        return cached
+    dist = topology.hop_distances_from(src)
+    reachable = dist != UNREACHABLE
+    max_depth = int(dist[reachable].max()) if reachable.any() else 0
+    layers = [
+        np.nonzero(dist == d)[0].astype(np.int64)
+        for d in range(max_depth + 1)
+    ]
+    adjacency = topology.adjacency_matrix()
+    mats = [
+        adjacency[np.ix_(layers[d], layers[d + 1])]
+        for d in range(len(layers) - 1)
+    ]
+    entry = (layers, mats)
+    per_topo[src] = entry
+    return entry
+
+
+def single_source_unit_costs(
+    topology: Topology, src: int, node_costs: np.ndarray
+) -> np.ndarray:
+    """Minimum traversal cost over hop-shortest paths from ``src`` to every
+    node, in one layered min-plus pass.
+
+    ``node_costs[n]`` is the cost contributed by traversing node ``n``
+    (0.0 for servers, the load-derived switch cost for switches).  The return
+    value ``best`` has ``best[n]`` equal to the minimum, over all
+    *hop-shortest* ``src → n`` paths, of the sum of node costs along the path
+    (``inf`` for unreachable nodes).  For a destination server this is
+    exactly the relaxed-capacity pair cost the per-pair stage DP computes —
+    every prefix of a hop-shortest path is itself hop-shortest, so the
+    per-layer recurrence ``best[n] = min over adjacent prev of best[prev]``
+    plus ``node_costs[n]`` prices all destinations at once.
+    """
+    layers, mats = bfs_layers(topology, src)
+    best = np.full(topology.num_nodes, np.inf, dtype=np.float64)
+    current = np.asarray([node_costs[src]], dtype=np.float64)
+    best[src] = current[0]
+    for depth, mat in enumerate(mats):
+        nodes = layers[depth + 1]
+        reached = np.where(mat, current[:, None], np.inf).min(axis=0)
+        current = reached + node_costs[nodes]
+        best[nodes] = current
+    return best
 
 
 def enumerate_paths(

@@ -78,7 +78,26 @@ class TestInitialWave:
         r1 = HitOptimizer(taa1, HitConfig(seed=9)).optimize_initial_wave()
         r2 = HitOptimizer(taa2, HitConfig(seed=9)).optimize_initial_wave()
         assert r1.placement == r2.placement
+        # The vectorised kernels are deterministic bit-for-bit, so the whole
+        # trace (not just the final cost) must coincide.
+        assert r1.cost_trace == r2.cost_trace
         assert r1.final_cost == pytest.approx(r2.final_cost)
+
+    def test_deterministic_with_shared_pair_cache_reuse(self, small_tree):
+        """Re-running waves on one optimizer (shared, version-invalidated
+        pair-cost cache) matches a fresh optimizer per wave."""
+        taa1, map_ids1, _ = make_taa(small_tree)
+        opt1 = HitOptimizer(taa1, HitConfig(seed=9))
+        opt1.optimize_initial_wave()
+        r1 = opt1.optimize_subsequent_wave(map_ids1)
+
+        taa2, map_ids2, _ = make_taa(small_tree)
+        HitOptimizer(taa2, HitConfig(seed=9)).optimize_initial_wave()
+        r2 = HitOptimizer(taa2, HitConfig(seed=9)).optimize_subsequent_wave(
+            map_ids2
+        )
+        assert r1.placement == r2.placement
+        assert r1.cost_trace == r2.cost_trace
 
     def test_max_rounds_bounds_sweeps(self, small_tree):
         taa, *_ = make_taa(small_tree)

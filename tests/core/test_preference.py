@@ -24,8 +24,12 @@ class TestPairCostCache:
     def test_symmetry(self, placed_taa):
         taa, *_ = placed_taa
         cache = PairCostCache(taa)
+        assert len(cache) == 0  # matrix is built lazily
         assert cache.unit_cost(0, 15) == cache.unit_cost(15, 0)
-        assert len(cache) == 1  # one canonical entry
+        assert len(cache) == 16 * 15 // 2  # every pair priced at once
+        matrix = cache.matrix
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
 
     def test_zero_for_same_server(self, placed_taa):
         taa, *_ = placed_taa

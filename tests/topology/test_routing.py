@@ -1,10 +1,12 @@
 """Routing utilities: stage DAGs, path enumeration and their consistency."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.topology import (
+    bfs_layers,
     build_bcube,
     build_fattree,
     build_tree,
@@ -12,6 +14,8 @@ from repro.topology import (
     enumerate_paths,
     path_is_valid,
     shortest_path_stages,
+    single_source_unit_costs,
+    stage_adjacency,
 )
 
 
@@ -55,6 +59,67 @@ class TestStages:
 
     def test_cached_identity(self, tree):
         assert shortest_path_stages(tree, 0, 15) is shortest_path_stages(tree, 0, 15)
+
+
+class TestStageAdjacency:
+    def test_matches_has_link(self, tree):
+        stages, mats = stage_adjacency(tree, 0, 15)
+        assert [tuple(int(n) for n in s) for s in stages] == [
+            tuple(s) for s in shortest_path_stages(tree, 0, 15)
+        ]
+        for k, mat in enumerate(mats):
+            for i, a in enumerate(stages[k]):
+                for j, b in enumerate(stages[k + 1]):
+                    assert mat[i, j] == tree.has_link(int(a), int(b))
+
+    def test_cached_identity(self, tree):
+        assert stage_adjacency(tree, 0, 15) is stage_adjacency(tree, 0, 15)
+
+    def test_adjacency_matrix_symmetric(self, tree):
+        matrix = tree.adjacency_matrix()
+        assert np.array_equal(matrix, matrix.T)
+        assert not matrix.diagonal().any()
+        assert matrix.sum() == 2 * len(tree.links)
+
+
+class TestSingleSourceUnitCosts:
+    def test_layers_partition_reachable_nodes(self, tree):
+        layers, mats = bfs_layers(tree, 0)
+        seen = np.concatenate(layers)
+        assert len(seen) == len(set(seen.tolist())) == tree.num_nodes
+        dist = tree.hop_distances_from(0)
+        for d, layer in enumerate(layers):
+            assert all(dist[n] == d for n in layer)
+        assert len(mats) == len(layers) - 1
+
+    def test_unit_hop_costs_equal_switch_count(self, tree):
+        """With unit node costs on switches, the solver returns the number
+        of switches on a shortest path — the paper's default cost model."""
+        costs = np.zeros(tree.num_nodes)
+        for w in tree.switch_ids:
+            costs[w] = 1.0
+        best = single_source_unit_costs(tree, 0, costs)
+        for dst in tree.server_ids:
+            if dst == 0:
+                assert best[dst] == 0.0
+                continue
+            path = tree.shortest_path(0, dst)
+            assert best[dst] == len(tree.switches_on_path(path))
+
+    def test_minimises_over_equal_length_paths(self, tree):
+        """Skewed per-switch costs: the solver must pick the cheapest of the
+        equal-length alternatives, matching brute-force enumeration."""
+        rng = np.random.default_rng(3)
+        costs = np.zeros(tree.num_nodes)
+        for w in tree.switch_ids:
+            costs[w] = float(rng.uniform(0.5, 2.0))
+        best = single_source_unit_costs(tree, 0, costs)
+        for dst in (1, 5, 15):
+            brute = min(
+                sum(costs[n] for n in path if tree.is_switch(n))
+                for path in enumerate_paths(tree, 0, dst, slack=0)
+            )
+            assert best[dst] == pytest.approx(brute)
 
 
 class TestEnumeration:
