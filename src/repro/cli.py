@@ -142,22 +142,59 @@ def _report_observability(checker, tracer) -> int:
     return status
 
 
+def _make_fault_timeline(args: argparse.Namespace, topology):
+    """Fault timeline from ``--faults`` (file) or ``--mtbf`` (sampled)."""
+    from .faults import generate_timeline, load_fault_file
+
+    if getattr(args, "faults", None):
+        return load_fault_file(args.faults)
+    if getattr(args, "mtbf", None) or getattr(args, "switch_mtbf", None):
+        return generate_timeline(
+            topology,
+            seed=args.seed,
+            horizon=args.fault_horizon,
+            server_mtbf=args.mtbf,
+            server_mttr=args.mttr,
+            switch_mtbf=args.switch_mtbf,
+            switch_mttr=args.switch_mttr,
+        )
+    return ()
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from .experiments import configs
     from .obs import observe
-    from .simulator import run_simulation, save_trace_file
+    from .simulator import MapReduceSimulator, save_trace_file
 
     jobs = _load_or_generate_jobs(args)
+    topology = configs.testbed_tree()
+    faults = _make_fault_timeline(args, topology)
+    config = configs.testbed_simulation_config(seed=args.seed)
+    if faults:
+        config = dataclasses.replace(
+            config,
+            faults=tuple(faults),
+            max_task_retries=args.max_task_retries,
+        )
+        print(f"fault timeline: {len(faults)} events")
     checker, tracer = _make_observability(args)
     rows = []
     with observe(checker=checker, tracer=tracer):
         for name in args.scheduler:
-            metrics = run_simulation(
-                configs.testbed_tree(),
+            simulator = MapReduceSimulator(
+                topology,
                 make_scheduler(name, seed=args.seed),
-                jobs,
-                configs.testbed_simulation_config(seed=args.seed),
+                list(jobs),
+                config,
             )
+            metrics = simulator.run()
+            if simulator.faults is not None:
+                counters = ", ".join(
+                    f"{k}={v}" for k, v in simulator.faults.summary().items()
+                )
+                print(f"{name} faults: {counters}")
             s = metrics.summary()
             rows.append((
                 name, s["mean_jct"], s["avg_route_hops"],
@@ -302,6 +339,40 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if cmd == "simulate":
             p.add_argument("--save-trace", help="save per-scheduler run traces")
+            fault_group = p.add_argument_group(
+                "fault injection",
+                "deterministic failures replayed identically for every "
+                "scheduler (docs/fault_model.md)",
+            )
+            fault_group.add_argument(
+                "--faults", metavar="FILE",
+                help="JSON-lines fault timeline (see repro.faults.spec)",
+            )
+            fault_group.add_argument(
+                "--mtbf", type=float, default=None,
+                help="sample server failures with this mean time between "
+                     "failures (exponential, seeded by --seed)",
+            )
+            fault_group.add_argument(
+                "--mttr", type=float, default=1.0,
+                help="server mean time to recovery (default 1.0)",
+            )
+            fault_group.add_argument(
+                "--switch-mtbf", type=float, default=None,
+                help="sample switch failures with this MTBF",
+            )
+            fault_group.add_argument(
+                "--switch-mttr", type=float, default=1.0,
+                help="switch mean time to recovery (default 1.0)",
+            )
+            fault_group.add_argument(
+                "--fault-horizon", type=float, default=20.0,
+                help="stop sampling new failures after this time",
+            )
+            fault_group.add_argument(
+                "--max-task-retries", type=int, default=3,
+                help="failure-induced re-executions allowed per task",
+            )
         p.set_defaults(func=func)
 
     p = sub.add_parser("experiment", help="regenerate a paper figure")

@@ -38,6 +38,9 @@ class ClusterState:
         }
         self._hosted: dict[int, set[int]] = {sid: set() for sid in self._capacity}
         self._containers: dict[int, Container] = {}
+        #: Servers currently failed (fault injection): excluded from every
+        #: placement-feasibility query until they recover.
+        self._failed: set[int] = set()
 
     # -------------------------------------------------------------- containers
     def add_container(self, container: Container) -> None:
@@ -88,9 +91,42 @@ class ClusterState:
         return tuple(sorted(self._hosted[server_id]))
 
     def fits(self, container_id: int, server_id: int) -> bool:
-        """True when the server has residual capacity for the container."""
+        """True when the server has residual capacity for the container.
+
+        Failed servers never fit anything — this is the single gate every
+        scheduler's placement loop goes through, so marking a server failed
+        blacklists it everywhere at once.
+        """
+        if server_id in self._failed:
+            return False
         demand = self._containers[container_id].demand
         return demand.fits_in(self.residual(server_id))
+
+    # ---------------------------------------------------------- failure state
+    @property
+    def failed_servers(self) -> frozenset[int]:
+        """Servers currently marked failed (empty when no faults are live)."""
+        return frozenset(self._failed)
+
+    def is_failed(self, server_id: int) -> bool:
+        return server_id in self._failed
+
+    def fail_server(self, server_id: int) -> None:
+        """Mark a server failed: no new placements until it recovers.
+
+        Containers already hosted there are *not* evicted here — the caller
+        (the simulator's recovery layer) owns task-level recovery and must
+        unplace them explicitly, deciding what each lost task means.
+        """
+        if server_id not in self._capacity:
+            raise KeyError(f"unknown server {server_id}")
+        self._failed.add(server_id)
+
+    def recover_server(self, server_id: int) -> None:
+        """Return a failed server to service (idempotent)."""
+        if server_id not in self._capacity:
+            raise KeyError(f"unknown server {server_id}")
+        self._failed.discard(server_id)
 
     def candidate_servers(self, container_id: int) -> list[int]:
         """Eq 8: servers able to host the container.
@@ -101,6 +137,8 @@ class ClusterState:
         container = self._containers[container_id]
         out = []
         for sid in self.server_ids:
+            if sid in self._failed:
+                continue
             if sid == container.server_id or container.demand.fits_in(
                 self.residual(sid)
             ):
@@ -115,6 +153,11 @@ class ClusterState:
             raise ValueError(f"container {container_id} is already placed")
         if server_id not in self._capacity:
             raise KeyError(f"unknown server {server_id}")
+        if server_id in self._failed:
+            raise ValueError(
+                f"server {server_id} is failed; cannot place "
+                f"container {container_id}"
+            )
         if not container.demand.fits_in(self.residual(server_id)):
             raise ValueError(
                 f"server {server_id} lacks capacity for container {container_id}"

@@ -138,6 +138,14 @@ class PolicyController:
         # cache load-derived quantities (the all-pairs unit-cost matrix)
         # compare it to decide when to invalidate.
         self._load_version: int = 0
+        # Switches currently failed (fault injection).  A failed switch is
+        # unroutable for *every* path computation — including the
+        # capacity-relaxed fallback: saturation degrades a route, a dead
+        # switch forbids it.  Kept as both a set (queries) and a node mask
+        # (the vectorised DP); empty in normal operation so the hot path
+        # pays one truthiness check.
+        self._failed_switches: set[int] = set()
+        self._failed_mask = np.zeros(topology.num_nodes, dtype=bool)
         # Node-indexed mirrors of the `_load`/`_base_load` dicts (servers
         # stay 0.0) plus the static per-node cost-model terms, so the DP can
         # gather whole stages without per-node dict/attribute chasing.  The
@@ -214,7 +222,56 @@ class PolicyController:
         self._load_version += 1
 
     def residual(self, switch_id: int) -> float:
+        if switch_id in self._failed_switches:
+            return float("-inf")
         return self.topology.switch(switch_id).capacity - self.load(switch_id)
+
+    # --------------------------------------------------------- failure state
+    @property
+    def failed_switches(self) -> frozenset[int]:
+        """Switches currently failed (empty when no faults are live)."""
+        return frozenset(self._failed_switches)
+
+    def is_switch_failed(self, switch_id: int) -> bool:
+        return switch_id in self._failed_switches
+
+    def fail_switch(self, switch_id: int) -> None:
+        """Mark a switch failed: every path query routes around it.
+
+        Bumps :attr:`load_version` so cached load/cost-derived structures
+        (the all-pairs unit-cost matrix behind the preference grading) are
+        rebuilt with the switch priced unroutable.  Installed policies that
+        traverse the switch are *not* touched here — the simulator's
+        recovery layer reroutes or parks the affected flows.
+        """
+        if switch_id not in self._load:
+            raise KeyError(f"unknown switch {switch_id}")
+        if switch_id in self._failed_switches:
+            return
+        self._failed_switches.add(switch_id)
+        self._failed_mask[switch_id] = True
+        self._load_version += 1
+
+    def recover_switch(self, switch_id: int) -> None:
+        """Return a failed switch to service (idempotent)."""
+        if switch_id not in self._load:
+            raise KeyError(f"unknown switch {switch_id}")
+        if switch_id not in self._failed_switches:
+            return
+        self._failed_switches.discard(switch_id)
+        self._failed_mask[switch_id] = False
+        self._load_version += 1
+
+    def sync_failures_from(self, other: "PolicyController") -> None:
+        """Mirror another controller's failed-switch set (planning
+        instances must see the same dead fabric as the live controller)."""
+        if other._failed_switches == self._failed_switches:
+            return
+        self._failed_switches = set(other._failed_switches)
+        self._failed_mask[:] = False
+        for w in self._failed_switches:
+            self._failed_mask[w] = True
+        self._load_version += 1
 
     def policy_of(self, flow_id: int) -> Policy | None:
         return self._policies.get(flow_id)
@@ -343,6 +400,11 @@ class PolicyController:
                 costs[mask] += cw * (
                     loads[mask] / self._switch_cap[nodes][mask]
                 )
+        if self._failed_switches:
+            # Dead switches are unroutable at any price — pricing them
+            # infinite makes every DP (capacitated or not) route around
+            # them, and leaves unreachable destinations at cost inf.
+            costs[self._failed_mask[nodes]] = _INF
         return costs
 
     def all_node_costs(self) -> np.ndarray:
@@ -414,7 +476,11 @@ class PolicyController:
         path = self._dag_best_path(src_server, dst_server, rate, enforce_capacity)
         if path is not None:
             return path, self.path_cost(path, rate)
-        if enforce_capacity:
+        # Slack-extended retry: normally only worth it when capacity pruning
+        # emptied the DAG, but with failed switches even the *uncapacitated*
+        # DP can come back empty (every shortest path crosses a dead switch)
+        # while a slightly longer live detour exists.
+        if enforce_capacity or self._failed_switches:
             if _OBS.enabled:
                 _OBS.tracer.count("alg1.slack_fallback")
             for slack in range(1, self.max_slack + 1):
@@ -423,7 +489,9 @@ class PolicyController:
                 for candidate in enumerate_paths(
                     self.topology, src_server, dst_server, slack=slack, limit=512
                 ):
-                    if not self._path_feasible(candidate, rate):
+                    if self._failed_switches and not self._path_alive(candidate):
+                        continue
+                    if enforce_capacity and not self._path_feasible(candidate, rate):
                         continue
                     cost = self.path_cost(candidate, rate)
                     if cost < best_cost:
@@ -434,6 +502,10 @@ class PolicyController:
             f"no feasible path for rate {rate} between servers "
             f"{src_server} and {dst_server}"
         )
+
+    def _path_alive(self, path: Sequence[int]) -> bool:
+        """True when no node on the path is a currently-failed switch."""
+        return not any(n in self._failed_switches for n in path)
 
     def _path_feasible(self, path: Sequence[int], rate: float) -> bool:
         return all(

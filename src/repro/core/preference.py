@@ -301,6 +301,15 @@ def _build_preference_matrix(
     capacities = np.array(
         [cluster.capacity(s).as_tuple() for s in server_ids], dtype=np.float64
     )
+    # Failed servers are blacklisted outright: an inf cost removes them from
+    # every container's ranking and gives them the server-side sentinel
+    # rank, so Algorithm 2 never proposes to a dead server.
+    failed = cluster.failed_servers
+    failed_rows = (
+        np.array([i for i, s in enumerate(server_ids) if s in failed])
+        if failed
+        else None
+    )
 
     for j, cid in enumerate(container_ids):
         container = cluster.container(cid)
@@ -319,6 +328,8 @@ def _build_preference_matrix(
             column += flow.rate * unit[:, server_index[other_server]]
         demand = np.asarray(container.demand.as_tuple(), dtype=np.float64)
         column[(capacities < demand).any(axis=1)] = np.inf
+        if failed_rows is not None and failed_rows.size:
+            column[failed_rows] = np.inf
         cost[:, j] = column
         if container.server_id is not None:
             current[j] = column[server_index[container.server_id]]

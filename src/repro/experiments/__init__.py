@@ -2,6 +2,11 @@
 static-placement machinery and canonical configurations."""
 
 from . import configs
+from .faults import (
+    FaultComparisonResult,
+    FaultRunResult,
+    fault_degradation,
+)
 from .figures import (
     CaseStudyResult,
     TestbedResult,
@@ -31,6 +36,9 @@ __all__ = [
     "fig10_job_numbers",
     "CaseStudyResult",
     "TestbedResult",
+    "FaultComparisonResult",
+    "FaultRunResult",
+    "fault_degradation",
     "StaticResult",
     "StaticWorkload",
     "build_static_workload",

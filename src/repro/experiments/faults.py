@@ -1,0 +1,132 @@
+"""Fault-degradation comparison: the same outage timeline, every baseline.
+
+The question this harness answers is the robustness analogue of the paper's
+Figures 6/7: *how much of each scheduler's advantage survives infrastructure
+failures?*  Every baseline replays one byte-identical fault timeline (same
+servers die at the same instants, same switches go dark), against the
+identical job stream and fabric, so the JCT/makespan deltas are attributable
+to placement and policy alone.
+
+Reported per scheduler: fault-free and faulty mean JCT and makespan, the
+relative degradation between them, and the engine's recovery counters
+(re-executions, killed/parked/resumed flows).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..faults import FaultSpec, generate_timeline
+from ..schedulers import make_scheduler
+from ..simulator import MapReduceSimulator, MetricsCollector
+from . import configs
+
+__all__ = ["FaultRunResult", "FaultComparisonResult", "fault_degradation"]
+
+
+def _degradation(clean: float, faulty: float) -> float:
+    """Relative increase of a lower-is-better metric under faults:
+    ``faulty / clean - 1`` (0 = faults cost nothing)."""
+    if clean == 0:
+        return 0.0
+    return faulty / clean - 1.0
+
+
+@dataclass
+class FaultRunResult:
+    """One scheduler's fault-free vs faulty pair."""
+
+    clean: MetricsCollector
+    faulty: MetricsCollector
+    fault_counters: dict[str, int]
+
+    @property
+    def jct_degradation(self) -> float:
+        """Relative mean-JCT increase caused by the fault timeline."""
+        return _degradation(self.clean.mean_jct(), self.faulty.mean_jct())
+
+    @property
+    def makespan_degradation(self) -> float:
+        return _degradation(
+            self.clean.summary()["makespan"], self.faulty.summary()["makespan"]
+        )
+
+
+@dataclass
+class FaultComparisonResult:
+    """All schedulers against one shared fault timeline."""
+
+    timeline: tuple[FaultSpec, ...] = ()
+    runs: dict[str, FaultRunResult] = field(default_factory=dict)
+
+    def table(self) -> list[dict[str, object]]:
+        """Flat rows for printing/CSV: one per scheduler."""
+        rows: list[dict[str, object]] = []
+        for name, run in self.runs.items():
+            counters = run.fault_counters
+            rows.append(
+                {
+                    "scheduler": name,
+                    "clean_mean_jct": run.clean.mean_jct(),
+                    "faulty_mean_jct": run.faulty.mean_jct(),
+                    "jct_degradation": run.jct_degradation,
+                    "clean_makespan": run.clean.summary()["makespan"],
+                    "faulty_makespan": run.faulty.summary()["makespan"],
+                    "makespan_degradation": run.makespan_degradation,
+                    "map_retries": counters.get("retries.map", 0),
+                    "reduce_retries": counters.get("retries.reduce", 0),
+                    "flows_killed": counters.get("faults.flows_killed", 0),
+                    "flows_parked": counters.get("faults.flows_parked", 0),
+                }
+            )
+        return rows
+
+
+def fault_degradation(
+    seed: int = 0,
+    num_jobs: int = 12,
+    scheduler_names: tuple[str, ...] = ("capacity", "capacity-ecmp", "random", "hit"),
+    timeline: tuple[FaultSpec, ...] | None = None,
+    server_mtbf: float = 8.0,
+    server_mttr: float = 0.5,
+    switch_mtbf: float = 20.0,
+    switch_mttr: float = 0.5,
+    horizon: float = 8.0,
+    max_task_retries: int = 10,
+) -> FaultComparisonResult:
+    """Run every scheduler clean and under one shared fault timeline.
+
+    Pass an explicit ``timeline`` for a scripted scenario; by default a
+    seeded MTBF/MTTR timeline is sampled once (on the testbed fabric) and
+    replayed verbatim for each baseline.
+    """
+    jobs = configs.testbed_workload(seed=seed, num_jobs=num_jobs)
+    if timeline is None:
+        timeline = generate_timeline(
+            configs.testbed_tree(),
+            seed=seed,
+            horizon=horizon,
+            server_mtbf=server_mtbf,
+            server_mttr=server_mttr,
+            switch_mtbf=switch_mtbf,
+            switch_mttr=switch_mttr,
+        )
+    result = FaultComparisonResult(timeline=timeline)
+    base_config = configs.testbed_simulation_config(seed=seed)
+    for name in scheduler_names:
+        clean = MapReduceSimulator(
+            configs.testbed_tree(), make_scheduler(name, seed=seed), jobs, base_config
+        ).run()
+        faulty_config = dataclasses.replace(
+            base_config, faults=tuple(timeline), max_task_retries=max_task_retries
+        )
+        sim = MapReduceSimulator(
+            configs.testbed_tree(), make_scheduler(name, seed=seed), jobs, faulty_config
+        )
+        faulty = sim.run()
+        assert sim.faults is not None
+        result.runs[name] = FaultRunResult(
+            clean=clean, faulty=faulty, fault_counters=sim.faults.summary()
+        )
+    return result

@@ -1,0 +1,133 @@
+"""Fault injection layer: timeline → simulator events + live fault state.
+
+:class:`FaultInjector` owns the boundary between a declarative timeline
+(:mod:`repro.faults.spec`) and the discrete-event engine: it validates the
+timeline against the fabric, pushes one event per fault into the
+:class:`~repro.simulator.events.EventQueue`, and keeps the running tally of
+what is currently dead plus the ``faults.*`` / ``retries.*`` counters the
+observability layer reports.
+
+The *effects* of each event (killing tasks, rerouting flows, restoring
+capacity) are applied by the engine's recovery layer — the injector only
+answers "what is failed right now?" and "how often did each fault class
+fire?", so it can also be driven standalone in tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..simulator.events import Event, EventKind, EventQueue
+from .spec import FaultKind, FaultSpec, validate_timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.base import Topology
+
+__all__ = ["FaultInjector", "FAULT_EVENT_KINDS"]
+
+
+#: Simulator event kinds owned by the fault subsystem.
+FAULT_EVENT_KINDS = frozenset(
+    {
+        EventKind.SERVER_FAIL,
+        EventKind.SERVER_RECOVER,
+        EventKind.SWITCH_FAIL,
+        EventKind.SWITCH_RECOVER,
+        EventKind.TASK_SLOWDOWN,
+    }
+)
+
+_EVENT_KIND_OF: dict[FaultKind, EventKind] = {
+    FaultKind.SERVER_FAIL: EventKind.SERVER_FAIL,
+    FaultKind.SERVER_RECOVER: EventKind.SERVER_RECOVER,
+    FaultKind.SWITCH_FAIL: EventKind.SWITCH_FAIL,
+    FaultKind.SWITCH_RECOVER: EventKind.SWITCH_RECOVER,
+    FaultKind.TASK_SLOWDOWN: EventKind.TASK_SLOWDOWN,
+}
+
+
+class FaultInjector:
+    """Validated fault timeline plus the live failed-element bookkeeping."""
+
+    def __init__(
+        self, topology: "Topology", specs: Iterable[FaultSpec]
+    ) -> None:
+        self.topology = topology
+        self.timeline: tuple[FaultSpec, ...] = validate_timeline(topology, specs)
+        self._failed_servers: set[int] = set()
+        self._failed_switches: set[int] = set()
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, queue: EventQueue) -> int:
+        """Push every timeline entry into the queue; returns the count.
+
+        Slowdown events carry ``(server, factor)`` payloads; every other
+        fault carries the bare target node id.
+        """
+        for spec in self.timeline:
+            payload: object = spec.target
+            if spec.kind is FaultKind.TASK_SLOWDOWN:
+                payload = (spec.target, spec.factor)
+            queue.push(Event(spec.time, _EVENT_KIND_OF[spec.kind], payload))
+        return len(self.timeline)
+
+    # ------------------------------------------------------------ live state
+    @property
+    def failed_servers(self) -> frozenset[int]:
+        return frozenset(self._failed_servers)
+
+    @property
+    def failed_switches(self) -> frozenset[int]:
+        return frozenset(self._failed_switches)
+
+    def mark_server_failed(self, server_id: int) -> bool:
+        """Record a server failure; False when it was already down."""
+        if server_id in self._failed_servers:
+            return False
+        self._failed_servers.add(server_id)
+        self.count("faults.server_fail")
+        return True
+
+    def mark_server_recovered(self, server_id: int) -> bool:
+        if server_id not in self._failed_servers:
+            return False
+        self._failed_servers.discard(server_id)
+        self.count("faults.server_recover")
+        return True
+
+    def mark_switch_failed(self, switch_id: int) -> bool:
+        if switch_id in self._failed_switches:
+            return False
+        self._failed_switches.add(switch_id)
+        self.count("faults.switch_fail")
+        return True
+
+    def mark_switch_recovered(self, switch_id: int) -> bool:
+        if switch_id not in self._failed_switches:
+            return False
+        self._failed_switches.discard(switch_id)
+        self.count("faults.switch_recover")
+        return True
+
+    def assert_path_clear(self, path: Sequence[int]) -> None:
+        """Hard guard: no path may traverse a currently-failed element.
+
+        Called by the engine on every path install/reroute while faults are
+        live; a violation is a recovery-layer bug, so it raises rather than
+        degrades.
+        """
+        for node in path:
+            if node in self._failed_switches:
+                raise RuntimeError(
+                    f"routing violation: path {tuple(path)} traverses "
+                    f"failed switch {node}"
+                )
+
+    # -------------------------------------------------------------- counters
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def summary(self) -> dict[str, int]:
+        """Counter snapshot (sorted keys, for stable reports)."""
+        return dict(sorted(self.counters.items()))

@@ -1,0 +1,251 @@
+"""Declarative fault timelines.
+
+A fault timeline is an ordered tuple of :class:`FaultSpec` records — "at
+time *t*, element *x* fails / recovers / slows down".  Timelines come from
+three sources, all deterministic:
+
+* hand-written specs (tests, the CI smoke run, scripted scenarios);
+* JSON-lines fault files (:func:`load_fault_file` / :func:`save_fault_file`),
+  the CLI's ``--faults FILE``;
+* seeded exponential MTBF/MTTR sampling (:func:`generate_timeline`), the
+  CLI's ``--mtbf``/``--mttr`` — the classic memoryless machine-availability
+  model used throughout the MapReduce-under-failure literature.
+
+The same timeline can be replayed against every scheduler, which is what
+makes degradation comparisons (``repro.experiments.faults``) apples-to-
+apples: each baseline sees byte-identical failures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.base import Topology
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "generate_timeline",
+    "load_fault_file",
+    "save_fault_file",
+    "validate_timeline",
+]
+
+
+class FaultKind(Enum):
+    """The fault taxonomy (see ``docs/fault_model.md``)."""
+
+    SERVER_FAIL = "server-fail"
+    SERVER_RECOVER = "server-recover"
+    SWITCH_FAIL = "switch-fail"
+    SWITCH_RECOVER = "switch-recover"
+    #: Straggler injection: the target server's compute speed is divided by
+    #: ``factor`` for tasks launched after the event (factor 1.0 restores).
+    TASK_SLOWDOWN = "task-slowdown"
+
+
+#: Kinds whose target must be a server node.
+_SERVER_KINDS = frozenset(
+    {FaultKind.SERVER_FAIL, FaultKind.SERVER_RECOVER, FaultKind.TASK_SLOWDOWN}
+)
+#: Kinds whose target must be a switch node.
+_SWITCH_KINDS = frozenset({FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: *target* experiences *kind* at *time*.
+
+    ``factor`` only matters for :attr:`FaultKind.TASK_SLOWDOWN`: a factor of
+    2.0 halves the server's compute speed; 1.0 restores nominal speed.
+    """
+
+    time: float
+    kind: FaultKind
+    target: int
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time}")
+        if self.target < 0:
+            raise ValueError(f"fault target must be a node id, got {self.target}")
+        if self.factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {self.factor}")
+
+    # ------------------------------------------------------------- serialise
+    def as_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "time": self.time,
+            "kind": self.kind.value,
+            "target": self.target,
+        }
+        if self.kind is FaultKind.TASK_SLOWDOWN:
+            record["factor"] = self.factor
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, object]) -> "FaultSpec":
+        try:
+            kind = FaultKind(str(record["kind"]))
+            return cls(
+                time=float(record["time"]),  # type: ignore[arg-type]
+                kind=kind,
+                target=int(record["target"]),  # type: ignore[arg-type]
+                factor=float(record.get("factor", 1.0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"malformed fault record {record!r}: {exc}") from exc
+
+
+def validate_timeline(
+    topology: "Topology", specs: Iterable[FaultSpec]
+) -> tuple[FaultSpec, ...]:
+    """Check every spec against the fabric and return the sorted timeline.
+
+    Targets must exist and be of the right node class (server kinds target
+    servers, switch kinds target switches).  Sorting is by (time, original
+    order) so same-instant faults keep their authored order; the event
+    queue's kind priority then decides recovery-vs-failure ordering.
+    """
+    out = []
+    for spec in specs:
+        if spec.kind in _SERVER_KINDS and not topology.is_server(spec.target):
+            raise ValueError(
+                f"{spec.kind.value} targets node {spec.target}, "
+                f"which is not a server"
+            )
+        if spec.kind in _SWITCH_KINDS and not topology.is_switch(spec.target):
+            raise ValueError(
+                f"{spec.kind.value} targets node {spec.target}, "
+                f"which is not a switch"
+            )
+        out.append(spec)
+    out.sort(key=lambda s: s.time)
+    return tuple(out)
+
+
+# --------------------------------------------------------------- fault files
+def save_fault_file(path: str, specs: Sequence[FaultSpec]) -> None:
+    """Write a timeline as JSON lines (one fault per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for spec in specs:
+            handle.write(json.dumps(spec.as_dict(), sort_keys=True) + "\n")
+
+
+def load_fault_file(path: str) -> tuple[FaultSpec, ...]:
+    """Read a JSON-lines fault file written by :func:`save_fault_file`."""
+    specs: list[FaultSpec] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            specs.append(FaultSpec.from_dict(record))
+    specs.sort(key=lambda s: s.time)
+    return tuple(specs)
+
+
+# ---------------------------------------------------------------- generation
+def generate_timeline(
+    topology: "Topology",
+    *,
+    seed: int,
+    horizon: float,
+    server_mtbf: float | None = None,
+    server_mttr: float = 1.0,
+    switch_mtbf: float | None = None,
+    switch_mttr: float = 1.0,
+    max_concurrent_switch_failures: int = 1,
+) -> tuple[FaultSpec, ...]:
+    """Sample a fail/recover timeline from exponential MTBF/MTTR draws.
+
+    Each server (when ``server_mtbf`` is set) and each switch (when
+    ``switch_mtbf`` is set) alternates up/down: up-times are
+    ``Exp(mtbf)``-distributed, down-times ``Exp(mttr)``-distributed, clocks
+    start at 0 and events past ``horizon`` are dropped — except that every
+    failure drawn before the horizon always gets its matching recovery (even
+    past the horizon), so a sampled timeline never strands the fabric
+    permanently degraded.
+
+    ``max_concurrent_switch_failures`` caps how many switches may be down at
+    once by *skipping* excess failure draws (the element just stays up) —
+    without the cap an unlucky seed can partition the fabric outright.
+    All randomness comes from one ``numpy`` generator seeded with ``seed``;
+    identical inputs give byte-identical timelines.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    rng = np.random.default_rng(seed)
+    specs: list[FaultSpec] = []
+
+    def sample_element(
+        node: int, mtbf: float, mttr: float, fail: FaultKind, recover: FaultKind
+    ) -> list[tuple[float, FaultSpec]]:
+        events: list[tuple[float, FaultSpec]] = []
+        clock = float(rng.exponential(mtbf))
+        while clock < horizon:
+            down = float(rng.exponential(mttr))
+            events.append((clock, FaultSpec(clock, fail, node)))
+            events.append((clock + down, FaultSpec(clock + down, recover, node)))
+            clock += down + float(rng.exponential(mtbf))
+        return events
+
+    if server_mtbf is not None:
+        if server_mtbf <= 0 or server_mttr <= 0:
+            raise ValueError("server MTBF/MTTR must be positive")
+        for sid in topology.server_ids:
+            specs.extend(
+                spec
+                for _, spec in sample_element(
+                    sid, server_mtbf, server_mttr,
+                    FaultKind.SERVER_FAIL, FaultKind.SERVER_RECOVER,
+                )
+            )
+    if switch_mtbf is not None:
+        if switch_mtbf <= 0 or switch_mttr <= 0:
+            raise ValueError("switch MTBF/MTTR must be positive")
+        switch_events: list[tuple[float, FaultSpec]] = []
+        for wid in topology.switch_ids:
+            switch_events.extend(
+                sample_element(
+                    wid, switch_mtbf, switch_mttr,
+                    FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER,
+                )
+            )
+        # Enforce the concurrency cap in time order: an outage that would
+        # push the number of simultaneously-down switches past the cap is
+        # dropped whole (its fail *and* its matching recovery), as if the
+        # switch had simply stayed up.  Per-switch streams alternate
+        # fail/recover strictly in time, so "matching recovery" is always
+        # the switch's next recovery event.
+        switch_events.sort(key=lambda pair: pair[0])
+        down: set[int] = set()
+        skip_recovery: set[int] = set()
+        kept: list[FaultSpec] = []
+        for _, spec in switch_events:
+            if spec.kind is FaultKind.SWITCH_FAIL:
+                if len(down) >= max_concurrent_switch_failures:
+                    skip_recovery.add(spec.target)
+                    continue
+                down.add(spec.target)
+                kept.append(spec)
+            else:
+                if spec.target in skip_recovery:
+                    skip_recovery.discard(spec.target)
+                    continue
+                down.discard(spec.target)
+                kept.append(spec)
+        specs.extend(kept)
+
+    return validate_timeline(topology, specs)

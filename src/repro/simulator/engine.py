@@ -21,6 +21,13 @@ Execution model (simplifications are noted in DESIGN.md):
 * Network-aware schedulers (Hit) route each starting flow through the live
   :class:`~repro.core.policy.PolicyController` (optimal, capacity-aware);
   baselines use the fabric's static shortest path.
+* When a fault timeline is configured (:mod:`repro.faults`), server and
+  switch failures are simulator events: dead servers kill their resident
+  tasks (re-executed with a retry budget), lost map output is regenerated on
+  demand, and flows crossing a dead switch are rerouted or *parked* until a
+  recovery restores a live path.  ``docs/fault_model.md`` spells out the
+  recovery semantics; with an empty timeline none of these code paths run
+  and the simulation is bit-identical to the fault-free build.
 """
 
 from __future__ import annotations
@@ -34,12 +41,15 @@ from ..cluster.resources import Resources
 from ..cluster.state import ClusterState
 from ..core.policy import CostModel, NoFeasiblePathError, PolicyController
 from ..core.taa import TAAInstance
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultSpec
 from ..mapreduce.hdfs import HdfsModel
 from ..mapreduce.job import JobSpec, shuffle_matrix
 from ..mapreduce.shuffle import ShuffleFlow
 from ..obs.runtime import STATE as _OBS
 from ..schedulers.base import Scheduler, SchedulingContext
 from ..topology.base import Topology
+from ..topology.routing import invalidate_topology_caches
 from .events import Event, EventKind, EventQueue
 from .metrics import FlowRecord, JobRecord, MetricsCollector, TaskRecord
 from .network import DelayModel, FlowNetwork
@@ -70,6 +80,14 @@ class SimulationConfig:
     delay_model: DelayModel = field(default_factory=DelayModel)
     cost_model: CostModel = field(default_factory=CostModel)
     max_events: int = 2_000_000
+    #: Fault timeline (empty = fault-free run, no recovery code paths).
+    faults: tuple[FaultSpec, ...] = ()
+    #: How many failure-induced re-executions a single task may consume
+    #: before the run aborts (placement backoffs do not count).
+    max_task_retries: int = 3
+    #: Base delay for re-placement backoff: attempt ``k`` waits
+    #: ``retry_backoff * 2**(k-1)`` (capped) before trying again.
+    retry_backoff: float = 0.05
 
 
 @dataclass
@@ -80,6 +98,11 @@ class _ReduceState:
     pending_flows: set[int] = field(default_factory=set)
     start_time: float = 0.0
     scheduled: bool = False
+    #: Map indices whose shuffle data has been delivered to this reducer.
+    #: Cleared on reducer restart (fetched data dies with the attempt).
+    received: set[int] = field(default_factory=set)
+    #: True once REDUCE_DONE committed — a finished reduce never re-runs.
+    finished: bool = False
 
 
 @dataclass
@@ -96,6 +119,16 @@ class _JobState:
     reduces: dict[int, _ReduceState] = field(default_factory=dict)  # by index
     remote_map_traffic: float = 0.0
     reduces_finished: int = 0
+    #: map idx -> server holding its completed output (absent while the map
+    #: runs, deleted again when a failure loses the output).
+    map_output_server: dict[int, int] = field(default_factory=dict)
+    #: map idx -> its container id; stable for the job's whole lifetime
+    #: (re-executions reuse the cid, which keys all flow endpoints).
+    map_cid_of: dict[int, int] = field(default_factory=dict)
+    #: Map indices whose completed output was lost but whose re-execution
+    #: was deferred because no unscheduled reduce needed the data; a later
+    #: reducer restart may still pull them back into execution.
+    lost_outputs: set[int] = field(default_factory=set)
 
     @property
     def all_maps_done(self) -> bool:
@@ -148,6 +181,28 @@ class MapReduceSimulator:
             )
             for sid in topology.server_ids
         }
+        #: Fault subsystem (None on fault-free runs: every recovery hook is
+        #: then skipped, keeping the fast path bit-identical).
+        self.faults: FaultInjector | None = (
+            FaultInjector(topology, self.config.faults)
+            if self.config.faults
+            else None
+        )
+        #: Nominal speeds, for restoring after slowdowns / recoveries.
+        self._base_speeds = dict(self.server_speeds)
+        #: cid -> live attempt number; completion events carry the attempt
+        #: they belong to, so events of killed attempts are dropped stale.
+        self._attempt: dict[int, int] = {}
+        #: cid -> failure-induced re-executions, charged against
+        #: ``config.max_task_retries``.
+        self._retries: dict[int, int] = {}
+        #: cid -> consecutive failed placement attempts (backoff exponent).
+        self._backoff: dict[int, int] = {}
+        #: cid -> token of its newest TASK_RETRY event (stale events no-op).
+        self._retry_token: dict[int, int] = {}
+        #: fid -> remaining bytes of a flow with no live path (parked until a
+        #: switch recovery makes it routable again).
+        self._parked: dict[int, float] = {}
         self._queue = EventQueue()
         self._pending: list[_JobState] = []  # FIFO admission queue
         self._jobs_by_id: dict[int, _JobState] = {}
@@ -166,6 +221,8 @@ class MapReduceSimulator:
             self._queue.push(
                 Event(spec.submit_time, EventKind.JOB_ARRIVAL, payload=spec)
             )
+        if self.faults is not None:
+            self.faults.schedule(self._queue)
         events = 0
         observed = _OBS.enabled
         if observed:
@@ -194,6 +251,9 @@ class MapReduceSimulator:
             _OBS.tracer.event(
                 "sim.run.end", scheduler=self.scheduler.name, events=events
             )
+            if self.faults is not None:
+                for name, value in self.faults.summary().items():
+                    _OBS.tracer.count(name, value)
             if _OBS.checker is not None:
                 # End-of-run quiescence: every flow drained, every policy
                 # released, switch loads back to exactly their base values.
@@ -215,6 +275,18 @@ class MapReduceSimulator:
             self._maybe_rebalance()
         elif event.kind is EventKind.REDUCE_DONE:
             self._on_reduce_done(event.time, *event.payload)
+        elif event.kind is EventKind.SERVER_FAIL:
+            self._on_server_fail(event.time, event.payload)
+        elif event.kind is EventKind.SERVER_RECOVER:
+            self._on_server_recover(event.time, event.payload)
+        elif event.kind is EventKind.SWITCH_FAIL:
+            self._on_switch_fail(event.time, event.payload)
+        elif event.kind is EventKind.SWITCH_RECOVER:
+            self._on_switch_recover(event.time, event.payload)
+        elif event.kind is EventKind.TASK_SLOWDOWN:
+            self._on_task_slowdown(event.time, *event.payload)
+        elif event.kind is EventKind.TASK_RETRY:
+            self._on_task_retry(event.time, *event.payload)
         self._drain_completed(event.time)
         self._schedule_network_checkpoint(event.time)
 
@@ -294,7 +366,7 @@ class MapReduceSimulator:
                     delay_us=active.start_delay_us,
                 )
             )
-            self._flow_done(now, fid)
+            self._flow_done(now, fid, flow.map_index)
         if _OBS.enabled and _OBS.checker is not None:
             # Checkpoint: after completions are drained the controller's
             # bookkeeping and the shared cluster must be consistent.
@@ -302,29 +374,38 @@ class MapReduceSimulator:
             _OBS.checker.check_controller(self.controller, where=where)
             _OBS.checker.check_server_capacity(self.cluster, where=where)
 
-    def _flow_done(self, now: float, fid: int) -> None:
+    def _flow_done(self, now: float, fid: int, map_index: int) -> None:
         job_id, reduce_index = self._flow_index.pop(fid)
         job = self._jobs_by_id[job_id]
         reduce_state = job.reduces[reduce_index]
         reduce_state.pending_flows.discard(fid)
+        reduce_state.received.add(map_index)
         self._maybe_finish_reduce(now, job, reduce_state)
 
     def _maybe_finish_reduce(
         self, now: float, job: _JobState, reduce_state: _ReduceState
     ) -> None:
-        if reduce_state.scheduled or not job.all_maps_done:
+        if reduce_state.finished or reduce_state.scheduled:
             return
-        if reduce_state.pending_flows:
+        if not job.all_maps_done or reduce_state.pending_flows:
+            return
+        server = self.cluster.container(reduce_state.container_id).server_id
+        if server is None:
+            # Reducer awaiting re-placement after a failure; the retry path
+            # re-checks once it lands on a live server.
             return
         reduce_state.scheduled = True
-        server = self.cluster.container(reduce_state.container_id).server_id
-        speed = self.server_speeds[server] if server is not None else 1.0
+        speed = self.server_speeds[server]
         compute = job.spec.reduce_duration(reduce_state.input_size) / speed
         self._queue.push(
             Event(
                 now + compute,
                 EventKind.REDUCE_DONE,
-                payload=(job.spec.job_id, reduce_state.index),
+                payload=(
+                    job.spec.job_id,
+                    reduce_state.index,
+                    self._attempt.get(reduce_state.container_id, 0),
+                ),
             )
         )
 
@@ -333,6 +414,8 @@ class MapReduceSimulator:
         demand = self.config.container_demand
         slots = 0
         for sid in self.cluster.server_ids:
+            if self.cluster.is_failed(sid):
+                continue
             residual = self.cluster.residual(sid)
             if demand.memory > 0:
                 by_mem = int(residual.memory // demand.memory)
@@ -416,6 +499,7 @@ class MapReduceSimulator:
             self.topology, cost_model=self.config.cost_model
         )
         planner.base_loads_from(self.controller)
+        planner.sync_failures_from(self.controller)
         taa = TAAInstance(
             self.topology,
             containers=[],
@@ -441,6 +525,7 @@ class MapReduceSimulator:
             job.next_map_index += 1
             cid = self._new_container(TaskRef(spec.job_id, TaskKind.MAP, mi))
             map_cids[cid] = mi
+            job.map_cid_of[mi] = cid
         job.map_containers = map_cids
 
         flows = self._make_flows(job, map_cids)
@@ -452,6 +537,12 @@ class MapReduceSimulator:
             list(map_cids),
             [r.container_id for r in job.reduces.values()],
         )
+        if self.faults is not None:
+            # A degraded fabric may leave reduces unplaced; park them on the
+            # retry path (their inbound flows wait via the pending registry).
+            for reduce_state in job.reduces.values():
+                if not self.cluster.container(reduce_state.container_id).is_placed:
+                    self._schedule_retry(now, reduce_state.container_id)
         self._launch_maps(now, job, map_cids)
 
     def _register_flows(self, job: _JobState, flows: list[ShuffleFlow]) -> None:
@@ -469,7 +560,16 @@ class MapReduceSimulator:
         spec = job.spec
         for cid, mi in map_cids.items():
             server = self.cluster.container(cid).server_id
-            assert server is not None, "scheduler left a map container unplaced"
+            if server is None:
+                # Only reachable on fault runs: the degraded fabric could not
+                # host this map yet.  It still counts as running (the wave
+                # barrier must wait for it) and launches via the retry path.
+                assert self.faults is not None, (
+                    "scheduler left a map container unplaced"
+                )
+                job.maps_running += 1
+                self._schedule_retry(now, cid)
+                continue
             duration = (
                 spec.map_duration / self.server_speeds[server]
                 + self._read_penalty(job, mi, server)
@@ -479,7 +579,7 @@ class MapReduceSimulator:
                 Event(
                     now + duration,
                     EventKind.MAP_DONE,
-                    payload=(spec.job_id, cid, mi, now),
+                    payload=(spec.job_id, cid, mi, now, self._attempt.get(cid, 0)),
                 )
             )
 
@@ -502,11 +602,22 @@ class MapReduceSimulator:
 
     # --------------------------------------------------------------- map side
     def _on_map_done(
-        self, now: float, job_id: int, cid: int, map_index: int, started: float
+        self,
+        now: float,
+        job_id: int,
+        cid: int,
+        map_index: int,
+        started: float,
+        attempt: int = 0,
     ) -> None:
+        if attempt != self._attempt.get(cid, 0):
+            return  # completion of an attempt killed by a server failure
         job = self._jobs_by_id[job_id]
+        server = self.cluster.container(cid).server_id
+        assert server is not None
         job.maps_running -= 1
         job.maps_finished += 1
+        job.map_output_server[map_index] = server
         self.metrics.record_task(
             TaskRecord(
                 job_id=job_id,
@@ -517,6 +628,10 @@ class MapReduceSimulator:
             )
         )
         self._start_flows_from(now, job, cid, map_index)
+        if cid not in job.map_containers and self.cluster.container(cid).is_placed:
+            # Re-execution of a previous wave's map: its slot is not part of
+            # the current wave barrier, release it immediately.
+            self.cluster.unplace(cid)
 
         if job.maps_running == 0:
             # Wave barrier: recycle the map containers.
@@ -541,6 +656,7 @@ class MapReduceSimulator:
             job.next_map_index += 1
             cid = self._new_container(TaskRef(spec.job_id, TaskKind.MAP, mi))
             map_cids[cid] = mi
+            job.map_cid_of[mi] = cid
         job.map_containers = map_cids
         flows = self._make_flows(job, map_cids)
         self._register_flows(job, flows)
@@ -561,51 +677,484 @@ class MapReduceSimulator:
                 continue
             flow = self._flow_objects[fid]
             dst = self.cluster.container(reduce_state.container_id).server_id
-            assert dst is not None
-            if src == dst:
-                # Local shuffle: no network traversal, instant delivery.
-                self.metrics.record_flow(
-                    FlowRecord(
-                        flow_id=fid,
-                        job_id=job.spec.job_id,
-                        size=flow.size,
-                        start=now,
-                        finish=now,
-                        num_switches=0,
-                        delay_us=0.0,
-                    )
-                )
-                del self._flow_objects[fid]
-                self._flow_done(now, fid)
+            if dst is None:
+                # Reducer awaiting re-placement: leave the flow pending; the
+                # reducer's relaunch starts it once it lands somewhere.
+                assert self.faults is not None
+                self._flow_by_endpoints[
+                    (map_cid, reduce_state.container_id)
+                ] = fid
                 continue
-            path = self._route(flow, src, dst)
-            self.network.add_flow(fid, path, flow.size, now)
+            if src == dst:
+                self._deliver_local(now, job, fid, flow)
+                continue
+            self._launch_flow(now, flow, src, dst)
 
-    def _route(self, flow: ShuffleFlow, src: int, dst: int) -> tuple[int, ...]:
+    def _deliver_local(
+        self, now: float, job: _JobState, fid: int, flow: ShuffleFlow
+    ) -> None:
+        """Local shuffle: no network traversal, instant delivery."""
+        self.metrics.record_flow(
+            FlowRecord(
+                flow_id=fid,
+                job_id=job.spec.job_id,
+                size=flow.size,
+                start=now,
+                finish=now,
+                num_switches=0,
+                delay_us=0.0,
+            )
+        )
+        del self._flow_objects[fid]
+        self._flow_done(now, fid, flow.map_index)
+
+    def _launch_flow(
+        self, now: float, flow: ShuffleFlow, src: int, dst: int
+    ) -> None:
+        """Route and start a shuffle flow, parking it when no live path
+        exists (only possible while switches are failed)."""
+        path = self._route(flow, src, dst)
+        if path is None:
+            self._park_flow(flow.flow_id, flow.size)
+            return
+        self.network.add_flow(flow.flow_id, path, flow.size, now)
+
+    def _route(
+        self, flow: ShuffleFlow, src: int, dst: int
+    ) -> tuple[int, ...] | None:
+        """Pick a path for a starting/restarting flow.
+
+        Returns ``None`` (caller parks the flow) only when failed switches
+        leave no live path at all; on fault-free runs the result is always a
+        path and the logic is byte-for-byte the pre-fault behaviour.
+        """
+        faulty = self.faults is not None and bool(self.faults.failed_switches)
+        path = self._route_impl(flow, src, dst, faulty)
+        if path is not None and faulty:
+            self.faults.assert_path_clear(path)
+        return path
+
+    def _route_impl(
+        self, flow: ShuffleFlow, src: int, dst: int, faulty: bool
+    ) -> tuple[int, ...] | None:
         if self.scheduler.network_aware:
             try:
                 policy = self.controller.route_flow(flow, src, dst)
                 return policy.path
             except NoFeasiblePathError:
+                pass
+            try:
                 # Fabric saturated: fall through to capacity-ignoring optimum
                 # (the physical network still carries it, just congested).
                 policy = self.controller.route_flow(
                     flow, src, dst, enforce_capacity=False
                 )
                 return policy.path
+            except NoFeasiblePathError:
+                # Even uncapacitated routing found nothing — only possible
+                # when failures disconnect the pair; park until recovery.
+                if self.faults is not None:
+                    return None
+                raise
         if getattr(self.scheduler, "ecmp", False):
             # ECMP hashing: uniform choice over the equal-cost path set.
             from ..topology.routing import enumerate_paths
 
-            candidates = enumerate_paths(self.topology, src, dst, slack=0,
-                                         limit=64)
+            if faulty:
+                candidates = self._alive_paths(src, dst)
+                if not candidates:
+                    return None
+            else:
+                candidates = enumerate_paths(self.topology, src, dst, slack=0,
+                                             limit=64)
             return candidates[int(self._ecmp_rng.integers(len(candidates)))]
+        if faulty:
+            candidates = self._alive_paths(src, dst)
+            return candidates[0] if candidates else None
         return self.topology.shortest_path(src, dst)
 
+    def _alive_paths(
+        self, src: int, dst: int, max_slack: int = 4
+    ) -> list[tuple[int, ...]]:
+        """Shortest live paths for the non-policy baselines under failures:
+        the first slack level whose equal-cost set contains a path avoiding
+        every failed switch (graceful degradation — any feasible path)."""
+        from ..topology.routing import enumerate_paths
+
+        assert self.faults is not None
+        failed = self.faults.failed_switches
+        for slack in range(max_slack + 1):
+            alive = [
+                p
+                for p in enumerate_paths(
+                    self.topology, src, dst, slack=slack, limit=64
+                )
+                if not any(node in failed for node in p)
+            ]
+            if alive:
+                return alive
+        return []
+
+    # ------------------------------------------------------------ fault layer
+    # Everything below runs only when a fault timeline is configured.  The
+    # handlers maintain one invariant: after each fault event the engine's
+    # bookkeeping (wave counters, pending/parked flow registries, cluster
+    # placements, controller policies) describes a state the remaining
+    # simulation can drive to completion — no task or byte silently lost.
+
+    def _on_server_fail(self, now: float, server_id: int) -> None:
+        injector = self.faults
+        assert injector is not None
+        if not injector.mark_server_failed(server_id):
+            return
+        hosted = self.cluster.hosted_on(server_id)  # sorted => deterministic
+        self.cluster.fail_server(server_id)
+        # Kill resident tasks.  Completed maps still holding their wave slot
+        # are handled by the lost-output sweep below, not as running tasks.
+        for cid in hosted:
+            task = self.cluster.container(cid).task
+            job = self._jobs_by_id[task.job_id]
+            if task.kind is TaskKind.MAP:
+                if task.index not in job.map_output_server:
+                    self._kill_running_map(now, job, cid, task.index)
+            else:
+                self._restart_reduce(now, job, job.reduces[task.index])
+        # Every completed map output stored on the dead server is lost.
+        lost: list[tuple[_JobState, int, int]] = []
+        for job_id in sorted(self._jobs_by_id):
+            job = self._jobs_by_id[job_id]
+            for mi in sorted(job.map_output_server):
+                if job.map_output_server[mi] == server_id:
+                    lost.append((job, job.map_cid_of[mi], mi))
+        for job, cid, mi in lost:
+            self._restart_map(now, job, cid, mi)
+
+    def _on_server_recover(self, now: float, server_id: int) -> None:
+        injector = self.faults
+        assert injector is not None
+        if not injector.mark_server_recovered(server_id):
+            return
+        self.cluster.recover_server(server_id)
+        self.server_speeds[server_id] = self._base_speeds[server_id]
+        # Capacity returned: wake every task stuck in placement backoff (the
+        # token bump inside _schedule_retry stales their backoff events).
+        for cid in sorted(self._backoff):
+            self._schedule_retry(now, cid)
+        self._try_admit(now)
+
+    def _on_switch_fail(self, now: float, switch_id: int) -> None:
+        injector = self.faults
+        assert injector is not None
+        if not injector.mark_switch_failed(switch_id):
+            return
+        self.controller.fail_switch(switch_id)
+        invalidate_topology_caches(self.topology)
+        # Reroute every flow crossing the dead switch; park the ones with no
+        # remaining live path until a recovery reconnects their endpoints.
+        for active in self.network.active_flows:
+            if switch_id not in active.path or active.remaining <= 0.0:
+                continue  # unaffected, or already finished awaiting drain
+            flow = self._flow_objects[active.flow_id]
+            path = self._route(flow, active.path[0], active.path[-1])
+            if path is None:
+                remaining = active.remaining
+                self.network.remove_flow(active.flow_id)
+                self.controller.release(active.flow_id)
+                self._park_flow(active.flow_id, remaining)
+            else:
+                self.network.reroute_flow(active.flow_id, path)
+                injector.count("faults.flows_rerouted")
+
+    def _on_switch_recover(self, now: float, switch_id: int) -> None:
+        injector = self.faults
+        assert injector is not None
+        if not injector.mark_switch_recovered(switch_id):
+            return
+        self.controller.recover_switch(switch_id)
+        invalidate_topology_caches(self.topology)
+        self._unpark_flows(now)
+
+    def _on_task_slowdown(
+        self, now: float, server_id: int, factor: float
+    ) -> None:
+        """Straggler injection: divide the server's speed by ``factor``.
+
+        Affects tasks launched after the event (running tasks keep their
+        scheduled completion); factor 1.0 — or a server recovery — restores
+        nominal speed."""
+        assert self.faults is not None
+        self.server_speeds[server_id] = self._base_speeds[server_id] / factor
+        self.faults.count("faults.slowdown")
+
+    # --- flow parking -------------------------------------------------------
+    def _park_flow(self, fid: int, remaining: float) -> None:
+        assert self.faults is not None
+        self._parked[fid] = remaining
+        self.faults.count("faults.flows_parked")
+
+    def _unpark_flows(self, now: float) -> None:
+        for fid in sorted(self._parked):
+            flow = self._flow_objects[fid]
+            job = self._jobs_by_id[flow.job_id]
+            src = job.map_output_server.get(flow.map_index)
+            dst = self.cluster.container(
+                job.reduces[flow.reduce_index].container_id
+            ).server_id
+            if src is None or dst is None:
+                # An endpoint is itself mid-recovery; its restart path owns
+                # the flow (and has already pulled it out of the parking lot
+                # unless re-parked later).
+                continue
+            path = self._route(flow, src, dst)
+            if path is None:
+                continue  # still no live path — stays parked
+            remaining = self._parked.pop(fid)
+            self.network.add_flow(fid, path, flow.size, now, remaining=remaining)
+            self.faults.count("faults.flows_resumed")
+
+    def _cancel_flows(self, predicate) -> None:
+        """Move every matching in-flight or parked flow back to the pending
+        registry (its reducer still lists the fid in ``pending_flows``), so
+        it restarts from zero when its endpoints are healthy again."""
+        for fid in sorted(self._flow_objects):
+            flow = self._flow_objects[fid]
+            if not predicate(flow):
+                continue
+            endpoints = (flow.src_container, flow.dst_container)
+            if endpoints in self._flow_by_endpoints:
+                continue  # not started yet — already pending
+            if fid in self._parked:
+                del self._parked[fid]
+            else:
+                self.network.remove_flow(fid)
+                self.controller.release(fid)
+            self._flow_by_endpoints[endpoints] = fid
+            if self.faults is not None:
+                self.faults.count("faults.flows_killed")
+
+    # --- task re-execution --------------------------------------------------
+    def _kill_running_map(
+        self, now: float, job: _JobState, cid: int, map_index: int
+    ) -> None:
+        """A running map died with its server; re-execute it elsewhere.
+
+        ``maps_running`` is left alone — the attempt is still logically in
+        flight, so the wave barrier waits for the re-execution."""
+        self._attempt[cid] = self._attempt.get(cid, 0) + 1  # stales MAP_DONE
+        self.cluster.unplace(cid)
+        self._charge_retry(job, cid, "map")
+        self._schedule_retry(now, cid)
+
+    def _restart_map(
+        self, now: float, job: _JobState, cid: int, map_index: int
+    ) -> None:
+        """A completed map's output was lost; re-execute it if any reduce
+        that is not yet running still needs its data (Hadoop's policy for
+        completed maps on failed nodes).  Data already delivered to reducers
+        is safe and is never re-sent — only the undelivered flows restart.
+
+        When every consumer is already running or finished the re-execution
+        is *deferred* (parked in ``job.lost_outputs``) rather than skipped:
+        a reducer that later dies mid-run re-fetches its inputs, and this
+        same method then pulls the deferred map back into execution."""
+        if map_index in job.map_output_server:
+            del job.map_output_server[map_index]
+            job.lost_outputs.add(map_index)
+        if map_index not in job.lost_outputs:
+            return  # still running, or already being re-executed
+        if not self._map_output_needed(job, map_index):
+            return  # stays in lost_outputs until a consumer reappears
+        job.lost_outputs.discard(map_index)
+        job.maps_finished -= 1
+        job.maps_running += 1
+        self._attempt[cid] = self._attempt.get(cid, 0) + 1
+        self._cancel_flows(
+            lambda f: f.job_id == job.spec.job_id and f.map_index == map_index
+        )
+        if self.cluster.container(cid).is_placed:
+            self.cluster.unplace(cid)
+        self._charge_retry(job, cid, "map")
+        self._schedule_retry(now, cid)
+
+    def _restart_reduce(
+        self, now: float, job: _JobState, reduce_state: _ReduceState
+    ) -> None:
+        """A reducer died with its server: every byte it fetched dies too.
+
+        The container id is reused (it keys all flow endpoints); once
+        re-placed, the reducer re-fetches from the surviving map outputs —
+        lost sources (including deferred ones) re-execute first."""
+        if reduce_state.finished:
+            return  # committed output survives its server (written to HDFS)
+        cid = reduce_state.container_id
+        self._attempt[cid] = self._attempt.get(cid, 0) + 1  # stales REDUCE_DONE
+        reduce_state.scheduled = False
+        # In-flight/parked inbound transfers restart from zero later.
+        self._cancel_flows(lambda f: f.dst_container == cid)
+        # Re-fetch what had already been delivered: fresh flows with the
+        # original endpoints and sizes.
+        for mi in sorted(reduce_state.received):
+            size = float(job.matrix[mi, reduce_state.index])
+            if size <= 1e-12:
+                continue
+            src_cid = job.map_cid_of[mi]
+            flow = ShuffleFlow(
+                flow_id=self._next_flow_id,
+                job_id=job.spec.job_id,
+                map_index=mi,
+                reduce_index=reduce_state.index,
+                src_container=src_cid,
+                dst_container=cid,
+                size=size,
+                rate=size / self.config.rate_epoch,
+            )
+            self._next_flow_id += 1
+            self._flow_objects[flow.flow_id] = flow
+            self._flow_index[flow.flow_id] = (job.spec.job_id, reduce_state.index)
+            self._flow_by_endpoints[(src_cid, cid)] = flow.flow_id
+            reduce_state.pending_flows.add(flow.flow_id)
+            source = job.map_output_server.get(mi)
+            if source is None or self.cluster.is_failed(source):
+                self._restart_map(now, job, src_cid, mi)
+        reduce_state.received.clear()
+        if self.cluster.container(cid).is_placed:
+            self.cluster.unplace(cid)
+        self._charge_retry(job, cid, "reduce")
+        self._schedule_retry(now, cid)
+
+    def _map_output_needed(self, job: _JobState, map_index: int) -> bool:
+        """True when some reduce that has *not yet started* still expects
+        this map's data.  A running (``scheduled``) reduce already holds
+        every byte it needs — reduces only start once all shuffle data is
+        delivered — so losing an input's source does not disturb it."""
+        if job.done:
+            return False
+        return any(
+            not rs.finished
+            and not rs.scheduled
+            and float(job.matrix[map_index, rs.index]) > 1e-12
+            for rs in job.reduces.values()
+        )
+
+    def _charge_retry(self, job: _JobState, cid: int, kind: str) -> None:
+        count = self._retries.get(cid, 0) + 1
+        if count > self.config.max_task_retries:
+            raise RuntimeError(
+                f"{kind} task of job {job.spec.job_id} (container {cid}) "
+                f"exceeded max_task_retries={self.config.max_task_retries}"
+            )
+        self._retries[cid] = count
+        if self.faults is not None:
+            self.faults.count(f"retries.{kind}")
+
+    # --- re-placement -------------------------------------------------------
+    def _schedule_retry(self, now: float, cid: int, delay: float = 0.0) -> None:
+        token = self._retry_token.get(cid, 0) + 1
+        self._retry_token[cid] = token
+        self._queue.push(
+            Event(now + delay, EventKind.TASK_RETRY, payload=(cid, token))
+        )
+
+    def _on_task_retry(self, now: float, cid: int, token: int) -> None:
+        if token != self._retry_token.get(cid):
+            return  # superseded by a newer retry (e.g. after a recovery)
+        container = self.cluster.container(cid)
+        if container.is_placed:
+            return
+        task = container.task
+        job = self._jobs_by_id[task.job_id]
+        server = self._pick_retry_server(cid)
+        if server is None:
+            # No live server fits right now: exponential backoff (a server
+            # recovery also re-triggers the retry immediately).
+            exponent = self._backoff.get(cid, 0)
+            self._backoff[cid] = exponent + 1
+            delay = self.config.retry_backoff * (2.0 ** min(exponent, 20))
+            self._schedule_retry(now, cid, delay)
+            return
+        self._backoff.pop(cid, None)
+        self.cluster.place(cid, server)
+        if task.kind is TaskKind.MAP:
+            self._relaunch_map(now, job, cid, task.index)
+        else:
+            self._relaunch_reduce(now, job, job.reduces[task.index])
+
+    def _pick_retry_server(self, cid: int) -> int | None:
+        """Deterministic greedy re-placement: the live fitting server with
+        the most residual memory (then vcores), lowest id on ties.  Retry
+        placement is deliberately scheduler-independent — it models the RM's
+        emergency re-grant, not a fresh scheduling decision."""
+        best: int | None = None
+        best_key: tuple[float, float] | None = None
+        for sid in self.cluster.candidate_servers(cid):
+            if not self.cluster.fits(cid, sid):
+                continue
+            residual = self.cluster.residual(sid)
+            key = (residual.memory, residual.vcores)
+            if best_key is None or key > best_key:
+                best, best_key = sid, key
+        return best
+
+    def _relaunch_map(
+        self, now: float, job: _JobState, cid: int, map_index: int
+    ) -> None:
+        """Launch a re-placed map attempt (``maps_running`` already counts
+        it, so this is :meth:`_launch_maps` minus the accounting)."""
+        server = self.cluster.container(cid).server_id
+        assert server is not None
+        duration = (
+            job.spec.map_duration / self.server_speeds[server]
+            + self._read_penalty(job, map_index, server)
+        )
+        self._queue.push(
+            Event(
+                now + duration,
+                EventKind.MAP_DONE,
+                payload=(
+                    job.spec.job_id,
+                    cid,
+                    map_index,
+                    now,
+                    self._attempt.get(cid, 0),
+                ),
+            )
+        )
+
+    def _relaunch_reduce(
+        self, now: float, job: _JobState, reduce_state: _ReduceState
+    ) -> None:
+        """A re-placed reducer pulls every pending inbound flow whose source
+        output exists; flows from still-running (or re-executing) maps start
+        on those maps' completion as usual."""
+        cid = reduce_state.container_id
+        server = self.cluster.container(cid).server_id
+        assert server is not None
+        ready = [
+            fid
+            for (src_cid, dst_cid), fid in sorted(self._flow_by_endpoints.items())
+            if dst_cid == cid
+        ]
+        for fid in ready:
+            flow = self._flow_objects[fid]
+            source = job.map_output_server.get(flow.map_index)
+            if source is None:
+                continue
+            del self._flow_by_endpoints[(flow.src_container, cid)]
+            if source == server:
+                self._deliver_local(now, job, fid, flow)
+            else:
+                self._launch_flow(now, flow, source, server)
+        self._maybe_finish_reduce(now, job, reduce_state)
+
     # ------------------------------------------------------------ reduce side
-    def _on_reduce_done(self, now: float, job_id: int, reduce_index: int) -> None:
+    def _on_reduce_done(
+        self, now: float, job_id: int, reduce_index: int, attempt: int = 0
+    ) -> None:
         job = self._jobs_by_id[job_id]
         reduce_state = job.reduces[reduce_index]
+        if attempt != self._attempt.get(reduce_state.container_id, 0):
+            return  # completion of an attempt killed by a server failure
+        reduce_state.finished = True
         self.metrics.record_task(
             TaskRecord(
                 job_id=job_id,

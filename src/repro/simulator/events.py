@@ -1,8 +1,21 @@
 """Event queue for the discrete-event simulation.
 
-A thin, deterministic wrapper over :mod:`heapq`: events at equal timestamps
-pop in insertion order (sequence-number tie-break), which keeps simulations
-bit-reproducible across runs regardless of payload types.
+A thin, deterministic wrapper over :mod:`heapq`.  Events at equal timestamps
+pop in a two-level deterministic order:
+
+1. an explicit per-kind priority class (:data:`EVENT_PRIORITY`) — fault
+   events are ordered *around* the normal simulation events: recoveries
+   first (capacity returns before anything else that happens at the same
+   instant), then failures (a completion that collides with a failure at the
+   exact same timestamp is processed after the failure, i.e. the task is
+   conservatively lost), then every normal event kind;
+2. insertion order (sequence-number tie-break) within a priority class,
+   which keeps simulations bit-reproducible across runs regardless of
+   payload types.
+
+Every pre-existing kind (arrivals, completions, network checkpoints) shares
+one priority class, so simulations without faults order exactly as they did
+before fault injection existed.
 """
 
 from __future__ import annotations
@@ -13,7 +26,7 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Any
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = ["EventKind", "Event", "EventQueue", "EVENT_PRIORITY"]
 
 
 class EventKind(Enum):
@@ -23,6 +36,33 @@ class EventKind(Enum):
     MAP_DONE = auto()
     NETWORK = auto()        # tentative next-flow-completion checkpoint
     REDUCE_DONE = auto()
+    # Fault-injection events (see repro.faults): infrastructure state flips.
+    SERVER_FAIL = auto()
+    SERVER_RECOVER = auto()
+    SWITCH_FAIL = auto()
+    SWITCH_RECOVER = auto()
+    TASK_SLOWDOWN = auto()  # straggler injection: server speed multiplier
+    # Failure-recovery retry: a task waiting out its placement backoff.
+    TASK_RETRY = auto()
+
+
+#: Same-timestamp ordering class per kind (lower pops first).  Recoveries
+#: (0) precede failures (1) precede all normal events (2): at one instant
+#: the fabric first heals, then breaks, then the workload reacts — so a
+#: task completion that collides with its server's failure is lost, and a
+#: placement retry that collides with a recovery sees the recovered node.
+EVENT_PRIORITY: dict[EventKind, int] = {
+    EventKind.SERVER_RECOVER: 0,
+    EventKind.SWITCH_RECOVER: 0,
+    EventKind.SERVER_FAIL: 1,
+    EventKind.SWITCH_FAIL: 1,
+    EventKind.TASK_SLOWDOWN: 1,
+    EventKind.JOB_ARRIVAL: 2,
+    EventKind.MAP_DONE: 2,
+    EventKind.NETWORK: 2,
+    EventKind.REDUCE_DONE: 2,
+    EventKind.TASK_RETRY: 2,
+}
 
 
 @dataclass(frozen=True, order=False)
@@ -37,21 +77,29 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of events ordered by (time, insertion sequence)."""
+    """Min-heap of events ordered by (time, kind priority, insertion seq)."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def push(self, event: Event) -> None:
         if event.time < 0:
             raise ValueError("event time must be non-negative")
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        heapq.heappush(
+            self._heap,
+            (
+                event.time,
+                EVENT_PRIORITY[event.kind],
+                next(self._counter),
+                event,
+            ),
+        )
 
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from empty event queue")
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)[3]
 
     def peek_time(self) -> float | None:
         return self._heap[0][0] if self._heap else None

@@ -121,21 +121,47 @@ class FlowNetwork:
     def active_flows(self) -> tuple[ActiveFlow, ...]:
         return tuple(self._flows[fid] for fid in sorted(self._flows))
 
+    def _lookup(self, flow_id: int, operation: str) -> ActiveFlow:
+        """Active flow by id, or a diagnosable KeyError naming the id and
+        how many flows are live (typos and double-removals both surface as
+        "unknown flow" — the count distinguishes an empty network from a
+        wrong id)."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise KeyError(
+                f"{operation}: unknown flow {flow_id} "
+                f"({len(self._flows)} active flows)"
+            )
+        return flow
+
     def add_flow(
-        self, flow_id: int, path: Sequence[int], size: float, now: float = 0.0
+        self,
+        flow_id: int,
+        path: Sequence[int],
+        size: float,
+        now: float = 0.0,
+        remaining: float | None = None,
     ) -> ActiveFlow:
         """Start a flow; co-located endpoints (single-node path) are
-        rejected — the engine should complete them instantly instead."""
+        rejected — the engine should complete them instantly instead.
+
+        ``remaining`` (defaults to ``size``) lets the fault-recovery layer
+        resume a parked flow with its transferred bytes preserved.
+        """
         if flow_id in self._flows:
             raise ValueError(f"flow {flow_id} already active")
         if len(path) < 2:
             raise ValueError("network flows need a multi-node path")
         if size <= 0:
             raise ValueError("flow size must be positive")
+        if remaining is None:
+            remaining = size
+        if not 0 < remaining <= size:
+            raise ValueError("remaining must be in (0, size]")
         flow = ActiveFlow(
             flow_id=flow_id,
             path=tuple(path),
-            remaining=size,
+            remaining=remaining,
             resources=self._path_resources(path),
             start_time=now,
             num_switches=sum(
@@ -148,14 +174,15 @@ class FlowNetwork:
         return flow
 
     def remove_flow(self, flow_id: int) -> ActiveFlow:
-        flow = self._flows.pop(flow_id)
+        flow = self._lookup(flow_id, "remove_flow")
+        del self._flows[flow_id]
         self._dirty = True
         return flow
 
     def reroute_flow(self, flow_id: int, path: Sequence[int]) -> ActiveFlow:
         """Migrate a live flow onto a new path, preserving its remaining
         bytes (the online-rebalancing hook of Section 5.1.1)."""
-        flow = self._flows[flow_id]
+        flow = self._lookup(flow_id, "reroute_flow")
         if len(path) < 2:
             raise ValueError("network flows need a multi-node path")
         if path[0] != flow.path[0] or path[-1] != flow.path[-1]:

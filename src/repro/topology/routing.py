@@ -56,7 +56,24 @@ __all__ = [
     "single_source_unit_costs",
     "enumerate_paths",
     "count_shortest_paths",
+    "invalidate_topology_caches",
 ]
+
+
+def invalidate_topology_caches(topology: Topology) -> None:
+    """Drop every memoised routing structure for ``topology``.
+
+    The stage/layer caches are purely structural (which nodes lie on which
+    shortest paths) and the topology graph itself is immutable, so in normal
+    operation they never go stale.  The fault-injection layer still calls
+    this on switch failure/recovery: availability is masked dynamically in
+    the policy DP, but explicitly dropping the memos keeps the contract
+    simple ("after a fabric-state change, no routing memo survives") and
+    bounds memory on long fault timelines.  Safe to call at any time — the
+    structures rebuild lazily on next use.
+    """
+    for cache in (_STAGE_CACHE, _STAGE_ADJ_CACHE, _LAYER_CACHE):
+        cache.pop(topology, None)
 
 
 def shortest_path_stages(

@@ -33,6 +33,11 @@ class NodeManager:
         self.capacity = capacity
         self._running: dict[int, LaunchedContainer] = {}
         self._used = Resources.zero()
+        #: Simulated timestamp of the node's last heartbeat.  The RM's
+        #: liveness sweep (:meth:`~repro.yarnsim.rm.ResourceManager.
+        #: expire_nodes`) declares the node lost once this lags past the
+        #: configured expiry — YARN's ``nm.liveness-monitor`` behaviour.
+        self.last_heartbeat: float = 0.0
 
     @property
     def used(self) -> Resources:
@@ -63,14 +68,27 @@ class NodeManager:
         self._used = self._used - container.capability
         return container
 
-    def heartbeat(self) -> dict[str, object]:
-        """Node status report, as the RM would receive it."""
+    def heartbeat(self, now: float | None = None) -> dict[str, object]:
+        """Node status report, as the RM would receive it.
+
+        Passing ``now`` stamps :attr:`last_heartbeat` (the liveness signal);
+        omitting it keeps the report side-effect free."""
+        if now is not None:
+            self.last_heartbeat = now
         return {
             "hostname": self.hostname,
             "running": sorted(self._running),
             "used": self._used.as_tuple(),
             "available": self.available.as_tuple(),
+            "last_heartbeat": self.last_heartbeat,
         }
+
+    def drain(self) -> list[LaunchedContainer]:
+        """Release every running container at once (node declared lost)."""
+        lost = [self._running[cid] for cid in sorted(self._running)]
+        self._running.clear()
+        self._used = Resources.zero()
+        return lost
 
     def __len__(self) -> int:
         return len(self._running)

@@ -36,8 +36,14 @@ class GrantedContainer:
 class ResourceManager:
     """Cluster-wide resource arbiter with pluggable request semantics."""
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(
+        self, topology: Topology, heartbeat_expiry: float | None = None
+    ) -> None:
         self.topology = topology
+        #: A node whose last heartbeat lags ``now`` by more than this is
+        #: declared lost by :meth:`expire_nodes` (None disables liveness
+        #: tracking entirely — the pre-fault behaviour).
+        self.heartbeat_expiry = heartbeat_expiry
         self.nodes: dict[str, NodeManager] = {}
         for server in topology.servers():
             self.nodes[server.name] = NodeManager(
@@ -45,6 +51,7 @@ class ResourceManager:
                 hostname=server.name,
                 capacity=Resources.from_tuple(server.resource_capacity),
             )
+        self._lost: set[str] = set()
         self._heartbeat_order = sorted(self.nodes)
         self._cursor = 0
         self._next_container_id = 0
@@ -108,7 +115,10 @@ class ResourceManager:
             preferred = self.nodes.get(request.resource_name)
             if preferred is None:
                 raise KeyError(f"unknown host {request.resource_name!r}")
-            if preferred.can_launch(request.capability):
+            if (
+                preferred.hostname not in self._lost
+                and preferred.can_launch(request.capability)
+            ):
                 return preferred
             if not request.relax_locality:
                 return None
@@ -119,6 +129,8 @@ class ResourceManager:
         n = len(self._heartbeat_order)
         for offset in range(n):
             hostname = self._heartbeat_order[(self._cursor + offset) % n]
+            if hostname in self._lost:
+                continue
             node = self.nodes[hostname]
             if node.can_launch(capability):
                 self._cursor = (self._cursor + offset + 1) % n
@@ -133,11 +145,85 @@ class ResourceManager:
         candidates = [
             node
             for node in self.nodes.values()
-            if node is not preferred and node.can_launch(capability)
+            if node is not preferred
+            and node.hostname not in self._lost
+            and node.can_launch(capability)
         ]
         if not candidates:
             return None
         return min(candidates, key=lambda n: (dist[n.server_id], n.hostname))
+
+    # -------------------------------------------------------------- liveness
+    @property
+    def lost_nodes(self) -> frozenset[str]:
+        """Hostnames currently declared lost."""
+        return frozenset(self._lost)
+
+    def record_heartbeat(self, hostname: str, now: float) -> dict[str, object]:
+        """Process one node heartbeat; a lost node that heartbeats again
+        rejoins the cluster (empty — its containers were already drained)."""
+        node = self.nodes[hostname]
+        status = node.heartbeat(now)
+        self._lost.discard(hostname)
+        return status
+
+    def expire_nodes(self, now: float) -> list[GrantedContainer]:
+        """Declare every over-expiry node lost and return its dead grants.
+
+        Mirrors YARN's NM liveness monitor: a node that missed heartbeats
+        for longer than ``heartbeat_expiry`` is drained, its containers are
+        reported back to the caller (the ApplicationMaster's completed-
+        container list with a failure exit status), and no further grants
+        land on it until it heartbeats again.  Callers typically pass the
+        result to :meth:`regrant`.
+        """
+        if self.heartbeat_expiry is None:
+            return []
+        dead: list[GrantedContainer] = []
+        for hostname in self._heartbeat_order:
+            if hostname in self._lost:
+                continue
+            node = self.nodes[hostname]
+            if now - node.last_heartbeat <= self.heartbeat_expiry:
+                continue
+            self._lost.add(hostname)
+            for lost in node.drain():
+                dead.append(
+                    GrantedContainer(
+                        container_id=lost.container_id,
+                        hostname=hostname,
+                        server_id=node.server_id,
+                        capability=lost.capability,
+                    )
+                )
+        return dead
+
+    def regrant(self, dead: list[GrantedContainer]) -> list[GrantedContainer]:
+        """Re-grant replacements for dead containers on live nodes
+        (round-robin, fresh container ids).  Raises ``RuntimeError`` when the
+        surviving cluster cannot absorb a replacement."""
+        replacements: list[GrantedContainer] = []
+        for grant in dead:
+            node = self._round_robin(grant.capability)
+            if node is None:
+                raise RuntimeError(
+                    f"no live node can re-grant container "
+                    f"{grant.container_id} ({grant.capability})"
+                )
+            cid = self._next_container_id
+            self._next_container_id += 1
+            node.launch(
+                LaunchedContainer(container_id=cid, capability=grant.capability)
+            )
+            replacements.append(
+                GrantedContainer(
+                    container_id=cid,
+                    hostname=node.hostname,
+                    server_id=node.server_id,
+                    capability=grant.capability,
+                )
+            )
+        return replacements
 
     # ------------------------------------------------------------------ misc
     def release(self, granted: GrantedContainer) -> None:
@@ -146,5 +232,7 @@ class ResourceManager:
     def cluster_available(self) -> Resources:
         total = Resources.zero()
         for node in self.nodes.values():
+            if node.hostname in self._lost:
+                continue
             total = total + node.available
         return total

@@ -1,0 +1,142 @@
+"""Fault timeline specs: validation, serialisation, seeded generation."""
+
+import pytest
+
+from repro.faults import (
+    FaultKind,
+    FaultSpec,
+    generate_timeline,
+    load_fault_file,
+    save_fault_file,
+    validate_timeline,
+)
+
+
+class TestFaultSpec:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec(-1.0, FaultKind.SERVER_FAIL, 0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError, match="node id"):
+            FaultSpec(1.0, FaultKind.SERVER_FAIL, -3)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(1.0, FaultKind.TASK_SLOWDOWN, 0, factor=0.0)
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(2.5, FaultKind.TASK_SLOWDOWN, 3, factor=4.0)
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_factor_only_serialised_for_slowdowns(self):
+        assert "factor" not in FaultSpec(1.0, FaultKind.SWITCH_FAIL, 9).as_dict()
+        assert "factor" in FaultSpec(1.0, FaultKind.TASK_SLOWDOWN, 0).as_dict()
+
+    def test_from_dict_malformed_record(self):
+        with pytest.raises(ValueError, match="malformed fault record"):
+            FaultSpec.from_dict({"time": 1.0, "kind": "volcano", "target": 0})
+
+
+class TestValidateTimeline:
+    def test_sorted_by_time(self, flat_tree):
+        specs = [
+            FaultSpec(2.0, FaultKind.SERVER_RECOVER, 0),
+            FaultSpec(1.0, FaultKind.SERVER_FAIL, 0),
+        ]
+        out = validate_timeline(flat_tree, specs)
+        assert [s.time for s in out] == [1.0, 2.0]
+
+    def test_server_kind_must_target_server(self, flat_tree):
+        switch = flat_tree.switch_ids[0]
+        with pytest.raises(ValueError, match="not a server"):
+            validate_timeline(flat_tree, [FaultSpec(1.0, FaultKind.SERVER_FAIL, switch)])
+
+    def test_switch_kind_must_target_switch(self, flat_tree):
+        with pytest.raises(ValueError, match="not a switch"):
+            validate_timeline(flat_tree, [FaultSpec(1.0, FaultKind.SWITCH_FAIL, 0)])
+
+    def test_unknown_node_rejected(self, flat_tree):
+        with pytest.raises(ValueError):
+            validate_timeline(flat_tree, [FaultSpec(1.0, FaultKind.SERVER_FAIL, 10_000)])
+
+
+class TestFaultFiles:
+    def test_save_load_roundtrip(self, tmp_path, flat_tree):
+        specs = validate_timeline(
+            flat_tree,
+            [
+                FaultSpec(0.5, FaultKind.SERVER_FAIL, 1),
+                FaultSpec(0.8, FaultKind.TASK_SLOWDOWN, 2, factor=2.0),
+                FaultSpec(1.5, FaultKind.SERVER_RECOVER, 1),
+            ],
+        )
+        path = tmp_path / "faults.jsonl"
+        save_fault_file(str(path), specs)
+        assert load_fault_file(str(path)) == specs
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        path.write_text(
+            "# scripted outage\n"
+            "\n"
+            '{"time": 1.0, "kind": "server-fail", "target": 0}\n'
+        )
+        (spec,) = load_fault_file(str(path))
+        assert spec == FaultSpec(1.0, FaultKind.SERVER_FAIL, 0)
+
+    def test_invalid_json_names_line(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match=":1: invalid JSON"):
+            load_fault_file(str(path))
+
+
+class TestGenerateTimeline:
+    def test_deterministic_for_seed(self, small_tree):
+        kwargs = dict(seed=7, horizon=10.0, server_mtbf=2.0, switch_mtbf=4.0)
+        assert generate_timeline(small_tree, **kwargs) == generate_timeline(
+            small_tree, **kwargs
+        )
+
+    def test_different_seeds_differ(self, small_tree):
+        a = generate_timeline(small_tree, seed=1, horizon=10.0, server_mtbf=2.0)
+        b = generate_timeline(small_tree, seed=2, horizon=10.0, server_mtbf=2.0)
+        assert a != b
+
+    def test_every_failure_has_matching_recovery(self, small_tree):
+        timeline = generate_timeline(
+            small_tree, seed=3, horizon=6.0, server_mtbf=2.0, switch_mtbf=3.0
+        )
+        down: set[int] = set()
+        for spec in timeline:
+            if spec.kind in (FaultKind.SERVER_FAIL, FaultKind.SWITCH_FAIL):
+                assert spec.target not in down
+                down.add(spec.target)
+            else:
+                assert spec.target in down
+                down.discard(spec.target)
+        assert not down, "timeline left elements permanently failed"
+
+    def test_switch_concurrency_cap(self, small_tree):
+        timeline = generate_timeline(
+            small_tree,
+            seed=5,
+            horizon=50.0,
+            switch_mtbf=1.0,
+            switch_mttr=2.0,
+            max_concurrent_switch_failures=1,
+        )
+        down: set[int] = set()
+        for spec in timeline:
+            if spec.kind is FaultKind.SWITCH_FAIL:
+                down.add(spec.target)
+                assert len(down) <= 1
+            elif spec.kind is FaultKind.SWITCH_RECOVER:
+                down.discard(spec.target)
+
+    def test_invalid_parameters(self, small_tree):
+        with pytest.raises(ValueError, match="horizon"):
+            generate_timeline(small_tree, seed=0, horizon=0.0, server_mtbf=1.0)
+        with pytest.raises(ValueError, match="MTBF/MTTR"):
+            generate_timeline(small_tree, seed=0, horizon=1.0, server_mtbf=-1.0)

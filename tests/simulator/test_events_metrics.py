@@ -30,6 +30,32 @@ class TestEventQueue:
         assert q.pop().payload == "a"
         assert q.pop().payload == "b"
 
+    def test_kind_priority_at_colliding_timestamps(self):
+        """Same-instant ordering contract: recoveries pop before failures,
+        failures before every normal event — regardless of push order."""
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.MAP_DONE, payload="done"))
+        q.push(Event(1.0, EventKind.SERVER_FAIL, payload="fail"))
+        q.push(Event(1.0, EventKind.TASK_RETRY, payload="retry"))
+        q.push(Event(1.0, EventKind.SWITCH_RECOVER, payload="heal"))
+        q.push(Event(1.0, EventKind.TASK_SLOWDOWN, payload="slow"))
+        q.push(Event(1.0, EventKind.SERVER_RECOVER, payload="revive"))
+        order = [q.pop().payload for _ in range(6)]
+        # Within a priority class insertion order still applies
+        # ("fail" before "slow", "done" before "retry").
+        assert order == ["heal", "revive", "fail", "slow", "done", "retry"]
+
+    def test_earlier_time_beats_higher_priority(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.SERVER_RECOVER, payload="late-heal"))
+        q.push(Event(1.0, EventKind.MAP_DONE, payload="early-done"))
+        assert q.pop().payload == "early-done"
+
+    def test_priority_table_covers_every_kind(self):
+        from repro.simulator.events import EVENT_PRIORITY
+
+        assert set(EVENT_PRIORITY) == set(EventKind)
+
     def test_peek_time(self):
         q = EventQueue()
         assert q.peek_time() is None

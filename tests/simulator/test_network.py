@@ -173,6 +173,44 @@ class TestDynamics:
         net = FlowNetwork(dumbbell())
         assert net.time_to_next_completion() is None
 
+    def test_resume_with_remaining_bytes(self):
+        """Fault recovery resumes a parked flow with its progress kept."""
+        net = FlowNetwork(dumbbell(10.0))
+        net.add_flow(0, (0, 4, 5, 2), size=20.0, remaining=5.0)
+        assert net.active_flows[0].remaining == pytest.approx(5.0)
+        assert net.time_to_next_completion() == pytest.approx(0.5)
+
+    def test_remaining_must_be_in_range(self):
+        net = FlowNetwork(dumbbell())
+        with pytest.raises(ValueError, match=r"remaining must be in \(0, size\]"):
+            net.add_flow(0, (0, 4, 5, 2), size=20.0, remaining=0.0)
+        with pytest.raises(ValueError, match=r"remaining must be in \(0, size\]"):
+            net.add_flow(0, (0, 4, 5, 2), size=20.0, remaining=21.0)
+
+
+class TestUnknownFlowErrors:
+    def test_remove_unknown_flow_names_id_and_count(self):
+        net = FlowNetwork(dumbbell())
+        net.add_flow(7, (0, 4, 5, 2), 10.0)
+        with pytest.raises(
+            KeyError, match=r"remove_flow: unknown flow 99 \(1 active flows\)"
+        ):
+            net.remove_flow(99)
+
+    def test_reroute_unknown_flow_names_id_and_count(self):
+        net = FlowNetwork(dumbbell())
+        with pytest.raises(
+            KeyError, match=r"reroute_flow: unknown flow 3 \(0 active flows\)"
+        ):
+            net.reroute_flow(3, (0, 4, 5, 2))
+
+    def test_double_remove_surfaces_as_unknown(self):
+        net = FlowNetwork(dumbbell())
+        net.add_flow(0, (0, 4, 5, 2), 10.0)
+        net.remove_flow(0)
+        with pytest.raises(KeyError, match="remove_flow: unknown flow 0"):
+            net.remove_flow(0)
+
 
 class TestDelayModel:
     def test_empty_network_baseline_delay(self):
