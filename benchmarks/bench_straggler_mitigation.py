@@ -1,0 +1,140 @@
+"""Straggler-mitigation report: speculative execution on vs off.
+
+Replays the canonical straggler scenario (``straggler_timeline``: factor-6
+compute slowdown on ~10% of the testbed's servers) against a
+topology-aware scheduler (``hit``) and a topology-blind one (``random``),
+each with and without LATE speculative execution, and writes
+``BENCH_straggler.json`` with mean/p99 JCT per arm plus the speculation
+counters.  The run asserts the headline claim: on the same timeline,
+speculation must *reduce* mean JCT for every scheduler.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_straggler_mitigation.py [--out FILE]
+
+Scale knob: ``REPRO_BENCH_SCALE=quick`` runs a single seed with a smaller
+workload — suitable for CI smoke runs.  The default (``full``) averages
+over three seeds at the experiment scale (12 jobs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (  # noqa: E402
+    configs,
+    fault_degradation,
+    straggler_timeline,
+)
+from repro.speculation import SpeculationConfig  # noqa: E402
+
+QUICK = os.environ.get("REPRO_BENCH_SCALE", "full") == "quick"
+
+SEEDS = (0,) if QUICK else (0, 1, 2)
+NUM_JOBS = 8 if QUICK else 12
+SCHEDULERS = ("hit", "random")
+FRACTION = 0.1
+FACTOR = 6.0
+
+
+def jct_stats(metrics) -> dict[str, float]:
+    jcts = metrics.job_completion_times()
+    return {
+        "mean_jct": float(np.mean(jcts)),
+        "p99_jct": float(np.percentile(jcts, 99)),
+    }
+
+
+def run_seed(seed: int) -> dict[str, dict[str, object]]:
+    timeline = straggler_timeline(
+        configs.testbed_tree(), fraction=FRACTION, factor=FACTOR
+    )
+    result = fault_degradation(
+        seed=seed,
+        num_jobs=NUM_JOBS,
+        scheduler_names=SCHEDULERS,
+        timeline=timeline,
+        speculation=SpeculationConfig(),
+    )
+    out: dict[str, dict[str, object]] = {}
+    for name, run in result.runs.items():
+        assert run.mitigated is not None
+        out[name] = {
+            "clean": jct_stats(run.clean),
+            "speculation_off": jct_stats(run.faulty),
+            "speculation_on": jct_stats(run.mitigated),
+            "mitigation_gain": run.mitigation_gain,
+            "spec_counters": run.spec_counters,
+        }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_straggler.json", help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    per_seed = {seed: run_seed(seed) for seed in SEEDS}
+
+    report: dict[str, object] = {
+        "scale": "quick" if QUICK else "full",
+        "seeds": list(SEEDS),
+        "num_jobs": NUM_JOBS,
+        "straggler_fraction": FRACTION,
+        "slowdown_factor": FACTOR,
+        "per_seed": {str(s): r for s, r in per_seed.items()},
+    }
+
+    failures = []
+    print(f"== Straggler mitigation ({len(SEEDS)} seed(s), "
+          f"{NUM_JOBS} jobs, factor {FACTOR} on {FRACTION:.0%} of servers) ==")
+    summary: dict[str, dict[str, float]] = {}
+    for name in SCHEDULERS:
+        off = np.mean([per_seed[s][name]["speculation_off"]["mean_jct"]
+                       for s in SEEDS])
+        on = np.mean([per_seed[s][name]["speculation_on"]["mean_jct"]
+                      for s in SEEDS])
+        p99_off = np.mean([per_seed[s][name]["speculation_off"]["p99_jct"]
+                           for s in SEEDS])
+        p99_on = np.mean([per_seed[s][name]["speculation_on"]["p99_jct"]
+                          for s in SEEDS])
+        gain = 1.0 - on / off
+        wins = sum(per_seed[s][name]["spec_counters"].get("spec.wins", 0)
+                   for s in SEEDS)
+        summary[name] = {
+            "mean_jct_off": float(off),
+            "mean_jct_on": float(on),
+            "p99_jct_off": float(p99_off),
+            "p99_jct_on": float(p99_on),
+            "mean_gain": float(gain),
+            "spec_wins": int(wins),
+        }
+        print(f"{name:>8}: mean JCT {off:.3f} -> {on:.3f} "
+              f"({gain:+.1%}), p99 {p99_off:.3f} -> {p99_on:.3f}, "
+              f"{wins} backup win(s)")
+        if not on < off:
+            failures.append(name)
+        if wins == 0:
+            failures.append(f"{name} (no speculative wins)")
+    report["summary"] = summary
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.out}")
+    if failures:
+        print(f"FAIL: speculation did not help: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

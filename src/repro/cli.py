@@ -148,7 +148,11 @@ def _make_fault_timeline(args: argparse.Namespace, topology):
 
     if getattr(args, "faults", None):
         return load_fault_file(args.faults)
-    if getattr(args, "mtbf", None) or getattr(args, "switch_mtbf", None):
+    if (
+        getattr(args, "mtbf", None)
+        or getattr(args, "switch_mtbf", None)
+        or getattr(args, "slowdown_mtbf", None)
+    ):
         return generate_timeline(
             topology,
             seed=args.seed,
@@ -157,8 +161,23 @@ def _make_fault_timeline(args: argparse.Namespace, topology):
             server_mttr=args.mttr,
             switch_mtbf=args.switch_mtbf,
             switch_mttr=args.switch_mttr,
+            slowdown_mtbf=args.slowdown_mtbf,
+            slowdown_mttr=args.slowdown_mttr,
+            slowdown_factor=args.slowdown_factor,
         )
     return ()
+
+
+def _make_speculation(args: argparse.Namespace):
+    """SpeculationConfig from the ``--speculation`` flag family (or None)."""
+    if not getattr(args, "speculation", False):
+        return None
+    from .speculation import SpeculationConfig
+
+    return SpeculationConfig(
+        quota=args.spec_quota,
+        threshold=args.spec_threshold,
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -179,6 +198,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             max_task_retries=args.max_task_retries,
         )
         print(f"fault timeline: {len(faults)} events")
+    speculation = _make_speculation(args)
+    if speculation is not None:
+        config = dataclasses.replace(config, speculation=speculation)
     checker, tracer = _make_observability(args)
     rows = []
     with observe(checker=checker, tracer=tracer):
@@ -195,6 +217,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     f"{k}={v}" for k, v in simulator.faults.summary().items()
                 )
                 print(f"{name} faults: {counters}")
+            if simulator.speculation is not None:
+                counters = ", ".join(
+                    f"{k}={v}"
+                    for k, v in simulator.speculation.summary().items()
+                )
+                print(f"{name} speculation: {counters}")
             s = metrics.summary()
             rows.append((
                 name, s["mean_jct"], s["avg_route_hops"],
@@ -366,12 +394,48 @@ def build_parser() -> argparse.ArgumentParser:
                 help="switch mean time to recovery (default 1.0)",
             )
             fault_group.add_argument(
+                "--slowdown-mtbf", type=float, default=None,
+                help="sample transient server slowdowns (stragglers) with "
+                     "this mean time between episodes",
+            )
+            fault_group.add_argument(
+                "--slowdown-mttr", type=float, default=0.5,
+                help="mean duration of a sampled slowdown episode "
+                     "(default 0.5)",
+            )
+            fault_group.add_argument(
+                "--slowdown-factor", type=float, default=4.0,
+                help="compute-speed divisor during a sampled slowdown "
+                     "(default 4.0)",
+            )
+            fault_group.add_argument(
                 "--fault-horizon", type=float, default=20.0,
                 help="stop sampling new failures after this time",
             )
             fault_group.add_argument(
                 "--max-task-retries", type=int, default=3,
                 help="failure-induced re-executions allowed per task",
+            )
+            spec_group = p.add_argument_group(
+                "speculative execution",
+                "LATE-style straggler mitigation with topology-aware "
+                "backup placement (docs/fault_model.md)",
+            )
+            spec_group.add_argument(
+                "--speculation", action="store_true",
+                help="enable speculative backup attempts for straggling "
+                     "maps (no-op on fault-free runs)",
+            )
+            spec_group.add_argument(
+                "--spec-quota", type=float, default=0.2,
+                help="concurrent backups allowed per job, as a fraction "
+                     "of its map count (default 0.2)",
+            )
+            spec_group.add_argument(
+                "--spec-threshold", type=float, default=0.7,
+                help="an attempt is a straggler when its normalised "
+                     "progress rate falls below this fraction of its "
+                     "job's mean (default 0.7)",
             )
         p.set_defaults(func=func)
 

@@ -6,6 +6,7 @@ from .faults import (
     FaultComparisonResult,
     FaultRunResult,
     fault_degradation,
+    straggler_timeline,
 )
 from .figures import (
     CaseStudyResult,
@@ -39,6 +40,7 @@ __all__ = [
     "FaultComparisonResult",
     "FaultRunResult",
     "fault_degradation",
+    "straggler_timeline",
     "StaticResult",
     "StaticWorkload",
     "build_static_workload",

@@ -17,12 +17,18 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
-from ..faults import FaultSpec, generate_timeline
+from ..faults import FaultKind, FaultSpec, generate_timeline
 from ..schedulers import make_scheduler
 from ..simulator import MapReduceSimulator, MetricsCollector
+from ..speculation import SpeculationConfig
 from . import configs
 
-__all__ = ["FaultRunResult", "FaultComparisonResult", "fault_degradation"]
+__all__ = [
+    "FaultRunResult",
+    "FaultComparisonResult",
+    "fault_degradation",
+    "straggler_timeline",
+]
 
 
 def _degradation(clean: float, faulty: float) -> float:
@@ -35,11 +41,15 @@ def _degradation(clean: float, faulty: float) -> float:
 
 @dataclass
 class FaultRunResult:
-    """One scheduler's fault-free vs faulty pair."""
+    """One scheduler's fault-free vs faulty (vs mitigated) runs."""
 
     clean: MetricsCollector
     faulty: MetricsCollector
     fault_counters: dict[str, int]
+    #: Same fault timeline with speculative execution enabled, when the
+    #: harness was asked for a mitigation arm.
+    mitigated: MetricsCollector | None = None
+    spec_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def jct_degradation(self) -> float:
@@ -51,6 +61,17 @@ class FaultRunResult:
         return _degradation(
             self.clean.summary()["makespan"], self.faulty.summary()["makespan"]
         )
+
+    @property
+    def mitigation_gain(self) -> float:
+        """Fraction of the faulty mean JCT that speculation clawed back
+        (positive = speculation helped; 0.0 without a mitigation arm)."""
+        if self.mitigated is None:
+            return 0.0
+        faulty = self.faulty.mean_jct()
+        if faulty == 0:
+            return 0.0
+        return 1.0 - self.mitigated.mean_jct() / faulty
 
 
 @dataclass
@@ -65,22 +86,59 @@ class FaultComparisonResult:
         rows: list[dict[str, object]] = []
         for name, run in self.runs.items():
             counters = run.fault_counters
-            rows.append(
-                {
-                    "scheduler": name,
-                    "clean_mean_jct": run.clean.mean_jct(),
-                    "faulty_mean_jct": run.faulty.mean_jct(),
-                    "jct_degradation": run.jct_degradation,
-                    "clean_makespan": run.clean.summary()["makespan"],
-                    "faulty_makespan": run.faulty.summary()["makespan"],
-                    "makespan_degradation": run.makespan_degradation,
-                    "map_retries": counters.get("retries.map", 0),
-                    "reduce_retries": counters.get("retries.reduce", 0),
-                    "flows_killed": counters.get("faults.flows_killed", 0),
-                    "flows_parked": counters.get("faults.flows_parked", 0),
-                }
-            )
+            row: dict[str, object] = {
+                "scheduler": name,
+                "clean_mean_jct": run.clean.mean_jct(),
+                "faulty_mean_jct": run.faulty.mean_jct(),
+                "jct_degradation": run.jct_degradation,
+                "clean_makespan": run.clean.summary()["makespan"],
+                "faulty_makespan": run.faulty.summary()["makespan"],
+                "makespan_degradation": run.makespan_degradation,
+                "map_retries": counters.get("retries.map", 0),
+                "reduce_retries": counters.get("retries.reduce", 0),
+                "flows_killed": counters.get("faults.flows_killed", 0),
+                "flows_parked": counters.get("faults.flows_parked", 0),
+            }
+            if run.mitigated is not None:
+                row["mitigated_mean_jct"] = run.mitigated.mean_jct()
+                row["mitigation_gain"] = run.mitigation_gain
+                row["spec_wins"] = run.spec_counters.get("spec.wins", 0)
+                row["spec_launched"] = run.spec_counters.get(
+                    "spec.launched", 0
+                )
+            rows.append(row)
         return rows
+
+
+def straggler_timeline(
+    topology,
+    fraction: float = 0.1,
+    factor: float = 6.0,
+    start: float = 0.0,
+    duration: float = 0.0,
+) -> tuple[FaultSpec, ...]:
+    """Scripted straggler scenario: slow ~``fraction`` of the servers.
+
+    Degraded servers are picked evenly across the fabric (every
+    ``1/fraction``-th server id), which on a tree spreads them over racks —
+    the realistic shape for contention stragglers.  ``duration`` > 0 makes
+    the episodes transient (the injector schedules the restores).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if factor <= 1.0:
+        raise ValueError(f"straggler factor must exceed 1.0, got {factor}")
+    stride = max(1, round(1.0 / fraction))
+    return tuple(
+        FaultSpec(
+            start,
+            FaultKind.TASK_SLOWDOWN,
+            sid,
+            factor=factor,
+            duration=duration,
+        )
+        for sid in topology.server_ids[::stride]
+    )
 
 
 def fault_degradation(
@@ -94,12 +152,15 @@ def fault_degradation(
     switch_mttr: float = 0.5,
     horizon: float = 8.0,
     max_task_retries: int = 10,
+    speculation: SpeculationConfig | None = None,
 ) -> FaultComparisonResult:
     """Run every scheduler clean and under one shared fault timeline.
 
     Pass an explicit ``timeline`` for a scripted scenario; by default a
     seeded MTBF/MTTR timeline is sampled once (on the testbed fabric) and
-    replayed verbatim for each baseline.
+    replayed verbatim for each baseline.  With ``speculation`` set, each
+    scheduler gets a third run — the same faulty timeline with speculative
+    execution enabled — reported as the *mitigated* arm.
     """
     jobs = configs.testbed_workload(seed=seed, num_jobs=num_jobs)
     if timeline is None:
@@ -126,7 +187,21 @@ def fault_degradation(
         )
         faulty = sim.run()
         assert sim.faults is not None
-        result.runs[name] = FaultRunResult(
+        run = FaultRunResult(
             clean=clean, faulty=faulty, fault_counters=sim.faults.summary()
         )
+        if speculation is not None:
+            spec_config = dataclasses.replace(
+                faulty_config, speculation=speculation
+            )
+            spec_sim = MapReduceSimulator(
+                configs.testbed_tree(),
+                make_scheduler(name, seed=seed),
+                jobs,
+                spec_config,
+            )
+            run.mitigated = spec_sim.run()
+            assert spec_sim.speculation is not None
+            run.spec_counters = spec_sim.speculation.summary()
+        result.runs[name] = run
     return result

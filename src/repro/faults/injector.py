@@ -63,14 +63,28 @@ class FaultInjector:
         """Push every timeline entry into the queue; returns the count.
 
         Slowdown events carry ``(server, factor)`` payloads; every other
-        fault carries the bare target node id.
+        fault carries the bare target node id.  A timed slowdown (positive
+        ``duration``) also schedules its restore — the same event kind with
+        factor 1.0 — at ``time + duration``; the returned count includes
+        these synthesised restores.
         """
+        pushed = 0
         for spec in self.timeline:
             payload: object = spec.target
             if spec.kind is FaultKind.TASK_SLOWDOWN:
                 payload = (spec.target, spec.factor)
             queue.push(Event(spec.time, _EVENT_KIND_OF[spec.kind], payload))
-        return len(self.timeline)
+            pushed += 1
+            if spec.kind is FaultKind.TASK_SLOWDOWN and spec.duration > 0:
+                queue.push(
+                    Event(
+                        spec.time + spec.duration,
+                        EventKind.TASK_SLOWDOWN,
+                        (spec.target, 1.0),
+                    )
+                )
+                pushed += 1
+        return pushed
 
     # ------------------------------------------------------------ live state
     @property

@@ -64,12 +64,20 @@ class FaultSpec:
 
     ``factor`` only matters for :attr:`FaultKind.TASK_SLOWDOWN`: a factor of
     2.0 halves the server's compute speed; 1.0 restores nominal speed.
+
+    ``duration`` (also slowdown-only) makes the degradation *timed*: a
+    positive value schedules the matching restore (factor 1.0) at
+    ``time + duration`` automatically, so transient stragglers — the common
+    case in production traces — need one spec instead of a hand-paired
+    slowdown/restore.  Zero means the slowdown holds until another spec
+    changes the server's speed.
     """
 
     time: float
     kind: FaultKind
     target: int
     factor: float = 1.0
+    duration: float = 0.0
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -78,6 +86,15 @@ class FaultSpec:
             raise ValueError(f"fault target must be a node id, got {self.target}")
         if self.factor <= 0:
             raise ValueError(f"slowdown factor must be positive, got {self.factor}")
+        if self.duration < 0:
+            raise ValueError(
+                f"slowdown duration must be non-negative, got {self.duration}"
+            )
+        if self.duration > 0 and self.kind is not FaultKind.TASK_SLOWDOWN:
+            raise ValueError(
+                f"duration only applies to task-slowdown specs, "
+                f"got {self.kind.value}"
+            )
 
     # ------------------------------------------------------------- serialise
     def as_dict(self) -> dict[str, object]:
@@ -88,6 +105,8 @@ class FaultSpec:
         }
         if self.kind is FaultKind.TASK_SLOWDOWN:
             record["factor"] = self.factor
+            if self.duration > 0:
+                record["duration"] = self.duration
         return record
 
     @classmethod
@@ -99,6 +118,7 @@ class FaultSpec:
                 kind=kind,
                 target=int(record["target"]),  # type: ignore[arg-type]
                 factor=float(record.get("factor", 1.0)),  # type: ignore[arg-type]
+                duration=float(record.get("duration", 0.0)),  # type: ignore[arg-type]
             )
         except (KeyError, ValueError) as exc:
             raise ValueError(f"malformed fault record {record!r}: {exc}") from exc
@@ -167,6 +187,9 @@ def generate_timeline(
     switch_mtbf: float | None = None,
     switch_mttr: float = 1.0,
     max_concurrent_switch_failures: int = 1,
+    slowdown_mtbf: float | None = None,
+    slowdown_mttr: float = 0.5,
+    slowdown_factor: float = 4.0,
 ) -> tuple[FaultSpec, ...]:
     """Sample a fail/recover timeline from exponential MTBF/MTTR draws.
 
@@ -181,6 +204,16 @@ def generate_timeline(
     ``max_concurrent_switch_failures`` caps how many switches may be down at
     once by *skipping* excess failure draws (the element just stays up) —
     without the cap an unlucky seed can partition the fabric outright.
+
+    ``slowdown_mtbf`` additionally samples transient straggler episodes:
+    each server alternates nominal/degraded with ``Exp(slowdown_mtbf)``
+    healthy stretches and ``Exp(slowdown_mttr)`` degraded stretches, emitted
+    as *timed* :attr:`FaultKind.TASK_SLOWDOWN` specs (``factor =
+    slowdown_factor``, ``duration`` = the degraded stretch) whose restores
+    the injector synthesises.  Slowdown draws happen after all fail/recover
+    draws, so enabling them never perturbs the failure portion of a
+    same-seed timeline.
+
     All randomness comes from one ``numpy`` generator seeded with ``seed``;
     identical inputs give byte-identical timelines.
     """
@@ -247,5 +280,24 @@ def generate_timeline(
                 down.discard(spec.target)
                 kept.append(spec)
         specs.extend(kept)
+    if slowdown_mtbf is not None:
+        if slowdown_mtbf <= 0 or slowdown_mttr <= 0:
+            raise ValueError("slowdown MTBF/MTTR must be positive")
+        if slowdown_factor <= 1.0:
+            raise ValueError("slowdown factor must exceed 1.0")
+        for sid in topology.server_ids:
+            clock = float(rng.exponential(slowdown_mtbf))
+            while clock < horizon:
+                degraded = float(rng.exponential(slowdown_mttr))
+                specs.append(
+                    FaultSpec(
+                        clock,
+                        FaultKind.TASK_SLOWDOWN,
+                        sid,
+                        factor=slowdown_factor,
+                        duration=degraded,
+                    )
+                )
+                clock += degraded + float(rng.exponential(slowdown_mtbf))
 
     return validate_timeline(topology, specs)

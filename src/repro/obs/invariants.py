@@ -26,6 +26,10 @@ machine-checkable (paper references in parentheses):
   (the max-min allocation is feasible).
 * **quiescence** — when a simulation drains, switch loads return to exactly
   their base values and no flow or policy is left behind.
+* **one-committed-attempt** / **no-killed-flow** — the speculative-execution
+  commit protocol (``repro.speculation``): a map output commits at most once
+  while a previous commit is live, and every shuffle flow reads from the
+  committed output's server, never from a killed attempt.
 
 The checker is deliberately dependency-light: every check takes the object
 it inspects, so it can be used standalone in tests or installed process-wide
@@ -337,6 +341,25 @@ class InvariantChecker:
                     f"drain (float drift or stale entry)",
                     where,
                 ))
+        return self._emit(found)
+
+    def check_speculation(
+        self, speculation, where: str = ""
+    ) -> list[InvariantViolation]:
+        """Drain the speculation ledgers' recorded protocol breaches.
+
+        The two invariants — *one-committed-attempt* (a map output commits
+        at most once while a previous commit is live) and *no-killed-flow*
+        (shuffle flows read the committed output's server, never a killed
+        attempt's) — are detected at the moment of breach by
+        :class:`~repro.speculation.runtime.SpeculationState`; this check
+        converts the accumulated records into violations at the engine's
+        drain checkpoints and at run end.
+        """
+        found = [
+            InvariantViolation(invariant, detail, where)
+            for invariant, detail in speculation.drain_violations()
+        ]
         return self._emit(found)
 
     # --------------------------------------------------------- composite view

@@ -95,5 +95,24 @@ class Scheduler(ABC):
         """
         taa.install_static_policies()
 
+    def rank_backup_servers(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        flows: list,
+        candidates: list[int],
+    ) -> list[int] | None:
+        """Rank candidate servers for a *speculative backup* attempt.
+
+        ``flows`` are the straggling map's pending output flows and
+        ``candidates`` the live servers with headroom (id-sorted, the
+        straggler's own server excluded).  Returning ``None`` — the default
+        — hands placement back to the engine's RM-style greedy re-grant;
+        topology-aware schedulers override to order the candidates by
+        marginal shuffle cost (``repro.speculation.placement``).  The hook
+        must be deterministic and must not consume ``ctx.rng``.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -11,6 +11,7 @@ from ..core.hit import HitConfig, HitOptimizer, HitResult
 from ..core.rebalance import RebalanceConfig
 from ..core.taa import TAAInstance
 from ..mapreduce.job import JobSpec
+from ..speculation.placement import rank_backup_servers_by_cost
 from .base import Scheduler, SchedulingContext
 
 __all__ = ["HitScheduler"]
@@ -58,3 +59,15 @@ class HitScheduler(Scheduler):
     def route_flows(self, taa: TAAInstance) -> None:
         """Install the optimal (capacity-aware) policies for every flow."""
         taa.install_all_policies()
+
+    def rank_backup_servers(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        flows: list,
+        candidates: list[int],
+    ) -> list[int] | None:
+        """Topology-aware speculation: grade each candidate by the marginal
+        shuffle cost of the straggler's pending output flows (the Alg 1
+        preference-matrix column restricted to this map), cheapest first."""
+        return rank_backup_servers_by_cost(ctx.taa, flows, candidates)

@@ -28,6 +28,15 @@ Execution model (simplifications are noted in DESIGN.md):
   recovery restores a live path.  ``docs/fault_model.md`` spells out the
   recovery semantics; with an empty timeline none of these code paths run
   and the simulation is bit-identical to the fault-free build.
+* When speculation is configured (:mod:`repro.speculation`), a LATE-style
+  detector sweeps the running maps on a fixed cadence (SPECULATE events),
+  launches duplicate *backup* attempts for stragglers, commits whichever
+  copy finishes first and kills the loser (KILL_ATTEMPT events reusing the
+  fault layer's attempt-counter invalidation).  Shuffle flows bind late to
+  the winning attempt's output server, so reducers never fetch from a
+  killed attempt.  Sweeps never advance the fluid network, so a
+  speculation-enabled run in which the detector never fires is
+  byte-identical to a speculation-off run.
 """
 
 from __future__ import annotations
@@ -48,6 +57,8 @@ from ..mapreduce.job import JobSpec, shuffle_matrix
 from ..mapreduce.shuffle import ShuffleFlow
 from ..obs.runtime import STATE as _OBS
 from ..schedulers.base import Scheduler, SchedulingContext
+from ..speculation.detector import AttemptProgress, SpeculationConfig
+from ..speculation.runtime import SpeculationState
 from ..topology.base import Topology
 from ..topology.routing import invalidate_topology_caches
 from .events import Event, EventKind, EventQueue
@@ -88,6 +99,9 @@ class SimulationConfig:
     #: Base delay for re-placement backoff: attempt ``k`` waits
     #: ``retry_backoff * 2**(k-1)`` (capped) before trying again.
     retry_backoff: float = 0.05
+    #: Speculative-execution config (None = speculation off; no SPECULATE
+    #: events are scheduled and every speculation hook is skipped).
+    speculation: SpeculationConfig | None = None
 
 
 @dataclass
@@ -188,6 +202,15 @@ class MapReduceSimulator:
             if self.config.faults
             else None
         )
+        #: Speculation subsystem (None = off, same zero-overhead contract).
+        self.speculation: SpeculationState | None = (
+            SpeculationState(self.config.speculation)
+            if self.config.speculation is not None
+            else None
+        )
+        #: Jobs not yet finished; the SPECULATE sweep re-arms while > 0 so
+        #: the detector's event chain drains with the workload.
+        self._jobs_remaining = 0
         #: Nominal speeds, for restoring after slowdowns / recoveries.
         self._base_speeds = dict(self.server_speeds)
         #: cid -> live attempt number; completion events carry the attempt
@@ -223,6 +246,15 @@ class MapReduceSimulator:
             )
         if self.faults is not None:
             self.faults.schedule(self._queue)
+        if self.speculation is not None and self.jobs:
+            self._jobs_remaining = len(self.jobs)
+            first = min(spec.submit_time for spec in self.jobs)
+            self._queue.push(
+                Event(
+                    first + self.speculation.config.check_interval,
+                    EventKind.SPECULATE,
+                )
+            )
         events = 0
         observed = _OBS.enabled
         if observed:
@@ -254,16 +286,36 @@ class MapReduceSimulator:
             if self.faults is not None:
                 for name, value in self.faults.summary().items():
                     _OBS.tracer.count(name, value)
+            if self.speculation is not None:
+                for name, value in self.speculation.summary().items():
+                    _OBS.tracer.count(name, value)
             if _OBS.checker is not None:
                 # End-of-run quiescence: every flow drained, every policy
                 # released, switch loads back to exactly their base values.
                 _OBS.checker.check_quiescent(
                     self.controller, self.network, where="sim.run.end"
                 )
+                if self.speculation is not None:
+                    _OBS.checker.check_speculation(
+                        self.speculation, where="sim.run.end"
+                    )
         return self.metrics
 
     def _dispatch(self, event: Event) -> None:
         """Process one event (the hot loop body)."""
+        if event.kind is EventKind.SPECULATE:
+            # Deliberately bypasses the network glue: a detector sweep never
+            # touches the fluid network, and advancing it here would split
+            # the allocation intervals differently from a speculation-off
+            # run — breaking the no-straggler byte-identity contract
+            # through float accumulation alone.
+            self._on_speculate(event.time)
+            return
+        if event.kind is EventKind.KILL_ATTEMPT:
+            # Same-instant kill order from a speculation commit; pure
+            # bookkeeping, no network interaction (see EVENT_PRIORITY).
+            self._on_kill_attempt(event.time, *event.payload)
+            return
         self._advance_network(event.time)
         if event.kind is EventKind.NETWORK and event.epoch != self._net_epoch:
             self._drain_completed(event.time)
@@ -373,6 +425,8 @@ class MapReduceSimulator:
             where = f"drain t={now:.6g}"
             _OBS.checker.check_controller(self.controller, where=where)
             _OBS.checker.check_server_capacity(self.cluster, where=where)
+            if self.speculation is not None:
+                _OBS.checker.check_speculation(self.speculation, where=where)
 
     def _flow_done(self, now: float, fid: int, map_index: int) -> None:
         job_id, reduce_index = self._flow_index.pop(fid)
@@ -570,11 +624,12 @@ class MapReduceSimulator:
                 job.maps_running += 1
                 self._schedule_retry(now, cid)
                 continue
-            duration = (
-                spec.map_duration / self.server_speeds[server]
-                + self._read_penalty(job, mi, server)
-            )
+            duration, nominal = self._map_timing(job, mi, server)
             job.maps_running += 1
+            if self.speculation is not None:
+                self.speculation.tracker.note_start(
+                    spec.job_id, mi, cid, now, duration, nominal
+                )
             self._queue.push(
                 Event(
                     now + duration,
@@ -583,12 +638,38 @@ class MapReduceSimulator:
                 )
             )
 
-    def _read_penalty(self, job: _JobState, map_index: int, server: int) -> float:
+    def _map_timing(
+        self, job: _JobState, map_index: int, server: int
+    ) -> tuple[float, float]:
+        """(actual, nominal) duration of a map attempt on ``server``.
+
+        *Actual* uses the server's live speed (slowdowns included); *nominal*
+        the fault-free base speed.  Both share one read-penalty computation —
+        it has a traffic-accounting side effect — and when the server is
+        healthy the two expressions are float-identical, which is what lets
+        the straggler detector treat a normalised rate of exactly 1.0 as
+        "not a straggler".
+        """
+        penalty = self._read_penalty(job, map_index, server, account=True)
+        duration = job.spec.map_duration / self.server_speeds[server] + penalty
+        nominal = job.spec.map_duration / self._base_speeds[server] + penalty
+        return duration, nominal
+
+    def _read_penalty(
+        self,
+        job: _JobState,
+        map_index: int,
+        server: int,
+        account: bool = True,
+    ) -> float:
+        """Extra runtime of a non-local map read; ``account=False`` prices a
+        hypothetical placement without charging the remote-traffic meter."""
         locality = self.hdfs.locality(job.spec.job_id, map_index, server)
         if locality == "node-local":
             return 0.0
         split = job.spec.map_input_size
-        job.remote_map_traffic += split
+        if account:
+            job.remote_map_traffic += split
         bandwidth = min(
             self.topology.link(server, n).bandwidth
             for n in self.topology.neighbors(server)
@@ -611,13 +692,20 @@ class MapReduceSimulator:
         attempt: int = 0,
     ) -> None:
         if attempt != self._attempt.get(cid, 0):
-            return  # completion of an attempt killed by a server failure
+            return  # completion of an attempt killed by a failure or a kill
         job = self._jobs_by_id[job_id]
         server = self.cluster.container(cid).server_id
         assert server is not None
+        if self.speculation is not None:
+            self.speculation.tracker.note_finish(cid)
+            # First finisher of a speculation pair wins: dissolve the pair
+            # and push the same-instant kill order for the losing attempt.
+            self._settle_speculation(now, job, cid)
         job.maps_running -= 1
         job.maps_finished += 1
         job.map_output_server[map_index] = server
+        if self.speculation is not None:
+            self.speculation.note_commit(job_id, map_index, cid, attempt, server)
         self.metrics.record_task(
             TaskRecord(
                 job_id=job_id,
@@ -627,7 +715,10 @@ class MapReduceSimulator:
                 finish=now,
             )
         )
-        self._start_flows_from(now, job, cid, map_index)
+        # Flow endpoints stay keyed to the map's original container id even
+        # when a backup attempt commits (map_cid_of is stable for the job's
+        # lifetime); the source server is read back out of map_output_server.
+        self._start_flows_from(now, job, job.map_cid_of[map_index], map_index)
         if cid not in job.map_containers and self.cluster.container(cid).is_placed:
             # Re-execution of a previous wave's map: its slot is not part of
             # the current wave barrier, release it immediately.
@@ -667,8 +758,12 @@ class MapReduceSimulator:
     def _start_flows_from(
         self, now: float, job: _JobState, map_cid: int, map_index: int
     ) -> None:
-        src = self.cluster.container(map_cid).server_id
-        assert src is not None
+        # Late binding: the source is wherever the *committed* output lives,
+        # which is the completing container's server on the fault-free path
+        # but the winning backup's server after a speculative win.
+        src = job.map_output_server[map_index]
+        if self.speculation is not None:
+            self.speculation.note_flow(job.spec.job_id, map_index, src)
         for reduce_state in job.reduces.values():
             fid = self._flow_by_endpoints.pop(
                 (map_cid, reduce_state.container_id), None
@@ -815,7 +910,18 @@ class MapReduceSimulator:
             task = self.cluster.container(cid).task
             job = self._jobs_by_id[task.job_id]
             if task.kind is TaskKind.MAP:
-                if task.index not in job.map_output_server:
+                if task.index in job.map_output_server:
+                    continue  # completed map: the lost-output sweep owns it
+                sp = self.speculation
+                if sp is not None and cid in sp.primary_of:
+                    # The speculative copy died with its server: the
+                    # original keeps running, no retry budget is charged.
+                    self._cancel_backup(now, job, cid)
+                elif sp is not None and cid in sp.backup_of:
+                    # The original died but its backup lives: promote the
+                    # backup to sole attempt instead of re-queueing.
+                    self._promote_backup(now, job, cid)
+                else:
                     self._kill_running_map(now, job, cid, task.index)
             else:
                 self._restart_reduce(now, job, job.reduces[task.index])
@@ -881,10 +987,15 @@ class MapReduceSimulator:
 
         Affects tasks launched after the event (running tasks keep their
         scheduled completion); factor 1.0 — or a server recovery — restores
-        nominal speed."""
+        nominal speed.  Restores are counted separately so a timed-slowdown
+        timeline (``FaultSpec.duration``) is auditable: every restore the
+        injector scheduled must eventually fire."""
         assert self.faults is not None
         self.server_speeds[server_id] = self._base_speeds[server_id] / factor
-        self.faults.count("faults.slowdown")
+        if factor == 1.0:
+            self.faults.count("faults.slowdown_restore")
+        else:
+            self.faults.count("faults.slowdown")
 
     # --- flow parking -------------------------------------------------------
     def _park_flow(self, fid: int, remaining: float) -> None:
@@ -908,6 +1019,8 @@ class MapReduceSimulator:
             path = self._route(flow, src, dst)
             if path is None:
                 continue  # still no live path — stays parked
+            if self.speculation is not None:
+                self.speculation.note_flow(flow.job_id, flow.map_index, src)
             remaining = self._parked.pop(fid)
             self.network.add_flow(fid, path, flow.size, now, remaining=remaining)
             self.faults.count("faults.flows_resumed")
@@ -941,6 +1054,8 @@ class MapReduceSimulator:
         ``maps_running`` is left alone — the attempt is still logically in
         flight, so the wave barrier waits for the re-execution."""
         self._attempt[cid] = self._attempt.get(cid, 0) + 1  # stales MAP_DONE
+        if self.speculation is not None:
+            self.speculation.tracker.note_kill(cid)
         self.cluster.unplace(cid)
         self._charge_retry(job, cid, "map")
         self._schedule_retry(now, cid)
@@ -960,6 +1075,10 @@ class MapReduceSimulator:
         if map_index in job.map_output_server:
             del job.map_output_server[map_index]
             job.lost_outputs.add(map_index)
+            if self.speculation is not None:
+                # The committed attempt's output is gone; the ledger slot
+                # reopens so the re-execution's commit is not a violation.
+                self.speculation.note_output_lost(job.spec.job_id, map_index)
         if map_index not in job.lost_outputs:
             return  # still running, or already being re-executed
         if not self._map_output_needed(job, map_index):
@@ -1102,10 +1221,11 @@ class MapReduceSimulator:
         it, so this is :meth:`_launch_maps` minus the accounting)."""
         server = self.cluster.container(cid).server_id
         assert server is not None
-        duration = (
-            job.spec.map_duration / self.server_speeds[server]
-            + self._read_penalty(job, map_index, server)
-        )
+        duration, nominal = self._map_timing(job, map_index, server)
+        if self.speculation is not None:
+            self.speculation.tracker.note_start(
+                job.spec.job_id, map_index, cid, now, duration, nominal
+            )
         self._queue.push(
             Event(
                 now + duration,
@@ -1139,12 +1259,219 @@ class MapReduceSimulator:
             source = job.map_output_server.get(flow.map_index)
             if source is None:
                 continue
+            if self.speculation is not None:
+                self.speculation.note_flow(
+                    job.spec.job_id, flow.map_index, source
+                )
             del self._flow_by_endpoints[(flow.src_container, cid)]
             if source == server:
                 self._deliver_local(now, job, fid, flow)
             else:
                 self._launch_flow(now, flow, source, server)
         self._maybe_finish_reduce(now, job, reduce_state)
+
+    # ------------------------------------------------------------ speculation
+    # Everything below runs only when speculation is configured.  The
+    # protocol: a SPECULATE sweep picks stragglers (LATE detector), a backup
+    # attempt is launched on a scheduler-ranked server, whichever copy's
+    # MAP_DONE pops first commits and pushes a same-instant KILL_ATTEMPT for
+    # the loser (priority class 1, so it invalidates the loser before any
+    # queued normal event).  map_cid_of never changes — backup containers
+    # are ephemeral compute vehicles, and flows bind to the winning output
+    # through map_output_server.
+
+    def _on_speculate(self, now: float) -> None:
+        sp = self.speculation
+        assert sp is not None
+        sp.count("spec.sweeps")
+        excluded = sp.paired_cids()
+        for cand in sp.tracker.candidates(now, sp.config, excluded):
+            job = self._jobs_by_id[cand.job_id]
+            if job.done or cand.map_index in job.map_output_server:
+                continue
+            allowed = sp.config.backups_allowed(job.spec.num_maps)
+            if sp.live_backups.get(cand.job_id, 0) >= allowed:
+                sp.count("spec.quota_denied")
+                continue
+            self._launch_backup(now, job, cand)
+        if self._jobs_remaining > 0:
+            self._queue.push(
+                Event(now + sp.config.check_interval, EventKind.SPECULATE)
+            )
+
+    def _launch_backup(
+        self, now: float, job: _JobState, cand: AttemptProgress
+    ) -> None:
+        """Duplicate a straggling attempt on a scheduler-ranked server.
+
+        Backups are launched only when a slot fits *now* — no retry backoff
+        (a straggler is by definition still making progress, so a backup
+        that cannot start immediately is simply not worth queueing)."""
+        sp = self.speculation
+        assert sp is not None
+        origin = self.cluster.container(cand.cid).server_id
+        if origin is None:
+            return  # straggler is mid-re-placement; nothing to duplicate
+        candidates = self._backup_candidates(origin)
+        if not candidates:
+            sp.count("spec.no_slot")
+            return
+        map_index = cand.map_index
+        flows = self._pending_output_flows(job, job.map_cid_of[map_index])
+        ranked = None
+        if flows:
+            ctx = self._planning_context(flows)
+            ranked = self.scheduler.rank_backup_servers(
+                ctx, job.spec, flows, candidates
+            )
+        if ranked:
+            server = ranked[0]
+        else:
+            server = self._greedy_backup_pick(candidates)
+        # Too-late guard: a backup that cannot finish strictly before the
+        # straggler's own expected completion can never win — launching it
+        # would only burn a slot and guarantee a spec.loss.
+        probe = (
+            job.spec.map_duration / self.server_speeds[server]
+            + self._read_penalty(job, map_index, server, account=False)
+        )
+        if now + probe >= cand.expected_finish:
+            sp.count("spec.too_late")
+            return
+        bcid = self._new_container(
+            TaskRef(job.spec.job_id, TaskKind.MAP, map_index)
+        )
+        self.cluster.place(bcid, server)
+        sp.pair(job.spec.job_id, cand.cid, bcid)
+        duration, nominal = self._map_timing(job, map_index, server)
+        sp.tracker.note_start(
+            job.spec.job_id, map_index, bcid, now, duration, nominal
+        )
+        # maps_running is a count of *tasks*, not attempts: the wave barrier
+        # must release exactly once whichever copy commits.
+        self._queue.push(
+            Event(
+                now + duration,
+                EventKind.MAP_DONE,
+                payload=(
+                    job.spec.job_id,
+                    bcid,
+                    map_index,
+                    now,
+                    self._attempt.get(bcid, 0),
+                ),
+            )
+        )
+        sp.count("spec.launched")
+
+    def _backup_candidates(self, origin: int) -> list[int]:
+        """Live servers with headroom, excluding the straggler's own."""
+        demand = self.config.container_demand
+        out = []
+        for sid in self.cluster.server_ids:
+            if sid == origin or self.cluster.is_failed(sid):
+                continue
+            if demand.fits_in(self.cluster.residual(sid)):
+                out.append(sid)
+        return out
+
+    def _pending_output_flows(
+        self, job: _JobState, map_cid: int
+    ) -> list[ShuffleFlow]:
+        """The map's not-yet-started shuffle flows (placement signal)."""
+        flows = []
+        for ri in sorted(job.reduces):
+            fid = self._flow_by_endpoints.get(
+                (map_cid, job.reduces[ri].container_id)
+            )
+            if fid is not None:
+                flows.append(self._flow_objects[fid])
+        return flows
+
+    def _greedy_backup_pick(self, candidates: list[int]) -> int:
+        """Baseline backup placement: the RM-style greedy re-grant (most
+        residual memory, then vcores, lowest id) restricted to candidates."""
+        best = candidates[0]
+        best_key: tuple[float, float] | None = None
+        for sid in candidates:
+            residual = self.cluster.residual(sid)
+            key = (residual.memory, residual.vcores)
+            if best_key is None or key > best_key:
+                best, best_key = sid, key
+        return best
+
+    def _settle_speculation(
+        self, now: float, job: _JobState, winner_cid: int
+    ) -> None:
+        """Dissolve the winner's pair and order the loser killed."""
+        sp = self.speculation
+        assert sp is not None
+        backup = sp.backup_of.get(winner_cid)
+        if backup is not None:
+            loser = backup
+            sp.unpair(job.spec.job_id, winner_cid, backup)
+            sp.count("spec.losses")
+        else:
+            original = sp.primary_of.get(winner_cid)
+            if original is None:
+                return  # unpaired attempt: nothing to settle
+            loser = original
+            sp.unpair(job.spec.job_id, original, winner_cid)
+            sp.count("spec.wins")
+        self._queue.push(
+            Event(
+                now,
+                EventKind.KILL_ATTEMPT,
+                payload=(loser, self._attempt.get(loser, 0)),
+            )
+        )
+
+    def _on_kill_attempt(
+        self, now: float, cid: int, expected_attempt: int
+    ) -> None:
+        sp = self.speculation
+        assert sp is not None
+        if self._attempt.get(cid, 0) != expected_attempt:
+            return  # already superseded (e.g. by a same-instant failure)
+        self._attempt[cid] = expected_attempt + 1
+        sp.note_kill(cid, expected_attempt)
+        sp.tracker.note_kill(cid)
+        # A kill also supersedes any in-flight retry/backoff for the cid.
+        self._retry_token[cid] = self._retry_token.get(cid, 0) + 1
+        self._backoff.pop(cid, None)
+        if self.cluster.container(cid).is_placed:
+            self.cluster.unplace(cid)
+        sp.count("spec.kills")
+
+    def _cancel_backup(self, now: float, job: _JobState, bcid: int) -> None:
+        """The backup died with its server; the original runs on alone."""
+        sp = self.speculation
+        assert sp is not None
+        original = sp.primary_of[bcid]
+        sp.unpair(job.spec.job_id, original, bcid)
+        attempt = self._attempt.get(bcid, 0)
+        self._attempt[bcid] = attempt + 1
+        sp.note_kill(bcid, attempt)
+        sp.tracker.note_kill(bcid)
+        self.cluster.unplace(bcid)
+        sp.count("spec.backups_lost")
+
+    def _promote_backup(
+        self, now: float, job: _JobState, orig_cid: int
+    ) -> None:
+        """The original died with its server while its backup lives: the
+        backup becomes the task's sole first-class attempt (no retry budget
+        is charged — speculation already paid for the replacement)."""
+        sp = self.speculation
+        assert sp is not None
+        bcid = sp.backup_of[orig_cid]
+        sp.unpair(job.spec.job_id, orig_cid, bcid)
+        attempt = self._attempt.get(orig_cid, 0)
+        self._attempt[orig_cid] = attempt + 1
+        sp.note_kill(orig_cid, attempt)
+        sp.tracker.note_kill(orig_cid)
+        self.cluster.unplace(orig_cid)
+        sp.count("spec.promoted")
 
     # ------------------------------------------------------------ reduce side
     def _on_reduce_done(
@@ -1167,6 +1494,7 @@ class MapReduceSimulator:
         self.cluster.unplace(reduce_state.container_id)
         job.reduces_finished += 1
         if job.done:
+            self._jobs_remaining -= 1
             self.metrics.record_job(
                 JobRecord(
                     job_id=job_id,

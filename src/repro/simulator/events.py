@@ -44,24 +44,36 @@ class EventKind(Enum):
     TASK_SLOWDOWN = auto()  # straggler injection: server speed multiplier
     # Failure-recovery retry: a task waiting out its placement backoff.
     TASK_RETRY = auto()
+    # Speculative execution (see repro.speculation): the detector's periodic
+    # straggler sweep, and the kill order for the losing attempt of a
+    # speculation pair.
+    SPECULATE = auto()
+    KILL_ATTEMPT = auto()
 
 
 #: Same-timestamp ordering class per kind (lower pops first).  Recoveries
-#: (0) precede failures (1) precede all normal events (2): at one instant
-#: the fabric first heals, then breaks, then the workload reacts — so a
-#: task completion that collides with its server's failure is lost, and a
-#: placement retry that collides with a recovery sees the recovered node.
+#: (0) precede failures (1) precede all normal events (2) precede detector
+#: sweeps (3): at one instant the fabric first heals, then breaks, then the
+#: workload reacts — so a task completion that collides with its server's
+#: failure is lost, and a placement retry that collides with a recovery sees
+#: the recovered node.  KILL_ATTEMPT shares the failure class: the winning
+#: attempt's commit pushes it at the *same instant*, and it must invalidate
+#: the loser before any queued normal event (in particular the loser's own
+#: MAP_DONE) can pop.  SPECULATE sits *after* every normal event so a sweep
+#: never speculates a map whose same-instant completion is already queued.
 EVENT_PRIORITY: dict[EventKind, int] = {
     EventKind.SERVER_RECOVER: 0,
     EventKind.SWITCH_RECOVER: 0,
     EventKind.SERVER_FAIL: 1,
     EventKind.SWITCH_FAIL: 1,
     EventKind.TASK_SLOWDOWN: 1,
+    EventKind.KILL_ATTEMPT: 1,
     EventKind.JOB_ARRIVAL: 2,
     EventKind.MAP_DONE: 2,
     EventKind.NETWORK: 2,
     EventKind.REDUCE_DONE: 2,
     EventKind.TASK_RETRY: 2,
+    EventKind.SPECULATE: 3,
 }
 
 

@@ -1,0 +1,41 @@
+"""Speculative execution: straggler detection and backup attempts.
+
+The paper's Hadoop testbed runs with speculation on (Hadoop's default), yet
+a straggler model without mitigation lets a single slowed server hold an
+entire job's shuffle and final wave hostage — drowning exactly the
+scheduling gains the paper measures.  This subsystem closes the loop opened
+by :mod:`repro.faults`' ``TASK_SLOWDOWN`` injection with a LATE-style
+(Zaharia et al., OSDI'08) mitigation pipeline:
+
+* **detector** (:mod:`repro.speculation.detector`) — per-attempt progress
+  estimation and the LATE candidate rule: speculate the running map with
+  the longest estimated time remaining whose progress rate falls below a
+  threshold fraction of its job's mean rate, after a minimum age, under a
+  per-job backup quota.
+* **runtime** (:mod:`repro.speculation.runtime`) — the per-run bookkeeping
+  the simulator engine drives: original/backup pairings, quota accounting,
+  the committed/killed attempt ledgers behind the one-committed-attempt and
+  no-killed-flow invariants, and the ``spec.*`` counters.
+* **placement** (:mod:`repro.speculation.placement`) — topology-aware
+  backup placement: rank candidate servers by the marginal shuffle cost of
+  the straggler's pending output flows (the Eq 9/10 preference-matrix
+  grading), used by :class:`~repro.schedulers.hit.HitScheduler`.
+
+The launcher itself — duplicate attempt, first finisher commits, loser is
+killed — lives in :mod:`repro.simulator.engine`, reusing the fault layer's
+attempt-counter invalidation so shuffle flows bind late to the winning map
+output and reducers never fetch from a killed attempt.  See
+``docs/fault_model.md`` for the protocol.
+"""
+
+from .detector import AttemptProgress, ProgressTracker, SpeculationConfig
+from .placement import rank_backup_servers_by_cost
+from .runtime import SpeculationState
+
+__all__ = [
+    "AttemptProgress",
+    "ProgressTracker",
+    "SpeculationConfig",
+    "SpeculationState",
+    "rank_backup_servers_by_cost",
+]

@@ -1,0 +1,199 @@
+"""LATE-style straggler detection (Zaharia et al., OSDI'08).
+
+The simulator's tasks progress linearly, so the estimator does not need
+sampled progress reports: an attempt's observed rate is known the moment it
+launches.  Raw rates, however, mix *expected* variance (remote-read
+penalties, hardware heterogeneity) with *unexpected* degradation — exactly
+the confusion LATE's authors warn about on heterogeneous clusters.  The
+tracker therefore normalises every attempt by its own placement's nominal
+duration (compute at the server's fault-free speed plus the read penalty
+from where it actually sits): a healthy attempt scores exactly ``1.0`` no
+matter how unlucky its data locality, and a degraded server depresses the
+score by its slowdown share.  What makes an attempt a straggler is then the
+LATE rule, evaluated against its own job:
+
+* **age guard** — the attempt has run at least ``min_age`` (brand-new tasks
+  have no meaningful rate);
+* **slowness** — its normalised rate is below ``threshold`` times the job's
+  mean (running and finished attempts both contribute to the mean, so a job
+  whose every map is equally degraded speculates conservatively);
+* **ranking** — candidates are ordered by estimated time remaining,
+  longest first (LATE's "longest approximate time to end"), so the backup
+  that can save the most wall-clock launches first.
+
+Because healthy scores are *exactly* 1.0 (the nominal duration is computed
+by the same expression the engine timed the attempt with), a fault-free run
+can never produce a candidate — speculation-enabled runs without faults stay
+bit-identical to speculation-off runs.
+
+The per-job **quota** (a fraction of ``num_maps``, at least 1) caps how many
+backups may run concurrently; the engine enforces it at launch time so a
+sweep can partially drain the candidate list.  Everything here is pure
+bookkeeping over event timestamps — no randomness, no engine state — which
+keeps speculative runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpeculationConfig", "AttemptProgress", "ProgressTracker"]
+
+#: Guard against zero-duration attempts when deriving rates.
+_MIN_DURATION = 1e-12
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Tunables of the LATE detector and the backup launcher."""
+
+    #: Concurrent-backup cap per job, as a fraction of its map count
+    #: (``max(1, int(quota * num_maps))`` backups may run at once).
+    quota: float = 0.2
+    #: An attempt is slow when its normalised progress rate is below
+    #: ``threshold`` times its job's mean.  Healthy attempts score exactly
+    #: 1.0, so with the default a map must run at well under nominal speed
+    #: (e.g. a compute slowdown of 4x behind a typical remote-read penalty)
+    #: before it is speculated.
+    threshold: float = 0.7
+    #: Minimum age before an attempt may be speculated.
+    min_age: float = 0.05
+    #: Cadence of the detector's SPECULATE sweeps.
+    check_interval: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quota <= 1.0:
+            raise ValueError(f"quota must be in (0, 1], got {self.quota}")
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1), got {self.threshold}"
+            )
+        if self.min_age < 0.0:
+            raise ValueError(f"min_age must be non-negative, got {self.min_age}")
+        if self.check_interval <= 0.0:
+            raise ValueError(
+                f"check_interval must be positive, got {self.check_interval}"
+            )
+
+    def backups_allowed(self, num_maps: int) -> int:
+        """Concurrent-backup cap for a job with ``num_maps`` map tasks."""
+        return max(1, int(self.quota * num_maps))
+
+
+@dataclass(frozen=True)
+class AttemptProgress:
+    """One running map attempt as the progress estimator sees it."""
+
+    job_id: int
+    map_index: int
+    cid: int
+    start: float
+    #: Expected wall-clock duration at launch (the engine's own timing).
+    duration: float
+    #: Duration this attempt would take at its server's fault-free speed
+    #: from its actual placement (read penalty included).
+    nominal_duration: float
+
+    @property
+    def rate(self) -> float:
+        """Normalised progress rate: 1.0 = running exactly at nominal.
+
+        Derived from the two duration floats directly — never from
+        timestamp differences, whose rounding would smudge the healthy
+        case off 1.0 and soften the fires-only-under-faults guarantee.
+        """
+        return self.nominal_duration / max(self.duration, _MIN_DURATION)
+
+    @property
+    def expected_finish(self) -> float:
+        return self.start + self.duration
+
+    def remaining(self, now: float) -> float:
+        """Estimated time to completion (LATE's ranking key)."""
+        return max(self.expected_finish - now, 0.0)
+
+    def age(self, now: float) -> float:
+        return now - self.start
+
+
+@dataclass
+class ProgressTracker:
+    """Per-attempt progress rates plus per-job rate statistics.
+
+    The engine feeds it attempt lifecycle events (:meth:`note_start` /
+    :meth:`note_finish` / :meth:`note_kill`); :meth:`candidates` answers one
+    detector sweep.  Killed attempts leave no statistical trace — a backup
+    cancelled by a server failure must not drag its job's mean down.
+    """
+
+    #: cid -> its live attempt (originals and backups alike).
+    running: dict[int, AttemptProgress] = field(default_factory=dict)
+    #: job id -> (sum of finished-attempt rates, finished-attempt count).
+    _finished: dict[int, tuple[float, int]] = field(default_factory=dict)
+
+    def note_start(
+        self,
+        job_id: int,
+        map_index: int,
+        cid: int,
+        start: float,
+        duration: float,
+        nominal_duration: float,
+    ) -> None:
+        self.running[cid] = AttemptProgress(
+            job_id=job_id,
+            map_index=map_index,
+            cid=cid,
+            start=start,
+            duration=duration,
+            nominal_duration=nominal_duration,
+        )
+
+    def note_finish(self, cid: int) -> None:
+        attempt = self.running.pop(cid, None)
+        if attempt is None:
+            return
+        # An uninterrupted attempt runs exactly its expected duration (kills
+        # never reach here), so its finished rate equals its running rate.
+        total, count = self._finished.get(attempt.job_id, (0.0, 0))
+        self._finished[attempt.job_id] = (total + attempt.rate, count + 1)
+
+    def note_kill(self, cid: int) -> None:
+        self.running.pop(cid, None)
+
+    def mean_rate(self, job_id: int) -> float:
+        """Mean progress rate over the job's running + finished attempts."""
+        total, count = self._finished.get(job_id, (0.0, 0))
+        for attempt in self.running.values():
+            if attempt.job_id == job_id:
+                total += attempt.rate
+                count += 1
+        return total / count if count else 0.0
+
+    def candidates(
+        self,
+        now: float,
+        config: SpeculationConfig,
+        excluded: frozenset[int] = frozenset(),
+    ) -> list[AttemptProgress]:
+        """Stragglers eligible for a backup, longest-remaining first.
+
+        ``excluded`` holds cids already on either side of a speculation pair.
+        Ties break on (job id, map index) for determinism.
+        """
+        out: list[AttemptProgress] = []
+        means: dict[int, float] = {}
+        for cid in sorted(self.running):
+            attempt = self.running[cid]
+            if cid in excluded:
+                continue
+            if attempt.age(now) < config.min_age:
+                continue
+            mean = means.get(attempt.job_id)
+            if mean is None:
+                mean = means[attempt.job_id] = self.mean_rate(attempt.job_id)
+            if attempt.rate >= config.threshold * mean:
+                continue
+            out.append(attempt)
+        out.sort(key=lambda a: (-a.remaining(now), a.job_id, a.map_index))
+        return out

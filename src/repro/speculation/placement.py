@@ -1,0 +1,62 @@
+"""Topology-aware backup placement (the Hit answer to "where to speculate").
+
+A backup attempt will, if it wins, source the straggler's entire shuffle
+fan-out — so the right slot is not "any free server" but the one from which
+the map's pending output flows are cheapest to ship, priced exactly like
+Algorithm 1's grading pass: the relaxed-capacity optimal-route unit cost to
+each consumer, weighted by the flow's rate (the Eq 9/10 preference-matrix
+column restricted to this one map's flows).
+
+The ranking reuses the vectorised all-pairs unit-cost matrix
+(:class:`~repro.core.preference.PairCostCache`): each consumer contributes
+one ``rate * column`` gather, so a sweep costs O(flows x candidates) adds on
+top of the shared matrix build.  No randomness is consumed; ties break
+toward the lower server id (candidates arrive id-sorted, argsort is stable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.preference import PairCostCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.taa import TAAInstance
+    from ..mapreduce.shuffle import ShuffleFlow
+
+__all__ = ["rank_backup_servers_by_cost"]
+
+
+def rank_backup_servers_by_cost(
+    taa: "TAAInstance",
+    flows: Sequence["ShuffleFlow"],
+    candidates: Sequence[int],
+) -> list[int]:
+    """Candidates ordered by the shuffle cost of hosting the map there.
+
+    ``flows`` are the straggler's pending output flows; consumers that are
+    themselves awaiting re-placement (no server) contribute nothing, exactly
+    as the grading pass skips unplaced endpoints.  Candidates with equal
+    cost keep their input order.
+    """
+    if not candidates:
+        return []
+    cache = PairCostCache(taa)
+    index = cache.server_index
+    rows = np.fromiter(
+        (index[s] for s in candidates), dtype=np.int64, count=len(candidates)
+    )
+    totals = np.zeros(len(candidates), dtype=np.float64)
+    priced = False
+    for flow in flows:
+        dst = taa.cluster.container(flow.dst_container).server_id
+        if dst is None:
+            continue
+        totals += flow.rate * cache.column(dst)[rows]
+        priced = True
+    if not priced:
+        return list(candidates)
+    order = np.argsort(totals, kind="stable")
+    return [candidates[i] for i in order]

@@ -1,0 +1,133 @@
+"""Per-run speculation bookkeeping driven by the simulator engine.
+
+:class:`SpeculationState` owns everything the kill-loser commit protocol
+needs outside the engine's own structures:
+
+* the **pairing** between an original attempt and its backup (both
+  directions, plus the per-job live-backup count the quota binds on);
+* the **ledgers** behind the two new invariants — ``committed`` records the
+  winning (cid, attempt, server) per map output, ``killed`` records every
+  attempt the protocol killed — and the violation list
+  :meth:`~repro.obs.invariants.InvariantChecker.check_speculation` drains:
+
+  - *one-committed-attempt*: a map output may only be committed once while
+    a previous commit is still live (losing the output to a failure clears
+    the slot for the re-execution's commit);
+  - *no-killed-flow*: a shuffle flow must read from the committed output's
+    server and never from an attempt the protocol killed;
+
+* the ``spec.*`` counters the CLI prints and the tracer mirrors.
+
+Like :class:`~repro.faults.injector.FaultInjector`, this class applies no
+effects itself — the engine kills attempts and moves containers; the state
+only answers "who is paired with whom" and "what would violate the
+protocol".
+"""
+
+from __future__ import annotations
+
+from .detector import ProgressTracker, SpeculationConfig
+
+__all__ = ["SpeculationState"]
+
+
+class SpeculationState:
+    """Pairings, quota accounting, invariant ledgers and counters."""
+
+    def __init__(self, config: SpeculationConfig) -> None:
+        self.config = config
+        self.tracker = ProgressTracker()
+        #: original cid -> backup cid (live pairs only).
+        self.backup_of: dict[int, int] = {}
+        #: backup cid -> original cid (inverse of :attr:`backup_of`).
+        self.primary_of: dict[int, int] = {}
+        #: job id -> number of currently running backups (quota subject).
+        self.live_backups: dict[int, int] = {}
+        #: (job id, map index) -> (cid, attempt, server) of the live commit.
+        self.committed: dict[tuple[int, int], tuple[int, int, int]] = {}
+        #: (cid, attempt) pairs the kill-loser protocol terminated.
+        self.killed: set[tuple[int, int]] = set()
+        self._violations: list[tuple[str, str]] = []
+        self.counters: dict[str, int] = {}
+
+    # ---------------------------------------------------------------- pairing
+    def pair(self, job_id: int, original_cid: int, backup_cid: int) -> None:
+        self.backup_of[original_cid] = backup_cid
+        self.primary_of[backup_cid] = original_cid
+        self.live_backups[job_id] = self.live_backups.get(job_id, 0) + 1
+
+    def unpair(self, job_id: int, original_cid: int, backup_cid: int) -> None:
+        self.backup_of.pop(original_cid, None)
+        self.primary_of.pop(backup_cid, None)
+        self.live_backups[job_id] = self.live_backups.get(job_id, 0) - 1
+
+    def paired_cids(self) -> frozenset[int]:
+        """Every cid currently on either side of a pair (detector exclusion)."""
+        return frozenset(self.backup_of) | frozenset(self.primary_of)
+
+    # ---------------------------------------------------------------- ledgers
+    def note_commit(
+        self, job_id: int, map_index: int, cid: int, attempt: int, server: int
+    ) -> None:
+        key = (job_id, map_index)
+        previous = self.committed.get(key)
+        if previous is not None:
+            self._violations.append(
+                (
+                    "one-committed-attempt",
+                    f"map {map_index} of job {job_id}: attempt "
+                    f"(cid={cid}, attempt={attempt}) committed while "
+                    f"(cid={previous[0]}, attempt={previous[1]}) is live",
+                )
+            )
+        self.committed[key] = (cid, attempt, server)
+
+    def note_output_lost(self, job_id: int, map_index: int) -> None:
+        """The committed output died with its server; the slot reopens."""
+        self.committed.pop((job_id, map_index), None)
+
+    def note_kill(self, cid: int, attempt: int) -> None:
+        self.killed.add((cid, attempt))
+
+    def note_flow(self, job_id: int, map_index: int, src_server: int) -> None:
+        """A shuffle flow is reading map output from ``src_server``."""
+        entry = self.committed.get((job_id, map_index))
+        if entry is None:
+            self._violations.append(
+                (
+                    "no-killed-flow",
+                    f"flow reads map {map_index} of job {job_id} from server "
+                    f"{src_server} but no attempt is committed",
+                )
+            )
+            return
+        cid, attempt, server = entry
+        if server != src_server:
+            self._violations.append(
+                (
+                    "no-killed-flow",
+                    f"flow reads map {map_index} of job {job_id} from server "
+                    f"{src_server}; the committed output lives on {server}",
+                )
+            )
+        if (cid, attempt) in self.killed:
+            self._violations.append(
+                (
+                    "no-killed-flow",
+                    f"flow reads map {map_index} of job {job_id} from killed "
+                    f"attempt (cid={cid}, attempt={attempt})",
+                )
+            )
+
+    def drain_violations(self) -> list[tuple[str, str]]:
+        """Hand accumulated (invariant, detail) pairs to the checker."""
+        found, self._violations = self._violations, []
+        return found
+
+    # --------------------------------------------------------------- counters
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def summary(self) -> dict[str, int]:
+        """Counter snapshot (sorted keys, for stable reports)."""
+        return dict(sorted(self.counters.items()))

@@ -37,6 +37,9 @@ class ApplicationMaster:
     taskdict: TopologyAwareTaskDict | None = None
     app_id: int = -1
     granted: dict[str, GrantedContainer] = field(default_factory=dict)
+    #: Speculative backup grants, keyed like :attr:`granted` — at most one
+    #: backup per task may be outstanding.
+    backups: dict[str, GrantedContainer] = field(default_factory=dict)
 
     def register(self) -> int:
         self.app_id = self.rm.register_application(self.job.name)
@@ -88,7 +91,78 @@ class ApplicationMaster:
             self.granted[str(request.task)] = grant
         return dict(self.granted)
 
+    # ------------------------------------------------------------ speculation
+    def request_backup(self, task: TaskRef) -> GrantedContainer:
+        """Acquire one speculative container duplicating ``task``.
+
+        The original attempt must already hold a grant; the backup request
+        carries ``avoid_host`` so the RM cannot co-locate the duplicate with
+        the straggler it is meant to outrun.  At most one backup per task.
+        """
+        key = str(task)
+        original = self.granted.get(key)
+        if original is None:
+            raise KeyError(f"no running attempt for task {key}")
+        if key in self.backups:
+            raise ValueError(f"task {key} already has a backup attempt")
+        priority = (
+            _MAP_PRIORITY if task.kind is TaskKind.MAP else _REDUCE_PRIORITY
+        )
+        preferred = (
+            self.taskdict.preferred_host(task) if self.taskdict else None
+        )
+        if preferred is not None and preferred != original.hostname:
+            request: ResourceRequest = HitResourceRequest(
+                priority=priority,
+                capability=self.container_capability,
+                resource_name=preferred,
+                task=task,
+                speculative=True,
+                avoid_host=original.hostname,
+            )
+        else:
+            request = ResourceRequest(
+                priority=priority,
+                capability=self.container_capability,
+                resource_name=ANY_HOST,
+                task=task,
+                speculative=True,
+                avoid_host=original.hostname,
+            )
+        grant = self.rm.allocate(self.app_id, [request])[0]
+        self.backups[key] = grant
+        return grant
+
+    def commit_attempt(self, task: TaskRef, winner: GrantedContainer) -> None:
+        """First finisher wins: keep ``winner``'s grant, kill the loser.
+
+        ``winner`` must be one of the task's live attempts.  After the
+        commit the surviving grant is recorded as *the* attempt (so
+        :meth:`release_all` and shuffle consumers see a single container per
+        task) and the losing container is preempted at its NodeManager.
+        """
+        key = str(task)
+        original = self.granted.get(key)
+        backup = self.backups.pop(key, None)
+        if original is None:
+            raise KeyError(f"no running attempt for task {key}")
+        if winner.container_id == original.container_id:
+            loser = backup
+        elif backup is not None and winner.container_id == backup.container_id:
+            self.granted[key] = backup
+            self.rm.promote(backup)
+            loser = original
+        else:
+            raise ValueError(
+                f"container {winner.container_id} is not an attempt of {key}"
+            )
+        if loser is not None:
+            self.rm.kill(loser)
+
     def release_all(self) -> None:
         for grant in self.granted.values():
             self.rm.release(grant)
+        for grant in self.backups.values():
+            self.rm.release(grant)
         self.granted.clear()
+        self.backups.clear()

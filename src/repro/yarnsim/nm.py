@@ -38,6 +38,9 @@ class NodeManager:
         #: expire_nodes`) declares the node lost once this lags past the
         #: configured expiry — YARN's ``nm.liveness-monitor`` behaviour.
         self.last_heartbeat: float = 0.0
+        #: Containers forcibly stopped on this node (speculation's
+        #: kill-loser orders), reported in heartbeats.
+        self.killed_count: int = 0
 
     @property
     def used(self) -> Resources:
@@ -68,6 +71,18 @@ class NodeManager:
         self._used = self._used - container.capability
         return container
 
+    def kill(self, container_id: int) -> LaunchedContainer:
+        """Forcibly stop a container — the losing attempt of a speculation
+        pair.  Same resource refund as :meth:`release`, but counted so the
+        heartbeat report exposes how many containers were preempted."""
+        container = self.release(container_id)
+        self.killed_count += 1
+        return container
+
+    def running_container(self, container_id: int) -> LaunchedContainer | None:
+        """The running container with this id, or None."""
+        return self._running.get(container_id)
+
     def heartbeat(self, now: float | None = None) -> dict[str, object]:
         """Node status report, as the RM would receive it.
 
@@ -81,6 +96,7 @@ class NodeManager:
             "used": self._used.as_tuple(),
             "available": self.available.as_tuple(),
             "last_heartbeat": self.last_heartbeat,
+            "killed": self.killed_count,
         }
 
     def drain(self) -> list[LaunchedContainer]:

@@ -57,6 +57,10 @@ class ResourceManager:
         self._next_container_id = 0
         self._applications: dict[int, str] = {}
         self._next_app_id = 0
+        #: Container ids granted against speculative (backup) requests, kept
+        #: until the container is released or killed — the RM-side ledger
+        #: behind :meth:`speculative_load`.
+        self._speculative: set[int] = set()
 
     # ----------------------------------------------------------- applications
     def register_application(self, name: str) -> int:
@@ -103,6 +107,8 @@ class ResourceManager:
                 task=str(request.task) if request.task else None,
             )
         )
+        if request.speculative:
+            self._speculative.add(cid)
         return GrantedContainer(
             container_id=cid,
             hostname=node.hostname,
@@ -111,25 +117,29 @@ class ResourceManager:
         )
 
     def _select_node(self, request: ResourceRequest) -> NodeManager | None:
+        avoid = request.avoid_host
         if isinstance(request, HitResourceRequest) or not request.is_anywhere:
             preferred = self.nodes.get(request.resource_name)
             if preferred is None:
                 raise KeyError(f"unknown host {request.resource_name!r}")
             if (
                 preferred.hostname not in self._lost
+                and preferred.hostname != avoid
                 and preferred.can_launch(request.capability)
             ):
                 return preferred
             if not request.relax_locality:
                 return None
-            return self._closest_feasible(preferred, request.capability)
-        return self._round_robin(request.capability)
+            return self._closest_feasible(preferred, request.capability, avoid)
+        return self._round_robin(request.capability, avoid)
 
-    def _round_robin(self, capability: Resources) -> NodeManager | None:
+    def _round_robin(
+        self, capability: Resources, avoid: str | None = None
+    ) -> NodeManager | None:
         n = len(self._heartbeat_order)
         for offset in range(n):
             hostname = self._heartbeat_order[(self._cursor + offset) % n]
-            if hostname in self._lost:
+            if hostname in self._lost or hostname == avoid:
                 continue
             node = self.nodes[hostname]
             if node.can_launch(capability):
@@ -138,7 +148,10 @@ class ResourceManager:
         return None
 
     def _closest_feasible(
-        self, preferred: NodeManager, capability: Resources
+        self,
+        preferred: NodeManager,
+        capability: Resources,
+        avoid: str | None = None,
     ) -> NodeManager | None:
         """Fallback for a full preferred host: nearest node in switch hops."""
         dist = self.topology.hop_distances_from(preferred.server_id)
@@ -147,6 +160,7 @@ class ResourceManager:
             for node in self.nodes.values()
             if node is not preferred
             and node.hostname not in self._lost
+            and node.hostname != avoid
             and node.can_launch(capability)
         ]
         if not candidates:
@@ -228,6 +242,31 @@ class ResourceManager:
     # ------------------------------------------------------------------ misc
     def release(self, granted: GrantedContainer) -> None:
         self.nodes[granted.hostname].release(granted.container_id)
+        self._speculative.discard(granted.container_id)
+
+    def kill(self, granted: GrantedContainer) -> None:
+        """Forcibly stop a container (speculation's kill-loser order).
+
+        Resource-wise identical to :meth:`release`; the NodeManager records
+        the kill separately so its status reports distinguish preempted
+        containers from graceful completions."""
+        self.nodes[granted.hostname].kill(granted.container_id)
+        self._speculative.discard(granted.container_id)
+
+    def promote(self, granted: GrantedContainer) -> None:
+        """Strike a backup from the speculative ledger: it won its race and
+        is now the task's committed attempt."""
+        self._speculative.discard(granted.container_id)
+
+    def speculative_load(self) -> Resources:
+        """Resources currently held by speculative (backup) containers."""
+        total = Resources.zero()
+        for node in self.nodes.values():
+            for cid in self._speculative:
+                container = node.running_container(cid)
+                if container is not None:
+                    total = total + container.capability
+        return total
 
     def cluster_available(self) -> Resources:
         total = Resources.zero()

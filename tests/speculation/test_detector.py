@@ -1,0 +1,148 @@
+"""LATE detector unit tests: normalised rates, guards, ranking, quota."""
+
+import pytest
+
+from repro.speculation import (
+    AttemptProgress,
+    ProgressTracker,
+    SpeculationConfig,
+)
+
+
+class TestSpeculationConfig:
+    def test_defaults_valid(self):
+        config = SpeculationConfig()
+        assert 0.0 < config.quota <= 1.0
+        assert 0.0 < config.threshold < 1.0
+
+    @pytest.mark.parametrize("quota", [0.0, -0.1, 1.5])
+    def test_rejects_bad_quota(self, quota):
+        with pytest.raises(ValueError, match="quota"):
+            SpeculationConfig(quota=quota)
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.5])
+    def test_rejects_bad_threshold(self, threshold):
+        with pytest.raises(ValueError, match="threshold"):
+            SpeculationConfig(threshold=threshold)
+
+    def test_rejects_negative_min_age(self):
+        with pytest.raises(ValueError, match="min_age"):
+            SpeculationConfig(min_age=-0.1)
+
+    def test_rejects_zero_check_interval(self):
+        with pytest.raises(ValueError, match="check_interval"):
+            SpeculationConfig(check_interval=0.0)
+
+    def test_backups_allowed_floor_of_one(self):
+        config = SpeculationConfig(quota=0.2)
+        assert config.backups_allowed(1) == 1
+        assert config.backups_allowed(4) == 1
+        assert config.backups_allowed(10) == 2
+        assert config.backups_allowed(16) == 3
+
+
+class TestAttemptProgress:
+    def test_normalised_rate(self):
+        # Nominal duration 1.0 but expected to take 4.0: quarter speed.
+        a = AttemptProgress(
+            job_id=0, map_index=0, cid=1, start=0.0,
+            duration=4.0, nominal_duration=1.0,
+        )
+        assert a.rate == pytest.approx(0.25)
+
+    def test_healthy_rate_is_exactly_one(self):
+        # Exact equality matters: rates derive from the duration floats, not
+        # from timestamp differences (whose rounding would break this).
+        a = AttemptProgress(
+            job_id=0, map_index=0, cid=1, start=2.0,
+            duration=0.37, nominal_duration=0.37,
+        )
+        assert a.rate == 1.0
+
+    def test_remaining_and_age(self):
+        a = AttemptProgress(
+            job_id=0, map_index=0, cid=1, start=1.0,
+            duration=2.0, nominal_duration=2.0,
+        )
+        assert a.expected_finish == pytest.approx(3.0)
+        assert a.remaining(1.5) == pytest.approx(1.5)
+        assert a.remaining(5.0) == 0.0
+        assert a.age(1.5) == pytest.approx(0.5)
+
+
+def start(tracker, cid, *, job=0, mi=None, t0=0.0, expected=1.0, nominal=1.0):
+    tracker.note_start(job, cid if mi is None else mi, cid, t0, expected, nominal)
+
+
+class TestProgressTracker:
+    def test_healthy_job_never_produces_candidates(self):
+        tracker = ProgressTracker()
+        for cid in range(8):
+            start(tracker, cid)
+        config = SpeculationConfig(threshold=0.99, min_age=0.0)
+        assert tracker.candidates(0.5, config) == []
+
+    def test_straggler_detected_after_min_age(self):
+        tracker = ProgressTracker()
+        for cid in range(4):
+            start(tracker, cid)
+        # cid 4 runs at quarter speed: expected 4.0 for nominal 1.0.
+        start(tracker, 4, expected=4.0)
+        config = SpeculationConfig(threshold=0.7, min_age=0.2)
+        assert tracker.candidates(0.1, config) == []  # too young
+        found = tracker.candidates(0.3, config)
+        assert [a.cid for a in found] == [4]
+
+    def test_uniformly_degraded_job_is_not_speculated(self):
+        tracker = ProgressTracker()
+        for cid in range(4):
+            start(tracker, cid, expected=4.0)  # every map equally slow
+        config = SpeculationConfig(threshold=0.7, min_age=0.0)
+        assert tracker.candidates(1.0, config) == []
+
+    def test_excluded_cids_are_skipped(self):
+        tracker = ProgressTracker()
+        for cid in range(4):
+            start(tracker, cid)
+        start(tracker, 4, expected=4.0)
+        config = SpeculationConfig(threshold=0.7, min_age=0.0)
+        assert tracker.candidates(1.0, config, frozenset({4})) == []
+
+    def test_ranking_longest_remaining_first(self):
+        tracker = ProgressTracker()
+        for cid in range(6):
+            start(tracker, cid)
+        start(tracker, 10, expected=4.0)
+        start(tracker, 11, expected=8.0)
+        config = SpeculationConfig(threshold=0.7, min_age=0.0)
+        found = tracker.candidates(1.0, config)
+        assert [a.cid for a in found] == [11, 10]
+
+    def test_finished_attempts_keep_contributing_to_the_mean(self):
+        tracker = ProgressTracker()
+        for cid in range(4):
+            start(tracker, cid)
+            tracker.note_finish(cid)  # ran exactly at nominal
+        start(tracker, 9, expected=4.0)
+        config = SpeculationConfig(threshold=0.7, min_age=0.0)
+        assert tracker.mean_rate(0) < 1.0
+        assert [a.cid for a in tracker.candidates(1.0, config)] == [9]
+
+    def test_killed_attempts_leave_no_statistical_trace(self):
+        tracker = ProgressTracker()
+        start(tracker, 0)
+        start(tracker, 1, expected=4.0)
+        tracker.note_kill(1)
+        assert tracker.mean_rate(0) == 1.0
+        config = SpeculationConfig(threshold=0.7, min_age=0.0)
+        assert tracker.candidates(1.0, config) == []
+
+    def test_jobs_evaluated_independently(self):
+        tracker = ProgressTracker()
+        for cid in range(4):
+            start(tracker, cid, job=0)
+        # Job 1 is uniformly slow: no straggler relative to itself.
+        for cid in range(10, 14):
+            start(tracker, cid, job=1, expected=4.0)
+        config = SpeculationConfig(threshold=0.7, min_age=0.0)
+        assert tracker.candidates(1.0, config) == []

@@ -1,0 +1,188 @@
+"""Speculative execution through the discrete-event engine.
+
+The contracts from ``ISSUE``/``docs/fault_model.md``:
+
+* **no-fault byte identity** — with speculation enabled but no faults, the
+  detector never fires and the run is bit-identical to speculation-off;
+* **mitigation** — under scripted straggler slowdowns (factor >= 4 on ~10%
+  of servers) speculation reduces mean JCT on the same shared timeline;
+* **failure interplay** — losing the backup's server mid-race still commits
+  the original; losing the original's server promotes the backup;
+* **invariants** — one committed attempt per map, no flow from a killed
+  attempt, checked in raise mode throughout.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import configs, fault_degradation, straggler_timeline
+from repro.faults import FaultKind, FaultSpec
+from repro.obs import InvariantChecker, observe
+from repro.schedulers import make_scheduler
+from repro.simulator import MapReduceSimulator
+from repro.speculation import SpeculationConfig
+
+NUM_JOBS = 8
+
+
+def build_sim(seed=0, scheduler="hit", speculation=None, faults=(), retries=10):
+    config = dataclasses.replace(
+        configs.testbed_simulation_config(seed=seed),
+        faults=tuple(faults),
+        speculation=speculation,
+        max_task_retries=retries,
+    )
+    return MapReduceSimulator(
+        configs.testbed_tree(),
+        make_scheduler(scheduler, seed=seed),
+        list(configs.testbed_workload(seed=seed, num_jobs=NUM_JOBS)),
+        config,
+    )
+
+
+def run_checked(sim):
+    with observe(checker=InvariantChecker(mode="raise")):
+        return sim.run()
+
+
+def task_tuples(metrics):
+    return sorted(
+        (t.job_id, t.kind, t.index, t.start, t.finish) for t in metrics.tasks
+    )
+
+
+@pytest.fixture(scope="module")
+def stragglers():
+    return straggler_timeline(configs.testbed_tree(), fraction=0.1, factor=6.0)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("scheduler", ["hit", "capacity", "random"])
+    def test_no_faults_means_no_behaviour_change(self, scheduler):
+        plain = run_checked(build_sim(scheduler=scheduler))
+        sim = build_sim(scheduler=scheduler, speculation=SpeculationConfig())
+        spec = run_checked(sim)
+        assert task_tuples(plain) == task_tuples(spec)
+        assert plain.summary() == spec.summary()
+        # The detector swept but never found a candidate.
+        counters = sim.speculation.summary()
+        assert counters.get("spec.sweeps", 0) > 0
+        assert counters.get("spec.launched", 0) == 0
+
+    def test_speculative_faulty_run_is_deterministic(self, stragglers):
+        results = [
+            task_tuples(
+                run_checked(
+                    build_sim(
+                        speculation=SpeculationConfig(), faults=stragglers
+                    )
+                )
+            )
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+
+class TestMitigation:
+    def test_speculation_reduces_mean_jct_under_stragglers(self, stragglers):
+        result = fault_degradation(
+            seed=0,
+            timeline=stragglers,
+            scheduler_names=("hit", "random"),
+            speculation=SpeculationConfig(),
+        )
+        for name, run in result.runs.items():
+            assert run.mitigated is not None
+            assert run.mitigated.mean_jct() < run.faulty.mean_jct(), name
+            assert run.spec_counters.get("spec.wins", 0) > 0, name
+            assert run.mitigation_gain > 0.0, name
+
+    def test_backups_fire_and_jobs_complete(self, stragglers):
+        sim = build_sim(speculation=SpeculationConfig(), faults=stragglers)
+        metrics = run_checked(sim)
+        assert len(metrics.jobs) == NUM_JOBS
+        counters = sim.speculation.summary()
+        assert counters.get("spec.launched", 0) > 0
+        # Every launched backup resolved: the pair ledger drained.
+        assert not sim.speculation.backup_of
+        assert not sim.speculation.primary_of
+
+
+def first_backup_launch(stragglers):
+    """Dry-run a speculative straggler scenario and report the first backup:
+    (launch time, original's server, backup's server)."""
+    sim = build_sim(speculation=SpeculationConfig(), faults=stragglers)
+    launches = []
+    real = sim._launch_backup
+
+    def spy(now, job, cand):
+        before = set(sim.speculation.primary_of)
+        real(now, job, cand)
+        for bcid in set(sim.speculation.primary_of) - before:
+            launches.append(
+                (
+                    now,
+                    sim.cluster.container(cand.cid).server_id,
+                    sim.cluster.container(bcid).server_id,
+                )
+            )
+
+    sim._launch_backup = spy
+    run_checked(sim)
+    assert launches, "scenario must actually speculate"
+    return launches[0]
+
+
+class TestFailureInterplay:
+    def test_backup_server_failure_leaves_original_to_commit(self, stragglers):
+        t_launch, _, backup_server = first_backup_launch(stragglers)
+        timeline = stragglers + (
+            FaultSpec(t_launch + 1e-3, FaultKind.SERVER_FAIL, backup_server),
+        )
+        sim = build_sim(speculation=SpeculationConfig(), faults=timeline)
+        metrics = run_checked(sim)
+        assert len(metrics.jobs) == NUM_JOBS
+        assert sim.speculation.counters.get("spec.backups_lost", 0) >= 1
+
+    def test_original_server_failure_promotes_backup(self, stragglers):
+        t_launch, origin_server, _ = first_backup_launch(stragglers)
+        timeline = stragglers + (
+            FaultSpec(t_launch + 1e-3, FaultKind.SERVER_FAIL, origin_server),
+        )
+        sim = build_sim(speculation=SpeculationConfig(), faults=timeline)
+        metrics = run_checked(sim)
+        assert len(metrics.jobs) == NUM_JOBS
+        assert sim.speculation.counters.get("spec.promoted", 0) >= 1
+
+
+class TestBackupPlacement:
+    def test_hit_ranks_backups_by_shuffle_cost(self, stragglers):
+        """The Hit scheduler's hook must be consulted and return a full
+        deterministic ranking of the candidate servers."""
+        sim = build_sim(speculation=SpeculationConfig(), faults=stragglers)
+        calls = []
+        scheduler = sim.scheduler
+        real = scheduler.rank_backup_servers
+
+        def spy(ctx, job, flows, candidates):
+            ranked = real(ctx, job, flows, candidates)
+            calls.append((list(candidates), ranked))
+            return ranked
+
+        scheduler.rank_backup_servers = spy
+        run_checked(sim)
+        assert calls, "hit must be asked to rank backup candidates"
+        for candidates, ranked in calls:
+            assert ranked is not None
+            assert sorted(ranked) == sorted(candidates)
+
+    def test_baselines_fall_back_to_greedy(self, stragglers):
+        """Topology-unaware schedulers return None and still speculate."""
+        sim = build_sim(
+            scheduler="capacity",
+            speculation=SpeculationConfig(),
+            faults=stragglers,
+        )
+        run_checked(sim)
+        assert sim.speculation.counters.get("spec.launched", 0) > 0

@@ -1,0 +1,175 @@
+"""Speculative containers through the YARN-like control plane.
+
+Backups are ordinary grants with two extra properties: the RM tracks them in
+a speculative ledger until the race resolves, and they may never land on the
+straggler's own host (``avoid_host``).  Commit keeps the winner's grant and
+preempts the loser at its NodeManager.
+"""
+
+import pytest
+
+from repro.cluster import Resources, TaskKind, TaskRef
+from repro.yarnsim import (
+    ApplicationMaster,
+    LaunchedContainer,
+    NodeManager,
+    ResourceManager,
+    ResourceRequest,
+    TopologyAwareTaskDict,
+)
+
+from ..conftest import make_job
+
+CAP = Resources(1.0, 0.0)
+MAP0 = TaskRef(0, TaskKind.MAP, 0)
+
+
+@pytest.fixture
+def rm(small_tree):
+    return ResourceManager(small_tree)
+
+
+@pytest.fixture
+def am(rm):
+    am = ApplicationMaster(rm=rm, job=make_job(num_maps=4, num_reduces=2))
+    am.acquire_containers()
+    return am
+
+
+class TestRequestValidation:
+    def test_avoiding_the_preferred_host_is_contradictory(self):
+        with pytest.raises(ValueError, match="prefers and avoids"):
+            ResourceRequest(
+                priority=1,
+                capability=CAP,
+                resource_name="s3",
+                avoid_host="s3",
+            )
+
+    def test_speculative_wildcard_with_avoid_is_fine(self):
+        r = ResourceRequest(
+            priority=1, capability=CAP, speculative=True, avoid_host="s3"
+        )
+        assert r.speculative and r.avoid_host == "s3"
+
+
+class TestNodeManagerKill:
+    def test_kill_releases_and_counts(self):
+        nm = NodeManager(0, "s0", Resources(2, 0))
+        nm.launch(LaunchedContainer(7, CAP))
+        nm.kill(7)
+        assert nm.used.is_zero
+        assert nm.killed_count == 1
+
+    def test_heartbeat_reports_kills(self):
+        nm = NodeManager(0, "s0", Resources(2, 0))
+        nm.launch(LaunchedContainer(7, CAP))
+        nm.kill(7)
+        assert nm.heartbeat()["killed"] == 1
+
+    def test_running_container_lookup(self):
+        nm = NodeManager(0, "s0", Resources(2, 0))
+        nm.launch(LaunchedContainer(7, CAP))
+        assert nm.running_container(7).container_id == 7
+        assert nm.running_container(8) is None
+
+
+class TestResourceManagerLedger:
+    def test_speculative_grants_are_accounted(self, rm):
+        app = rm.register_application("job")
+        (grant,) = rm.allocate(
+            app,
+            [ResourceRequest(priority=1, capability=CAP, speculative=True)],
+        )
+        assert rm.speculative_load() == CAP
+        rm.release(grant)
+        assert rm.speculative_load().is_zero
+
+    def test_kill_and_promote_clear_the_ledger(self, rm):
+        app = rm.register_application("job")
+        a, b = rm.allocate(
+            app,
+            [
+                ResourceRequest(
+                    priority=1, capability=CAP, num_containers=2,
+                    speculative=True,
+                )
+            ],
+        )
+        rm.kill(a)
+        rm.promote(b)
+        assert rm.speculative_load().is_zero
+        assert rm.nodes[a.hostname].killed_count == 1
+
+    def test_round_robin_skips_the_avoided_host(self, rm):
+        app = rm.register_application("job")
+        grants = rm.allocate(
+            app,
+            [
+                ResourceRequest(
+                    priority=1, capability=CAP, num_containers=8,
+                    avoid_host="s0",
+                )
+            ],
+        )
+        assert all(g.hostname != "s0" for g in grants)
+
+
+class TestApplicationMasterBackups:
+    def test_backup_avoids_the_original_host(self, am, rm):
+        original = am.granted[str(MAP0)]
+        backup = am.request_backup(MAP0)
+        assert backup.hostname != original.hostname
+        assert rm.speculative_load() == CAP
+
+    def test_backup_requires_a_running_attempt(self, am):
+        with pytest.raises(KeyError, match="no running attempt"):
+            am.request_backup(TaskRef(0, TaskKind.MAP, 99))
+
+    def test_one_backup_per_task(self, am):
+        am.request_backup(MAP0)
+        with pytest.raises(ValueError, match="already has a backup"):
+            am.request_backup(MAP0)
+
+    def test_preferred_backup_host_honoured_when_distinct(self, rm):
+        taskdict = TopologyAwareTaskDict()
+        am = ApplicationMaster(
+            rm=rm, job=make_job(num_maps=4, num_reduces=2), taskdict=taskdict
+        )
+        am.acquire_containers()
+        original = am.granted[str(MAP0)]
+        target = "s9" if original.hostname != "s9" else "s10"
+        taskdict.set_preferred_host(MAP0, target)
+        backup = am.request_backup(MAP0)
+        assert backup.hostname == target
+
+    def test_commit_original_kills_backup(self, am, rm):
+        original = am.granted[str(MAP0)]
+        backup = am.request_backup(MAP0)
+        am.commit_attempt(MAP0, original)
+        assert am.granted[str(MAP0)] is original
+        assert not am.backups
+        assert rm.speculative_load().is_zero
+        assert rm.nodes[backup.hostname].killed_count == 1
+
+    def test_commit_backup_promotes_it_and_kills_original(self, am, rm):
+        original = am.granted[str(MAP0)]
+        backup = am.request_backup(MAP0)
+        am.commit_attempt(MAP0, backup)
+        assert am.granted[str(MAP0)] is backup
+        assert not am.backups
+        assert rm.speculative_load().is_zero
+        assert rm.nodes[original.hostname].killed_count == 1
+
+    def test_commit_rejects_a_foreign_container(self, am, rm):
+        am.request_backup(MAP0)
+        stranger = am.granted[str(TaskRef(0, TaskKind.MAP, 1))]
+        with pytest.raises(ValueError, match="not an attempt"):
+            am.commit_attempt(MAP0, stranger)
+
+    def test_release_all_frees_backups_too(self, am, rm):
+        am.request_backup(MAP0)
+        am.release_all()
+        assert not am.granted and not am.backups
+        assert rm.speculative_load().is_zero
+        assert all(nm.used.is_zero for nm in rm.nodes.values())
