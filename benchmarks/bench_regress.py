@@ -1,0 +1,275 @@
+"""Bench-regression gate: diff current bench reports against baselines.
+
+Compares the JSON reports written by ``bench_perf_hotpath.py``
+(``BENCH_hotpath.json``) and ``bench_straggler_mitigation.py``
+(``BENCH_straggler.json``) against the committed baselines under
+``benchmarks/baselines/<scale>/`` and emits a machine-readable verdict
+(``BENCH_regress.json``).  Two kinds of quantity get two kinds of band:
+
+* **Deterministic simulated metrics** (straggler mean/p99 JCTs, mitigation
+  gains, speculation win counts; hotpath case shapes) are identical on any
+  machine for a given seed — compared near-exactly (``--sim-tolerance``,
+  default 1e-6 relative).  A drift here is a *behaviour* change, not noise.
+* **Wall-clock speedup ratios** (hotpath ``grading.speedup`` /
+  ``initial_wave.speedup``) are machine-dependent; a regression is flagged
+  only when the current ratio falls below ``baseline * (1 - tolerance)``
+  (default 0.5 — i.e. losing more than half the recorded speedup).
+  Absolute ``*_ms`` timings are never compared.
+
+Baselines are keyed by the report's own ``scale`` field (``quick`` in CI,
+``full`` locally), so a quick run is never judged against full-scale
+numbers.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_regress.py --check \
+        [--hotpath FILE] [--straggler FILE] [--out BENCH_regress.json]
+
+Without ``--check`` the script only writes/prints the verdict (exit 0);
+with it, any regression — or a missing report/baseline — exits non-zero,
+which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Fractional speedup loss tolerated on machine-dependent ratios.
+DEFAULT_TOLERANCE = 0.5
+#: Relative tolerance on deterministic simulated metrics.
+DEFAULT_SIM_TOLERANCE = 1e-6
+
+
+def _check(
+    checks: list[dict[str, Any]],
+    name: str,
+    kind: str,
+    baseline: Any,
+    current: Any,
+    ok: bool,
+    detail: str = "",
+) -> bool:
+    checks.append(
+        {
+            "name": name,
+            "kind": kind,
+            "baseline": baseline,
+            "current": current,
+            "ok": bool(ok),
+            **({"detail": detail} if detail else {}),
+        }
+    )
+    return bool(ok)
+
+
+def _exact(checks, name, baseline, current) -> bool:
+    return _check(
+        checks, name, "exact", baseline, current, baseline == current
+    )
+
+
+def _close(checks, name, baseline, current, rel_tol) -> bool:
+    try:
+        b, c = float(baseline), float(current)
+    except (TypeError, ValueError):
+        return _check(
+            checks, name, "sim-close", baseline, current, False,
+            "not a number",
+        )
+    ok = abs(c - b) <= rel_tol * max(abs(b), abs(c), 1e-12)
+    return _check(checks, name, "sim-close", b, c, ok)
+
+
+def _ratio_min(checks, name, baseline, current, tolerance) -> bool:
+    """Machine-dependent speedup: fail only below (1 - tolerance) x base."""
+    try:
+        b, c = float(baseline), float(current)
+    except (TypeError, ValueError):
+        return _check(
+            checks, name, "ratio-min", baseline, current, False,
+            "not a number",
+        )
+    floor = b * (1.0 - tolerance)
+    ok = c >= floor
+    return _check(
+        checks, name, "ratio-min", b, c, ok,
+        "" if ok else f"below floor {floor:.3g}",
+    )
+
+
+def compare_hotpath(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float,
+) -> list[dict[str, Any]]:
+    checks: list[dict[str, Any]] = []
+    _exact(checks, "scale", baseline.get("scale"), current.get("scale"))
+    base_cases = {c["case"]: c for c in baseline.get("cases", [])}
+    cur_cases = {c["case"]: c for c in current.get("cases", [])}
+    for name, base in base_cases.items():
+        cur = cur_cases.get(name)
+        if cur is None:
+            _check(checks, f"{name}: present", "exact", True, False, False,
+                   "case missing from current report")
+            continue
+        for field in ("servers", "switches", "containers", "flows"):
+            _exact(checks, f"{name}: {field}", base[field], cur[field])
+        for section in ("grading", "initial_wave"):
+            _ratio_min(
+                checks,
+                f"{name}: {section}.speedup",
+                base[section]["speedup"],
+                cur[section]["speedup"],
+                tolerance,
+            )
+    return checks
+
+
+def compare_straggler(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    sim_tolerance: float,
+) -> list[dict[str, Any]]:
+    checks: list[dict[str, Any]] = []
+    for field in ("scale", "seeds", "num_jobs", "straggler_fraction",
+                  "slowdown_factor"):
+        _exact(checks, field, baseline.get(field), current.get(field))
+    base_summary = baseline.get("summary", {})
+    cur_summary = current.get("summary", {})
+    for scheduler, base in base_summary.items():
+        cur = cur_summary.get(scheduler)
+        if cur is None:
+            _check(checks, f"{scheduler}: present", "exact", True, False,
+                   False, "scheduler missing from current report")
+            continue
+        for metric in ("mean_jct_off", "mean_jct_on", "p99_jct_off",
+                       "p99_jct_on", "mean_gain"):
+            _close(
+                checks, f"{scheduler}: {metric}",
+                base.get(metric), cur.get(metric), sim_tolerance,
+            )
+        _exact(checks, f"{scheduler}: spec_wins",
+               base.get("spec_wins"), cur.get("spec_wins"))
+    return checks
+
+
+def _load(path: Path) -> dict[str, Any] | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def diff_report(
+    name: str,
+    current_path: Path,
+    baseline_dir: Path,
+    compare,
+    tolerance: float,
+) -> dict[str, Any]:
+    """One benchmark's verdict block (handles missing files)."""
+    current = _load(current_path)
+    if current is None:
+        return {
+            "ok": False,
+            "error": f"current report unreadable: {current_path}",
+            "checks": [],
+        }
+    scale = current.get("scale", "full")
+    baseline_path = baseline_dir / str(scale) / f"BENCH_{name}.json"
+    baseline = _load(baseline_path)
+    if baseline is None:
+        return {
+            "ok": False,
+            "error": f"no committed baseline: {baseline_path}",
+            "scale": scale,
+            "checks": [],
+        }
+    checks = compare(baseline, current, tolerance)
+    return {
+        "ok": all(c["ok"] for c in checks),
+        "scale": scale,
+        "baseline": str(baseline_path.relative_to(ROOT)),
+        "current": str(current_path),
+        "checks": checks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--hotpath", default=str(ROOT / "BENCH_hotpath.json"),
+        help="current hotpath report (default: repo root)",
+    )
+    parser.add_argument(
+        "--straggler", default=str(ROOT / "BENCH_straggler.json"),
+        help="current straggler report (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=str(BASELINE_DIR),
+        help="committed baselines root (scale subdirectories)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fractional speedup loss tolerated on wall-clock ratios "
+             f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--sim-tolerance", type=float, default=DEFAULT_SIM_TOLERANCE,
+        help="relative tolerance on deterministic simulated metrics "
+             f"(default {DEFAULT_SIM_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "BENCH_regress.json"),
+        help="machine-readable verdict path",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on any regression or missing report/baseline",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    verdict: dict[str, Any] = {
+        "tolerance": args.tolerance,
+        "sim_tolerance": args.sim_tolerance,
+        "benchmarks": {
+            "hotpath": diff_report(
+                "hotpath", Path(args.hotpath), baseline_dir,
+                compare_hotpath, args.tolerance,
+            ),
+            "straggler": diff_report(
+                "straggler", Path(args.straggler), baseline_dir,
+                compare_straggler, args.sim_tolerance,
+            ),
+        },
+    }
+    ok = all(b["ok"] for b in verdict["benchmarks"].values())
+    verdict["verdict"] = "pass" if ok else "fail"
+
+    Path(args.out).write_text(json.dumps(verdict, indent=2) + "\n")
+    for name, block in verdict["benchmarks"].items():
+        if "error" in block:
+            print(f"{name:10s} ERROR  {block['error']}")
+            continue
+        failed = [c for c in block["checks"] if not c["ok"]]
+        status = "ok" if block["ok"] else f"FAIL ({len(failed)} check(s))"
+        print(f"{name:10s} {status}  [{len(block['checks'])} checks, "
+              f"scale={block['scale']}, baseline={block['baseline']}]")
+        for c in failed:
+            detail = f" ({c['detail']})" if c.get("detail") else ""
+            print(f"    {c['name']}: baseline={c['baseline']} "
+                  f"current={c['current']}{detail}")
+    print(f"verdict: {verdict['verdict']} -> {args.out}")
+    return 1 if (args.check and not ok) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,11 +2,25 @@
 
 from .cdf import EmpiricalCDF
 from .charts import bar_chart, series_chart, sparkline
+from .critical_path import (
+    SEGMENTS,
+    JobCriticalPath,
+    aggregate_segments,
+    attribute_job,
+    attribute_run,
+    format_critical_path,
+)
 from .report import format_paper_vs_measured, format_table, format_violations
 from .stats import describe, improvement, reduction
 
 __all__ = [
     "EmpiricalCDF",
+    "SEGMENTS",
+    "JobCriticalPath",
+    "attribute_job",
+    "attribute_run",
+    "aggregate_segments",
+    "format_critical_path",
     "format_table",
     "format_paper_vs_measured",
     "format_violations",

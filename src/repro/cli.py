@@ -38,6 +38,9 @@ SCHEDULER_CHOICES = (
     "capacity", "capacity-ecmp", "pna", "hit", "hit-online", "random", "rackpack",
 )
 
+#: Grid step used by bare ``--timeline`` (no ``--timeline-dt``).
+DEFAULT_TIMELINE_DT = 0.05
+
 
 def _build_topology(args: argparse.Namespace):
     if args.kind == "tree":
@@ -142,6 +145,26 @@ def _report_observability(checker, tracer) -> int:
     return status
 
 
+def _timeline_dt(args: argparse.Namespace) -> float | None:
+    """Resolve the simulated-time sampling step (None = recorder off).
+
+    Precedence mirrors the ``REPRO_TRACE`` convention: explicit
+    ``--timeline-dt`` wins, bare ``--timeline`` uses the default step, and
+    the ``REPRO_TIMELINE_DT`` environment variable turns recording on for
+    runs that didn't pass a flag.
+    """
+    import os
+
+    if getattr(args, "timeline_dt", None) is not None:
+        return float(args.timeline_dt)
+    if getattr(args, "timeline", False):
+        return DEFAULT_TIMELINE_DT
+    env = os.environ.get("REPRO_TIMELINE_DT", "").strip()
+    if env:
+        return float(env)
+    return None
+
+
 def _make_fault_timeline(args: argparse.Namespace, topology):
     """Fault timeline from ``--faults`` (file) or ``--mtbf`` (sampled)."""
     from .faults import generate_timeline, load_fault_file
@@ -201,42 +224,88 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     speculation = _make_speculation(args)
     if speculation is not None:
         config = dataclasses.replace(config, speculation=speculation)
+    timeline_dt = _timeline_dt(args)
+    if timeline_dt is not None:
+        config = dataclasses.replace(config, timeline_dt=timeline_dt)
     checker, tracer = _make_observability(args)
     rows = []
-    with observe(checker=checker, tracer=tracer):
-        for name in args.scheduler:
-            simulator = MapReduceSimulator(
-                topology,
-                make_scheduler(name, seed=args.seed),
-                list(jobs),
-                config,
-            )
-            metrics = simulator.run()
-            if simulator.faults is not None:
-                counters = ", ".join(
-                    f"{k}={v}" for k, v in simulator.faults.summary().items()
+    critical_by_scheduler: dict[str, list] = {}
+    report_sections: list[dict] = []
+    # The tracer sink must end up flushed and closed on *every* exit path —
+    # a failed run still yields a valid JSONL trace (close() is idempotent,
+    # so the success path's _report_observability close is a no-op).
+    try:
+        with observe(checker=checker, tracer=tracer):
+            for name in args.scheduler:
+                simulator = MapReduceSimulator(
+                    topology,
+                    make_scheduler(name, seed=args.seed),
+                    list(jobs),
+                    config,
                 )
-                print(f"{name} faults: {counters}")
-            if simulator.speculation is not None:
-                counters = ", ".join(
-                    f"{k}={v}"
-                    for k, v in simulator.speculation.summary().items()
-                )
-                print(f"{name} speculation: {counters}")
-            s = metrics.summary()
-            rows.append((
-                name, s["mean_jct"], s["avg_route_hops"],
-                s["avg_shuffle_delay_us"], s["shuffle_cost"],
-            ))
-            if args.save_trace:
-                path = f"{args.save_trace}.{name}.jsonl"
-                save_trace_file(path, metrics)
-                print(f"trace saved: {path}")
+                metrics = simulator.run()
+                counters: dict[str, int] = {}
+                if simulator.faults is not None:
+                    counters.update(simulator.faults.summary())
+                    summary = ", ".join(
+                        f"{k}={v}"
+                        for k, v in simulator.faults.summary().items()
+                    )
+                    print(f"{name} faults: {summary}")
+                if simulator.speculation is not None:
+                    counters.update(simulator.speculation.summary())
+                    summary = ", ".join(
+                        f"{k}={v}"
+                        for k, v in simulator.speculation.summary().items()
+                    )
+                    print(f"{name} speculation: {summary}")
+                s = metrics.summary()
+                rows.append((
+                    name, s["mean_jct"], s["avg_route_hops"],
+                    s["avg_shuffle_delay_us"], s["shuffle_cost"],
+                ))
+                if args.save_trace:
+                    path = f"{args.save_trace}.{name}.jsonl"
+                    save_trace_file(path, metrics)
+                    print(f"trace saved: {path}")
+                if args.critical_path or args.html_report:
+                    from .analysis import attribute_run
+
+                    critical_by_scheduler[name] = attribute_run(metrics)
+                if args.export_trace:
+                    from .obs import save_chrome_trace
+
+                    path = f"{args.export_trace}.{name}.json"
+                    save_chrome_trace(
+                        path, metrics, simulator.timeline, scheduler=name
+                    )
+                    print(f"perfetto trace saved: {path}")
+                if args.html_report:
+                    report_sections.append({
+                        "scheduler": name,
+                        "metrics": metrics,
+                        "timeline": simulator.timeline,
+                        "critical": critical_by_scheduler.get(name),
+                        "counters": counters,
+                    })
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(format_table(
         ("scheduler", "mean JCT", "route hops", "delay (us)", "shuffle cost"),
         rows,
         title=f"simulation: {len(jobs)} jobs on the 64-server testbed tree",
     ))
+    if args.critical_path:
+        from .analysis import format_critical_path
+
+        print()
+        print(format_critical_path(critical_by_scheduler, style="markdown"))
+    if args.html_report:
+        from .obs import save_html_report
+
+        save_html_report(args.html_report, report_sections)
+        print(f"html report saved: {args.html_report}")
     return _report_observability(checker, tracer)
 
 
@@ -249,12 +318,16 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     workload = build_static_workload(topology, jobs, seed=args.seed)
     checker, tracer = _make_observability(args)
     rows = []
-    with observe(checker=checker, tracer=tracer):
-        for name in args.scheduler:
-            result = run_static_placement(
-                workload, make_scheduler(name, seed=args.seed), seed=args.seed
-            )
-            rows.append((name, result.shuffle_cost, result.avg_route_hops))
+    try:
+        with observe(checker=checker, tracer=tracer):
+            for name in args.scheduler:
+                result = run_static_placement(
+                    workload, make_scheduler(name, seed=args.seed), seed=args.seed
+                )
+                rows.append((name, result.shuffle_cost, result.avg_route_hops))
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(format_table(
         ("scheduler", "shuffle cost (GB.T)", "avg route hops"),
         rows,
@@ -367,6 +440,38 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if cmd == "simulate":
             p.add_argument("--save-trace", help="save per-scheduler run traces")
+            telemetry_group = p.add_argument_group(
+                "simulated-time telemetry",
+                "opt-in, non-perturbing gauge timelines and run exports "
+                "(docs/observability.md)",
+            )
+            telemetry_group.add_argument(
+                "--timeline", action="store_true",
+                help="record gauge timelines on the simulated clock "
+                     f"(grid step {DEFAULT_TIMELINE_DT}; the "
+                     "REPRO_TIMELINE_DT environment variable also enables "
+                     "this)",
+            )
+            telemetry_group.add_argument(
+                "--timeline-dt", type=float, default=None, metavar="DT",
+                help="sampling grid step in simulated time (implies "
+                     "--timeline)",
+            )
+            telemetry_group.add_argument(
+                "--export-trace", metavar="PREFIX",
+                help="write PREFIX.<scheduler>.json Chrome trace-event "
+                     "files (open in https://ui.perfetto.dev)",
+            )
+            telemetry_group.add_argument(
+                "--html-report", metavar="FILE",
+                help="write a self-contained HTML telemetry report "
+                     "covering every scheduler in this run",
+            )
+            telemetry_group.add_argument(
+                "--critical-path", action="store_true",
+                help="print the per-scheduler JCT critical-path "
+                     "attribution table (markdown)",
+            )
             fault_group = p.add_argument_group(
                 "fault injection",
                 "deterministic failures replayed identically for every "

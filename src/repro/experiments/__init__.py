@@ -25,6 +25,11 @@ from .static import (
     build_static_workload,
     run_static_placement,
 )
+from .telemetry import (
+    TelemetryComparisonResult,
+    TelemetryRunResult,
+    critical_path_comparison,
+)
 
 __all__ = [
     "configs",
@@ -45,4 +50,7 @@ __all__ = [
     "StaticWorkload",
     "build_static_workload",
     "run_static_placement",
+    "TelemetryComparisonResult",
+    "TelemetryRunResult",
+    "critical_path_comparison",
 ]

@@ -138,6 +138,18 @@ class FaultInjector:
                     f"failed switch {node}"
                 )
 
+    def gauges(self) -> dict[str, float]:
+        """Instantaneous fault-state gauges for the telemetry plane.
+
+        Pure reads of the live failed-element sets — sampling them cannot
+        perturb a run (the non-perturbation contract of
+        :mod:`repro.obs.timeline`).
+        """
+        return {
+            "failed_servers": float(len(self._failed_servers)),
+            "failed_switches": float(len(self._failed_switches)),
+        }
+
     # -------------------------------------------------------------- counters
     def count(self, name: str, value: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value

@@ -15,8 +15,16 @@ installed via :func:`observe` / :func:`install`, the CLI's
 ``docs/observability.md`` for the invariant catalogue and trace schema.
 """
 
+from .export import (
+    build_chrome_trace,
+    render_html_report,
+    save_chrome_trace,
+    save_html_report,
+    validate_chrome_trace,
+)
 from .invariants import InvariantChecker, InvariantError, InvariantViolation
 from .runtime import STATE, ObsState, install, observe, uninstall
+from .timeline import TimelineMarker, TimelineRecorder, TimelineSample
 from .tracer import NULL_TRACER, NullTracer, Tracer, TimerStat
 
 __all__ = [
@@ -32,4 +40,12 @@ __all__ = [
     "install",
     "uninstall",
     "observe",
+    "TimelineRecorder",
+    "TimelineSample",
+    "TimelineMarker",
+    "build_chrome_trace",
+    "save_chrome_trace",
+    "validate_chrome_trace",
+    "render_html_report",
+    "save_html_report",
 ]

@@ -1,0 +1,505 @@
+"""Run exports: Chrome trace-event / Perfetto JSON and an HTML summary.
+
+Turns one simulation run — the end-of-run records
+(:class:`~repro.simulator.metrics.MetricsCollector`), the optional
+simulated-time telemetry (:class:`~repro.obs.timeline.TimelineRecorder`)
+and the critical-path attribution — into artefacts a human can open:
+
+* :func:`build_chrome_trace` / :func:`save_chrome_trace` — the Trace Event
+  Format consumed by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``.  Tracks: one process for jobs (tasks and the job
+  span as nestable async events), one for servers, one for shuffle flows,
+  and a telemetry process carrying counter tracks sampled from the
+  timeline plus instant markers for fault/speculation occurrences.  One
+  simulated time unit is exported as one second (``ts`` is microseconds).
+* :func:`validate_chrome_trace` — structural schema check used by the test
+  suite and the CI telemetry smoke step; returns a list of problems
+  (empty = valid).
+* :func:`render_html_report` / :func:`save_html_report` — a dependency-free
+  single-file HTML report: per-scheduler metric tables (markdown style, so
+  EXPERIMENTS.md entries can be copy-pasted straight out of the report),
+  critical-path breakdowns, subsystem counters and inline-SVG gauge
+  timelines.
+
+Everything here is post-run and read-only: exports can never perturb a
+simulation, they only serialise what was already recorded.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.critical_path import JobCriticalPath
+    from ..simulator.metrics import MetricsCollector
+    from .timeline import TimelineRecorder
+
+__all__ = [
+    "build_chrome_trace",
+    "save_chrome_trace",
+    "validate_chrome_trace",
+    "render_html_report",
+    "save_html_report",
+]
+
+#: Simulated time unit → trace ``ts`` microseconds (1 sim unit = 1 s).
+TIME_SCALE_US = 1e6
+
+#: Emit per-switch counter tracks only on fabrics at or below this many
+#: switches; larger fabrics get the aggregate gauges only (trace size).
+MAX_SWITCH_TRACKS = 24
+
+_PID_JOBS = 1
+_PID_SERVERS = 2
+_PID_FLOWS = 3
+_PID_TELEMETRY = 4
+
+
+# ----------------------------------------------------------------- trace JSON
+def _meta(pid: int, name: str, tid: int | None = None) -> dict[str, Any]:
+    if tid is None:
+        return {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _async_pair(
+    events: list[dict[str, Any]],
+    *,
+    pid: int,
+    tid: int,
+    cat: str,
+    name: str,
+    event_id: int,
+    start: float,
+    finish: float,
+    args: dict[str, Any],
+) -> None:
+    """Nestable async begin/end pair (overlap-safe, unlike ``X`` slices)."""
+    base = {"cat": cat, "name": name, "id": event_id, "pid": pid, "tid": tid}
+    events.append({**base, "ph": "b", "ts": start * TIME_SCALE_US, "args": args})
+    events.append({**base, "ph": "e", "ts": finish * TIME_SCALE_US, "args": {}})
+
+
+def _counter(
+    events: list[dict[str, Any]], t: float, name: str, value: float
+) -> None:
+    events.append(
+        {
+            "ph": "C",
+            "name": name,
+            "pid": _PID_TELEMETRY,
+            "tid": 0,
+            "ts": t * TIME_SCALE_US,
+            "args": {"value": round(float(value), 6)},
+        }
+    )
+
+
+def build_chrome_trace(
+    metrics: "MetricsCollector",
+    timeline: "TimelineRecorder | None" = None,
+    scheduler: str = "run",
+) -> dict[str, Any]:
+    """Assemble the trace-event JSON object for one run."""
+    events: list[dict[str, Any]] = []
+    events.append(_meta(_PID_JOBS, f"jobs — {scheduler}"))
+    events.append(_meta(_PID_SERVERS, "servers"))
+    events.append(_meta(_PID_FLOWS, "shuffle flows"))
+    events.append(_meta(_PID_TELEMETRY, "telemetry"))
+    events.append(_meta(_PID_TELEMETRY, "gauges", tid=0))
+
+    next_id = 1
+    for job in metrics.jobs:
+        events.append(_meta(_PID_JOBS, f"job {job.job_id} ({job.name})",
+                            tid=job.job_id))
+        events.append(_meta(_PID_FLOWS, f"job {job.job_id} flows",
+                            tid=job.job_id))
+        _async_pair(
+            events,
+            pid=_PID_JOBS,
+            tid=job.job_id,
+            cat="job",
+            name=f"job {job.job_id} ({job.shuffle_class})",
+            event_id=next_id,
+            start=job.submit_time,
+            finish=job.finish_time,
+            args={
+                "jct": job.completion_time,
+                "shuffle_volume": job.shuffle_volume,
+                "remote_map_traffic": job.remote_map_traffic,
+            },
+        )
+        next_id += 1
+
+    seen_servers: set[int] = set()
+    for task in metrics.tasks:
+        args = {
+            "server": task.server,
+            "attempt": task.attempt,
+            "speculative": task.speculative,
+        }
+        _async_pair(
+            events,
+            pid=_PID_JOBS,
+            tid=task.job_id,
+            cat="task",
+            name=f"{task.kind} {task.index}",
+            event_id=next_id,
+            start=task.start,
+            finish=task.finish,
+            args=args,
+        )
+        next_id += 1
+        if task.server >= 0:
+            if task.server not in seen_servers:
+                seen_servers.add(task.server)
+                events.append(
+                    _meta(_PID_SERVERS, f"server {task.server}",
+                          tid=task.server)
+                )
+            _async_pair(
+                events,
+                pid=_PID_SERVERS,
+                tid=task.server,
+                cat="task",
+                name=f"j{task.job_id}.{task.kind[0]}{task.index}",
+                event_id=next_id,
+                start=task.start,
+                finish=task.finish,
+                args=args,
+            )
+            next_id += 1
+
+    for flow in metrics.flows:
+        if flow.finish <= flow.start:
+            continue  # instant local delivery: no visible slice
+        _async_pair(
+            events,
+            pid=_PID_FLOWS,
+            tid=flow.job_id,
+            cat="flow",
+            name=f"m{flow.map_index}→r{flow.reduce_index}",
+            event_id=next_id,
+            start=flow.start,
+            finish=flow.finish,
+            args={
+                "size": flow.size,
+                "hops": flow.num_switches,
+                "delay_us": flow.delay_us,
+            },
+        )
+        next_id += 1
+
+    if timeline is not None:
+        per_switch = len(timeline.switch_ids) <= MAX_SWITCH_TRACKS
+        for sample in timeline.samples:
+            _counter(events, sample.t, "util: max switch",
+                     sample.max_switch_util)
+            _counter(events, sample.t, "util: max link", sample.max_link_util)
+            _counter(events, sample.t, "util: mean link",
+                     sample.mean_link_util)
+            _counter(
+                events,
+                sample.t,
+                "occupancy: mean server",
+                float(sample.server_occupancy.mean())
+                if sample.server_occupancy.size
+                else 0.0,
+            )
+            _counter(events, sample.t, "flows: active", sample.active_flows)
+            _counter(events, sample.t, "flows: parked", sample.parked_flows)
+            _counter(events, sample.t, "queue depth", sample.queue_depth)
+            _counter(events, sample.t, "containers: running",
+                     sample.running_containers)
+            for gauge, value in sorted(sample.gauges.items()):
+                _counter(events, sample.t, gauge.replace("_", ": ", 1), value)
+            if per_switch:
+                for w, value in zip(timeline.switch_ids, sample.switch_util):
+                    _counter(events, sample.t, f"util: switch {w}",
+                             float(value))
+        for marker in timeline.markers:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": marker.kind,
+                    "pid": _PID_TELEMETRY,
+                    "tid": 0,
+                    "ts": marker.t * TIME_SCALE_US,
+                    "args": {"detail": marker.detail},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "scheduler": scheduler,
+            "jobs": len(metrics.jobs),
+            "tasks": len(metrics.tasks),
+            "flows": len(metrics.flows),
+            "timeUnit": "1 simulated time unit = 1 s",
+        },
+    }
+
+
+def save_chrome_trace(
+    path: str | Path,
+    metrics: "MetricsCollector",
+    timeline: "TimelineRecorder | None" = None,
+    scheduler: str = "run",
+) -> dict[str, Any]:
+    """Write the trace JSON to ``path`` and return the object."""
+    trace = build_chrome_trace(metrics, timeline, scheduler=scheduler)
+    Path(path).write_text(json.dumps(trace), encoding="utf-8")
+    return trace
+
+
+_KNOWN_PHASES = frozenset({"B", "E", "X", "b", "e", "n", "i", "I", "C", "M"})
+
+
+def validate_chrome_trace(trace: Any) -> list[str]:
+    """Structural validation of a trace-event JSON object.
+
+    Returns human-readable problems (empty list = valid).  Checks the
+    subset of the Trace Event Format this exporter emits — enough for CI to
+    prove an export will load in Perfetto / ``chrome://tracing``.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    open_async: dict[tuple[Any, Any, Any], int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        if ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata needs an args object")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(
+                    f"{where}: counter args must be numeric and non-empty"
+                )
+        if ph in ("b", "e"):
+            if "id" not in ev or not isinstance(ev.get("cat"), str):
+                problems.append(f"{where}: async event needs id and cat")
+            else:
+                key = (ev["cat"], ev["id"], ev["pid"])
+                if ph == "b":
+                    open_async[key] = open_async.get(key, 0) + 1
+                else:
+                    if open_async.get(key, 0) <= 0:
+                        problems.append(
+                            f"{where}: async end without matching begin"
+                        )
+                    else:
+                        open_async[key] -= 1
+        if ph == "i" and ev.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: instant scope must be g/p/t")
+    dangling = sum(v for v in open_async.values() if v > 0)
+    if dangling:
+        problems.append(f"{dangling} async begin event(s) never ended")
+    return problems
+
+
+# ---------------------------------------------------------------- HTML report
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4361ee; padding-bottom: .3rem; }
+h2 { color: #4361ee; margin-top: 2rem; }
+pre { background: #f6f8fa; border: 1px solid #d0d7de; border-radius: 6px;
+      padding: .8rem 1rem; overflow-x: auto; font-size: .85rem; }
+svg { background: #fbfbfe; border: 1px solid #d0d7de; border-radius: 6px; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .8rem; color: #555; }
+.meta { color: #555; font-size: .85rem; }
+"""
+
+
+def _svg_series(
+    ts: Sequence[float],
+    values: Sequence[float],
+    caption: str,
+    width: int = 640,
+    height: int = 120,
+    max_points: int = 600,
+) -> str:
+    """Inline-SVG polyline of one gauge timeline (no dependencies)."""
+    n = len(ts)
+    if n == 0:
+        return ""
+    stride = max(1, n // max_points)
+    ts = list(ts[::stride])
+    values = list(values[::stride])
+    t0, t1 = ts[0], ts[-1]
+    span_t = (t1 - t0) or 1.0
+    vmax = max(max(values), 1e-12)
+    pad = 6
+    points = " ".join(
+        f"{pad + (t - t0) / span_t * (width - 2 * pad):.1f},"
+        f"{height - pad - v / vmax * (height - 2 * pad):.1f}"
+        for t, v in zip(ts, values)
+    )
+    return (
+        f'<figure><svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="#4361ee" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+        f"<figcaption>{_html.escape(caption)} — peak "
+        f"{max(values):.3f} at t∈[{t0:.2f}, {t1:.2f}]</figcaption></figure>"
+    )
+
+
+def render_html_report(
+    runs: Sequence[Mapping[str, Any]],
+    title: str = "repro telemetry report",
+) -> str:
+    """Self-contained HTML report over one or more scheduler runs.
+
+    Each entry of ``runs`` is a mapping with keys:
+
+    * ``scheduler`` (str) — display name;
+    * ``metrics`` (:class:`MetricsCollector`) — required;
+    * ``timeline`` (:class:`TimelineRecorder` or None);
+    * ``critical`` (list of :class:`JobCriticalPath`, optional);
+    * ``counters`` (dict, optional) — fault/speculation counters.
+
+    Tables are emitted in markdown style inside ``<pre>`` blocks so rows
+    can be copy-pasted into EXPERIMENTS.md verbatim.
+    """
+    from ..analysis.critical_path import SEGMENTS, format_critical_path
+    from ..analysis.report import format_table
+
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+        "<p class='meta'>Tables are GitHub-flavoured markdown — "
+        "copy-paste rows straight into EXPERIMENTS.md.  Time unit: "
+        "simulated seconds.</p>",
+    ]
+    for run in runs:
+        name = str(run["scheduler"])
+        metrics = run["metrics"]
+        timeline = run.get("timeline")
+        critical = run.get("critical")
+        counters = run.get("counters") or {}
+        parts.append(f"<h2>{_html.escape(name)}</h2>")
+        summary = metrics.summary()
+        table = format_table(
+            headers=("metric", "value"),
+            rows=sorted(summary.items()),
+            title=f"{name}: run summary",
+            style="markdown",
+        )
+        parts.append(f"<pre>{_html.escape(table)}</pre>")
+        if critical:
+            parts.append(
+                "<pre>"
+                + _html.escape(
+                    format_critical_path({name: critical}, style="markdown")
+                )
+                + "</pre>"
+            )
+            dominant = max(
+                SEGMENTS,
+                key=lambda s: sum(p.segments[s] for p in critical),
+            )
+            parts.append(
+                f"<p class='meta'>dominant JCT segment: "
+                f"<b>{dominant}</b></p>"
+            )
+        if counters:
+            table = format_table(
+                headers=("counter", "value"),
+                rows=sorted(counters.items()),
+                title=f"{name}: subsystem counters",
+                style="markdown",
+            )
+            parts.append(f"<pre>{_html.escape(table)}</pre>")
+        if timeline is not None and timeline.samples:
+            ts = timeline.times()
+            for series, caption in (
+                ("max_switch_util", "max switch utilisation"),
+                ("mean_link_util", "mean link utilisation"),
+                ("active_flows", "active shuffle flows"),
+                ("mean_occupancy", "mean server occupancy"),
+                ("queue_depth", "event-queue depth"),
+            ):
+                parts.append(
+                    _svg_series(ts, timeline.series(series), caption)
+                )
+            tl_summary = timeline.summary()
+            table = format_table(
+                headers=("gauge", "value"),
+                rows=sorted(tl_summary.items()),
+                title=f"{name}: timeline summary "
+                      f"({tl_summary.get('samples', 0)} samples)",
+                style="markdown",
+            )
+            parts.append(f"<pre>{_html.escape(table)}</pre>")
+            if timeline.markers:
+                table = format_table(
+                    headers=("t", "kind", "detail"),
+                    rows=[
+                        (m.t, m.kind, m.detail)
+                        for m in timeline.markers[:200]
+                    ],
+                    title=f"{name}: fault/speculation markers",
+                    style="markdown",
+                )
+                parts.append(f"<pre>{_html.escape(table)}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def save_html_report(
+    path: str | Path,
+    runs: Sequence[Mapping[str, Any]],
+    title: str = "repro telemetry report",
+) -> None:
+    Path(path).write_text(render_html_report(runs, title), encoding="utf-8")

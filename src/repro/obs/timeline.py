@@ -1,0 +1,245 @@
+"""Simulated-time telemetry plane: gauge timelines keyed to the event clock.
+
+Where :mod:`repro.obs.tracer` records *wall-clock* spans of the optimiser's
+hot paths, this module records what the simulated cluster looks like as
+**simulated time** advances: per-switch and per-link utilisation, per-server
+container occupancy, event-queue depth, active/parked shuffle flows, and the
+live fault/speculation state.  That is the instrumentation behind "where do
+time and traffic go" questions — link saturation during a shuffle burst,
+straggler onset, fault-recovery churn — that end-of-run aggregates
+(:class:`~repro.simulator.metrics.MetricsCollector`) cannot answer.
+
+The recorder is **opt-in** (``SimulationConfig.timeline_dt``; CLI
+``--timeline``/``--timeline-dt``) and **provably non-perturbing**:
+
+* it samples on a fixed grid ``t_k = k * dt`` of the *simulated* clock, at
+  event boundaries — rates are piecewise constant between events, so the
+  pre-dispatch state is exact for every grid point inside the elapsed
+  interval;
+* every read is side-effect free.  The only shared computation it can
+  trigger is :meth:`~repro.simulator.network.FlowNetwork.ensure_rates`,
+  which is idempotent and deterministic (the engine would run the same
+  recomputation at its next advance), so a recorded run is byte-identical
+  to an unrecorded one — enforced by
+  ``tests/simulator/test_nonperturbation.py`` across seeds, fault timelines
+  and speculation.
+
+The gauge catalogue is documented in ``docs/observability.md``; exports
+(Perfetto trace, HTML report) live in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import MapReduceSimulator
+    from ..simulator.events import Event
+    from ..topology.base import Topology
+
+__all__ = ["TimelineMarker", "TimelineRecorder", "TimelineSample"]
+
+
+#: Event kinds that become discrete markers on the timeline (compared by
+#: name so this module never imports the simulator at import time).
+_MARKER_KINDS = frozenset(
+    {
+        "SERVER_FAIL",
+        "SERVER_RECOVER",
+        "SWITCH_FAIL",
+        "SWITCH_RECOVER",
+        "TASK_SLOWDOWN",
+        "KILL_ATTEMPT",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of the simulated cluster at grid time ``t``."""
+
+    t: float
+    #: Utilisation (rate / capacity) per switch, ordered by switch id.
+    switch_util: np.ndarray
+    #: Utilisation per *directed* link, ordered by (u, v).
+    link_util: np.ndarray
+    #: Fraction of each server's memory capacity in use, ordered by id.
+    server_occupancy: np.ndarray
+    #: Containers currently placed somewhere.
+    running_containers: int
+    #: Events still queued (including future fault-timeline entries).
+    queue_depth: int
+    active_flows: int
+    parked_flows: int
+    #: Subsystem gauges: ``failed_servers`` / ``failed_switches`` (faults),
+    #: ``live_backups`` / ``live_pairs`` (speculation).  Empty when the
+    #: corresponding subsystem is off.
+    gauges: dict[str, float]
+
+    @property
+    def max_switch_util(self) -> float:
+        return float(self.switch_util.max()) if self.switch_util.size else 0.0
+
+    @property
+    def max_link_util(self) -> float:
+        return float(self.link_util.max()) if self.link_util.size else 0.0
+
+    @property
+    def mean_link_util(self) -> float:
+        return float(self.link_util.mean()) if self.link_util.size else 0.0
+
+
+@dataclass(frozen=True)
+class TimelineMarker:
+    """A discrete fault/speculation occurrence pinned to the event clock."""
+
+    t: float
+    kind: str
+    detail: str
+
+
+class TimelineRecorder:
+    """Samples gauges on a fixed simulated-time grid during a run.
+
+    The engine calls :meth:`observe` with each event *before* dispatching
+    it, and :meth:`finish` once the queue drains.  All state reads are
+    side-effect free; see the module docstring for the non-perturbation
+    argument.
+    """
+
+    def __init__(self, topology: "Topology", dt: float = 0.05) -> None:
+        if dt <= 0:
+            raise ValueError(f"timeline dt must be positive, got {dt}")
+        self.topology = topology
+        self.dt = float(dt)
+        self.samples: list[TimelineSample] = []
+        self.markers: list[TimelineMarker] = []
+        self.switch_ids: tuple[int, ...] = tuple(topology.switch_ids)
+        self.server_ids: tuple[int, ...] = tuple(topology.server_ids)
+        #: Directed-link keys in sample order (fixed on the first sample).
+        self.link_keys: tuple[tuple[int, int], ...] | None = None
+        self._tick = 0
+        self._finished = False
+
+    # -------------------------------------------------------------- recording
+    def observe(self, sim: "MapReduceSimulator", event: "Event") -> None:
+        """Record grid samples up to ``event.time`` (pre-dispatch state)."""
+        while self._tick * self.dt <= event.time:
+            self._sample(sim, self._tick * self.dt)
+            self._tick += 1
+        kind = event.kind.name
+        if kind in _MARKER_KINDS:
+            self.markers.append(
+                TimelineMarker(event.time, kind.lower(), str(event.payload))
+            )
+
+    def finish(self, sim: "MapReduceSimulator", t_end: float) -> None:
+        """Record the drained end-of-run state exactly once."""
+        if self._finished:
+            return
+        self._finished = True
+        self._sample(sim, t_end)
+
+    def _sample(self, sim: "MapReduceSimulator", t: float) -> None:
+        network = sim.network
+        network.ensure_rates()
+        by_switch = network.utilisation_by_switch()
+        by_link = network.utilisation_by_link()
+        if self.link_keys is None:
+            self.link_keys = tuple(sorted(by_link))
+        cluster = sim.cluster
+        occupancy = np.empty(len(self.server_ids), dtype=np.float64)
+        running = 0
+        for i, sid in enumerate(self.server_ids):
+            cap = cluster.capacity(sid).memory
+            occupancy[i] = cluster.used(sid).memory / cap if cap > 0 else 0.0
+            running += len(cluster.hosted_on(sid))
+        gauges: dict[str, float] = {}
+        if sim.faults is not None:
+            gauges.update(sim.faults.gauges())
+        if sim.speculation is not None:
+            gauges.update(sim.speculation.gauges())
+        self.samples.append(
+            TimelineSample(
+                t=t,
+                switch_util=np.array(
+                    [by_switch[w] for w in self.switch_ids], dtype=np.float64
+                ),
+                link_util=np.array(
+                    [by_link[k] for k in self.link_keys], dtype=np.float64
+                ),
+                server_occupancy=occupancy,
+                running_containers=running,
+                queue_depth=len(sim._queue),
+                active_flows=len(network.active_flows),
+                parked_flows=len(sim._parked),
+                gauges=gauges,
+            )
+        )
+
+    # ---------------------------------------------------------------- queries
+    def times(self) -> np.ndarray:
+        return np.array([s.t for s in self.samples])
+
+    def series(self, name: str) -> np.ndarray:
+        """Scalar gauge timeline by name.
+
+        Built-ins: ``max_switch_util``, ``max_link_util``,
+        ``mean_link_util``, ``queue_depth``, ``active_flows``,
+        ``parked_flows``, ``running_containers``, ``mean_occupancy`` — plus
+        any subsystem gauge key (``failed_servers``, ``live_backups``, …),
+        which reads 0.0 on samples where the subsystem was off.
+        """
+        out = np.empty(len(self.samples), dtype=np.float64)
+        for i, s in enumerate(self.samples):
+            if name == "mean_occupancy":
+                out[i] = (
+                    float(s.server_occupancy.mean())
+                    if s.server_occupancy.size
+                    else 0.0
+                )
+            elif hasattr(s, name):
+                out[i] = float(getattr(s, name))
+            else:
+                out[i] = s.gauges.get(name, 0.0)
+        return out
+
+    def switch_series(self, switch_id: int) -> np.ndarray:
+        """Utilisation timeline of one switch."""
+        idx = self.switch_ids.index(switch_id)
+        return np.array([s.switch_util[idx] for s in self.samples])
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregates for reports: peaks and means over the run."""
+        if not self.samples:
+            return {"samples": 0, "markers": len(self.markers)}
+        return {
+            "samples": len(self.samples),
+            "markers": len(self.markers),
+            "dt": self.dt,
+            "peak_switch_util": float(
+                max(s.max_switch_util for s in self.samples)
+            ),
+            "peak_link_util": float(
+                max(s.max_link_util for s in self.samples)
+            ),
+            "peak_queue_depth": int(
+                max(s.queue_depth for s in self.samples)
+            ),
+            "peak_active_flows": int(
+                max(s.active_flows for s in self.samples)
+            ),
+            "peak_occupancy": float(
+                max(
+                    (
+                        float(s.server_occupancy.max())
+                        if s.server_occupancy.size
+                        else 0.0
+                    )
+                    for s in self.samples
+                )
+            ),
+        }

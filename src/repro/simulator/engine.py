@@ -102,6 +102,12 @@ class SimulationConfig:
     #: Speculative-execution config (None = speculation off; no SPECULATE
     #: events are scheduled and every speculation hook is skipped).
     speculation: SpeculationConfig | None = None
+    #: Simulated-time telemetry sampling interval (None = recorder off; the
+    #: run loop then skips the hook entirely).  When set, the simulator owns
+    #: a :class:`~repro.obs.timeline.TimelineRecorder` sampling gauges every
+    #: ``timeline_dt`` simulated time units — reads only, so a recorded run
+    #: is byte-identical to an unrecorded one.
+    timeline_dt: float | None = None
 
 
 @dataclass
@@ -117,6 +123,10 @@ class _ReduceState:
     received: set[int] = field(default_factory=set)
     #: True once REDUCE_DONE committed — a finished reduce never re-runs.
     finished: bool = False
+    #: Simulated time the (final) compute phase was scheduled — i.e. when
+    #: the last inbound shuffle byte arrived.  Feeds the critical-path
+    #: attribution; -1.0 until the reduce first becomes runnable.
+    compute_start: float = -1.0
 
 
 @dataclass
@@ -208,6 +218,19 @@ class MapReduceSimulator:
             if self.config.speculation is not None
             else None
         )
+        #: Simulated-time telemetry recorder (None = off; the import is
+        #: deferred so a telemetry-free run never touches the module).
+        if self.config.timeline_dt is not None:
+            from ..obs.timeline import TimelineRecorder
+
+            self.timeline: TimelineRecorder | None = TimelineRecorder(
+                topology, self.config.timeline_dt
+            )
+        else:
+            self.timeline = None
+        #: Events dispatched by the last :meth:`run` (non-perturbation tests
+        #: compare this across recorded/unrecorded runs).
+        self.events_processed = 0
         #: Jobs not yet finished; the SPECULATE sweep re-arms while > 0 so
         #: the detector's event chain drains with the workload.
         self._jobs_remaining = 0
@@ -257,6 +280,7 @@ class MapReduceSimulator:
             )
         events = 0
         observed = _OBS.enabled
+        recorder = self.timeline
         if observed:
             _OBS.tracer.event(
                 "sim.run.start",
@@ -269,10 +293,18 @@ class MapReduceSimulator:
             events += 1
             if events > self.config.max_events:
                 raise RuntimeError("simulation exceeded max_events — livelock?")
+            if recorder is not None:
+                # Pre-dispatch sampling: state is piecewise constant since
+                # the previous event, so the grid points covered by this
+                # event's timestamp see exactly the live allocation.
+                recorder.observe(self, event)
             if observed:
                 self._dispatch_traced(event)
                 continue
             self._dispatch(event)
+        self.events_processed = events
+        if recorder is not None:
+            recorder.finish(self, self._net_time)
         unfinished = [j for j in self._jobs_by_id.values() if not j.done]
         if unfinished or self._pending:
             raise RuntimeError(
@@ -416,6 +448,8 @@ class MapReduceSimulator:
                     finish=now,
                     num_switches=active.num_switches,
                     delay_us=active.start_delay_us,
+                    map_index=flow.map_index,
+                    reduce_index=flow.reduce_index,
                 )
             )
             self._flow_done(now, fid, flow.map_index)
@@ -449,6 +483,7 @@ class MapReduceSimulator:
             # re-checks once it lands on a live server.
             return
         reduce_state.scheduled = True
+        reduce_state.compute_start = now
         speed = self.server_speeds[server]
         compute = job.spec.reduce_duration(reduce_state.input_size) / speed
         self._queue.push(
@@ -713,6 +748,12 @@ class MapReduceSimulator:
                 index=map_index,
                 start=started,
                 finish=now,
+                server=server,
+                attempt=attempt,
+                # A committing cid that differs from the map's stable cid is
+                # by construction a speculative backup attempt.
+                speculative=cid != job.map_cid_of[map_index],
+                compute_start=started,
             )
         )
         # Flow endpoints stay keyed to the map's original container id even
@@ -798,6 +839,8 @@ class MapReduceSimulator:
                 finish=now,
                 num_switches=0,
                 delay_us=0.0,
+                map_index=flow.map_index,
+                reduce_index=flow.reduce_index,
             )
         )
         del self._flow_objects[fid]
@@ -1482,6 +1525,7 @@ class MapReduceSimulator:
         if attempt != self._attempt.get(reduce_state.container_id, 0):
             return  # completion of an attempt killed by a server failure
         reduce_state.finished = True
+        server = self.cluster.container(reduce_state.container_id).server_id
         self.metrics.record_task(
             TaskRecord(
                 job_id=job_id,
@@ -1489,6 +1533,9 @@ class MapReduceSimulator:
                 index=reduce_index,
                 start=reduce_state.start_time,
                 finish=now,
+                server=server if server is not None else -1,
+                attempt=attempt,
+                compute_start=reduce_state.compute_start,
             )
         )
         self.cluster.unplace(reduce_state.container_id)

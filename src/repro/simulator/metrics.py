@@ -29,6 +29,18 @@ class TaskRecord:
     index: int
     start: float
     finish: float
+    #: Server that hosted the committing attempt (-1 when unknown).
+    server: int = -1
+    #: Attempt number of the committing execution (0 = first attempt;
+    #: higher values mean failure-induced re-executions happened).
+    attempt: int = 0
+    #: True when a speculative backup attempt committed instead of the
+    #: original (maps only).
+    speculative: bool = False
+    #: Simulated time the final attempt's compute started.  For reduces this
+    #: is when the last inbound shuffle byte arrived (the compute phase's
+    #: start); for maps it equals ``start``.  -1.0 when never scheduled.
+    compute_start: float = -1.0
 
     @property
     def duration(self) -> float:
@@ -46,6 +58,9 @@ class FlowRecord:
     finish: float
     num_switches: int
     delay_us: float
+    #: Endpoints in task-index space (-1 when the producer is unknown).
+    map_index: int = -1
+    reduce_index: int = -1
 
     @property
     def duration(self) -> float:
@@ -105,6 +120,22 @@ class MetricsCollector:
         times = self.job_completion_times()
         return float(times.mean()) if times.size else 0.0
 
+    def jct_percentile(self, q: float) -> float:
+        """JCT percentile ``q`` in [0, 100]; 0.0 on an empty record set.
+
+        A single-sample distribution returns that sample for every ``q`` —
+        never NaN — so report code can call this unconditionally.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        times = self.job_completion_times()
+        return float(np.percentile(times, q)) if times.size else 0.0
+
+    def mean_task_duration(self, kind: str) -> float:
+        """Mean duration of finished ``kind`` tasks; 0.0 when none ran."""
+        durations = self.task_durations(kind)
+        return float(durations.mean()) if durations.size else 0.0
+
     def average_route_length(self) -> float:
         """Mean switch count over *networked* shuffle flows (Figure 7a).
 
@@ -135,14 +166,18 @@ class MetricsCollector:
         return float(sum(j.remote_map_traffic for j in self.jobs))
 
     def throughput(self) -> float:
-        """Shuffle bytes delivered per unit makespan."""
+        """Shuffle bytes delivered per unit makespan.
+
+        0.0 when no flows ran *or* every flow was an instant local delivery
+        (zero makespan) — finite and NaN-free in both degenerate cases.
+        """
         if not self.flows:
             return 0.0
         makespan = max(f.finish for f in self.flows) - min(
             f.start for f in self.flows
         )
         if makespan <= 0:
-            return float("inf")
+            return 0.0
         return self.total_shuffle_volume() / makespan
 
     def makespan(self) -> float:

@@ -116,6 +116,37 @@ class FlowNetwork:
         )
         return used / self._caps[res] if self._caps[res] > 0 else 0.0
 
+    def resource_rates(self) -> np.ndarray:
+        """Aggregate allocated rate per resource index (read-only snapshot).
+
+        Index space matches :attr:`resource_capacities` — directed links
+        first, then switches.  Callers wanting a *consistent* snapshot (the
+        telemetry plane) should call :meth:`ensure_rates` first; this method
+        itself never recomputes, so it is side-effect free.
+        """
+        used = np.zeros(len(self._caps), dtype=np.float64)
+        for f in self._flows.values():
+            used[list(f.resources)] += f.rate
+        return used
+
+    def utilisation_by_switch(self) -> dict[int, float]:
+        """``{switch_id: rate / capacity}`` over every switch of the fabric."""
+        used = self.resource_rates()
+        out: dict[int, float] = {}
+        for w, res in self._switch_resource.items():
+            cap = self._caps[res]
+            out[w] = float(used[res] / cap) if cap > 0 else 0.0
+        return out
+
+    def utilisation_by_link(self) -> dict[tuple[int, int], float]:
+        """``{(u, v): rate / bandwidth}`` per *directed* link."""
+        used = self.resource_rates()
+        out: dict[tuple[int, int], float] = {}
+        for (u, v), res in self._link_index.items():
+            cap = self._caps[res]
+            out[(u, v)] = float(used[res] / cap) if cap > 0 else 0.0
+        return out
+
     # ----------------------------------------------------------------- flows
     @property
     def active_flows(self) -> tuple[ActiveFlow, ...]:

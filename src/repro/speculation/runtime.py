@@ -124,6 +124,17 @@ class SpeculationState:
         found, self._violations = self._violations, []
         return found
 
+    def gauges(self) -> dict[str, float]:
+        """Instantaneous speculation gauges for the telemetry plane.
+
+        Pure reads — sampling never mutates pairings or ledgers (the
+        non-perturbation contract of :mod:`repro.obs.timeline`).
+        """
+        return {
+            "live_backups": float(sum(self.live_backups.values())),
+            "live_pairs": float(len(self.backup_of)),
+        }
+
     # --------------------------------------------------------------- counters
     def count(self, name: str, value: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value

@@ -1,0 +1,159 @@
+"""Critical-path attribution: exact partition and segment semantics."""
+
+import pytest
+
+from repro.analysis import (
+    SEGMENTS,
+    aggregate_segments,
+    attribute_job,
+    attribute_run,
+    format_critical_path,
+)
+from repro.faults import FaultKind, FaultSpec
+from repro.mapreduce import WorkloadGenerator
+from repro.schedulers import make_scheduler
+from repro.simulator import MapReduceSimulator, SimulationConfig
+from repro.simulator.metrics import JobRecord, TaskRecord
+from repro.speculation import SpeculationConfig
+from repro.topology import TreeConfig, build_tree
+
+
+def _run(scheduler="hit-online", seed=0, faults=(), speculation=None):
+    jobs = WorkloadGenerator(
+        seed=seed, input_size_range=(4.0, 8.0), map_rate=8.0, reduce_rate=8.0
+    ).make_workload(4, interarrival=0.3)
+    config = SimulationConfig(seed=seed, server_speed_spread=0.2)
+    if faults:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, faults=tuple(faults), max_task_retries=10
+        )
+    if speculation is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, speculation=speculation)
+    sim = MapReduceSimulator(
+        build_tree(TreeConfig(depth=2, fanout=4, redundancy=2,
+                              server_resources=(2.0,))),
+        make_scheduler(scheduler, seed=seed),
+        jobs,
+        config,
+    )
+    return sim.run()
+
+
+FAULTS = (
+    FaultSpec(0.4, FaultKind.SERVER_FAIL, 2),
+    FaultSpec(0.5, FaultKind.TASK_SLOWDOWN, 5, factor=6.0, duration=2.0),
+    FaultSpec(1.4, FaultKind.SERVER_RECOVER, 2),
+)
+
+
+class TestExactPartition:
+    @pytest.mark.parametrize("scheduler", ["capacity", "random", "hit-online"])
+    def test_segments_sum_to_jct(self, scheduler):
+        metrics = _run(scheduler)
+        paths = attribute_run(metrics)
+        assert len(paths) == len(metrics.jobs)
+        for path in paths:
+            assert abs(path.segment_sum - path.jct) < 1e-9
+            assert all(v >= 0.0 for v in path.segments.values())
+            assert set(path.segments) == set(SEGMENTS)
+
+    def test_sum_holds_under_faults_and_speculation(self):
+        metrics = _run(
+            "random", seed=3, faults=FAULTS, speculation=SpeculationConfig()
+        )
+        for path in attribute_run(metrics):
+            assert abs(path.segment_sum - path.jct) < 1e-9
+            assert all(v >= 0.0 for v in path.segments.values())
+
+
+class TestSyntheticAttribution:
+    def _job(self, submit=0.0, start=0.5, finish=10.0):
+        return JobRecord(
+            job_id=0, name="j", shuffle_class="heavy",
+            submit_time=submit, start_time=start, finish_time=finish,
+            shuffle_volume=1.0, remote_map_traffic=0.0,
+        )
+
+    def test_pinned_segment_values(self):
+        tasks = [
+            TaskRecord(0, "map", 0, start=1.0, finish=3.0, server=1),
+            TaskRecord(0, "map", 1, start=1.0, finish=4.0, server=2),
+            TaskRecord(0, "reduce", 0, start=1.0, finish=10.0, server=3,
+                       compute_start=7.0),
+        ]
+        path = attribute_job(self._job(), tasks)
+        assert path.critical_map == 1
+        assert path.critical_reduce == 0
+        assert path.segments["queue_wait"] == pytest.approx(0.5)
+        assert path.segments["map_serial"] == pytest.approx(0.5)
+        assert path.segments["map_compute"] == pytest.approx(3.0)
+        assert path.segments["shuffle"] == pytest.approx(3.0)
+        assert path.segments["reduce_compute"] == pytest.approx(3.0)
+        assert path.segments["fault_retry"] == 0.0
+        assert path.segments["speculation"] == 0.0
+        assert path.segment_sum == pytest.approx(path.jct)
+
+    def test_retry_and_speculation_relabel_the_critical_map(self):
+        retried = [
+            TaskRecord(0, "map", 0, start=2.0, finish=5.0, attempt=2),
+            TaskRecord(0, "reduce", 0, start=2.0, finish=10.0,
+                       compute_start=6.0),
+        ]
+        path = attribute_job(self._job(), retried)
+        assert path.segments["fault_retry"] > 0.0
+        assert path.segments["map_serial"] == 0.0
+
+        speculative = [
+            TaskRecord(0, "map", 0, start=2.0, finish=5.0, speculative=True),
+            TaskRecord(0, "reduce", 0, start=2.0, finish=10.0,
+                       compute_start=6.0),
+        ]
+        path = attribute_job(self._job(), speculative)
+        assert path.segments["speculation"] == pytest.approx(3.0)
+        assert path.segments["map_compute"] == 0.0
+
+    def test_degenerate_orderings_never_go_negative(self):
+        # Reduce "computing" before the critical map finished (stale
+        # compute_start after a fault retry): milestones are monotonised.
+        tasks = [
+            TaskRecord(0, "map", 0, start=2.0, finish=8.0, attempt=1),
+            TaskRecord(0, "reduce", 0, start=1.0, finish=10.0,
+                       compute_start=4.0),
+        ]
+        path = attribute_job(self._job(), tasks)
+        assert all(v >= 0.0 for v in path.segments.values())
+        assert path.segment_sum == pytest.approx(path.jct)
+
+    def test_job_with_no_tasks(self):
+        path = attribute_job(self._job(), [])
+        assert path.critical_map == -1
+        assert path.critical_reduce == -1
+        assert path.segment_sum == pytest.approx(path.jct)
+
+
+class TestAggregationAndFormatting:
+    def test_aggregate_empty(self):
+        agg = aggregate_segments([])
+        assert agg == dict.fromkeys(SEGMENTS, 0.0)
+
+    def test_aggregate_means(self):
+        metrics = _run("capacity")
+        paths = attribute_run(metrics)
+        agg = aggregate_segments(paths)
+        assert sum(agg.values()) == pytest.approx(
+            sum(p.jct for p in paths) / len(paths)
+        )
+
+    def test_format_styles(self):
+        metrics = _run("capacity")
+        table = format_critical_path({"capacity": attribute_run(metrics)})
+        assert "shuffle" in table and "|" not in table
+        md = format_critical_path(
+            {"capacity": attribute_run(metrics)}, style="markdown"
+        )
+        assert md.count("|") > 10
+        assert "**critical-path attribution" in md

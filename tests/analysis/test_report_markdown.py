@@ -1,0 +1,51 @@
+"""format_table's markdown mode: GitHub-pasteable, same cells as plain."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+ROWS = [("hit", 1.5, 3), ("capacity", 2.25, 4)]
+HEADERS = ("scheduler", "jct", "hops")
+
+
+def test_markdown_structure():
+    out = format_table(HEADERS, ROWS, title="t", style="markdown")
+    lines = out.splitlines()
+    assert lines[0] == "**t**"
+    assert lines[1] == ""
+    assert lines[2].startswith("| scheduler")
+    # Alignment row: pipes and right-align colons only.
+    assert set(lines[3]) <= {"|", "-", ":"}
+    assert lines[3].count(":") == len(HEADERS)
+    # One data line per row, all pipe-delimited with aligned columns.
+    assert len(lines) == 4 + len(ROWS)
+    data_lines = [lines[2], *lines[4:]]
+    assert all(line.startswith("| ") and line.endswith(" |")
+               for line in data_lines)
+    assert len({len(line) for line in lines[2:]}) == 1  # columns align
+
+
+def test_markdown_without_title():
+    out = format_table(HEADERS, ROWS, style="markdown")
+    assert out.splitlines()[0].startswith("| scheduler")
+
+
+def test_same_cell_formatting_as_plain():
+    plain = format_table(HEADERS, ROWS, style="plain")
+    md = format_table(HEADERS, ROWS, style="markdown")
+    # Same float formatting in both styles (copy-paste consistency).
+    assert "1.500" in plain and "1.500" in md
+    assert "2.250" in plain and "2.250" in md
+
+
+def test_unknown_style_rejected():
+    with pytest.raises(ValueError):
+        format_table(HEADERS, ROWS, style="html")
+
+
+def test_plain_is_default_and_unchanged():
+    assert format_table(HEADERS, ROWS) == format_table(
+        HEADERS, ROWS, style="plain"
+    )
+    assert "|" not in format_table(HEADERS, ROWS)

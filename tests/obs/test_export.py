@@ -1,0 +1,143 @@
+"""Trace-event export and HTML report: structure, validation, files."""
+
+import json
+
+import pytest
+
+from repro.mapreduce import WorkloadGenerator
+from repro.obs import (
+    build_chrome_trace,
+    render_html_report,
+    save_chrome_trace,
+    save_html_report,
+    validate_chrome_trace,
+)
+from repro.schedulers import make_scheduler
+from repro.simulator import MapReduceSimulator, SimulationConfig
+from repro.topology import TreeConfig, build_tree
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    jobs = WorkloadGenerator(
+        seed=0, input_size_range=(4.0, 8.0), map_rate=8.0, reduce_rate=8.0
+    ).make_workload(3, interarrival=0.3)
+    sim = MapReduceSimulator(
+        build_tree(TreeConfig(depth=2, fanout=4, redundancy=2,
+                              server_resources=(2.0,))),
+        make_scheduler("hit-online", seed=0),
+        jobs,
+        SimulationConfig(seed=0, timeline_dt=0.1),
+    )
+    metrics = sim.run()
+    return sim, metrics
+
+
+class TestChromeTrace:
+    def test_valid_and_roundtrips(self, recorded_run, tmp_path):
+        sim, metrics = recorded_run
+        path = tmp_path / "trace.json"
+        trace = save_chrome_trace(path, metrics, sim.timeline,
+                                  scheduler="hit-online")
+        assert validate_chrome_trace(trace) == []
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["otherData"]["scheduler"] == "hit-online"
+
+    def test_contains_all_record_kinds(self, recorded_run):
+        sim, metrics = recorded_run
+        trace = build_chrome_trace(metrics, sim.timeline)
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"job", "task", "flow"} <= cats
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "C"}
+        assert "util: max switch" in names
+        assert "queue depth" in names
+
+    def test_counter_count_matches_samples(self, recorded_run):
+        sim, metrics = recorded_run
+        trace = build_chrome_trace(metrics, sim.timeline)
+        queue_counters = [e for e in trace["traceEvents"]
+                          if e["ph"] == "C" and e["name"] == "queue depth"]
+        assert len(queue_counters) == len(sim.timeline.samples)
+
+    def test_export_without_timeline(self, recorded_run):
+        _, metrics = recorded_run
+        trace = build_chrome_trace(metrics, None, scheduler="bare")
+        assert validate_chrome_trace(trace) == []
+        assert not any(e["ph"] == "C" for e in trace["traceEvents"])
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"noTraceEvents": 1}) != []
+
+    def test_flags_empty(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+
+    def test_flags_unknown_phase(self):
+        bad = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+        ]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(bad))
+
+    def test_flags_negative_ts_and_missing_dur(self):
+        bad = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": -5.0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert any("ts" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+    def test_flags_dangling_async(self):
+        bad = {"traceEvents": [
+            {"ph": "b", "cat": "t", "id": 1, "name": "x",
+             "pid": 1, "tid": 1, "ts": 0.0, "args": {}},
+        ]}
+        assert any("never ended" in p for p in validate_chrome_trace(bad))
+
+    def test_flags_end_without_begin(self):
+        bad = {"traceEvents": [
+            {"ph": "e", "cat": "t", "id": 1, "name": "x",
+             "pid": 1, "tid": 1, "ts": 0.0},
+        ]}
+        assert any("without matching begin" in p
+                   for p in validate_chrome_trace(bad))
+
+    def test_flags_non_numeric_counter(self):
+        bad = {"traceEvents": [
+            {"ph": "C", "name": "c", "pid": 1, "tid": 1, "ts": 0.0,
+             "args": {"value": "high"}},
+        ]}
+        assert any("numeric" in p for p in validate_chrome_trace(bad))
+
+
+class TestHtmlReport:
+    def test_report_covers_runs(self, recorded_run, tmp_path):
+        from repro.analysis import attribute_run
+
+        sim, metrics = recorded_run
+        sections = [{
+            "scheduler": "hit-online",
+            "metrics": metrics,
+            "timeline": sim.timeline,
+            "critical": attribute_run(metrics),
+            "counters": {"spec.wins": 0},
+        }]
+        html = render_html_report(sections, title="smoke report")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "hit-online" in html
+        assert "<svg" in html  # inline gauge timelines
+        assert "critical-path attribution" in html
+        path = tmp_path / "report.html"
+        save_html_report(path, sections)
+        assert path.read_text(encoding="utf-8") == render_html_report(sections)
+
+    def test_report_without_timeline_or_critical(self, recorded_run):
+        _, metrics = recorded_run
+        html = render_html_report(
+            [{"scheduler": "bare", "metrics": metrics, "timeline": None}]
+        )
+        assert "bare" in html
+        assert "<svg" not in html

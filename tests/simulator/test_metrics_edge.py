@@ -1,0 +1,99 @@
+"""MetricsCollector edge cases: empty and single-sample record sets.
+
+Pins the degenerate-input contract the reporting layer relies on: no
+aggregate may raise or emit NaN/inf on zero flows, empty record sets or a
+single sample — it returns 0.0 (or the sample itself) instead.
+"""
+
+import math
+
+import pytest
+
+from repro.simulator.metrics import (
+    FlowRecord,
+    JobRecord,
+    MetricsCollector,
+    TaskRecord,
+)
+
+
+def _job(job_id=0, submit=0.0, finish=5.0):
+    return JobRecord(
+        job_id=job_id, name=f"j{job_id}", shuffle_class="heavy",
+        submit_time=submit, start_time=submit, finish_time=finish,
+        shuffle_volume=1.0, remote_map_traffic=0.5,
+    )
+
+
+def _all_aggregates(collector: MetricsCollector) -> dict[str, float]:
+    values = dict(collector.summary())
+    values["throughput"] = collector.throughput()
+    values["mean_map"] = collector.mean_task_duration("map")
+    values["mean_reduce"] = collector.mean_task_duration("reduce")
+    for q in (0.0, 50.0, 99.0, 100.0):
+        values[f"p{q}"] = collector.jct_percentile(q)
+    return values
+
+
+class TestEmpty:
+    def test_every_aggregate_finite_and_zero(self):
+        collector = MetricsCollector()
+        for name, value in _all_aggregates(collector).items():
+            assert math.isfinite(value), f"{name} not finite"
+            assert value == 0.0, f"{name} != 0 on empty records"
+
+    def test_percentile_range_validated(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.jct_percentile(-1.0)
+        with pytest.raises(ValueError):
+            collector.jct_percentile(100.5)
+
+
+class TestSingleSample:
+    def test_percentiles_return_the_sample(self):
+        collector = MetricsCollector()
+        collector.record_job(_job(finish=5.0))
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert collector.jct_percentile(q) == pytest.approx(5.0)
+        assert collector.mean_jct() == pytest.approx(5.0)
+
+    def test_single_task_and_flow(self):
+        collector = MetricsCollector()
+        collector.record_task(
+            TaskRecord(0, "map", 0, start=1.0, finish=2.5)
+        )
+        collector.record_flow(
+            FlowRecord(0, 0, size=2.0, start=1.0, finish=2.0,
+                       num_switches=3, delay_us=10.0)
+        )
+        assert collector.mean_task_duration("map") == pytest.approx(1.5)
+        assert collector.mean_task_duration("reduce") == 0.0
+        assert collector.average_route_length() == pytest.approx(3.0)
+        assert collector.throughput() == pytest.approx(2.0)
+
+
+class TestZeroFlowDegenerates:
+    def test_jobs_without_flows(self):
+        """A map-only workload records jobs/tasks but zero flows."""
+        collector = MetricsCollector()
+        collector.record_job(_job())
+        collector.record_task(TaskRecord(0, "map", 0, start=0.0, finish=1.0))
+        values = _all_aggregates(collector)
+        assert all(math.isfinite(v) for v in values.values())
+        assert values["shuffle_cost"] == 0.0
+        assert values["throughput"] == 0.0
+        assert values["avg_shuffle_delay_us"] == 0.0
+
+    def test_only_instant_local_flows(self):
+        """Co-located flows deliver instantly: zero makespan, finite
+        throughput (0.0 by contract, not inf)."""
+        collector = MetricsCollector()
+        collector.record_flow(
+            FlowRecord(0, 0, size=1.0, start=2.0, finish=2.0,
+                       num_switches=0, delay_us=0.0)
+        )
+        assert collector.throughput() == 0.0
+        assert collector.average_shuffle_delay_us() == 0.0
+        assert collector.average_flow_duration() == 0.0
+        assert collector.average_route_length() == 0.0

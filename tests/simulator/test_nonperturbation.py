@@ -1,0 +1,100 @@
+"""The timeline recorder's contract: recording never perturbs the run.
+
+A simulation with ``timeline_dt`` set must be byte-identical to the same
+simulation without it — same records in the same order, same event count —
+across seeds, schedulers, fault timelines and speculation.  The recorder
+only *reads* state (its one shared computation, ``ensure_rates``, is
+idempotent and deterministic), so any divergence here means a sampling
+hook grew a side effect.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultKind, FaultSpec
+from repro.mapreduce import WorkloadGenerator
+from repro.schedulers import make_scheduler
+from repro.simulator import MapReduceSimulator, SimulationConfig
+from repro.speculation import SpeculationConfig
+from repro.topology import TreeConfig, build_tree
+
+def _faults(topology):
+    switch = topology.switch_ids[0]
+    return (
+        FaultSpec(0.4, FaultKind.SERVER_FAIL, 2),
+        FaultSpec(0.6, FaultKind.TASK_SLOWDOWN, 5, factor=5.0, duration=1.5),
+        FaultSpec(0.8, FaultKind.SWITCH_FAIL, switch),
+        FaultSpec(1.3, FaultKind.SWITCH_RECOVER, switch),
+        FaultSpec(1.4, FaultKind.SERVER_RECOVER, 2),
+    )
+
+
+def _scenario(name, topology):
+    if name == "plain":
+        return {}
+    extra = {"faults": _faults(topology), "max_task_retries": 10}
+    if name == "faults+speculation":
+        extra["speculation"] = SpeculationConfig()
+    return extra
+
+
+SCENARIOS = ("plain", "faults", "faults+speculation")
+
+
+def _run(seed: int, scheduler: str, scenario: str, timeline_dt: float | None):
+    topology = build_tree(
+        TreeConfig(depth=2, fanout=4, redundancy=2, server_resources=(2.0,))
+    )
+    jobs = WorkloadGenerator(
+        seed=seed, input_size_range=(4.0, 8.0), map_rate=8.0, reduce_rate=8.0
+    ).make_workload(4, interarrival=0.3)
+    config = SimulationConfig(
+        seed=seed,
+        server_speed_spread=0.2,
+        timeline_dt=timeline_dt,
+        **_scenario(scenario, topology),
+    )
+    sim = MapReduceSimulator(
+        topology, make_scheduler(scheduler, seed=seed), jobs, config
+    )
+    metrics = sim.run()
+    return sim, metrics
+
+
+def _astuples(records):
+    return [dataclasses.astuple(r) for r in records]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("seed", [0, 3])
+@pytest.mark.parametrize("scheduler", ["hit-online", "random"])
+def test_recorded_run_byte_identical(scenario, seed, scheduler):
+    bare_sim, bare = _run(seed, scheduler, scenario, timeline_dt=None)
+    rec_sim, rec = _run(seed, scheduler, scenario, timeline_dt=0.07)
+
+    assert bare_sim.timeline is None
+    assert rec_sim.timeline is not None
+    assert rec_sim.timeline.samples, "recorder produced no samples"
+
+    assert _astuples(rec.jobs) == _astuples(bare.jobs)
+    assert _astuples(rec.tasks) == _astuples(bare.tasks)
+    assert _astuples(rec.flows) == _astuples(bare.flows)
+    assert rec_sim.events_processed == bare_sim.events_processed
+    assert rec.summary() == bare.summary()
+
+
+def test_sampling_grid_independent_of_dt():
+    """Two recorded runs with different grids also agree with each other
+    (dt only changes what is observed, never what happens)."""
+    _, coarse = _run(1, "hit-online", "faults", timeline_dt=0.5)
+    _, fine = _run(1, "hit-online", "faults", timeline_dt=0.01)
+    assert _astuples(coarse.tasks) == _astuples(fine.tasks)
+    assert coarse.summary() == fine.summary()
+
+
+def test_markers_record_fault_events():
+    sim, _ = _run(2, "random", "faults+speculation", timeline_dt=0.1)
+    kinds = {m.kind for m in sim.timeline.markers}
+    assert "server_fail" in kinds
+    assert "task_slowdown" in kinds

@@ -1,0 +1,109 @@
+"""Bench-regression gate: passes on committed baselines, fails on drift."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = ROOT / "benchmarks" / "bench_regress.py"
+BASELINES = ROOT / "benchmarks" / "baselines"
+
+
+def run_gate(tmp_path, hotpath, straggler, extra=()):
+    out = tmp_path / "BENCH_regress.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--check",
+         "--hotpath", str(hotpath), "--straggler", str(straggler),
+         "--out", str(out), *extra],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+    verdict = json.loads(out.read_text()) if out.exists() else None
+    return proc, verdict
+
+
+@pytest.mark.parametrize("scale", ["quick", "full"])
+def test_committed_baselines_pass_against_themselves(tmp_path, scale):
+    proc, verdict = run_gate(
+        tmp_path,
+        BASELINES / scale / "BENCH_hotpath.json",
+        BASELINES / scale / "BENCH_straggler.json",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert verdict["verdict"] == "pass"
+    for block in verdict["benchmarks"].values():
+        assert block["ok"]
+        assert block["scale"] == scale
+        assert block["checks"], "no checks ran"
+
+
+def test_synthetic_sim_regression_fails(tmp_path):
+    """Deterministic simulated metrics are gated near-exactly."""
+    report = json.loads(
+        (BASELINES / "quick" / "BENCH_straggler.json").read_text()
+    )
+    report["summary"]["hit"]["mean_jct_on"] *= 1.05
+    bad = tmp_path / "BENCH_straggler.json"
+    bad.write_text(json.dumps(report))
+    proc, verdict = run_gate(
+        tmp_path, BASELINES / "quick" / "BENCH_hotpath.json", bad
+    )
+    assert proc.returncode == 1
+    assert verdict["verdict"] == "fail"
+    failed = [c["name"] for c in verdict["benchmarks"]["straggler"]["checks"]
+              if not c["ok"]]
+    assert failed == ["hit: mean_jct_on"]
+
+
+def test_synthetic_speedup_collapse_fails(tmp_path):
+    """Wall-clock ratios get a tolerance band, not exact comparison: a
+    small wobble passes, losing most of the speedup fails."""
+    base = json.loads(
+        (BASELINES / "quick" / "BENCH_hotpath.json").read_text()
+    )
+    wobble = json.loads(json.dumps(base))
+    for case in wobble["cases"]:
+        case["grading"]["speedup"] *= 0.9  # within the 0.5 band
+    ok_file = tmp_path / "wobble.json"
+    ok_file.write_text(json.dumps(wobble))
+    proc, _ = run_gate(
+        tmp_path, ok_file, BASELINES / "quick" / "BENCH_straggler.json"
+    )
+    assert proc.returncode == 0
+
+    collapsed = json.loads(json.dumps(base))
+    collapsed["cases"][0]["grading"]["speedup"] *= 0.2  # below the band
+    bad_file = tmp_path / "collapsed.json"
+    bad_file.write_text(json.dumps(collapsed))
+    proc, verdict = run_gate(
+        tmp_path, bad_file, BASELINES / "quick" / "BENCH_straggler.json"
+    )
+    assert proc.returncode == 1
+    failed = [c for c in verdict["benchmarks"]["hotpath"]["checks"]
+              if not c["ok"]]
+    assert len(failed) == 1 and failed[0]["kind"] == "ratio-min"
+
+
+def test_missing_report_fails_check_mode(tmp_path):
+    proc, verdict = run_gate(
+        tmp_path,
+        tmp_path / "nonexistent.json",
+        BASELINES / "quick" / "BENCH_straggler.json",
+    )
+    assert proc.returncode == 1
+    assert "unreadable" in verdict["benchmarks"]["hotpath"]["error"]
+
+
+def test_without_check_flag_always_exits_zero(tmp_path):
+    out = tmp_path / "BENCH_regress.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT),
+         "--hotpath", str(tmp_path / "nope.json"),
+         "--straggler", str(tmp_path / "nope.json"),
+         "--out", str(out)],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+    assert proc.returncode == 0
+    assert json.loads(out.read_text())["verdict"] == "fail"

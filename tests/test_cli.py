@@ -89,6 +89,93 @@ class TestSimulateCommand:
         assert {"job_submit", "job_finish", "map_finish"} <= kinds
 
 
+class TestTelemetryFlags:
+    def test_timeline_export_and_reports(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        prefix = tmp_path / "perfetto"
+        report = tmp_path / "report.html"
+        assert main([
+            "simulate", "--jobs", "2", "--scheduler", "capacity", "hit",
+            "--timeline", "--critical-path",
+            "--export-trace", str(prefix),
+            "--html-report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution" in out
+        assert "| scheduler |" in out  # markdown table on stdout
+        for name in ("capacity", "hit"):
+            trace = json.loads((tmp_path / f"perfetto.{name}.json").read_text())
+            assert validate_chrome_trace(trace) == []
+            # --timeline was on, so counter samples must be present.
+            assert any(e["ph"] == "C" for e in trace["traceEvents"])
+        html = report.read_text()
+        assert "capacity" in html and "hit" in html and "<svg" in html
+
+    def test_export_without_timeline_has_no_counters(self, tmp_path, capsys):
+        prefix = tmp_path / "bare"
+        assert main([
+            "simulate", "--jobs", "2", "--scheduler", "capacity",
+            "--export-trace", str(prefix),
+        ]) == 0
+        capsys.readouterr()
+        trace = json.loads((tmp_path / "bare.capacity.json").read_text())
+        assert not any(e["ph"] == "C" for e in trace["traceEvents"])
+
+    def test_env_var_enables_timeline(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMELINE_DT", "0.2")
+        prefix = tmp_path / "env"
+        assert main([
+            "simulate", "--jobs", "2", "--scheduler", "capacity",
+            "--export-trace", str(prefix),
+        ]) == 0
+        capsys.readouterr()
+        trace = json.loads((tmp_path / "env.capacity.json").read_text())
+        assert any(e["ph"] == "C" for e in trace["traceEvents"])
+
+
+class TestTracerSinkLifecycle:
+    """The --trace sink must be flushed/closed on every exit path."""
+
+    def test_failing_run_still_yields_valid_jsonl(self, tmp_path, monkeypatch):
+        from repro.simulator import MapReduceSimulator
+
+        def boom(self):
+            raise RuntimeError("mid-run crash")
+
+        monkeypatch.setattr(MapReduceSimulator, "run", boom)
+        trace = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            main([
+                "simulate", "--jobs", "2", "--scheduler", "capacity",
+                "--trace", str(trace),
+            ])
+        lines = [l for l in trace.read_text().splitlines() if l.strip()]
+        records = [json.loads(l) for l in lines]  # every line parses
+        assert records, "trace file empty after crash"
+        assert records[-1]["ev"] == "summary"  # close() ran on the way out
+
+    def test_optimize_failing_run_closes_trace(self, tmp_path, monkeypatch):
+        import repro.experiments
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("placement crash")
+
+        monkeypatch.setattr(
+            repro.experiments, "run_static_placement", boom
+        )
+        trace = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError, match="placement crash"):
+            main([
+                "optimize", "--jobs", "2", "--scheduler", "hit",
+                "--trace", str(trace),
+            ])
+        records = [
+            json.loads(l) for l in trace.read_text().splitlines() if l.strip()
+        ]
+        assert records and records[-1]["ev"] == "summary"
+
+
 class TestExperimentCommand:
     def test_fig3(self, capsys):
         assert main(["experiment", "fig3"]) == 0
