@@ -10,7 +10,14 @@ from .critical_path import (
     attribute_run,
     format_critical_path,
 )
-from .report import format_paper_vs_measured, format_table, format_violations
+from .report import (
+    canonical_json,
+    format_paper_vs_measured,
+    format_sweep_table,
+    format_table,
+    format_violations,
+    render_sweep_report,
+)
 from .stats import describe, improvement, reduction
 
 __all__ = [
@@ -24,6 +31,9 @@ __all__ = [
     "format_table",
     "format_paper_vs_measured",
     "format_violations",
+    "canonical_json",
+    "render_sweep_report",
+    "format_sweep_table",
     "describe",
     "improvement",
     "reduction",

@@ -1,14 +1,16 @@
 """Command-line interface.
 
-Five subcommands cover the library's workflows without writing Python:
+Six subcommands cover the library's workflows without writing Python:
 
 * ``repro topology`` — build a fabric and print its structure;
 * ``repro workload`` — sample a Table-1 workload (optionally save a trace);
 * ``repro simulate`` — run the discrete-event simulator with a scheduler;
 * ``repro optimize`` — static placement comparison across schedulers;
-* ``repro experiment`` — regenerate one of the paper's figures.
+* ``repro experiment`` — regenerate one of the paper's figures;
+* ``repro sweep`` — run a sharded, resumable, deterministically-merged
+  experiment grid (docs/experiments.md).
 
-Every command takes ``--seed`` so runs are reproducible.
+Every command takes ``--seed`` (or a seed axis) so runs are reproducible.
 """
 
 from __future__ import annotations
@@ -385,6 +387,68 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import format_sweep_table
+    from .experiments.sweep import SweepSpec, merge_sweep, run_sweep
+    from .obs import observe
+
+    if args.force and args.resume:
+        print("--force and --resume are contradictory", file=sys.stderr)
+        return 2
+    if args.grid:
+        spec = SweepSpec.from_file(args.grid)
+    else:
+        spec = SweepSpec.from_dict({
+            "seeds": args.seeds,
+            "schedulers": args.schedulers,
+            "topologies": args.topologies,
+            "arms": args.arms,
+            "workload": {
+                "num_jobs": args.jobs,
+                "interarrival": args.interarrival,
+            },
+        })
+    checker, tracer = _make_observability(args)
+    try:
+        with observe(checker=checker, tracer=tracer):
+            result = run_sweep(
+                spec,
+                cache_dir=args.cache_dir,
+                workers=args.workers,
+                force=args.force,
+            )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(
+        f"sweep {spec.spec_hash()[:12]}: {len(result.cells)} cells — "
+        f"{len(result.ran)} ran, {len(result.cached)} cached, "
+        f"{len(result.failed)} failed "
+        f"(workers={args.workers}, cache={args.cache_dir})"
+    )
+    if result.failed:
+        by_hash = {c.config_hash(): c for c in result.cells}
+        for cell_hash, error in sorted(result.failed.items()):
+            label = by_hash[cell_hash].label()
+            print(f"  FAILED {label} ({cell_hash[:12]}): {error}",
+                  file=sys.stderr)
+        _report_observability(checker, tracer)
+        return 1
+    report = merge_sweep(spec, args.cache_dir)
+    if args.out:
+        Path(args.out).write_text(report, encoding="utf-8")
+        print(f"merged report written: {args.out}")
+    import json as _json
+
+    cells = _json.loads(report)["cells"]
+    print(format_sweep_table(
+        cells, title=f"sweep results ({len(cells)} cells)"
+    ))
+    return _report_observability(checker, tracer)
+
+
 # -------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -550,6 +614,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "sweep",
+        help="sharded, resumable experiment grid with deterministic merge",
+        description="Enumerate a (seeds x schedulers x topologies x arms) "
+                    "grid, shard cells across worker processes, cache each "
+                    "cell keyed by its config hash, and merge cached cells "
+                    "into a byte-stable report (docs/experiments.md).",
+    )
+    p.add_argument(
+        "--grid", metavar="FILE",
+        help="JSON grid spec file (overrides the inline axis flags)",
+    )
+    p.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="seed axis (default: 0)",
+    )
+    p.add_argument(
+        "--schedulers", nargs="+", choices=SCHEDULER_CHOICES,
+        default=["capacity", "pna", "hit"],
+        help="scheduler axis",
+    )
+    p.add_argument(
+        "--topologies", nargs="+",
+        choices=("testbed", "large64", "large512", "mini"),
+        default=["testbed"],
+        help="topology axis (registry names; dict form only via --grid)",
+    )
+    p.add_argument(
+        "--arms", nargs="+",
+        choices=("baseline", "faults", "faults+speculation", "static",
+                 "telemetry"),
+        default=["baseline"],
+        help="fault/speculation arm axis (default: baseline)",
+    )
+    p.add_argument("--jobs", type=int, default=8,
+                   help="jobs per workload (inline grids)")
+    p.add_argument("--interarrival", type=float, default=0.5)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to shard cells across (1 = in-process); "
+             "the merged output is byte-identical for any value",
+    )
+    p.add_argument(
+        "--cache-dir", default="sweep-cache", metavar="DIR",
+        help="per-cell artifact cache (default: ./sweep-cache)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep by skipping cached cells — this "
+             "is also the default behaviour; the flag exists to make "
+             "intent explicit in scripts (works on an empty cache too)",
+    )
+    p.add_argument(
+        "--force", action="store_true",
+        help="recompute every cell, ignoring cached artifacts",
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="write the merged canonical-JSON report to FILE",
+    )
+    p.add_argument(
+        "--check-invariants", action="store_true",
+        help="verify runtime invariants during cells run in-process "
+             "(workers=1) and print a violations summary",
+    )
+    p.add_argument(
+        "--trace", dest="trace_file", metavar="FILE",
+        help="write per-cell timers and the sweep summary as JSON lines",
+    )
+    p.set_defaults(func=cmd_sweep)
     return parser
 
 

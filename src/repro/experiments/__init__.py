@@ -6,6 +6,7 @@ from .faults import (
     FaultComparisonResult,
     FaultRunResult,
     fault_degradation,
+    run_fault_cell,
     straggler_timeline,
 )
 from .figures import (
@@ -23,12 +24,22 @@ from .static import (
     StaticResult,
     StaticWorkload,
     build_static_workload,
+    run_static_cell,
     run_static_placement,
+)
+from .sweep import (
+    CellConfig,
+    SweepRunResult,
+    SweepSpec,
+    merge_sweep,
+    run_cell,
+    run_sweep,
 )
 from .telemetry import (
     TelemetryComparisonResult,
     TelemetryRunResult,
     critical_path_comparison,
+    run_telemetry_cell,
 )
 
 __all__ = [
@@ -45,12 +56,21 @@ __all__ = [
     "FaultComparisonResult",
     "FaultRunResult",
     "fault_degradation",
+    "run_fault_cell",
     "straggler_timeline",
     "StaticResult",
     "StaticWorkload",
     "build_static_workload",
     "run_static_placement",
+    "run_static_cell",
     "TelemetryComparisonResult",
     "TelemetryRunResult",
     "critical_path_comparison",
+    "run_telemetry_cell",
+    "CellConfig",
+    "SweepSpec",
+    "SweepRunResult",
+    "run_cell",
+    "run_sweep",
+    "merge_sweep",
 ]

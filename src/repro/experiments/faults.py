@@ -27,8 +27,47 @@ __all__ = [
     "FaultRunResult",
     "FaultComparisonResult",
     "fault_degradation",
+    "run_fault_cell",
     "straggler_timeline",
 ]
+
+
+def run_fault_cell(
+    topology,
+    scheduler,
+    jobs,
+    config,
+    timeline: tuple[FaultSpec, ...] = (),
+    speculation: SpeculationConfig | None = None,
+    max_task_retries: int = 10,
+):
+    """One (scheduler, fault/speculation arm) run, as a self-contained cell.
+
+    An empty ``timeline`` is the fault-free arm; a non-empty one layers the
+    outage replay on; ``speculation`` additionally enables the mitigation
+    arm.  All state is derived from the arguments (the caller passes fresh
+    topology/scheduler objects), never from global RNG or module caches, so
+    two cells run in the same process in either order produce identical
+    outputs — the isolation contract :mod:`repro.experiments.sweep` shards
+    against.
+
+    Returns ``(metrics, counters)`` where ``counters`` merges the fault and
+    speculation summaries (empty for a plain fault-free run).
+    """
+    if timeline:
+        config = dataclasses.replace(
+            config, faults=tuple(timeline), max_task_retries=max_task_retries
+        )
+    if speculation is not None:
+        config = dataclasses.replace(config, speculation=speculation)
+    sim = MapReduceSimulator(topology, scheduler, jobs, config)
+    metrics = sim.run()
+    counters: dict[str, int] = {}
+    if sim.faults is not None:
+        counters.update(sim.faults.summary())
+    if sim.speculation is not None:
+        counters.update(sim.speculation.summary())
+    return metrics, counters
 
 
 def _degradation(clean: float, faulty: float) -> float:
@@ -176,32 +215,31 @@ def fault_degradation(
     result = FaultComparisonResult(timeline=timeline)
     base_config = configs.testbed_simulation_config(seed=seed)
     for name in scheduler_names:
-        clean = MapReduceSimulator(
+        clean, _ = run_fault_cell(
             configs.testbed_tree(), make_scheduler(name, seed=seed), jobs, base_config
-        ).run()
-        faulty_config = dataclasses.replace(
-            base_config, faults=tuple(timeline), max_task_retries=max_task_retries
         )
-        sim = MapReduceSimulator(
-            configs.testbed_tree(), make_scheduler(name, seed=seed), jobs, faulty_config
+        faulty, fault_counters = run_fault_cell(
+            configs.testbed_tree(),
+            make_scheduler(name, seed=seed),
+            jobs,
+            base_config,
+            timeline=timeline,
+            max_task_retries=max_task_retries,
         )
-        faulty = sim.run()
-        assert sim.faults is not None
         run = FaultRunResult(
-            clean=clean, faulty=faulty, fault_counters=sim.faults.summary()
+            clean=clean, faulty=faulty, fault_counters=fault_counters
         )
         if speculation is not None:
-            spec_config = dataclasses.replace(
-                faulty_config, speculation=speculation
-            )
-            spec_sim = MapReduceSimulator(
+            mitigated, spec_counters = run_fault_cell(
                 configs.testbed_tree(),
                 make_scheduler(name, seed=seed),
                 jobs,
-                spec_config,
+                base_config,
+                timeline=timeline,
+                speculation=speculation,
+                max_task_retries=max_task_retries,
             )
-            run.mitigated = spec_sim.run()
-            assert spec_sim.speculation is not None
-            run.spec_counters = spec_sim.speculation.summary()
+            run.mitigated = mitigated
+            run.spec_counters = spec_counters
         result.runs[name] = run
     return result

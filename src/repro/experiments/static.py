@@ -29,6 +29,7 @@ __all__ = [
     "StaticResult",
     "build_static_workload",
     "run_static_placement",
+    "run_static_cell",
     "evaluate_policy_cost",
 ]
 
@@ -123,6 +124,41 @@ def build_static_workload(
         flows=flows,
         hdfs=hdfs,
     )
+
+
+def run_static_cell(
+    topology: Topology,
+    jobs: list[JobSpec],
+    scheduler_name: str,
+    seed: int = 0,
+    congestion_weight: float = 2.0,
+) -> dict[str, object]:
+    """One self-contained static-placement sweep cell, as plain data.
+
+    Builds the workload and places it with a fresh scheduler, deriving
+    everything from the arguments and ``seed`` — no global RNG, no shared
+    module state — so cells can run in any order, in any process, and
+    produce identical results (the sweep contract of
+    :mod:`repro.experiments.sweep`).
+    """
+    from ..schedulers import make_scheduler
+
+    workload = build_static_workload(topology, jobs, seed=seed)
+    result = run_static_placement(
+        workload, make_scheduler(scheduler_name, seed=seed), seed=seed
+    )
+    return {
+        "summary": {
+            "shuffle_cost": float(result.shuffle_cost),
+            "policy_cost": float(result.policy_cost),
+            "congested_policy_cost": float(
+                evaluate_policy_cost(result.taa, congestion_weight=congestion_weight)
+            ),
+            "avg_route_hops": float(result.avg_route_hops),
+            "shuffle_volume": float(result.total_shuffle_volume),
+        },
+        "counters": {},
+    }
 
 
 def evaluate_policy_cost(

@@ -39,6 +39,7 @@ __all__ = [
     "TelemetryRunResult",
     "TelemetryComparisonResult",
     "critical_path_comparison",
+    "run_telemetry_cell",
 ]
 
 
@@ -104,6 +105,34 @@ class TelemetryComparisonResult:
         return written
 
 
+def run_telemetry_cell(
+    topology,
+    scheduler,
+    jobs,
+    config,
+) -> TelemetryRunResult:
+    """One recorded run with critical-path attribution, as a sweep cell.
+
+    Everything derives from the arguments (pass fresh topology/scheduler
+    objects and a config with ``timeline_dt`` set); no global RNG or shared
+    module state is touched, so cells compose into sharded sweeps
+    (:mod:`repro.experiments.sweep`) without cross-contamination.
+    """
+    sim = MapReduceSimulator(topology, scheduler, jobs, config)
+    metrics = sim.run()
+    counters: dict[str, int] = {}
+    if sim.faults is not None:
+        counters.update(sim.faults.summary())
+    if sim.speculation is not None:
+        counters.update(sim.speculation.summary())
+    return TelemetryRunResult(
+        metrics=metrics,
+        timeline=sim.timeline,
+        critical=attribute_run(metrics),
+        counters=counters,
+    )
+
+
 def critical_path_comparison(
     seed: int = 0,
     num_jobs: int = 12,
@@ -135,22 +164,10 @@ def critical_path_comparison(
         config = dataclasses.replace(config, speculation=speculation)
     result = TelemetryComparisonResult()
     for name in scheduler_names:
-        sim = MapReduceSimulator(
+        result.runs[name] = run_telemetry_cell(
             configs.testbed_tree(),
             make_scheduler(name, seed=seed),
             jobs,
             config,
-        )
-        metrics = sim.run()
-        counters: dict[str, int] = {}
-        if sim.faults is not None:
-            counters.update(sim.faults.summary())
-        if sim.speculation is not None:
-            counters.update(sim.speculation.summary())
-        result.runs[name] = TelemetryRunResult(
-            metrics=metrics,
-            timeline=sim.timeline,
-            critical=attribute_run(metrics),
-            counters=counters,
         )
     return result

@@ -1,0 +1,50 @@
+"""Shared sweep fixtures: a tiny grid every sweep test reuses.
+
+The ``mini`` topology (16 servers) with 2 jobs keeps one cell in the
+~10 ms range, so whole-grid byte-identity tests stay cheap.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+
+def mini_spec_dict() -> dict:
+    """A fresh 2 seeds x 2 schedulers x 1 topology x 1 arm grid spec."""
+    return {
+        "seeds": [0, 1],
+        "schedulers": ["capacity", "hit"],
+        "topologies": ["mini"],
+        "arms": ["baseline"],
+        "workload": {
+            "num_jobs": 2,
+            "interarrival": 0.25,
+            "min_size": 2.0,
+            "max_size": 4.0,
+        },
+    }
+
+
+@pytest.fixture
+def mini_spec():
+    from repro.experiments.sweep import SweepSpec
+
+    return SweepSpec.from_dict(mini_spec_dict())
+
+
+def full_cell_dict() -> dict:
+    """A cell on the mitigation arm: every config section is populated,
+    so field-sensitivity tests can perturb any knob."""
+    return copy.deepcopy(
+        {
+            "seed": 3,
+            "scheduler": "hit",
+            "topology": {"name": "mini", "redundancy": 2},
+            "arm": "faults+speculation",
+            "workload": {"num_jobs": 2, "interarrival": 0.25},
+            "fault": {"server_mtbf": 4.0, "horizon": 4.0},
+            "speculation": {"quota": 0.2, "threshold": 0.7},
+        }
+    )

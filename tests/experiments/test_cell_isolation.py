@@ -1,0 +1,152 @@
+"""Determinism-leak audit: per-cell callables are pure in-process.
+
+Parallelising the experiment harnesses is only sound if a cell's output
+depends on nothing but its config — these regression tests pin that down
+*before* trusting the sharded sweep: the static/fault/telemetry per-cell
+callables must never touch global RNG state (``random`` or legacy
+``numpy.random``) and never mutate shared module-level caches, so running
+two cells in the same process in either order yields identical outputs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import CellConfig, run_cell
+
+
+def _cell(arm: str, seed: int = 0, scheduler: str = "hit") -> CellConfig:
+    return CellConfig.from_dict(
+        {
+            "seed": seed,
+            "scheduler": scheduler,
+            "topology": "mini",
+            "arm": arm,
+            "workload": {"num_jobs": 2, "interarrival": 0.25},
+            "fault": {"server_mtbf": 4.0, "horizon": 4.0},
+        }
+    )
+
+
+def _global_rng_fingerprint() -> bytes:
+    """Serialised state of both global RNGs a leaky cell could consume."""
+    return pickle.dumps((random.getstate(), np.random.get_state()))
+
+
+ARMS_UNDER_AUDIT = ["baseline", "faults", "faults+speculation", "static",
+                    "telemetry"]
+
+
+class TestNoGlobalRngLeaks:
+    @pytest.mark.parametrize("arm", ARMS_UNDER_AUDIT)
+    def test_cell_never_touches_global_rng(self, arm):
+        random.seed(1234)
+        np.random.seed(1234)
+        before = _global_rng_fingerprint()
+        run_cell(_cell(arm))
+        assert _global_rng_fingerprint() == before, (
+            f"{arm} cell consumed global RNG state — its output would "
+            "depend on what ran before it in the same worker"
+        )
+
+    @pytest.mark.parametrize("arm", ARMS_UNDER_AUDIT)
+    def test_cell_output_ignores_global_rng_state(self, arm):
+        """Even a scrambled global RNG must not change a cell's result."""
+        random.seed(1)
+        np.random.seed(1)
+        a = run_cell(_cell(arm))
+        random.seed(999)
+        np.random.seed(999)
+        np.random.random(100)
+        random.random()
+        b = run_cell(_cell(arm))
+        assert a == b
+
+
+class TestOrderIndependence:
+    @pytest.mark.parametrize("arm", ARMS_UNDER_AUDIT)
+    def test_two_cells_same_process_both_orders(self, arm):
+        """Cells A and B produce identical outputs whichever runs first —
+        no hidden module-level cache carries state between them."""
+        cell_a = _cell(arm, seed=0, scheduler="capacity")
+        cell_b = _cell(arm, seed=1, scheduler="hit")
+        a_first = run_cell(cell_a)
+        b_second = run_cell(cell_b)
+        b_first = run_cell(cell_b)
+        a_second = run_cell(cell_a)
+        assert a_first == a_second
+        assert b_first == b_second
+
+    def test_repeated_cell_is_bitwise_stable(self):
+        """Same cell, same process, many times: exactly equal floats."""
+        cell = _cell("faults")
+        results = [run_cell(cell) for _ in range(3)]
+        assert results[0] == results[1] == results[2]
+
+
+class TestHarnessCallablesDirectly:
+    """The refactored per-cell entry points of experiments.static and
+    experiments.faults, audited without the sweep wrapper."""
+
+    def _workload(self, seed=0):
+        from repro.mapreduce import WorkloadGenerator
+
+        return WorkloadGenerator(
+            seed=seed, input_size_range=(2.0, 4.0), map_rate=8.0,
+            reduce_rate=8.0,
+        ).make_workload(2, interarrival=0.25)
+
+    def _topology(self):
+        from repro.topology import TreeConfig, build_tree
+
+        return build_tree(
+            TreeConfig(depth=2, fanout=4, redundancy=2,
+                       server_resources=(3.0,))
+        )
+
+    def test_run_static_cell_is_pure(self):
+        from repro.experiments import run_static_cell
+
+        random.seed(7)
+        np.random.seed(7)
+        before = _global_rng_fingerprint()
+        first = run_static_cell(self._topology(), self._workload(), "hit",
+                                seed=0)
+        assert _global_rng_fingerprint() == before
+        second = run_static_cell(self._topology(), self._workload(), "hit",
+                                 seed=0)
+        assert first == second
+
+    def test_run_fault_cell_is_pure(self):
+        import dataclasses
+
+        from repro.experiments import run_fault_cell
+        from repro.faults import FaultKind, FaultSpec
+        from repro.schedulers import make_scheduler
+        from repro.simulator import SimulationConfig
+
+        timeline = (FaultSpec(0.2, FaultKind.SERVER_FAIL, 1),
+                    FaultSpec(0.8, FaultKind.SERVER_RECOVER, 1))
+        config = SimulationConfig(seed=0)
+        random.seed(7)
+        np.random.seed(7)
+        before = _global_rng_fingerprint()
+        runs = []
+        for _ in range(2):
+            metrics, counters = run_fault_cell(
+                self._topology(),
+                make_scheduler("capacity", seed=0),
+                self._workload(),
+                config,
+                timeline=timeline,
+            )
+            runs.append((metrics.summary(), counters))
+        assert _global_rng_fingerprint() == before
+        assert runs[0] == runs[1]
+        # The shared config dataclass was not mutated by the fault overlay.
+        assert config.faults == () and config.speculation is None
+        assert dataclasses.replace(config) == SimulationConfig(seed=0)

@@ -1,0 +1,157 @@
+"""Resume correctness: cache hits skip, corruption is detected, never merged."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepSpec,
+    cell_artifact_path,
+    load_cell_artifact,
+    merge_sweep,
+    run_sweep,
+)
+
+
+@pytest.fixture
+def warm_cache(mini_spec, tmp_path):
+    """A fully populated cache plus the reference merged bytes."""
+    first = run_sweep(mini_spec, tmp_path, workers=1)
+    assert len(first.ran) == 4 and not first.cached and first.ok
+    return tmp_path, merge_sweep(mini_spec, tmp_path)
+
+
+class TestResumeRunsOnlyWhatIsMissing:
+    def test_rerun_on_warm_cache_runs_nothing(self, mini_spec, warm_cache):
+        cache, _ = warm_cache
+        again = run_sweep(mini_spec, cache, workers=1)
+        assert again.ran == []
+        assert len(again.cached) == 4
+
+    def test_deleted_artifact_reruns_exactly_that_cell(
+        self, mini_spec, warm_cache
+    ):
+        cache, reference = warm_cache
+        victim = mini_spec.cells()[1]
+        cell_artifact_path(cache, victim).unlink()
+        resumed = run_sweep(mini_spec, cache, workers=1)
+        assert resumed.ran == [victim.config_hash()]
+        assert len(resumed.cached) == 3
+        assert merge_sweep(mini_spec, cache) == reference
+
+    def test_force_recomputes_every_cell(self, mini_spec, warm_cache):
+        cache, reference = warm_cache
+        forced = run_sweep(mini_spec, cache, workers=1, force=True)
+        assert len(forced.ran) == 4 and not forced.cached
+        assert merge_sweep(mini_spec, cache) == reference
+
+
+class TestCorruptionDetection:
+    def test_tampered_result_fails_checksum_and_reruns(
+        self, mini_spec, warm_cache
+    ):
+        """Flipping a metric without refreshing the checksum must not be
+        merged — the cell recomputes instead."""
+        cache, reference = warm_cache
+        victim = mini_spec.cells()[0]
+        path = cell_artifact_path(cache, victim)
+        body = json.loads(path.read_text())
+        body["result"]["summary"]["mean_jct"] += 1.0
+        path.write_text(json.dumps(body))
+        assert load_cell_artifact(cache, victim) is None
+        resumed = run_sweep(mini_spec, cache, workers=1)
+        assert resumed.ran == [victim.config_hash()]
+        assert merge_sweep(mini_spec, cache) == reference
+
+    def test_truncated_artifact_reruns(self, mini_spec, warm_cache):
+        cache, reference = warm_cache
+        victim = mini_spec.cells()[2]
+        path = cell_artifact_path(cache, victim)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert load_cell_artifact(cache, victim) is None
+        resumed = run_sweep(mini_spec, cache, workers=1)
+        assert resumed.ran == [victim.config_hash()]
+        assert merge_sweep(mini_spec, cache) == reference
+
+    def test_wrong_format_version_reruns(self, mini_spec, warm_cache):
+        """Artifacts from an incompatible sweep format are stale, not data."""
+        cache, _ = warm_cache
+        victim = mini_spec.cells()[3]
+        path = cell_artifact_path(cache, victim)
+        body = json.loads(path.read_text())
+        body["format"] = "repro.sweep.v0"
+        path.write_text(json.dumps(body))
+        assert load_cell_artifact(cache, victim) is None
+        resumed = run_sweep(mini_spec, cache, workers=1)
+        assert resumed.ran == [victim.config_hash()]
+
+    def test_hash_mismatch_reruns(self, mini_spec, tmp_path, warm_cache):
+        """An artifact renamed over another cell's slot is rejected by the
+        embedded config hash."""
+        cache, _ = warm_cache
+        cells = mini_spec.cells()
+        a, b = cells[0], cells[1]
+        path_b = cell_artifact_path(cache, b)
+        path_b.write_text(cell_artifact_path(cache, a).read_text())
+        assert load_cell_artifact(cache, b) is None
+        resumed = run_sweep(mini_spec, cache, workers=1)
+        assert resumed.ran == [b.config_hash()]
+
+
+class TestFailureHandling:
+    def test_failed_cell_recorded_and_retried_on_resume(
+        self, mini_spec, tmp_path, monkeypatch
+    ):
+        """A raising cell is collected (not raised), writes no artifact, and
+        is exactly what the next resume retries."""
+        import repro.experiments.sweep as sweep_mod
+
+        doomed = mini_spec.cells()[0].config_hash()
+        real_run_cell = sweep_mod.run_cell
+
+        def flaky(cell):
+            if cell.config_hash() == doomed:
+                raise RuntimeError("transient worker death")
+            return real_run_cell(cell)
+
+        monkeypatch.setattr(sweep_mod, "run_cell", flaky)
+        first = run_sweep(mini_spec, tmp_path, workers=1)
+        assert not first.ok
+        assert list(first.failed) == [doomed]
+        assert "transient worker death" in first.failed[doomed]
+        assert len(first.ran) == 3
+        with pytest.raises(FileNotFoundError):
+            merge_sweep(mini_spec, tmp_path)
+
+        monkeypatch.setattr(sweep_mod, "run_cell", real_run_cell)
+        resumed = run_sweep(mini_spec, tmp_path, workers=1)
+        assert resumed.ok
+        assert resumed.ran == [doomed]
+        assert len(resumed.cached) == 3
+
+    def test_resume_on_empty_cache_runs_everything(self, mini_spec, tmp_path):
+        result = run_sweep(mini_spec, tmp_path / "fresh", workers=1)
+        assert result.ok and len(result.ran) == 4 and not result.cached
+
+
+class TestArtifactLayout:
+    def test_artifact_is_canonical_json_keyed_by_hash(
+        self, mini_spec, warm_cache
+    ):
+        from repro.analysis.report import canonical_json
+
+        cache, _ = warm_cache
+        cell = mini_spec.cells()[0]
+        path = cell_artifact_path(cache, cell)
+        assert path.name == f"{cell.config_hash()}.json"
+        text = path.read_text()
+        body = json.loads(text)
+        assert text == canonical_json(body) + "\n"
+        assert body["config"] == cell.to_dict()
+        assert set(body) == {"format", "hash", "config", "result", "checksum"}
+
+    def test_no_temp_files_left_behind(self, warm_cache):
+        cache, _ = warm_cache
+        assert not list(cache.glob("*.tmp"))
