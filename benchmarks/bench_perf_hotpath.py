@@ -47,6 +47,7 @@ from repro.core.scalar_ref import (  # noqa: E402
     dag_best_path_scalar,
 )
 from repro.mapreduce import JobSpec, ShuffleClass, build_flows  # noqa: E402
+from repro.simulator import FlowNetwork  # noqa: E402
 from repro.topology import (  # noqa: E402
     FatTreeConfig,
     TreeConfig,
@@ -63,11 +64,28 @@ CASES = [
     ("fattree_k4", lambda: build_fattree(FatTreeConfig(k=4)), 6, 2),
     ("tree_d3f4", lambda: build_tree(TreeConfig(depth=3, fanout=4, redundancy=2)), 16, 4),
     ("fattree_k8", lambda: build_fattree(FatTreeConfig(k=8)), 32, 8),
+    ("fattree_k16", lambda: build_fattree(FatTreeConfig(k=16)), 24, 6),
 ]
 if QUICK:
-    CASES = CASES[:2]
+    # Keep the two smallest cases plus a slimmed k=16 (same 1024-server
+    # fabric, one small job) so CI still exercises the datacenter scale the
+    # incremental work targets.
+    CASES = CASES[:2] + [
+        ("fattree_k16_lite", lambda: build_fattree(FatTreeConfig(k=16)), 4, 2),
+    ]
 
 REPEATS = 1 if QUICK else 3
+
+# Churn microbench scale: (topology, flow population, churn events,
+# same-block locality in server-id space).  The block equals one edge
+# switch's server span (k/2), i.e. rack-local shuffle traffic — the regime
+# locality-aware MapReduce placement produces and the one the incremental
+# allocator targets: the sharing graph decomposes into rack-sized
+# components, so a churn event dirties one rack, not the fabric.
+if QUICK:
+    CHURN = ("fattree_k8", lambda: build_fattree(FatTreeConfig(k=8)), 2_000, 60, 4)
+else:
+    CHURN = ("fattree_k16", lambda: build_fattree(FatTreeConfig(k=16)), 10_000, 150, 8)
 
 
 def make_instance(builder, num_maps: int, num_reduces: int) -> TAAInstance:
@@ -158,7 +176,7 @@ class scalar_kernels:
         self._cache = hit_mod.PairCostCache
         self._dp = PolicyController._dag_best_path
 
-        def scalar_pref(taa, container_ids=None, cache=None):
+        def scalar_pref(taa, container_ids=None, cache=None, previous=None):
             scalar_cache = (
                 cache.refreshed() if isinstance(cache, FreshScalarCache) else None
             )
@@ -240,6 +258,76 @@ def bench_case(name, builder, num_maps, num_reduces) -> dict:
     return case
 
 
+def bench_churn(name, builder, n_flows, events, block) -> dict:
+    """Flow-churn microbench: incremental vs full max-min reallocation.
+
+    Populates the fabric with ``n_flows`` block-local flows (rack-local
+    multi-tenant traffic: endpoints drawn from the same ``block`` consecutive
+    servers, so the flow/resource sharing graph decomposes into rack-sized
+    components),
+    then replays an identical remove+add churn sequence through both
+    allocator modes, recomputing rates after every event.  Asserts the two
+    final states are bit-identical before reporting the speedup.
+    """
+    topo = builder()
+    servers = list(topo.server_ids)
+    rng = np.random.default_rng(0)
+
+    def sample_path():
+        base = int(rng.integers(len(servers) // block)) * block
+        a, b = rng.choice(block, size=2, replace=False)
+        return topo.shortest_path(servers[base + int(a)], servers[base + int(b)])
+
+    initial = [
+        (fid, sample_path(), float(rng.uniform(1.0, 50.0)))
+        for fid in range(n_flows)
+    ]
+    removals = rng.permutation(n_flows)[:events]
+    arrivals = [
+        (n_flows + e, sample_path(), float(rng.uniform(1.0, 50.0)))
+        for e in range(events)
+    ]
+
+    def run_mode(incremental: bool) -> tuple[FlowNetwork, float]:
+        net = FlowNetwork(topo, incremental=incremental)
+        for fid, path, size in initial:
+            net.add_flow(fid, path, size)
+        net.recompute_rates()
+        t0 = time.perf_counter()
+        for e in range(events):
+            net.remove_flow(int(removals[e]))
+            fid, path, size = arrivals[e]
+            net.add_flow(fid, path, size)
+            net.recompute_rates()
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        return net, elapsed_ms
+
+    inc_net, inc_ms = run_mode(True)
+    full_net, full_ms = run_mode(False)
+
+    inc_flows = {f.flow_id: f.rate for f in inc_net.active_flows}
+    full_flows = {f.flow_id: f.rate for f in full_net.active_flows}
+    fids = sorted(full_flows)
+    identical = (
+        list(inc_flows) == list(full_flows)
+        and np.array([inc_flows[f] for f in fids]).tobytes()
+        == np.array([full_flows[f] for f in fids]).tobytes()
+        and inc_net.resource_rates().tobytes()
+        == full_net.resource_rates().tobytes()
+    )
+    if not identical:
+        raise AssertionError("incremental and full churn states diverged")
+    return {
+        "case": name,
+        "flows": n_flows,
+        "events": events,
+        "full_ms": round(full_ms, 3),
+        "incremental_ms": round(inc_ms, 3),
+        "speedup": round(full_ms / inc_ms, 2),
+        "bit_identical": True,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -272,6 +360,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{case['initial_wave']['vector_ms']:8.2f} ms "
             f"({case['initial_wave']['speedup']:5.1f}x)"
         )
+
+    churn = bench_churn(*CHURN)
+    report["churn"] = churn
+    print(
+        f"churn {churn['case']} flows={churn['flows']} "
+        f"events={churn['events']}: full {churn['full_ms']:.1f} ms -> "
+        f"incremental {churn['incremental_ms']:.1f} ms "
+        f"({churn['speedup']:.1f}x, bit-identical)"
+    )
 
     largest = max(report["cases"], key=lambda c: c["servers"])
     report["largest_case"] = largest["case"]

@@ -11,7 +11,8 @@ Compares the JSON reports written by ``bench_perf_hotpath.py``
   machine for a given seed — compared near-exactly (``--sim-tolerance``,
   default 1e-6 relative).  A drift here is a *behaviour* change, not noise.
 * **Wall-clock speedup ratios** (hotpath ``grading.speedup`` /
-  ``initial_wave.speedup``) are machine-dependent; a regression is flagged
+  ``initial_wave.speedup`` / ``churn.speedup``) are machine-dependent; a
+  regression is flagged
   only when the current ratio falls below ``baseline * (1 - tolerance)``
   (default 0.5 — i.e. losing more than half the recorded speedup).
   Absolute ``*_ms`` timings are never compared.
@@ -129,6 +130,24 @@ def compare_hotpath(
                 cur[section]["speedup"],
                 tolerance,
             )
+    base_churn = baseline.get("churn")
+    if base_churn is not None:
+        cur_churn = current.get("churn")
+        if cur_churn is None:
+            _check(checks, "churn: present", "exact", True, False, False,
+                   "churn section missing from current report")
+        else:
+            for field in ("case", "flows", "events"):
+                _exact(checks, f"churn: {field}",
+                       base_churn.get(field), cur_churn.get(field))
+            # The equivalence assertion is part of the bench itself; a report
+            # can only carry True, but gate it anyway so a silently edited
+            # report cannot pass.
+            _exact(checks, "churn: bit_identical",
+                   True, cur_churn.get("bit_identical"))
+            _ratio_min(checks, "churn: speedup",
+                       base_churn.get("speedup"), cur_churn.get("speedup"),
+                       tolerance)
     return checks
 
 

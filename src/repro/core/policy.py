@@ -163,6 +163,12 @@ class PolicyController:
             self._switch_mask[w] = True
             self._cost_base[w] = cm.unit_cost * cm.tier_weights.get(switch.tier, 1.0)
             self._switch_cap[w] = switch.capacity
+        # Per-node traversal cost under *current* loads, maintained
+        # incrementally: only the switches a mutation touches are re-priced,
+        # so cost queries (the DP stage gathers, path_cost) never rebuild
+        # per-node costs from the load dicts.  Failed switches keep their
+        # finite price here — the infinite mask is applied at gather time.
+        self._cost_arr = self._cost_base.copy()
 
     @property
     def load_version(self) -> int:
@@ -202,6 +208,23 @@ class PolicyController:
                 loads[w] += rate
         return loads
 
+    def _reprice(self, switches: Iterable[int]) -> None:
+        """Refresh ``_cost_arr`` for the switches whose load just changed.
+
+        The scalar expression mirrors :meth:`CostModel.switch_cost` (and the
+        vectorised form it replaced) operation for operation, so the stored
+        floats stay bit-identical to a from-scratch pricing.
+        """
+        cw = self.cost_model.congestion_weight
+        if cw <= 0:
+            return
+        for w in switches:
+            cap = self._switch_cap[w]
+            if cap > 0:
+                self._cost_arr[w] = self._cost_base[w] + cw * (
+                    (self._load_arr[w] + self._base_arr[w]) / cap
+                )
+
     def set_base_load(self, switch_id: int, rate: float) -> None:
         """External (background) load on a switch.
 
@@ -212,6 +235,7 @@ class PolicyController:
             raise ValueError("base load must be non-negative")
         self._base_load[switch_id] = rate
         self._base_arr[switch_id] = rate
+        self._reprice((switch_id,))
         self._load_version += 1
 
     def base_loads_from(self, other: "PolicyController") -> None:
@@ -219,6 +243,7 @@ class PolicyController:
         for w in self.topology.switch_ids:
             self._base_load[w] = other.load(w)
             self._base_arr[w] = self._base_load[w]
+        self._reprice(self.topology.switch_ids)
         self._load_version += 1
 
     def residual(self, switch_id: int) -> float:
@@ -312,6 +337,7 @@ class PolicyController:
             self._load[w] += flow.rate
             self._load_arr[w] = self._load[w]
             self._flows_on[w] += 1
+        self._reprice(policy.switch_list)
         self._load_version += 1
         if capacitated:
             self._capacitated.add(flow.flow_id)
@@ -358,6 +384,7 @@ class PolicyController:
                     self._cap_load[w] = 0.0
                 else:
                     self._cap_load[w] = max(self._cap_load[w] - rate, 0.0)
+        self._reprice(policy.switch_list)
         self._load_version += 1
         if _OBS.enabled:
             _OBS.tracer.count("alg1.release")
@@ -373,33 +400,28 @@ class PolicyController:
             self._flows_on[w] = 0
             self._cap_flows_on[w] = 0
         self._load_arr[:] = 0.0
+        self._reprice(self.topology.switch_ids)
         self._load_version += 1
 
     # --------------------------------------------------------- cost queries
     def path_cost(self, path: Sequence[int], rate: float) -> float:
         """Cost of carrying ``rate`` along a node path under current loads."""
-        return rate * sum(
-            self.cost_model.switch_cost(self.topology, n, self.load(n))
-            for n in path
-            if self.topology.is_switch(n)
-        )
+        arr = self._cost_arr
+        mask = self._switch_mask
+        total = 0.0
+        for n in path:
+            if mask[n]:
+                total += arr[n]
+        return float(rate * total)
 
     def node_cost_vector(self, nodes: np.ndarray) -> np.ndarray:
-        """Per-node traversal costs under current loads, vectorised.
+        """Per-node traversal costs under current loads.
 
-        Element-for-element this computes exactly what
-        :meth:`CostModel.switch_cost` returns (same operation order, so the
-        floats are bit-identical); servers contribute 0.0.
+        A gather from the incrementally-maintained ``_cost_arr`` — element
+        for element exactly what :meth:`CostModel.switch_cost` returns
+        (servers contribute 0.0), with failed switches priced infinite.
         """
-        costs = self._cost_base[nodes].copy()
-        cw = self.cost_model.congestion_weight
-        if cw > 0:
-            mask = self._switch_cap[nodes] > 0
-            if mask.any():
-                loads = self._load_arr[nodes] + self._base_arr[nodes]
-                costs[mask] += cw * (
-                    loads[mask] / self._switch_cap[nodes][mask]
-                )
+        costs = self._cost_arr[nodes]
         if self._failed_switches:
             # Dead switches are unroutable at any price — pricing them
             # infinite makes every DP (capacitated or not) route around
@@ -410,7 +432,10 @@ class PolicyController:
     def all_node_costs(self) -> np.ndarray:
         """Traversal-cost vector over every node id (the batched solver's
         input); recompute after any load mutation (see :attr:`load_version`)."""
-        return self.node_cost_vector(np.arange(self.topology.num_nodes))
+        costs = self._cost_arr.copy()
+        if self._failed_switches:
+            costs[self._failed_mask] = _INF
+        return costs
 
     def policy_cost(self, flow: ShuffleFlow) -> float:
         """Shuffle cost of a flow under its installed policy (Eq 2).

@@ -19,13 +19,16 @@ Route costs are evaluated with the capacity constraint relaxed (grading
 pass — feasibility is enforced at matching and policy-installation time).
 With capacities relaxed the optimal route between two servers is independent
 of the flow's rate, so the costs depend only on the server pair — and the
-grading pass prices them **all at once**: one batched layered min-plus DP
-per source server (:func:`~repro.topology.routing.single_source_unit_costs`)
-fills an ``S x S`` all-pairs unit-cost matrix, and each preference column is
-then assembled as ``column += rate * U[:, other]`` array gathers.  The
-matrix is keyed to the controller's load version and rebuilt only when
-switch loads actually change, so every consumer in a sweep (grading, the
-matching fallback, subsequent-wave placement) shares one build.
+grading pass prices them **by fixed endpoint**: one batched layered min-plus
+DP (:func:`~repro.topology.routing.single_source_unit_costs`) rooted at each
+server that hosts an opposite flow endpoint yields that server's unit-cost
+column over all ``S`` candidates, and each preference column is assembled as
+``column += rate * cache.column(other)`` array gathers.  Only the columns
+actually referenced are ever priced — a handful out of ``S`` on large
+fabrics — and they are keyed to the controller's load version and re-priced
+only when switch loads actually change, so every consumer in a sweep
+(grading, the matching fallback, subsequent-wave placement) shares one set
+of builds.
 """
 
 from __future__ import annotations
@@ -42,17 +45,26 @@ __all__ = ["PreferenceMatrix", "build_preference_matrix", "PairCostCache"]
 
 
 class PairCostCache:
-    """Unit-rate optimal route costs between server pairs, matrix-backed.
+    """Unit-rate optimal route costs between server pairs, column-backed.
 
-    A thin view over the all-pairs unit-cost matrix ``U``: ``U[i, j]`` is the
-    relaxed-capacity optimal route cost between servers ``server_ids[i]`` and
-    ``server_ids[j]`` at rate 1.  Costs are symmetric (reversing an
-    undirected path traverses the same switches); each entry is priced from
-    the lower-id endpoint, matching the canonical orientation the scalar
-    per-pair DP used.  The matrix is built lazily by ``S`` batched
-    single-source passes and invalidated automatically whenever the
-    controller's switch loads change (:attr:`PolicyController.load_version`),
-    so one long-lived cache can be shared across sweeps.
+    ``column(b)[i]`` is the relaxed-capacity optimal route cost between
+    servers ``server_ids[i]`` and ``b`` at rate 1, priced by one batched
+    layered min-plus pass *from* ``b``
+    (:func:`~repro.topology.routing.single_source_unit_costs`).  Costs are
+    mathematically symmetric — reversing an undirected path traverses the
+    same switches — so the pricing direction only fixes the floating-point
+    summation order; every consumer (this cache, the grading pass, and the
+    scalar reference in :mod:`repro.core.scalar_ref`) prices from the
+    *fixed* endpoint (the second argument / the column server), which keeps
+    the vectorised and scalar implementations bit-identical.
+
+    Columns are priced **lazily**: the grading pass only needs the columns
+    of servers that currently host an opposite flow endpoint — on a large
+    fabric a tiny subset of all ``S`` columns — so an all-pairs build would
+    be almost entirely wasted work.  Priced columns are invalidated
+    automatically whenever the controller's switch loads change
+    (:attr:`PolicyController.load_version`), so one long-lived cache can be
+    shared across sweeps.
     """
 
     def __init__(self, taa: TAAInstance) -> None:
@@ -61,45 +73,39 @@ class PairCostCache:
         self._server_index: dict[int, int] = {
             s: i for i, s in enumerate(self._server_ids)
         }
-        self._matrix: np.ndarray | None = None
+        self._servers_arr = np.asarray(self._server_ids, dtype=np.int64)
+        self._columns: dict[int, np.ndarray] = {}
+        self._node_costs: np.ndarray | None = None
         self._version: int = -1
 
     # --------------------------------------------------------------- building
-    def _ensure(self) -> np.ndarray:
+    def _sync(self) -> None:
+        """Drop stale columns when the controller's switch loads changed."""
         controller = self._taa.controller
-        if self._matrix is None or self._version != controller.load_version:
-            if _OBS.enabled:
-                _OBS.tracer.count("pref.unit_matrix.build")
-                with _OBS.tracer.timeit("pref.unit_matrix"):
-                    self._matrix = self._build()
-            else:
-                self._matrix = self._build()
+        if self._node_costs is None or self._version != controller.load_version:
+            self._columns.clear()
+            self._node_costs = controller.all_node_costs()
             self._version = controller.load_version
-        return self._matrix
 
-    def _build(self) -> np.ndarray:
-        topology = self._taa.topology
-        node_costs = self._taa.controller.all_node_costs()
-        servers = np.asarray(self._server_ids, dtype=np.int64)
-        s = len(servers)
-        rows = np.zeros((s, s), dtype=np.float64)
-        # Row i prices every pair whose lower-id endpoint is server i, so the
-        # last server's row is never consulted and is skipped.
-        for i in range(s - 1):
-            rows[i] = single_source_unit_costs(
-                topology, int(servers[i]), node_costs
-            )[servers]
-        upper = np.triu_indices(s, k=1)
-        matrix = np.zeros((s, s), dtype=np.float64)
-        matrix[upper] = rows[upper]
-        matrix += matrix.T
-        return matrix
+    def _price_column(self, server_id: int) -> np.ndarray:
+        column = single_source_unit_costs(
+            self._taa.topology, server_id, self._node_costs
+        )[self._servers_arr]
+        column.setflags(write=False)
+        return column
 
     # -------------------------------------------------------------- accessors
     @property
     def matrix(self) -> np.ndarray:
-        """The ``S x S`` all-pairs unit-cost matrix (built on first use)."""
-        return self._ensure()
+        """The ``S x S`` all-pairs unit-cost matrix (prices every column).
+
+        ``matrix[i, j]`` is priced from ``server_ids[j]``; use only when all
+        pairs are genuinely needed — consumers that touch a handful of fixed
+        endpoints should use :meth:`column` and keep the build lazy.
+        """
+        return np.stack(
+            [self.column(s) for s in self._server_ids], axis=1
+        )
 
     @property
     def server_ids(self) -> tuple[int, ...]:
@@ -111,24 +117,34 @@ class PairCostCache:
         return self._server_index
 
     def unit_cost(self, a: int, b: int) -> float:
-        """Optimal route cost between servers ``a`` and ``b`` at rate 1."""
+        """Optimal route cost between servers ``a`` and ``b`` at rate 1.
+
+        Priced from ``b`` (see the class docstring); ``unit_cost(a, b)`` and
+        ``unit_cost(b, a)`` are equal up to summation order.
+        """
         if a == b:
             return 0.0
-        return float(
-            self._ensure()[self._server_index[a], self._server_index[b]]
-        )
+        return float(self.column(b)[self._server_index[a]])
 
     def column(self, server_id: int) -> np.ndarray:
-        """Unit costs from *every* server to ``server_id`` (one gather)."""
-        return self._ensure()[:, self._server_index[server_id]]
+        """Unit costs between *every* server and ``server_id``, from one
+        single-source pass rooted at ``server_id`` (priced lazily, memoised
+        per load version)."""
+        self._sync()
+        cached = self._columns.get(server_id)
+        if cached is None:
+            if _OBS.enabled:
+                _OBS.tracer.count("pref.unit_matrix.build")
+                with _OBS.tracer.timeit("pref.unit_matrix"):
+                    cached = self._price_column(server_id)
+            else:
+                cached = self._price_column(server_id)
+            self._columns[server_id] = cached
+        return cached
 
     def __len__(self) -> int:
-        """Number of distinct server pairs currently priced (0 until the
-        matrix is first built, then all of them)."""
-        if self._matrix is None:
-            return 0
-        s = len(self._server_ids)
-        return s * (s - 1) // 2
+        """Number of source columns currently priced (0 until first use)."""
+        return len(self._columns)
 
 
 @dataclass
@@ -149,6 +165,37 @@ class PreferenceMatrix:
         self._container_index = {c: j for j, c in enumerate(self.container_ids)}
         #: Lazily filled per-server rank arrays (see :meth:`server_rank_array`).
         self._rank_arrays: dict[int, np.ndarray] = {}
+        #: Memoised container rankings (column argsorts), by column index.
+        self._ranking_cache: dict[int, list[int]] = {}
+        #: Predecessor matrix (previous sweep of the same Alg-2 loop) whose
+        #: cached rankings/rank arrays can be reused for rows/columns whose
+        #: inputs are bit-identical.  See :meth:`chain_previous`.
+        self._prev: "PreferenceMatrix | None" = None
+        self._prev_current_equal = False
+
+    def chain_previous(self, previous: "PreferenceMatrix | None") -> None:
+        """Adopt a previous sweep's matrix as a rank-reuse donor.
+
+        Ranking reuse is purely equality-gated — a ranking is taken from the
+        donor only when every float it depends on is bit-identical — so
+        chaining never changes results, it only skips recomputing argsorts
+        for unchanged rows/columns (the common case in the stale tail of the
+        Alg-2 sweep loop, where consecutive sweeps see identical loads and
+        placement).  The donor's own chain is cut to bound the reuse walk at
+        depth one.
+        """
+        if previous is None or previous is self:
+            return
+        previous._prev = None
+        if (
+            previous.server_ids != self.server_ids
+            or previous.container_ids != self.container_ids
+        ):
+            return
+        self._prev = previous
+        self._prev_current_equal = np.array_equal(
+            self.current_cost, previous.current_cost
+        )
 
     # ------------------------------------------------------------- accessors
     @property
@@ -181,11 +228,20 @@ class PreferenceMatrix:
         lower server id for determinism.
         """
         j = self._container_index[container_id]
+        cached = self._ranking_cache.get(j)
+        if cached is not None:
+            return cached
         column = self.cost[:, j]
-        order = np.argsort(column, kind="stable")
-        return [
-            self.server_ids[i] for i in order if np.isfinite(column[i])
-        ]
+        prev = self._prev
+        if prev is not None and np.array_equal(column, prev.cost[:, j]):
+            ranking = prev.container_ranking(container_id)
+        else:
+            order = np.argsort(column, kind="stable")
+            ranking = [
+                self.server_ids[i] for i in order if np.isfinite(column[i])
+            ]
+        self._ranking_cache[j] = ranking
+        return ranking
 
     def _server_utilities(self, row: int) -> np.ndarray:
         """The utility vector one server grades every container with."""
@@ -233,6 +289,17 @@ class PreferenceMatrix:
         cached = self._rank_arrays.get(i)
         if cached is not None:
             return cached
+        prev = self._prev
+        if (
+            prev is not None
+            and self._prev_current_equal
+            and np.array_equal(self.cost[i], prev.cost[i])
+        ):
+            # Identical utilities and feasibility → identical ranks; borrow
+            # the donor's (read-only) array instead of re-argsorting.
+            ranks = prev.server_rank_array(server_id)
+            self._rank_arrays[i] = ranks
+            return ranks
         n = len(self.container_ids)
         order = np.argsort(-self._server_utilities(i), kind="stable")
         feasible_in_order = order[np.isfinite(self.cost[i, order])]
@@ -257,6 +324,7 @@ def build_preference_matrix(
     taa: TAAInstance,
     container_ids: list[int] | None = None,
     cache: PairCostCache | None = None,
+    previous: PreferenceMatrix | None = None,
 ) -> PreferenceMatrix:
     """Run the grading pass of Algorithm 1 and assemble the matrix.
 
@@ -266,12 +334,17 @@ def build_preference_matrix(
     placement-indifferent — grading them would add all-zero columns.
     ``cache`` lets the caller share one :class:`PairCostCache` (and its
     all-pairs matrix) across the grading pass and the matching fallback; a
-    fresh one is built when omitted.
+    fresh one is built when omitted.  ``previous`` (the previous sweep's
+    matrix over the same axes) donates its cached rankings for rows/columns
+    whose inputs did not change — see :meth:`PreferenceMatrix.chain_previous`.
     """
     if _OBS.enabled:
         with _OBS.tracer.timeit("pref.build"):
-            return _build_preference_matrix(taa, container_ids, cache)
-    return _build_preference_matrix(taa, container_ids, cache)
+            matrix = _build_preference_matrix(taa, container_ids, cache)
+    else:
+        matrix = _build_preference_matrix(taa, container_ids, cache)
+    matrix.chain_previous(previous)
+    return matrix
 
 
 def _build_preference_matrix(
@@ -289,7 +362,6 @@ def _build_preference_matrix(
     server_ids = cluster.server_ids
     if cache is None:
         cache = PairCostCache(taa)
-    unit = cache.matrix
     server_index = cache.server_index
 
     m, n = len(server_ids), len(container_ids)
@@ -325,7 +397,7 @@ def _build_preference_matrix(
             other_server = cluster.container(other_cid).server_id
             if other_server is None:
                 continue
-            column += flow.rate * unit[:, server_index[other_server]]
+            column += flow.rate * cache.column(other_server)
         demand = np.asarray(container.demand.as_tuple(), dtype=np.float64)
         column[(capacities < demand).any(axis=1)] = np.inf
         if failed_rows is not None and failed_rows.size:

@@ -136,7 +136,15 @@ def optimal_path_scalar(
 
 
 class ScalarPairCostCache:
-    """The original per-pair memoised cache, one scalar DP per server pair."""
+    """The original per-pair memoised cache, one scalar DP per server pair.
+
+    Pairs are priced **from the fixed endpoint** (the second argument) —
+    the same canonical orientation the vectorised
+    :class:`~repro.core.preference.PairCostCache` uses for its lazy
+    per-column pricing — so the two implementations remain bit-identical
+    term by term.  (Costs are mathematically symmetric; the orientation
+    only pins the floating-point summation order.)
+    """
 
     def __init__(self, taa: "TAAInstance") -> None:
         self._taa = taa
@@ -145,14 +153,13 @@ class ScalarPairCostCache:
     def unit_cost(self, a: int, b: int) -> float:
         if a == b:
             return 0.0
-        key = (a, b) if a < b else (b, a)
-        cached = self._cache.get(key)
+        cached = self._cache.get((a, b))
         if cached is None:
             _, cached = optimal_path_scalar(
-                self._taa.controller, key[0], key[1], rate=1.0,
+                self._taa.controller, b, a, rate=1.0,
                 enforce_capacity=False,
             )
-            self._cache[key] = cached
+            self._cache[(a, b)] = cached
         return cached
 
     def __len__(self) -> int:
@@ -163,8 +170,14 @@ def build_preference_matrix_scalar(
     taa: "TAAInstance",
     container_ids: list[int] | None = None,
     cache: ScalarPairCostCache | None = None,
+    previous: PreferenceMatrix | None = None,
 ) -> PreferenceMatrix:
-    """The original grading pass: per-server-pair scalar DPs, Python loops."""
+    """The original grading pass: per-server-pair scalar DPs, Python loops.
+
+    ``previous`` is accepted for call-compatibility with the vectorised
+    builder and deliberately ignored: the reference always rebuilds from
+    scratch (no reuse to go wrong).
+    """
     cluster = taa.cluster
     if container_ids is None:
         container_ids = [

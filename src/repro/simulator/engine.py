@@ -108,6 +108,10 @@ class SimulationConfig:
     #: ``timeline_dt`` simulated time units — reads only, so a recorded run
     #: is byte-identical to an unrecorded one.
     timeline_dt: float | None = None
+    #: Use the incremental (dirty-component) max-min allocator.  Allocations
+    #: are bit-identical either way — False forces a full progressive fill
+    #: on every recompute, for verification and benchmarking.
+    network_incremental: bool = True
 
 
 @dataclass
@@ -181,7 +185,11 @@ class MapReduceSimulator:
         self.controller = PolicyController(
             topology, cost_model=self.config.cost_model
         )
-        self.network = FlowNetwork(topology, self.config.delay_model)
+        self.network = FlowNetwork(
+            topology,
+            self.config.delay_model,
+            incremental=self.config.network_incremental,
+        )
         self.metrics = MetricsCollector()
         self.hdfs = HdfsModel(
             topology,

@@ -16,11 +16,39 @@ engine advances remaining sizes by ``rate * dt`` and asks for the earliest
 completion.  A per-flow *packet delay* estimate (Figure 7b's metric) is
 derived from an M/M/1-style utilisation curve on the switches the flow
 traverses, evaluated when the flow starts.
+
+Allocator architecture (the datacenter-scale rework):
+
+Flow state lives in contiguous slot arrays (``remaining``/``rate``/per-slot
+resource index rows) rather than per-object Python attributes, so
+``advance``/``time_to_next_completion``/``completed_flows`` are single
+vectorised passes.  ``recompute_rates`` is **incremental**: every
+``add_flow``/``remove_flow``/``reroute_flow`` records the touched resource
+indices as *seeds*, and the next recompute runs progressive filling only
+over the connected component(s) of the flow↔resource sharing graph reachable
+from those seeds.  Max-min fairness decomposes exactly over connected
+components — a component's levels, freeze order and ``remaining -= level *
+counts`` updates never read or write another component's state (the
+cross-component subtractions of the monolithic fill are exact float no-ops,
+``x - level * 0 == x``), and the bottleneck ``argmin`` tie-break (lowest
+resource index) is preserved because component resources are kept sorted by
+global index — so the restricted fill is **bit-identical** to a full
+recompute (property-tested in ``tests/simulator/test_network_incremental``).
+When the dirty closure exceeds ``incremental_threshold`` of the active
+flows, the allocator falls back to one full fill, which is transparent for
+the same reason.
+
+An aggregate per-resource rate array is refreshed from the refilled
+component at each recompute (and adjusted incrementally on remove/reroute in
+between), serving ``switch_utilisation``/``resource_rates``/
+``utilisation_by_*`` in O(1)/O(resources) instead of a per-flow scan — this
+is what keeps flow admission (``_estimate_delay``) off the O(switches ×
+flows) path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -28,6 +56,9 @@ import numpy as np
 from ..topology.base import Topology
 
 __all__ = ["ActiveFlow", "FlowNetwork", "DelayModel"]
+
+#: Sub-this remaining bytes count as finished (absorbs rate*dt rounding).
+_COMPLETION_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -44,26 +75,118 @@ class DelayModel:
     max_utilisation: float = 0.9
 
 
-@dataclass
 class ActiveFlow:
-    """A shuffle flow in flight."""
+    """A shuffle flow in flight.
 
-    flow_id: int
-    path: tuple[int, ...]
-    remaining: float
-    resources: tuple[int, ...]
-    rate: float = 0.0
-    start_time: float = 0.0
-    start_delay_us: float = 0.0
-    num_switches: int = 0
+    ``remaining`` and ``rate`` are views into the owning network's slot
+    arrays while the flow is active; :meth:`FlowNetwork.remove_flow`
+    detaches the object, materialising both values so callers can keep
+    reading them after removal (the engine records completion metrics off
+    the returned object).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "path",
+        "resources",
+        "start_time",
+        "start_delay_us",
+        "num_switches",
+        "_net",
+        "_slot",
+        "_remaining",
+        "_rate",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        path: tuple[int, ...],
+        resources: tuple[int, ...],
+        start_time: float,
+        num_switches: int,
+        net: "FlowNetwork",
+        slot: int,
+    ) -> None:
+        self.flow_id = flow_id
+        self.path = path
+        self.resources = resources
+        self.start_time = start_time
+        self.start_delay_us = 0.0
+        self.num_switches = num_switches
+        self._net: FlowNetwork | None = net
+        self._slot = slot
+        self._remaining = 0.0
+        self._rate = 0.0
+
+    @property
+    def remaining(self) -> float:
+        net = self._net
+        if net is None:
+            return self._remaining
+        return float(net._rem[self._slot])
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        net = self._net
+        if net is None:
+            self._remaining = value
+        else:
+            net._rem[self._slot] = value
+
+    @property
+    def rate(self) -> float:
+        net = self._net
+        if net is None:
+            return self._rate
+        return float(net._rate_arr[self._slot])
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        net = self._net
+        if net is None:
+            self._rate = value
+        else:
+            net._rate_arr[self._slot] = value
+
+    def _detach(self) -> None:
+        """Freeze the array-backed fields into the object (on removal)."""
+        net = self._net
+        if net is not None:
+            self._remaining = float(net._rem[self._slot])
+            self._rate = float(net._rate_arr[self._slot])
+            self._net = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ActiveFlow(flow_id={self.flow_id}, path={self.path}, "
+            f"remaining={self.remaining}, rate={self.rate})"
+        )
 
 
 class FlowNetwork:
-    """Max-min fair fluid network over a topology."""
+    """Max-min fair fluid network over a topology.
 
-    def __init__(self, topology: Topology, delay_model: DelayModel | None = None) -> None:
+    ``incremental`` selects the component-restricted allocator (the
+    default); ``incremental=False`` forces a full progressive fill on every
+    recompute.  Both modes produce bit-identical rates and aggregate
+    loads — the flag exists for verification and benchmarking.
+    ``incremental_threshold`` is the dirty-closure fraction of active flows
+    beyond which an incremental recompute falls back to one full fill.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        delay_model: DelayModel | None = None,
+        *,
+        incremental: bool = True,
+        incremental_threshold: float = 0.5,
+    ) -> None:
         self.topology = topology
         self.delay_model = delay_model or DelayModel()
+        self.incremental = incremental
+        self.incremental_threshold = incremental_threshold
         # Resource index space: directed links first, then switches.
         self._link_index: dict[tuple[int, int], int] = {}
         caps: list[float] = []
@@ -77,8 +200,38 @@ class FlowNetwork:
             self._switch_resource[w] = len(caps)
             caps.append(topology.switch(w).capacity)
         self._caps = np.asarray(caps, dtype=np.float64)
+        m = len(caps)
+        # Aggregate allocated rate per resource (kept in lockstep with the
+        # last recompute, minus the rates of flows removed/rerouted since).
+        self._agg = np.zeros(m, dtype=np.float64)
+        # Active-flow count per resource, for cheap emptiness tests.
+        self._res_nflows = np.zeros(m, dtype=np.int64)
+        # Slot-array flow state, grown by doubling; a freelist recycles
+        # vacated slots so churny workloads stay compact.
+        cap0 = 64
+        self._rem = np.zeros(cap0, dtype=np.float64)
+        self._rate_arr = np.zeros(cap0, dtype=np.float64)
+        self._slot_seq = np.zeros(cap0, dtype=np.int64)
+        self._slot_res: list[np.ndarray | None] = [None] * cap0
+        self._slot_flow: list[ActiveFlow | None] = [None] * cap0
+        # Padded resource-incidence matrix: row ``s`` holds slot ``s``'s
+        # resource indices padded with the sentinel ``m``, so the closure
+        # BFS runs as whole-array gathers instead of per-flow set walks.
+        # ``_in_use`` gates vacated rows (their stale contents are ignored).
+        self._inc_stride = 8
+        self._inc = np.full((cap0, self._inc_stride), m, dtype=np.int64)
+        self._in_use = np.zeros(cap0, dtype=bool)
+        self._free: list[int] = []
+        self._n_slots = 0
+        self._seq = 0
         self._flows: dict[int, ActiveFlow] = {}
-        self._dirty = True
+        # Dirty-tracking: resources touched since the last recompute.
+        self._dirty = False
+        self._seed_res: set[int] = set()
+        # Lazy caches over the active flow set.
+        self._order_slots: np.ndarray | None = None
+        self._order_fids: np.ndarray | None = None
+        self._active_cache: tuple[ActiveFlow, ...] | None = None
 
     # ------------------------------------------------------------- resources
     def _path_resources(self, path: Sequence[int]) -> tuple[int, ...]:
@@ -109,12 +262,14 @@ class FlowNetwork:
             self.recompute_rates()
 
     def switch_utilisation(self, switch_id: int) -> float:
-        """Current rate through a switch divided by its capacity."""
+        """Current rate through a switch divided by its capacity.
+
+        Served from the allocator's aggregate-rate array — O(1), not a scan
+        over active flows.
+        """
         res = self._switch_resource[switch_id]
-        used = sum(
-            f.rate for f in self._flows.values() if res in f.resources
-        )
-        return used / self._caps[res] if self._caps[res] > 0 else 0.0
+        cap = self._caps[res]
+        return float(self._agg[res] / cap) if cap > 0 else 0.0
 
     def resource_rates(self) -> np.ndarray:
         """Aggregate allocated rate per resource index (read-only snapshot).
@@ -124,14 +279,11 @@ class FlowNetwork:
         telemetry plane) should call :meth:`ensure_rates` first; this method
         itself never recomputes, so it is side-effect free.
         """
-        used = np.zeros(len(self._caps), dtype=np.float64)
-        for f in self._flows.values():
-            used[list(f.resources)] += f.rate
-        return used
+        return self._agg.copy()
 
     def utilisation_by_switch(self) -> dict[int, float]:
         """``{switch_id: rate / capacity}`` over every switch of the fabric."""
-        used = self.resource_rates()
+        used = self._agg
         out: dict[int, float] = {}
         for w, res in self._switch_resource.items():
             cap = self._caps[res]
@@ -140,17 +292,84 @@ class FlowNetwork:
 
     def utilisation_by_link(self) -> dict[tuple[int, int], float]:
         """``{(u, v): rate / bandwidth}`` per *directed* link."""
-        used = self.resource_rates()
+        used = self._agg
         out: dict[tuple[int, int], float] = {}
         for (u, v), res in self._link_index.items():
             cap = self._caps[res]
             out[(u, v)] = float(used[res] / cap) if cap > 0 else 0.0
         return out
 
+    # ------------------------------------------------------------ slot admin
+    def _alloc_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = self._n_slots
+        if slot == len(self._rem):
+            new_cap = 2 * len(self._rem)
+            for name in ("_rem", "_rate_arr", "_slot_seq", "_in_use"):
+                old = getattr(self, name)
+                grown = np.zeros(new_cap, dtype=old.dtype)
+                grown[: len(old)] = old
+                setattr(self, name, grown)
+            inc = np.full(
+                (new_cap, self._inc_stride), len(self._caps), dtype=np.int64
+            )
+            inc[: len(self._inc)] = self._inc
+            self._inc = inc
+            self._slot_res.extend([None] * (new_cap - len(self._slot_res)))
+            self._slot_flow.extend([None] * (new_cap - len(self._slot_flow)))
+        self._n_slots += 1
+        return slot
+
+    def _set_inc_row(self, slot: int, res_arr: np.ndarray) -> None:
+        """Write a slot's incidence row, widening the padded matrix when a
+        path touches more resources than any seen before."""
+        k = res_arr.size
+        m = len(self._caps)
+        if k > self._inc_stride:
+            stride = max(k, 2 * self._inc_stride)
+            grown = np.full((len(self._inc), stride), m, dtype=np.int64)
+            grown[:, : self._inc_stride] = self._inc
+            self._inc, self._inc_stride = grown, stride
+        row = self._inc[slot]
+        row[:k] = res_arr
+        row[k:] = m
+
+    def _free_slot(self, slot: int) -> None:
+        self._rem[slot] = 0.0
+        self._rate_arr[slot] = 0.0
+        self._slot_res[slot] = None
+        self._slot_flow[slot] = None
+        self._in_use[slot] = False
+        self._free.append(slot)
+
+    def _invalidate_flow_caches(self) -> None:
+        self._order_slots = None
+        self._order_fids = None
+        self._active_cache = None
+
+    def _ordered(self) -> tuple[np.ndarray, np.ndarray]:
+        """(slots, flow_ids) of the active flows in insertion order."""
+        if self._order_slots is None:
+            n = len(self._flows)
+            self._order_fids = np.fromiter(
+                self._flows.keys(), dtype=np.int64, count=n
+            )
+            self._order_slots = np.fromiter(
+                (f._slot for f in self._flows.values()),
+                dtype=np.int64,
+                count=n,
+            )
+        return self._order_slots, self._order_fids
+
     # ----------------------------------------------------------------- flows
     @property
     def active_flows(self) -> tuple[ActiveFlow, ...]:
-        return tuple(self._flows[fid] for fid in sorted(self._flows))
+        if self._active_cache is None:
+            self._active_cache = tuple(
+                self._flows[fid] for fid in sorted(self._flows)
+            )
+        return self._active_cache
 
     def _lookup(self, flow_id: int, operation: str) -> ActiveFlow:
         """Active flow by id, or a diagnosable KeyError naming the id and
@@ -189,25 +408,52 @@ class FlowNetwork:
             remaining = size
         if not 0 < remaining <= size:
             raise ValueError("remaining must be in (0, size]")
+        resources = self._path_resources(path)
+        slot = self._alloc_slot()
         flow = ActiveFlow(
             flow_id=flow_id,
             path=tuple(path),
-            remaining=remaining,
-            resources=self._path_resources(path),
+            resources=resources,
             start_time=now,
-            num_switches=sum(
-                1 for n in path if n in self._switch_resource
-            ),
+            num_switches=sum(1 for n in path if n in self._switch_resource),
+            net=self,
+            slot=slot,
         )
+        self._rem[slot] = remaining
+        self._rate_arr[slot] = 0.0
+        self._slot_seq[slot] = self._seq
+        self._seq += 1
+        res_arr = np.asarray(resources, dtype=np.int64)
+        self._slot_res[slot] = res_arr
+        self._slot_flow[slot] = flow
+        self._set_inc_row(slot, res_arr)
+        self._in_use[slot] = True
+        self._res_nflows[res_arr] += 1
         self._flows[flow_id] = flow
+        self._seed_res.update(resources)
         self._dirty = True
+        self._invalidate_flow_caches()
+        # The new flow contributes rate 0.0 until the next recompute, so the
+        # aggregate array already reflects the utilisation its own delay
+        # estimate should see.
         flow.start_delay_us = self._estimate_delay(flow)
         return flow
 
     def remove_flow(self, flow_id: int) -> ActiveFlow:
         flow = self._lookup(flow_id, "remove_flow")
+        slot = flow._slot
+        rate = self._rate_arr[slot]
+        res_arr = self._slot_res[slot]
+        assert res_arr is not None
+        if rate != 0.0:
+            self._agg[res_arr] -= rate
+        self._res_nflows[res_arr] -= 1
+        self._seed_res.update(flow.resources)
+        flow._detach()
         del self._flows[flow_id]
+        self._free_slot(slot)
         self._dirty = True
+        self._invalidate_flow_caches()
         return flow
 
     def reroute_flow(self, flow_id: int, path: Sequence[int]) -> ActiveFlow:
@@ -218,9 +464,26 @@ class FlowNetwork:
             raise ValueError("network flows need a multi-node path")
         if path[0] != flow.path[0] or path[-1] != flow.path[-1]:
             raise ValueError("reroute must preserve the flow's endpoints")
+        new_resources = self._path_resources(path)
+        slot = flow._slot
+        rate = self._rate_arr[slot]
+        old_arr = self._slot_res[slot]
+        assert old_arr is not None
+        new_arr = np.asarray(new_resources, dtype=np.int64)
+        if rate != 0.0:
+            self._agg[old_arr] -= rate
+            self._agg[new_arr] += rate
+        self._res_nflows[old_arr] -= 1
+        self._seed_res.update(flow.resources)
         flow.path = tuple(path)
-        flow.resources = self._path_resources(path)
-        flow.num_switches = sum(1 for n in path if n in self._switch_resource)
+        flow.resources = new_resources
+        flow.num_switches = sum(
+            1 for n in path if n in self._switch_resource
+        )
+        self._slot_res[slot] = new_arr
+        self._set_inc_row(slot, new_arr)
+        self._res_nflows[new_arr] += 1
+        self._seed_res.update(new_resources)
         self._dirty = True
         return flow
 
@@ -228,49 +491,170 @@ class FlowNetwork:
         """Packet-delay estimate (us) along the flow's path at start time."""
         dm = self.delay_model
         delay = dm.link_propagation_us * (len(flow.path) - 1)
-        for node in flow.path:
-            if node not in self._switch_resource:
-                continue
-            rho = min(self.switch_utilisation(node), dm.max_utilisation)
-            delay += dm.switch_service_us / (1.0 - rho)
-        return delay
+        if flow.num_switches == 0:
+            return delay
+        res_arr = self._slot_res[flow._slot]
+        assert res_arr is not None
+        # Switch resources sit after the per-hop link entries of the row.
+        sw = res_arr[len(flow.path) - 1 :]
+        caps = self._caps[sw]
+        util = np.zeros(sw.size, dtype=np.float64)
+        positive = caps > 0
+        np.divide(self._agg[sw], caps, out=util, where=positive)
+        # Aggregate entries can drift a few ulps below zero between
+        # recomputes (float removal refunds); clamp like the capped side.
+        rho = np.clip(util, 0.0, dm.max_utilisation)
+        return float(delay + (dm.switch_service_us / (1.0 - rho)).sum())
 
     # ------------------------------------------------------------ rate logic
     def recompute_rates(self) -> None:
-        """Progressive-filling max-min fair allocation over all resources."""
-        flows = list(self._flows.values())
+        """Max-min fair allocation via (incremental) progressive filling.
+
+        Consumes the accumulated dirty-resource seeds: in incremental mode
+        only the connected component(s) of the flow↔resource sharing graph
+        reachable from a seed are refilled (falling back to one full fill
+        when the closure covers more than ``incremental_threshold`` of the
+        active flows); otherwise every active flow is refilled.  Both paths
+        produce bit-identical rates and aggregates.
+        """
+        seeds = self._seed_res
+        self._seed_res = set()
         self._dirty = False
-        if not flows:
+        if not self._flows:
+            if seeds:
+                self._agg[np.fromiter(seeds, dtype=np.int64)] = 0.0
             return
-        n = len(flows)
+        if self.incremental and seeds:
+            slots = self._closure_slots(seeds)
+            if slots.size > self.incremental_threshold * len(self._flows):
+                slots = self._ordered()[0]
+        else:
+            slots = self._ordered()[0]
+        self._fill(slots, seeds)
+
+    def _closure_slots(self, seeds: set[int]) -> np.ndarray:
+        """Slots of every flow in a sharing-graph component touching a seed
+        resource, in insertion (sequence) order.
+
+        Whole-array BFS over the padded incidence matrix: each round marks
+        the in-use slots touching a visited resource, then marks those
+        slots' resources visited.  Rounds are bounded by the sharing graph's
+        diameter, and each one is a few vectorised gathers — no per-flow
+        Python loop.
+        """
         m = len(self._caps)
-        # Dense incidence: fine at simulation scale (hundreds x hundreds).
-        incidence = np.zeros((m, n), dtype=bool)
-        for j, f in enumerate(flows):
-            incidence[list(f.resources), j] = True
-        remaining = self._caps.copy()
-        unfrozen = np.ones(n, dtype=bool)
-        rates = np.zeros(n, dtype=np.float64)
-        # Resources no flow uses can never bottleneck.
-        while unfrozen.any():
-            counts = (incidence[:, unfrozen]).sum(axis=1)
+        inc = self._inc[: self._n_slots]
+        in_use = self._in_use[: self._n_slots]
+        # Entry ``m`` is the padding sentinel and must stay unvisited, or
+        # every padded row would read as touching a visited resource.
+        visited_res = np.zeros(m + 1, dtype=bool)
+        visited_res[np.fromiter(seeds, dtype=np.int64, count=len(seeds))] = (
+            True
+        )
+        visited_slot = np.zeros(self._n_slots, dtype=bool)
+        while True:
+            new = visited_res[inc].any(axis=1)
+            new &= in_use
+            new &= ~visited_slot
+            if not new.any():
+                break
+            visited_slot |= new
+            visited_res[inc[new]] = True
+            visited_res[m] = False
+        slots = np.flatnonzero(visited_slot)
+        # Seq order == insertion order: keeps freeze bookkeeping and the
+        # aggregate bincount accumulation order identical to a full fill.
+        return slots[np.argsort(self._slot_seq[slots], kind="stable")]
+
+    def _fill(self, slots: np.ndarray, seeds: set[int]) -> None:
+        """Progressive filling restricted to ``slots`` (insertion order).
+
+        ``seeds`` are the dirty resources accumulated since the previous
+        recompute; any seed left without users is snapped to aggregate 0.0
+        so incremental removal refunds cannot strand float drift on an
+        otherwise idle resource.
+        """
+        if slots.size:
+            # Row-major gather out of the padded incidence matrix ==
+            # concatenating each slot's resource row in slot order.
+            rows2d = self._inc[slots]
+            pad = rows2d != len(self._caps)
+            lengths = pad.sum(axis=1)
+            flat_global = rows2d[pad]
+            # Component resources sorted ascending: preserves the global
+            # lowest-index argmin tie-break of the monolithic fill.
+            res_ids, flat_local = np.unique(flat_global, return_inverse=True)
+            n_res = res_ids.size
+            n_flows = slots.size
+            flow_col = np.repeat(np.arange(n_flows), lengths)
+            flow_ptr = np.zeros(n_flows + 1, dtype=np.int64)
+            np.cumsum(lengths, out=flow_ptr[1:])
+            counts = np.bincount(flat_local, minlength=n_res)
+            res_ptr = np.zeros(n_res + 1, dtype=np.int64)
+            np.cumsum(counts, out=res_ptr[1:])
+            res_flows = flow_col[np.argsort(flat_local, kind="stable")]
+
+            remaining = self._caps[res_ids].copy()
+            frozen = np.zeros(n_flows, dtype=bool)
+            rates = np.zeros(n_flows, dtype=np.float64)
+            unfrozen = n_flows
             with np.errstate(divide="ignore", invalid="ignore"):
                 fair = np.where(counts > 0, remaining / counts, np.inf)
-            bottleneck = int(np.argmin(fair))
-            level = fair[bottleneck]
-            if not np.isfinite(level):
-                # Shouldn't happen (every flow uses >= 1 resource), but avoid
-                # spinning if it does.
-                rates[unfrozen] = np.inf
-                break
-            to_freeze = incidence[bottleneck] & unfrozen
-            rates[to_freeze] = level
-            # Charge the frozen flows against every resource they touch.
-            remaining -= level * (incidence[:, to_freeze].sum(axis=1))
-            remaining = np.maximum(remaining, 0.0)
-            unfrozen &= ~to_freeze
-        for f, r in zip(flows, rates):
-            f.rate = float(r)
+                while unfrozen:
+                    bottleneck = int(fair.argmin())
+                    level = fair[bottleneck]
+                    if not np.isfinite(level):
+                        # Shouldn't happen (every flow uses >= 1 resource),
+                        # but avoid spinning if it does.
+                        rates[~frozen] = np.inf
+                        break
+                    members = res_flows[
+                        res_ptr[bottleneck] : res_ptr[bottleneck + 1]
+                    ]
+                    to_freeze = members[~frozen[members]]
+                    rates[to_freeze] = level
+                    frozen[to_freeze] = True
+                    unfrozen -= to_freeze.size
+                    # Gather the frozen flows' incidence segments with one
+                    # repeat/cumsum indexing pass (no per-flow concatenate).
+                    lens = lengths[to_freeze]
+                    seg_end = np.cumsum(lens)
+                    idx = np.repeat(
+                        flow_ptr[to_freeze] - (seg_end - lens), lens
+                    ) + np.arange(seg_end[-1])
+                    drained = np.bincount(flat_local[idx], minlength=n_res)
+                    counts -= drained
+                    touched = np.flatnonzero(drained)
+                    # Charge the frozen flows against every resource they
+                    # touch.  A level of exactly 0.0 (zero-capacity or fully
+                    # drained bottleneck) is skipped outright: the
+                    # subtraction would be an exact no-op, and skipping it
+                    # guarantees degenerate resources can never accumulate
+                    # signed-zero/drift artefacts however often the
+                    # incremental allocator reruns the loop.
+                    if level > 0.0:
+                        remaining[touched] = np.maximum(
+                            remaining[touched] - level * drained[touched],
+                            0.0,
+                        )
+                    # Only drained resources change their fair share; every
+                    # other entry would divide the same floats to the same
+                    # result, so the refresh is restricted to them.
+                    tc = counts[touched]
+                    fair[touched] = np.where(
+                        tc > 0, remaining[touched] / tc, np.inf
+                    )
+            self._rate_arr[slots] = rates
+            # Aggregate refresh for the refilled component: bincount
+            # accumulates sequentially in input (insertion) order, so a
+            # component-local refresh writes byte-identical sums to the ones
+            # a full-network refresh would.
+            self._agg[res_ids] = np.bincount(
+                flat_local, weights=rates[flow_col], minlength=n_res
+            )
+        for r in seeds:
+            if self._res_nflows[r] == 0:
+                self._agg[r] = 0.0
 
     def advance(self, dt: float) -> None:
         """Progress every active flow by ``dt`` at its current rate."""
@@ -278,23 +662,21 @@ class FlowNetwork:
             raise ValueError("cannot advance time backwards")
         if self._dirty:
             self.recompute_rates()
-        for f in self._flows.values():
-            f.remaining -= f.rate * dt
-            if f.remaining < 1e-12:
-                f.remaining = 0.0
+        rem = self._rem
+        rem -= self._rate_arr * dt
+        rem[rem < _COMPLETION_EPS] = 0.0
 
     def completed_flows(self) -> list[int]:
-        return [fid for fid, f in self._flows.items() if f.remaining <= 0.0]
+        slots, fids = self._ordered()
+        return [int(fid) for fid in fids[self._rem[slots] <= 0.0]]
 
     def time_to_next_completion(self) -> float | None:
         """Earliest completion horizon at current rates (None when idle)."""
         if self._dirty:
             self.recompute_rates()
-        best: float | None = None
-        for f in self._flows.values():
-            if f.rate <= 0:
-                continue
-            t = f.remaining / f.rate
-            if best is None or t < best:
-                best = t
-        return best
+        slots, _ = self._ordered()
+        rates = self._rate_arr[slots]
+        positive = rates > 0.0
+        if not positive.any():
+            return None
+        return float((self._rem[slots][positive] / rates[positive]).min())

@@ -24,11 +24,17 @@ class TestPairCostCache:
     def test_symmetry(self, placed_taa):
         taa, *_ = placed_taa
         cache = PairCostCache(taa)
-        assert len(cache) == 0  # matrix is built lazily
-        assert cache.unit_cost(0, 15) == cache.unit_cost(15, 0)
-        assert len(cache) == 16 * 15 // 2  # every pair priced at once
+        assert len(cache) == 0  # columns are priced lazily
+        # Costs are mathematically symmetric; the two orientations are priced
+        # by different single-source passes, so equality holds up to float
+        # summation order.
+        assert cache.unit_cost(0, 15) == pytest.approx(
+            cache.unit_cost(15, 0), abs=0, rel=1e-12
+        )
+        assert len(cache) == 2  # exactly the two requested columns priced
         matrix = cache.matrix
-        assert np.array_equal(matrix, matrix.T)
+        assert len(cache) == 16  # .matrix forces every column
+        assert np.allclose(matrix, matrix.T, rtol=1e-12, atol=0)
         assert np.all(np.diag(matrix) == 0.0)
 
     def test_zero_for_same_server(self, placed_taa):

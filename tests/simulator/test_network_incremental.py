@@ -1,0 +1,327 @@
+"""Incremental-vs-full allocator equivalence (the bit-identity contract).
+
+The incremental water-filling allocator refills only the sharing-graph
+component(s) touched since the last recompute.  Its correctness claim is not
+"close enough" but **bit-identical**: every flow rate, every aggregate
+resource load, every completion horizon must match a full progressive fill
+byte for byte, whatever sequence of add/remove/reroute/park-resume churn
+preceded it and wherever the fallback threshold happens to sit.  These tests
+drive randomized op sequences across Tree/FatTree/VL2 fabrics against
+mirrored networks in every allocator mode, and run whole simulations under
+``network_incremental`` True/False expecting byte-identical records.
+
+Also here: the degenerate-capacity regression for the ``level > 0`` drain
+guard (zero-capacity resources must pin their flows at exactly 0.0 without
+perturbing any other resource's remaining capacity).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultKind, FaultSpec
+from repro.mapreduce import WorkloadGenerator
+from repro.schedulers import make_scheduler
+from repro.simulator import FlowNetwork, MapReduceSimulator, SimulationConfig
+from repro.speculation import SpeculationConfig
+from repro.topology import (
+    FatTreeConfig,
+    Link,
+    Server,
+    Switch,
+    Tier,
+    Topology,
+    TreeConfig,
+    VL2Config,
+    build_fattree,
+    build_tree,
+    build_vl2,
+)
+from repro.topology.routing import enumerate_paths
+
+
+def make_topology(kind: str) -> Topology:
+    if kind == "tree":
+        return build_tree(TreeConfig(depth=2, fanout=3, redundancy=2))
+    if kind == "fattree":
+        return build_fattree(FatTreeConfig(k=4))
+    return build_vl2(VL2Config(num_intermediate=2, num_aggregation=2,
+                               num_tor=4, servers_per_tor=2))
+
+
+TOPOLOGIES = ("tree", "fattree", "vl2")
+
+#: Allocator variants compared against the full-recompute reference: never
+#: fall back (pure component refills), always fall back (pure full refills
+#: through the incremental bookkeeping), and the default mixed regime.
+VARIANTS = (
+    {"incremental": True, "incremental_threshold": 10.0},
+    {"incremental": True, "incremental_threshold": 0.0},
+    {"incremental": True},
+)
+
+
+def assert_networks_bit_identical(ref: FlowNetwork, other: FlowNetwork) -> None:
+    ref_flows = {f.flow_id: f for f in ref.active_flows}
+    other_flows = {f.flow_id: f for f in other.active_flows}
+    assert ref_flows.keys() == other_flows.keys()
+    fids = sorted(ref_flows)
+    ref_rates = np.array([ref_flows[fid].rate for fid in fids])
+    other_rates = np.array([other_flows[fid].rate for fid in fids])
+    assert ref_rates.tobytes() == other_rates.tobytes()
+    ref_rem = np.array([ref_flows[fid].remaining for fid in fids])
+    other_rem = np.array([other_flows[fid].remaining for fid in fids])
+    assert ref_rem.tobytes() == other_rem.tobytes()
+    assert ref.resource_rates().tobytes() == other.resource_rates().tobytes()
+    assert ref.completed_flows() == other.completed_flows()
+    ref_t = ref.time_to_next_completion()
+    other_t = other.time_to_next_completion()
+    if ref_t is None:
+        assert other_t is None
+    else:
+        assert np.float64(ref_t).tobytes() == np.float64(other_t).tobytes()
+
+
+def churn_sequence(nets, topology, seed, n_ops):
+    """Drive an identical random op sequence through every mirrored net."""
+    rng = np.random.default_rng(seed)
+    servers = list(topology.server_ids)
+    live: dict[int, tuple[tuple[int, ...], float]] = {}
+    next_fid = 0
+    now = 0.0
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.45 or not live:
+            src, dst = rng.choice(servers, size=2, replace=False)
+            path = topology.shortest_path(int(src), int(dst))
+            size = float(rng.uniform(1.0, 50.0))
+            for net in nets:
+                net.add_flow(next_fid, path, size, now=now)
+            live[next_fid] = (path, size)
+            next_fid += 1
+        elif op < 0.65:
+            fid = int(rng.choice(sorted(live)))
+            for net in nets:
+                net.remove_flow(fid)
+            del live[fid]
+        elif op < 0.80:
+            fid = int(rng.choice(sorted(live)))
+            path, _ = live[fid]
+            candidates = enumerate_paths(
+                topology, path[0], path[-1], slack=1, limit=16
+            )
+            new_path = candidates[int(rng.integers(len(candidates)))]
+            for net in nets:
+                net.reroute_flow(fid, new_path)
+            live[fid] = (new_path, live[fid][1])
+        elif op < 0.90:
+            # Park-resume: remove, then re-add preserving remaining bytes
+            # (the fault-recovery round trip).
+            fid = int(rng.choice(sorted(live)))
+            removed = [net.remove_flow(fid) for net in nets]
+            path, size = live.pop(fid)
+            remaining = removed[0].remaining
+            if 0.0 < remaining <= size:
+                for net in nets:
+                    net.add_flow(fid, path, size, now=now, remaining=remaining)
+                live[fid] = (path, size)
+        else:
+            dt = float(rng.uniform(0.0, 0.5))
+            now += dt
+            for net in nets:
+                net.advance(dt)
+            completed = nets[0].completed_flows()
+            for fid in completed:
+                for net in nets:
+                    net.remove_flow(fid)
+                live.pop(fid, None)
+        for net in nets:
+            net.recompute_rates()
+        yield
+
+
+class TestIncrementalEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), kind=st.sampled_from(TOPOLOGIES))
+    def test_property_churn_is_bit_identical(self, seed, kind):
+        """Random add/remove/reroute/park-resume churn: every allocator
+        variant stays bit-identical to the full recompute after each op."""
+        topology = make_topology(kind)
+        full = FlowNetwork(topology, incremental=False)
+        others = [FlowNetwork(topology, **kw) for kw in VARIANTS]
+        for _ in churn_sequence([full, *others], topology, seed, n_ops=40):
+            for other in others:
+                assert_networks_bit_identical(full, other)
+
+    def test_threshold_fallback_is_transparent(self):
+        """Crossing the fallback threshold mid-sequence changes nothing."""
+        topology = make_topology("fattree")
+        full = FlowNetwork(topology, incremental=False)
+        # Threshold 0.4: early ops refill components, dense phases fall back.
+        mixed = FlowNetwork(topology, incremental=True,
+                            incremental_threshold=0.4)
+        for _ in churn_sequence([full, mixed], topology, seed=7, n_ops=80):
+            assert_networks_bit_identical(full, mixed)
+
+    def test_emptied_resources_snap_to_exact_zero(self):
+        """Removing every flow leaves the aggregate array all-+0.0 — the
+        incremental removal refunds must not strand float drift."""
+        topology = make_topology("tree")
+        net = FlowNetwork(topology)
+        servers = list(topology.server_ids)
+        rng = np.random.default_rng(3)
+        for fid in range(20):
+            src, dst = rng.choice(servers, size=2, replace=False)
+            net.add_flow(fid, topology.shortest_path(int(src), int(dst)),
+                         float(rng.uniform(1.0, 9.0)))
+        net.recompute_rates()
+        for fid in range(20):
+            net.remove_flow(fid)
+        net.recompute_rates()
+        rates = net.resource_rates()
+        assert rates.tobytes() == np.zeros_like(rates).tobytes()
+
+
+def _faults(topology):
+    switch = topology.switch_ids[0]
+    return (
+        FaultSpec(0.4, FaultKind.SERVER_FAIL, 2),
+        FaultSpec(0.6, FaultKind.TASK_SLOWDOWN, 5, factor=5.0, duration=1.5),
+        FaultSpec(0.8, FaultKind.SWITCH_FAIL, switch),
+        FaultSpec(1.3, FaultKind.SWITCH_RECOVER, switch),
+        FaultSpec(1.4, FaultKind.SERVER_RECOVER, 2),
+    )
+
+
+def _run(seed: int, scenario: str, incremental: bool):
+    topology = build_tree(
+        TreeConfig(depth=2, fanout=4, redundancy=2, server_resources=(2.0,))
+    )
+    extra = {}
+    if scenario != "plain":
+        extra = {"faults": _faults(topology), "max_task_retries": 10}
+        if scenario == "faults+speculation":
+            extra["speculation"] = SpeculationConfig()
+    config = SimulationConfig(
+        seed=seed,
+        server_speed_spread=0.2,
+        network_incremental=incremental,
+        **extra,
+    )
+    sim = MapReduceSimulator(
+        topology, make_scheduler("hit-online", seed=seed), jobs_for(seed), config
+    )
+    metrics = sim.run()
+    return sim, metrics
+
+
+def jobs_for(seed: int):
+    return WorkloadGenerator(
+        seed=seed, input_size_range=(4.0, 8.0), map_rate=8.0, reduce_rate=8.0
+    ).make_workload(4, interarrival=0.3)
+
+
+def _astuples(records):
+    return [dataclasses.astuple(r) for r in records]
+
+
+class TestEngineByteIdentity:
+    """Whole-simulation equivalence of the allocator modes: flow reroutes,
+    parks and resumes all route through the incremental path, so a full run
+    exercises it far beyond what unit churn can."""
+
+    @pytest.mark.parametrize(
+        "scenario", ("plain", "faults", "faults+speculation")
+    )
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_runs_byte_identical(self, scenario, seed):
+        inc_sim, inc = _run(seed, scenario, incremental=True)
+        full_sim, full = _run(seed, scenario, incremental=False)
+        assert _astuples(inc.jobs) == _astuples(full.jobs)
+        assert _astuples(inc.tasks) == _astuples(full.tasks)
+        assert _astuples(inc.flows) == _astuples(full.flows)
+        assert inc_sim.events_processed == full_sim.events_processed
+        assert inc.summary() == full.summary()
+
+
+class TestDegenerateCapacity:
+    """Zero/drained-capacity resources and the ``level > 0`` drain guard."""
+
+    @staticmethod
+    def _dumbbell_with_dead_switch():
+        """s0,s1 -- w4(capacity zeroed) -- w5 -- s2,s3, plus a private
+        s0-w6-s1 leg through a healthy switch that must stay unperturbed.
+
+        ``Topology`` rejects non-positive capacities at construction, so the
+        degenerate resource is injected straight into the allocator's
+        capacity array — exactly the state a zero-capacity resource would
+        put it in.
+        """
+        servers = [Server(i, f"s{i}") for i in range(4)]
+        switches = [
+            Switch(4, "w4", Tier.ACCESS, 100.0),
+            Switch(5, "w5", Tier.ACCESS, 100.0),
+            Switch(6, "w6", Tier.ACCESS, 100.0),
+        ]
+        links = [
+            Link(0, 4, 10.0),
+            Link(1, 4, 10.0),
+            Link(4, 5, 10.0),
+            Link(5, 2, 10.0),
+            Link(5, 3, 10.0),
+            Link(0, 6, 10.0),
+            Link(6, 1, 10.0),
+        ]
+        net = FlowNetwork(Topology(servers, switches, links))
+        net._caps[net._switch_resource[4]] = 0.0
+        return net
+
+    def test_zero_capacity_switch_pins_flows_to_exact_zero(self):
+        net = self._dumbbell_with_dead_switch()
+        net.add_flow(0, (0, 4, 5, 2), 100.0)
+        net.add_flow(1, (0, 6, 1), 100.0)
+        net.recompute_rates()
+        rates = {f.flow_id: f.rate for f in net.active_flows}
+        assert rates[0] == 0.0
+        assert np.float64(rates[0]).tobytes() == np.float64(0.0).tobytes()
+        # The healthy leg is untouched by the degenerate bottleneck: its
+        # flow takes the full link bandwidth, bit-exactly.
+        assert rates[1] == 10.0
+
+    def test_zero_capacity_survives_repeated_churn(self):
+        """Churning flows on/off the dead switch never lets drift leak into
+        other resources (the guard skips the 0.0-level drain outright)."""
+        net = self._dumbbell_with_dead_switch()
+        net.add_flow(0, (0, 6, 1), 100.0)
+        for round_ in range(25):
+            fid = 100 + round_
+            net.add_flow(fid, (0, 4, 5, 2), 7.0)
+            net.recompute_rates()
+            assert net.active_flows[-1].rate == 0.0
+            assert net.active_flows[0].rate == 10.0
+            net.remove_flow(fid)
+            net.recompute_rates()
+        assert net.switch_utilisation(4) == 0.0
+        assert net.switch_utilisation(6) == pytest.approx(10.0 / 100.0)
+
+    def test_fully_drained_resource_freezes_leftover_flows_at_zero(self):
+        """A resource drained to exactly its capacity by earlier freezes
+        yields level 0.0 for its stragglers — they must read exactly 0.0."""
+        servers = [Server(0, "s0"), Server(1, "s1"), Server(2, "s2")]
+        switches = [Switch(3, "w3", Tier.ACCESS, 100.0)]
+        # s0-w3 carries two flows; s1-w3 carries one of them alone and is
+        # narrower, so that flow freezes first and exactly exhausts s0-w3.
+        links = [Link(0, 3, 10.0), Link(3, 1, 5.0), Link(3, 2, 5.0)]
+        net = FlowNetwork(Topology(servers, switches, links))
+        net.add_flow(0, (0, 3, 1), 100.0)
+        net.add_flow(1, (0, 3, 2), 100.0)
+        net.recompute_rates()
+        rates = {f.flow_id: f.rate for f in net.active_flows}
+        assert rates[0] == 5.0
+        assert rates[1] == 5.0
+        # Both directed halves of s0-w3 sum to 10.0 == bandwidth: saturated
+        # with zero drift.
+        assert net.utilisation_by_link()[(0, 3)] == 1.0
