@@ -177,6 +177,8 @@ def _make_fault_timeline(args: argparse.Namespace, topology):
         getattr(args, "mtbf", None)
         or getattr(args, "switch_mtbf", None)
         or getattr(args, "slowdown_mtbf", None)
+        or getattr(args, "link_mtbf", None)
+        or getattr(args, "domain_mtbf", None)
     ):
         return generate_timeline(
             topology,
@@ -189,6 +191,12 @@ def _make_fault_timeline(args: argparse.Namespace, topology):
             slowdown_mtbf=args.slowdown_mtbf,
             slowdown_mttr=args.slowdown_mttr,
             slowdown_factor=args.slowdown_factor,
+            link_mtbf=getattr(args, "link_mtbf", None),
+            link_mttr=getattr(args, "link_mttr", 1.0),
+            domain_mtbf=getattr(args, "domain_mtbf", None),
+            domain_mttr=getattr(args, "domain_mttr", 1.0),
+            domain_kind=getattr(args, "domain_kind", "rack"),
+            allow_partition=getattr(args, "allow_partition", False),
         )
     return ()
 
@@ -449,6 +457,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return _report_observability(checker, tracer)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .faults.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        trials=args.trials,
+        seed=args.seed,
+        schedulers=tuple(args.schedulers),
+        topologies=tuple(args.topologies),
+        jobs_per_trial=args.jobs,
+        horizon=args.horizon,
+        max_task_retries=args.max_task_retries,
+        partition_every=args.partition_every,
+        rerun=not args.no_rerun,
+    )
+    report = run_chaos(config)
+    s = report.summary()
+    print(
+        f"chaos: {s['trials']} trials — {s['ok']} ok, "
+        f"{s['failed_accounted']} accounted failures, "
+        f"{s['violations']} contract violations"
+    )
+    for t in report.violations:
+        print(
+            f"  VIOLATION trial {t.trial} ({t.scheduler}/{t.topology}, "
+            f"seed {t.seed}): {'; '.join(t.violations)}",
+            file=sys.stderr,
+        )
+    if args.out:
+        Path(args.out).write_text(report.canonical() + "\n", encoding="utf-8")
+        print(f"chaos report written: {args.out}")
+    return 1 if report.violations else 0
+
+
 # -------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -578,6 +621,35 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default 4.0)",
             )
             fault_group.add_argument(
+                "--link-mtbf", type=float, default=None,
+                help="sample physical-link failures with this MTBF",
+            )
+            fault_group.add_argument(
+                "--link-mttr", type=float, default=1.0,
+                help="link mean time to recovery (default 1.0; 0 = "
+                     "instant repair)",
+            )
+            fault_group.add_argument(
+                "--domain-mtbf", type=float, default=None,
+                help="sample correlated failure-domain outages with this "
+                     "MTBF (whole racks/pods/power feeds at once)",
+            )
+            fault_group.add_argument(
+                "--domain-mttr", type=float, default=1.0,
+                help="failure-domain mean time to recovery (default 1.0)",
+            )
+            fault_group.add_argument(
+                "--domain-kind", choices=("rack", "pod", "power"),
+                default="rack",
+                help="which failure domains --domain-mtbf samples over "
+                     "(default rack)",
+            )
+            fault_group.add_argument(
+                "--allow-partition", action="store_true",
+                help="let sampled outages partition the fabric (default: "
+                     "partitioning episodes are dropped)",
+            )
+            fault_group.add_argument(
                 "--fault-horizon", type=float, default=20.0,
                 help="stop sampling new failures after this time",
             )
@@ -644,8 +716,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--arms", nargs="+",
-        choices=("baseline", "faults", "faults+speculation", "static",
-                 "telemetry"),
+        choices=("baseline", "chaos", "faults", "faults+speculation",
+                 "static", "telemetry"),
         default=["baseline"],
         help="fault/speculation arm axis (default: baseline)",
     )
@@ -685,6 +757,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-cell timers and the sweep summary as JSON lines",
     )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign with a survivability contract",
+        description="Drive seeded randomized fault timelines (correlated "
+                    "failure domains, switch/server crashes, link failures "
+                    "and degradations, optional partitions) through the "
+                    "engine across a schedulers x topologies grid, and "
+                    "machine-check the survivability contract on every "
+                    "trial (docs/fault_model.md). Non-zero exit on any "
+                    "contract violation.",
+    )
+    p.add_argument("--trials", type=int, default=50,
+                   help="seeded trials across the grid (default 50)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; trial i uses seed+i")
+    p.add_argument(
+        "--schedulers", nargs="+", choices=SCHEDULER_CHOICES,
+        default=["capacity", "hit"],
+    )
+    p.add_argument(
+        "--topologies", nargs="+", choices=("small", "deep"),
+        default=["small", "deep"],
+        help="chaos fabric registry names (default: both)",
+    )
+    p.add_argument("--jobs", type=int, default=3,
+                   help="jobs per trial (default 3)")
+    p.add_argument("--horizon", type=float, default=4.0,
+                   help="fault-sampling horizon per trial (default 4.0)")
+    p.add_argument("--max-task-retries", type=int, default=8,
+                   help="retry budget per task (default 8)")
+    p.add_argument(
+        "--partition-every", type=int, default=4,
+        help="every Nth trial may partition the fabric (0 = never)",
+    )
+    p.add_argument(
+        "--no-rerun", action="store_true",
+        help="skip the per-trial byte-identity rerun (faster, weaker)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="write the canonical-JSON chaos report to FILE",
+    )
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -136,9 +136,14 @@ class LocalSearchOptimizer:
             try:
                 self.taa.controller.route_flow(flow, src, dst)
             except NoFeasiblePathError:
-                self.taa.controller.route_flow(
-                    flow, src, dst, enforce_capacity=False
-                )
+                try:
+                    self.taa.controller.route_flow(
+                        flow, src, dst, enforce_capacity=False
+                    )
+                except NoFeasiblePathError:
+                    # Disconnected pair (partitioned fabric): skip — the
+                    # engine parks the flow at launch until recovery.
+                    continue
 
     def _apply_switch_move(self, flow_id: int, position: int, new_switch: int) -> None:
         controller = self.taa.controller

@@ -39,6 +39,11 @@ __all__ = ["Policy", "CostModel", "PolicyController", "NoFeasiblePathError"]
 _INF = float("inf")
 
 
+def _link_key(u: int, v: int) -> tuple[int, int]:
+    """Canonical (min, max) key of an undirected physical link."""
+    return (u, v) if u <= v else (v, u)
+
+
 class NoFeasiblePathError(RuntimeError):
     """Raised when no policy can carry a flow within switch capacities."""
 
@@ -146,6 +151,12 @@ class PolicyController:
         # pays one truthiness check.
         self._failed_switches: set[int] = set()
         self._failed_mask = np.zeros(topology.num_nodes, dtype=bool)
+        # Physical links currently failed (canonical (min, max) keys) plus a
+        # dense (n, n) boolean hop mask for the vectorised DP.  The mask is
+        # allocated lazily on the first link failure, so fabrics that never
+        # see link faults pay nothing.
+        self._failed_links: set[tuple[int, int]] = set()
+        self._failed_link_mask: np.ndarray | None = None
         # Node-indexed mirrors of the `_load`/`_base_load` dicts (servers
         # stay 0.0) plus the static per-node cost-model terms, so the DP can
         # gather whole stages without per-node dict/attribute chasing.  The
@@ -287,15 +298,75 @@ class PolicyController:
         self._failed_mask[switch_id] = False
         self._load_version += 1
 
+    # ------------------------------------------------------ link failure state
+    @property
+    def failed_links(self) -> frozenset[tuple[int, int]]:
+        """Physical links currently failed, as canonical (min, max) keys."""
+        return frozenset(self._failed_links)
+
+    def is_link_failed(self, u: int, v: int) -> bool:
+        return _link_key(u, v) in self._failed_links
+
+    def fail_link(self, u: int, v: int) -> None:
+        """Mark the physical link ``u``—``v`` unroutable.
+
+        Every path computation — the stage DP, the slack fallback, ECMP
+        candidate filtering — routes around it.  (Preference *grading* keeps
+        using the unit-cost matrix, which only prices dead switches; the
+        grading may rank an affected pairing optimistically, but installed
+        routes are always link-safe because routing itself is masked.)
+        Bumps :attr:`load_version`; installed policies over the link are
+        rerouted or parked by the simulator's recovery layer.
+        """
+        if not self.topology.has_link(u, v):
+            raise KeyError(f"no physical link between {u} and {v}")
+        key = _link_key(u, v)
+        if key in self._failed_links:
+            return
+        self._failed_links.add(key)
+        if self._failed_link_mask is None:
+            n = self.topology.num_nodes
+            self._failed_link_mask = np.zeros((n, n), dtype=bool)
+        self._failed_link_mask[key[0], key[1]] = True
+        self._failed_link_mask[key[1], key[0]] = True
+        self._load_version += 1
+
+    def recover_link(self, u: int, v: int) -> None:
+        """Return a failed link to service (idempotent)."""
+        if not self.topology.has_link(u, v):
+            raise KeyError(f"no physical link between {u} and {v}")
+        key = _link_key(u, v)
+        if key not in self._failed_links:
+            return
+        self._failed_links.discard(key)
+        if self._failed_link_mask is not None:
+            self._failed_link_mask[key[0], key[1]] = False
+            self._failed_link_mask[key[1], key[0]] = False
+        self._load_version += 1
+
     def sync_failures_from(self, other: "PolicyController") -> None:
-        """Mirror another controller's failed-switch set (planning
-        instances must see the same dead fabric as the live controller)."""
-        if other._failed_switches == self._failed_switches:
+        """Mirror another controller's failed-switch/failed-link sets
+        (planning instances must see the same dead fabric as the live
+        controller)."""
+        if (
+            other._failed_switches == self._failed_switches
+            and other._failed_links == self._failed_links
+        ):
             return
         self._failed_switches = set(other._failed_switches)
         self._failed_mask[:] = False
         for w in self._failed_switches:
             self._failed_mask[w] = True
+        self._failed_links = set(other._failed_links)
+        if self._failed_link_mask is not None:
+            self._failed_link_mask[:] = False
+        if self._failed_links:
+            if self._failed_link_mask is None:
+                n = self.topology.num_nodes
+                self._failed_link_mask = np.zeros((n, n), dtype=bool)
+            for a, b in self._failed_links:
+                self._failed_link_mask[a, b] = True
+                self._failed_link_mask[b, a] = True
         self._load_version += 1
 
     def policy_of(self, flow_id: int) -> Policy | None:
@@ -505,16 +576,17 @@ class PolicyController:
         # emptied the DAG, but with failed switches even the *uncapacitated*
         # DP can come back empty (every shortest path crosses a dead switch)
         # while a slightly longer live detour exists.
-        if enforce_capacity or self._failed_switches:
+        if enforce_capacity or self._failed_switches or self._failed_links:
             if _OBS.enabled:
                 _OBS.tracer.count("alg1.slack_fallback")
+            broken = bool(self._failed_switches or self._failed_links)
             for slack in range(1, self.max_slack + 1):
                 best: tuple[int, ...] | None = None
                 best_cost = _INF
                 for candidate in enumerate_paths(
                     self.topology, src_server, dst_server, slack=slack, limit=512
                 ):
-                    if self._failed_switches and not self._path_alive(candidate):
+                    if broken and not self._path_alive(candidate):
                         continue
                     if enforce_capacity and not self._path_feasible(candidate, rate):
                         continue
@@ -529,8 +601,14 @@ class PolicyController:
         )
 
     def _path_alive(self, path: Sequence[int]) -> bool:
-        """True when no node on the path is a currently-failed switch."""
-        return not any(n in self._failed_switches for n in path)
+        """True when the path crosses no failed switch and no failed link."""
+        if any(n in self._failed_switches for n in path):
+            return False
+        if self._failed_links:
+            for a, b in zip(path, path[1:]):
+                if _link_key(a, b) in self._failed_links:
+                    return False
+        return True
 
     def _path_feasible(self, path: Sequence[int], rate: float) -> bool:
         return all(
@@ -564,8 +642,15 @@ class PolicyController:
         for k in range(1, len(stages)):
             nodes = stages[k]
             costs = self.node_cost_vector(nodes)
+            trans = mats[k - 1]
+            if self._failed_links:
+                # Hop-level masking: a transition over a failed physical
+                # link is as unroutable as one into a failed switch.
+                trans = trans & ~self._failed_link_mask[
+                    np.ix_(stages[k - 1], nodes)
+                ]
             totals = (
-                np.where(mats[k - 1], current[:, None], _INF) + costs[None, :]
+                np.where(trans, current[:, None], _INF) + costs[None, :]
             )
             best = totals.min(axis=0)
             parents = totals.argmin(axis=0)

@@ -123,7 +123,16 @@ class TAAInstance:
                 # least-cost route.  The congestion term in the cost model
                 # prices the overload; hard-failing would make high-load
                 # experiments (Figure 10's saturation knee) impossible.
-                self.controller.route_flow(flow, src, dst, enforce_capacity=False)
+                try:
+                    self.controller.route_flow(
+                        flow, src, dst, enforce_capacity=False
+                    )
+                except NoFeasiblePathError:
+                    # Even uncapacitated routing failed: failures have
+                    # disconnected the pair (only reachable on partitioned
+                    # fabrics).  Leave the flow unrouted — the engine
+                    # routes it at launch and parks it until recovery.
+                    continue
 
     def install_static_policies(self) -> None:
         """Route every flow on the deterministic static shortest path.

@@ -27,6 +27,7 @@ __all__ = [
     "FaultRunResult",
     "FaultComparisonResult",
     "fault_degradation",
+    "run_chaos_cell",
     "run_fault_cell",
     "straggler_timeline",
 ]
@@ -68,6 +69,116 @@ def run_fault_cell(
     if sim.speculation is not None:
         counters.update(sim.speculation.summary())
     return metrics, counters
+
+
+def run_chaos_cell(
+    topology_factory,
+    scheduler_factory,
+    jobs_factory,
+    config,
+    *,
+    seed: int,
+    trials: int = 6,
+    horizon: float = 4.0,
+    partition_every: int = 4,
+    max_task_retries: int = 8,
+    stall_limit: int = 20_000,
+    rerun: bool = True,
+) -> dict:
+    """One chaos arm as a sweep cell: ``trials`` seeded randomized fault
+    timelines through the cell's own fabric/scheduler/workload, each graded
+    against the survivability contract (see :mod:`repro.faults.chaos`).
+
+    The factories must return *fresh* objects on every call — each trial
+    (and its determinism rerun) rebuilds the whole stack, preserving the
+    sweep's cell-isolation contract.  Trial *i* samples with seed
+    ``seed + i``; every ``partition_every``-th trial drops the partition
+    guard.  Returns plain data: an aggregate summary, summed fault counters
+    and the per-trial contract verdicts.
+    """
+    from ..faults.chaos import (
+        _ChaosSimulator,
+        graded_run,
+        sample_chaos_timeline,
+    )
+
+    trial_rows: list[dict] = []
+    totals: dict[str, float] = {}
+    for i in range(trials):
+        trial_seed = seed + i
+        allow_partition = (
+            partition_every > 0 and i % partition_every == partition_every - 1
+        )
+        timeline = sample_chaos_timeline(
+            topology_factory(),
+            seed=trial_seed,
+            horizon=horizon,
+            allow_partition=allow_partition,
+        )
+
+        def build(timeline=timeline, trial_seed=trial_seed):
+            jobs = jobs_factory()
+            sim = _ChaosSimulator(
+                topology_factory(),
+                scheduler_factory(),
+                jobs,
+                dataclasses.replace(
+                    config,
+                    seed=trial_seed,
+                    faults=tuple(timeline),
+                    max_task_retries=max_task_retries,
+                ),
+                stall_limit=stall_limit,
+            )
+            return sim, len(jobs)
+
+        status, reason, fingerprint, counters, violations = graded_run(
+            build, max_task_retries=max_task_retries
+        )
+        violations = list(violations)
+        if rerun:
+            again = graded_run(build, max_task_retries=max_task_retries)
+            if (again[0], again[1], again[2]) != (status, reason, fingerprint):
+                violations.append(
+                    f"nondeterministic rerun: {fingerprint[:12]} vs "
+                    f"{again[2][:12]}"
+                )
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+        trial_rows.append(
+            {
+                "trial": i,
+                "seed": trial_seed,
+                "allow_partition": allow_partition,
+                "num_specs": len(timeline),
+                "status": status,
+                "reason": reason,
+                "fingerprint": fingerprint,
+                "violations": violations,
+            }
+        )
+    return {
+        "summary": {
+            "trials": float(trials),
+            "ok": float(sum(1 for t in trial_rows if t["status"] == "ok")),
+            "failed_accounted": float(
+                sum(
+                    1
+                    for t in trial_rows
+                    if t["status"] == "failed" and not t["violations"]
+                )
+            ),
+            "violations": float(
+                sum(len(t["violations"]) for t in trial_rows)
+            ),
+        },
+        # Counters are integral except the dwell gauge; keep its precision.
+        "counters": {
+            k: int(v) if float(v).is_integer() else round(float(v), 9)
+            for k, v in sorted(totals.items())
+        },
+        "trials": trial_rows,
+    }
 
 
 def _degradation(clean: float, faulty: float) -> float:

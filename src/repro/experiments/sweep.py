@@ -62,7 +62,7 @@ from ..speculation import SpeculationConfig
 from ..topology.base import Topology
 from ..topology.tree import TreeConfig, build_tree
 from . import configs
-from .faults import run_fault_cell
+from .faults import run_chaos_cell, run_fault_cell
 from .static import run_static_cell
 from .telemetry import run_telemetry_cell
 
@@ -87,7 +87,14 @@ __all__ = [
 SWEEP_FORMAT = "repro.sweep.v1"
 
 #: Fault/speculation arms a cell can run.
-ARMS = ("baseline", "faults", "faults+speculation", "static", "telemetry")
+ARMS = (
+    "baseline",
+    "chaos",
+    "faults",
+    "faults+speculation",
+    "static",
+    "telemetry",
+)
 
 #: Arms that sample and replay a fault timeline.
 _FAULT_ARMS = ("faults", "faults+speculation")
@@ -114,6 +121,17 @@ DEFAULT_FAULT: dict[str, Any] = {
 }
 
 DEFAULT_SPECULATION: dict[str, Any] = {"quota": 0.2, "threshold": 0.7}
+
+#: Chaos-arm knobs (randomized survivability campaigns; ``rerun`` is an
+#: int flag — the normaliser has no bool type).
+DEFAULT_CHAOS: dict[str, Any] = {
+    "trials": 6,
+    "horizon": 4.0,
+    "partition_every": 4,
+    "max_task_retries": 8,
+    "stall_limit": 20_000,
+    "rerun": 1,
+}
 
 #: Simulated-time sampling step for ``telemetry`` arm cells.
 _TELEMETRY_DT = 0.05
@@ -181,6 +199,9 @@ class CellConfig:
     fault: dict[str, Any] | None = None
     #: Speculation knobs; present only on the mitigation arm.
     speculation: dict[str, Any] | None = None
+    #: Chaos-campaign knobs; present only on the chaos arm (absent keys keep
+    #: every pre-chaos cell hash unchanged).
+    chaos: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Canonical plain-dict form (the hashing/serialisation substrate)."""
@@ -196,6 +217,8 @@ class CellConfig:
             out["fault"] = dict(self.fault)
         if self.speculation is not None:
             out["speculation"] = dict(self.speculation)
+        if self.chaos is not None:
+            out["chaos"] = dict(self.chaos)
         return out
 
     @classmethod
@@ -225,6 +248,11 @@ class CellConfig:
                     "speculation", speculation or {}, DEFAULT_SPECULATION
                 )
                 if arm == "faults+speculation"
+                else None
+            ),
+            chaos=(
+                _normalized("chaos", raw.get("chaos") or {}, DEFAULT_CHAOS)
+                if arm == "chaos"
                 else None
             ),
         )
@@ -342,6 +370,22 @@ def run_cell(cell: CellConfig) -> dict[str, Any]:
         map_slots_per_job=16,
         seed=cell.seed,
     )
+    if cell.arm == "chaos":
+        c = cell.chaos
+        assert c is not None
+        return run_chaos_cell(
+            lambda: build_cell_topology(cell.topology),
+            lambda: make_scheduler(cell.scheduler, seed=cell.seed),
+            lambda: build_cell_workload(cell),
+            config,
+            seed=cell.seed,
+            trials=int(c["trials"]),
+            horizon=float(c["horizon"]),
+            partition_every=int(c["partition_every"]),
+            max_task_retries=int(c["max_task_retries"]),
+            stall_limit=int(c["stall_limit"]),
+            rerun=bool(int(c["rerun"])),
+        )
     scheduler = make_scheduler(cell.scheduler, seed=cell.seed)
     if cell.arm == "telemetry":
         import dataclasses
@@ -460,10 +504,11 @@ class SweepSpec:
     workload: dict[str, Any]
     fault: dict[str, Any]
     speculation: dict[str, Any]
+    chaos: dict[str, Any] = field(default_factory=lambda: dict(DEFAULT_CHAOS))
 
     _SECTIONS = (
         "seeds", "schedulers", "topologies", "arms",
-        "workload", "fault", "speculation",
+        "workload", "fault", "speculation", "chaos",
     )
 
     @classmethod
@@ -505,6 +550,7 @@ class SweepSpec:
             speculation=_normalized(
                 "speculation", raw.get("speculation", {}), DEFAULT_SPECULATION
             ),
+            chaos=_normalized("chaos", raw.get("chaos", {}), DEFAULT_CHAOS),
         )
 
     @classmethod
@@ -521,6 +567,7 @@ class SweepSpec:
             "workload": dict(self.workload),
             "fault": dict(self.fault),
             "speculation": dict(self.speculation),
+            "chaos": dict(self.chaos),
         }
 
     def spec_hash(self) -> str:
@@ -555,6 +602,11 @@ class SweepSpec:
                                 speculation=(
                                     dict(self.speculation)
                                     if arm == "faults+speculation"
+                                    else None
+                                ),
+                                chaos=(
+                                    dict(self.chaos)
+                                    if arm == "chaos"
                                     else None
                                 ),
                             )

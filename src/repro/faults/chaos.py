@@ -1,0 +1,433 @@
+"""Randomized chaos harness enforcing the survivability contract.
+
+A *chaos run* drives many seeded randomized fault timelines — correlated
+failure domains, switch/server crashes, link failures and degradations,
+optionally fabric partitions — through the full engine, across a grid of
+schedulers × topologies, and machine-checks the **survivability contract**
+on every trial:
+
+* **no silent loss** — every admitted job either completes or the run is
+  accounted failed with an explicit reason (``exceeded max_task_retries``);
+  a completed run must report exactly one record per submitted job;
+* **retry budgets respected** — no task consumes more failure re-executions
+  than ``max_task_retries``;
+* **routing safety** — no flow ever traverses a failed switch or a dead
+  (failed / degraded-to-zero) link; checked continuously by the engine's
+  ``assert_path_clear`` guard and the observation layer's path-liveness
+  invariant, both in ``raise`` mode;
+* **no parked leaks** — a completed run leaves no flow parked forever;
+* **determinism** — rerunning a trial from its seed is byte-identical
+  (same fingerprint, or the same failure reason);
+* **liveness** — a watchdog flags sim-time stalls (unbounded event churn at
+  one timestamp) independently of the engine's global ``max_events`` guard.
+
+Anything outside those buckets — an invariant error, an unfinished job at
+queue exhaustion, a livelock, a stall — is a **contract violation** and is
+reported as such; the harness never swallows one.
+
+This module deliberately is *not* imported from :mod:`repro.faults`'s
+package ``__init__`` — it pulls in the whole engine, which the spec/injector
+layers must not depend on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.report import canonical_json
+from ..mapreduce import WorkloadGenerator
+from ..obs import InvariantChecker, observe
+from ..schedulers import make_scheduler
+from ..simulator import MapReduceSimulator, SimulationConfig
+from ..topology.base import Topology
+from ..topology.tree import TreeConfig, build_tree
+from .spec import FaultSpec, generate_timeline
+
+__all__ = [
+    "CHAOS_TOPOLOGIES",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosTrialResult",
+    "graded_run",
+    "run_chaos",
+    "run_chaos_trial",
+    "sample_chaos_timeline",
+]
+
+#: Named fabrics the harness cycles through.  Both are redundancy-2 trees —
+#: single-element outages never partition them, so partition trials exercise
+#: the ``allow_partition`` path of the timeline sampler rather than tripping
+#: over an accidentally fragile fabric.
+CHAOS_TOPOLOGIES: dict[str, Callable[[], Topology]] = {
+    "small": lambda: build_tree(TreeConfig(depth=2, fanout=4, redundancy=2)),
+    "deep": lambda: build_tree(TreeConfig(depth=3, fanout=2, redundancy=2)),
+}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one chaos campaign."""
+
+    trials: int = 50
+    seed: int = 0
+    schedulers: tuple[str, ...] = ("capacity", "hit")
+    topologies: tuple[str, ...] = ("small", "deep")
+    jobs_per_trial: int = 3
+    horizon: float = 4.0
+    max_task_retries: int = 8
+    #: Every ``partition_every``-th trial samples with ``allow_partition=True``
+    #: (0 disables partition trials entirely).
+    partition_every: int = 4
+    #: Consecutive same-timestamp events tolerated before the liveness
+    #: watchdog declares a sim-time stall.
+    stall_limit: int = 20_000
+    #: Re-run every trial from its seed and compare fingerprints.
+    rerun: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise ValueError(f"trials must be positive, got {self.trials}")
+        if not self.schedulers or not self.topologies:
+            raise ValueError("need at least one scheduler and one topology")
+        unknown = [t for t in self.topologies if t not in CHAOS_TOPOLOGIES]
+        if unknown:
+            raise ValueError(
+                f"unknown chaos topologies {unknown}; "
+                f"known: {sorted(CHAOS_TOPOLOGIES)}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "schedulers": list(self.schedulers),
+            "topologies": list(self.topologies),
+            "jobs_per_trial": self.jobs_per_trial,
+            "horizon": self.horizon,
+            "max_task_retries": self.max_task_retries,
+            "partition_every": self.partition_every,
+            "stall_limit": self.stall_limit,
+            "rerun": self.rerun,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosTrialResult:
+    """Outcome of one seeded trial (after its optional rerun compare)."""
+
+    trial: int
+    seed: int
+    scheduler: str
+    topology: str
+    allow_partition: bool
+    num_specs: int
+    #: ``"ok"`` (all jobs completed) or ``"failed"`` (accounted failure —
+    #: the run aborted with an explicit retry-budget reason).
+    status: str
+    #: The accounted-failure reason; empty for ``"ok"`` runs.
+    reason: str
+    #: sha256 over the canonical JSON of (summary, counters, events).
+    fingerprint: str
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Survivability-contract violations — empty on a passing trial.
+    violations: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "trial": self.trial,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "topology": self.topology,
+            "allow_partition": self.allow_partition,
+            "num_specs": self.num_specs,
+            "status": self.status,
+            "reason": self.reason,
+            "fingerprint": self.fingerprint,
+            "counters": dict(sorted(self.counters.items())),
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """A full campaign: config + per-trial results, canonically hashable."""
+
+    config: ChaosConfig
+    trials: list[ChaosTrialResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[ChaosTrialResult]:
+        return [t for t in self.trials if t.violations]
+
+    def summary(self) -> dict:
+        return {
+            "trials": len(self.trials),
+            "ok": sum(1 for t in self.trials if t.status == "ok"),
+            "failed_accounted": sum(
+                1 for t in self.trials if t.status == "failed"
+            ),
+            "violations": sum(len(t.violations) for t in self.trials),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "summary": self.summary(),
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON body — byte-identical across reruns of the same
+        campaign (the contract the CI smoke compares with ``cmp``)."""
+        return canonical_json(self.to_dict())
+
+
+class _ChaosSimulator(MapReduceSimulator):
+    """Engine with a liveness watchdog layered on the dispatch loop.
+
+    The engine's ``max_events`` cap catches global runaway; the watchdog
+    catches the sharper failure mode where simulated time stops advancing —
+    e.g. a retry loop rescheduling at zero delay.  Read-only: a watchdog
+    that never fires leaves the run byte-identical to the plain engine.
+    """
+
+    def __init__(self, *args, stall_limit: int = 20_000, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._stall_limit = int(stall_limit)
+        self._stall_time: float | None = None
+        self._stall_count = 0
+
+    def _dispatch(self, event) -> None:
+        if event.time == self._stall_time:
+            self._stall_count += 1
+            if self._stall_count > self._stall_limit:
+                raise RuntimeError(
+                    f"chaos watchdog: {self._stall_count} consecutive events "
+                    f"at sim time {event.time!r} — sim-time stall"
+                )
+        else:
+            self._stall_time = event.time
+            self._stall_count = 1
+        super()._dispatch(event)
+
+
+def sample_chaos_timeline(
+    topology: Topology,
+    *,
+    seed: int,
+    horizon: float = 4.0,
+    allow_partition: bool = False,
+) -> tuple[FaultSpec, ...]:
+    """Sample one randomized mixed-class fault timeline.
+
+    A seeded meta-draw first picks which fault classes are active this trial
+    and their MTBF/MTTR intensities, then :func:`generate_timeline` samples
+    the actual episodes (with its partition guard unless
+    ``allow_partition``).  Same seed → byte-identical timeline.
+    """
+    rng = np.random.default_rng(np.uint64(seed) ^ np.uint64(0xC4A05))
+    kwargs: dict = {}
+    if rng.random() < 0.7:
+        kwargs.update(
+            server_mtbf=float(rng.uniform(4.0, 12.0)), server_mttr=0.5
+        )
+    if rng.random() < 0.6:
+        kwargs.update(
+            switch_mtbf=float(rng.uniform(8.0, 20.0)), switch_mttr=0.5
+        )
+    if rng.random() < 0.6:
+        kwargs.update(link_mtbf=float(rng.uniform(6.0, 16.0)), link_mttr=0.5)
+    if rng.random() < 0.5:
+        kwargs.update(
+            domain_mtbf=float(rng.uniform(8.0, 24.0)),
+            domain_mttr=0.5,
+            domain_kind=str(rng.choice(("rack", "pod", "power"))),
+        )
+    if rng.random() < 0.5:
+        kwargs.update(
+            link_degrade_mtbf=float(rng.uniform(6.0, 16.0)),
+            link_degrade_mttr=0.5,
+            link_degrade_factor=float(rng.uniform(0.0, 0.5)),
+        )
+    return generate_timeline(
+        topology,
+        seed=seed,
+        horizon=horizon,
+        allow_partition=allow_partition,
+        **kwargs,
+    )
+
+
+def _fingerprint(body: dict) -> str:
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def graded_run(
+    build: Callable[[], tuple[MapReduceSimulator, int]],
+    *,
+    max_task_retries: int,
+) -> tuple[str, str, str, dict, list[str]]:
+    """One contract-graded engine pass.
+
+    ``build`` returns a fresh ``(simulator, num_jobs)`` — everything must be
+    rebuilt inside it (calling ``graded_run(build)`` twice is the
+    rerun-determinism probe).  Returns ``(status, reason, fingerprint,
+    counters, violations)``.
+    """
+    sim, num_jobs = build()
+    violations: list[str] = []
+    try:
+        with observe(checker=InvariantChecker(mode="raise")):
+            metrics = sim.run()
+    except Exception as exc:  # noqa: BLE001 — every escape is classified
+        reason = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, RuntimeError) and "exceeded max_task_retries" in str(
+            exc
+        ):
+            # Accounted failure: the retry budget was spent and the engine
+            # said so.  The job did not finish, but nothing was lost
+            # silently — the contract allows this outcome.
+            status = "failed"
+        else:
+            status = "failed"
+            violations.append(f"unaccounted failure: {reason}")
+        counters = dict(sim.faults.summary()) if sim.faults is not None else {}
+        return (
+            status,
+            reason,
+            _fingerprint({"error": reason, "counters": counters}),
+            counters,
+            violations,
+        )
+    counters = dict(sim.faults.summary()) if sim.faults is not None else {}
+    if len(metrics.jobs) != num_jobs:
+        violations.append(
+            f"silent loss: {num_jobs} jobs submitted, "
+            f"{len(metrics.jobs)} accounted"
+        )
+    retries = getattr(sim, "_retries", {})
+    worst = max(retries.values(), default=0)
+    if worst > max_task_retries:
+        violations.append(
+            f"retry budget exceeded: a task consumed {worst} retries "
+            f"(budget {max_task_retries})"
+        )
+    if getattr(sim, "_parked", None):
+        violations.append(
+            f"parked leak: {len(sim._parked)} flows still parked at end"
+        )
+    fingerprint = _fingerprint(
+        {
+            "summary": metrics.summary(),
+            "counters": counters,
+            "events": sim.events_processed,
+        }
+    )
+    return "ok", "", fingerprint, counters, violations
+
+
+def run_chaos_trial(
+    trial: int,
+    *,
+    scheduler: str,
+    topology: str,
+    seed: int,
+    jobs_per_trial: int = 3,
+    horizon: float = 4.0,
+    allow_partition: bool = False,
+    max_task_retries: int = 8,
+    stall_limit: int = 20_000,
+    rerun: bool = True,
+) -> ChaosTrialResult:
+    """Run one seeded trial (plus its determinism rerun) and grade it."""
+    timeline = sample_chaos_timeline(
+        CHAOS_TOPOLOGIES[topology](),
+        seed=seed,
+        horizon=horizon,
+        allow_partition=allow_partition,
+    )
+
+    def build() -> tuple[MapReduceSimulator, int]:
+        jobs = WorkloadGenerator(
+            seed=seed, input_size_range=(2.0, 4.0)
+        ).make_workload(jobs_per_trial, interarrival=0.5)
+        config = SimulationConfig(
+            seed=seed,
+            faults=tuple(timeline),
+            max_task_retries=max_task_retries,
+            server_speed_spread=0.2,
+        )
+        sim = _ChaosSimulator(
+            CHAOS_TOPOLOGIES[topology](),
+            make_scheduler(scheduler, seed=seed),
+            jobs,
+            config,
+            stall_limit=stall_limit,
+        )
+        return sim, len(jobs)
+
+    status, reason, fingerprint, counters, violations = graded_run(
+        build, max_task_retries=max_task_retries
+    )
+    violations = list(violations)
+    if rerun:
+        status2, reason2, fingerprint2, _, _ = graded_run(
+            build, max_task_retries=max_task_retries
+        )
+        if (status2, reason2, fingerprint2) != (status, reason, fingerprint):
+            violations.append(
+                "nondeterministic rerun: "
+                f"{(status, fingerprint[:12])} vs {(status2, fingerprint2[:12])}"
+            )
+    return ChaosTrialResult(
+        trial=trial,
+        seed=seed,
+        scheduler=scheduler,
+        topology=topology,
+        allow_partition=allow_partition,
+        num_specs=len(timeline),
+        status=status,
+        reason=reason,
+        fingerprint=fingerprint,
+        counters=counters,
+        violations=tuple(violations),
+    )
+
+
+def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
+    """Run a full chaos campaign over the schedulers × topologies grid.
+
+    Trial *i* uses seed ``config.seed + i`` and cycles through the grid
+    round-robin, so every (scheduler, topology) pair sees a spread of
+    timelines; every ``partition_every``-th trial drops the partition guard.
+    """
+    config = config or ChaosConfig()
+    report = ChaosReport(config=config)
+    grid = [
+        (s, t) for t in config.topologies for s in config.schedulers
+    ]
+    for i in range(config.trials):
+        scheduler, topology = grid[i % len(grid)]
+        allow_partition = (
+            config.partition_every > 0
+            and i % config.partition_every == config.partition_every - 1
+        )
+        report.trials.append(
+            run_chaos_trial(
+                i,
+                scheduler=scheduler,
+                topology=topology,
+                seed=config.seed + i,
+                jobs_per_trial=config.jobs_per_trial,
+                horizon=config.horizon,
+                allow_partition=allow_partition,
+                max_task_retries=config.max_task_retries,
+                stall_limit=config.stall_limit,
+                rerun=config.rerun,
+            )
+        )
+    return report

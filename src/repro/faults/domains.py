@@ -1,0 +1,141 @@
+"""Correlated failure domains derived from the fabric topology.
+
+A *failure domain* is a set of elements that plausibly fail together:
+
+* ``rack`` — the servers of one rack plus the access switch(es) wired to
+  them (top-of-rack power strip / PDU failure);
+* ``pod`` — racks that share aggregation switches, plus those aggregation
+  switches (a pod-level power or cooling event);
+* ``power`` — pairs of adjacent racks (servers + access switches) modelling
+  a shared power feed that spans two racks.
+
+Domains are derived purely from link adjacency, so they work on any
+:class:`~repro.topology.base.Topology` (trees, fat-trees, VL2, …) without
+builder cooperation.  Derivation is deterministic: domains are indexed in
+ascending order of their smallest server id, and each domain lists its
+servers and switches sorted ascending — which is what lets a single
+``domain-fail`` :class:`~repro.faults.spec.FaultSpec` expand into a
+byte-stable sequence of per-element events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..topology.base import Tier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology.base import Topology
+
+__all__ = ["DOMAIN_KINDS", "FailureDomain", "domains_of"]
+
+#: Valid ``FaultSpec.domain`` values / ``domains_of`` kinds.
+DOMAIN_KINDS = ("rack", "pod", "power")
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """One correlated failure domain: a named set of servers + switches."""
+
+    kind: str
+    index: int
+    name: str
+    servers: tuple[int, ...]
+    switches: tuple[int, ...]
+
+    @property
+    def elements(self) -> tuple[int, ...]:
+        """All member node ids: servers first, then switches, each sorted."""
+        return self.servers + self.switches
+
+
+def _racks(topology: "Topology") -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Group servers by their (frozen) set of access-switch neighbours."""
+    groups: dict[frozenset[int], list[int]] = {}
+    for sid in topology.server_ids:
+        access = frozenset(
+            n for n in topology.neighbors(sid) if topology.is_switch(n)
+        )
+        groups.setdefault(access, []).append(sid)
+    ordered = sorted(groups.items(), key=lambda kv: min(kv[1]))
+    return [
+        (tuple(sorted(servers)), tuple(sorted(access)))
+        for access, servers in ordered
+    ]
+
+
+def _aggregation_neighbors(topology: "Topology", access: tuple[int, ...]) -> set[int]:
+    agg: set[int] = set()
+    for wid in access:
+        for n in topology.neighbors(wid):
+            if topology.is_switch(n) and topology.tier_of(n) is Tier.AGGREGATION:
+                agg.add(n)
+    return agg
+
+
+def domains_of(topology: "Topology", kind: str) -> tuple[FailureDomain, ...]:
+    """Derive the failure domains of ``kind`` for ``topology``.
+
+    Raises :class:`ValueError` for unknown kinds.  The result is a tuple
+    indexed exactly as ``FaultSpec.target`` addresses domains.
+    """
+    if kind not in DOMAIN_KINDS:
+        raise ValueError(
+            f"unknown failure-domain kind {kind!r} (expected one of {DOMAIN_KINDS})"
+        )
+    racks = _racks(topology)
+
+    if kind == "rack":
+        return tuple(
+            FailureDomain("rack", i, f"rack{i}", servers, access)
+            for i, (servers, access) in enumerate(racks)
+        )
+
+    if kind == "power":
+        domains = []
+        for i in range(0, len(racks), 2):
+            pair = racks[i : i + 2]
+            servers = tuple(sorted(s for srv, _ in pair for s in srv))
+            switches = tuple(sorted(w for _, acc in pair for w in acc))
+            domains.append(
+                FailureDomain("power", len(domains), f"power{len(domains)}",
+                              servers, switches)
+            )
+        return tuple(domains)
+
+    # kind == "pod": union-find racks that share aggregation switches; a rack
+    # with no aggregation tier above it (depth-2 trees) is its own pod.
+    agg_sets = [_aggregation_neighbors(topology, access) for _, access in racks]
+    parent = list(range(len(racks)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner_of_agg: dict[int, int] = {}
+    for i, agg in enumerate(agg_sets):
+        for wid in sorted(agg):
+            if wid in owner_of_agg:
+                ra, rb = find(owner_of_agg[wid]), find(i)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+            else:
+                owner_of_agg[wid] = i
+    members: dict[int, list[int]] = {}
+    for i in range(len(racks)):
+        members.setdefault(find(i), []).append(i)
+    pods = sorted(members.values(), key=lambda racks_idx: min(racks_idx))
+    domains = []
+    for idx, rack_indices in enumerate(pods):
+        servers = tuple(sorted(s for i in rack_indices for s in racks[i][0]))
+        switches = tuple(
+            sorted(
+                {w for i in rack_indices for w in racks[i][1]}
+                | {w for i in rack_indices for w in agg_sets[i]}
+            )
+        )
+        domains.append(FailureDomain("pod", idx, f"pod{idx}", servers, switches))
+    return tuple(domains)

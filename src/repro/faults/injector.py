@@ -11,6 +11,19 @@ The *effects* of each event (killing tasks, rerouting flows, restoring
 capacity) are applied by the engine's recovery layer — the injector only
 answers "what is failed right now?" and "how often did each fault class
 fire?", so it can also be driven standalone in tests.
+
+Domain specs (:attr:`~repro.faults.spec.FaultKind.DOMAIN_FAIL` /
+``DOMAIN_RECOVER``) are expanded *at schedule time* into one per-element
+server/switch event each (servers first, then switches, each ascending), so
+the engine's recovery layer never needs to know about domains — a rack
+outage is exactly the deterministic event sequence a hand-written timeline
+of its members would produce.
+
+Link faults add a second axis of live state: :attr:`failed_links` (hard
+down) and :attr:`degraded_links` (capacity factor < 1.0).  A link is *dead*
+— unroutable — when it is failed or degraded to factor 0.0; the engine
+masks dead links out of routing and the policy DP, and
+:meth:`assert_path_clear` enforces that no installed path crosses one.
 """
 
 from __future__ import annotations
@@ -18,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..simulator.events import Event, EventKind, EventQueue
+from .domains import FailureDomain, domains_of
 from .spec import FaultKind, FaultSpec, validate_timeline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,6 +48,9 @@ FAULT_EVENT_KINDS = frozenset(
         EventKind.SWITCH_FAIL,
         EventKind.SWITCH_RECOVER,
         EventKind.TASK_SLOWDOWN,
+        EventKind.LINK_FAIL,
+        EventKind.LINK_RECOVER,
+        EventKind.LINK_DEGRADE,
     }
 )
 
@@ -43,7 +60,14 @@ _EVENT_KIND_OF: dict[FaultKind, EventKind] = {
     FaultKind.SWITCH_FAIL: EventKind.SWITCH_FAIL,
     FaultKind.SWITCH_RECOVER: EventKind.SWITCH_RECOVER,
     FaultKind.TASK_SLOWDOWN: EventKind.TASK_SLOWDOWN,
+    FaultKind.LINK_FAIL: EventKind.LINK_FAIL,
+    FaultKind.LINK_RECOVER: EventKind.LINK_RECOVER,
+    FaultKind.LINK_DEGRADE: EventKind.LINK_DEGRADE,
 }
+
+
+def _canonical(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u <= v else (v, u)
 
 
 class FaultInjector:
@@ -56,23 +80,66 @@ class FaultInjector:
         self.timeline: tuple[FaultSpec, ...] = validate_timeline(topology, specs)
         self._failed_servers: set[int] = set()
         self._failed_switches: set[int] = set()
+        self._failed_links: set[tuple[int, int]] = set()
+        self._degraded_links: dict[tuple[int, int], float] = {}
+        self._domain_cache: dict[str, tuple[FailureDomain, ...]] = {}
+        self._park_time: dict[int, float] = {}
+        self.parked_dwell: float = 0.0
         self.counters: dict[str, int] = {}
 
     # ------------------------------------------------------------ scheduling
+    def _domains(self, kind: str) -> tuple[FailureDomain, ...]:
+        if kind not in self._domain_cache:
+            self._domain_cache[kind] = domains_of(self.topology, kind)
+        return self._domain_cache[kind]
+
     def schedule(self, queue: EventQueue) -> int:
         """Push every timeline entry into the queue; returns the count.
 
-        Slowdown events carry ``(server, factor)`` payloads; every other
-        fault carries the bare target node id.  A timed slowdown (positive
-        ``duration``) also schedules its restore — the same event kind with
-        factor 1.0 — at ``time + duration``; the returned count includes
-        these synthesised restores.
+        Slowdown events carry ``(server, factor)`` payloads, link events
+        ``(u, v)`` (degrades ``(u, v, factor)``); every other fault carries
+        the bare target node id.  A timed slowdown (positive ``duration``)
+        also schedules its restore — the same event kind with factor 1.0 —
+        at ``time + duration``.  A domain spec expands into one event per
+        member element (servers ascending, then switches ascending).  The
+        returned count includes synthesised restores and expansions.
         """
         pushed = 0
         for spec in self.timeline:
+            if spec.kind in (FaultKind.DOMAIN_FAIL, FaultKind.DOMAIN_RECOVER):
+                domain = self._domains(spec.domain)[spec.target]
+                failing = spec.kind is FaultKind.DOMAIN_FAIL
+                self.count(
+                    "faults.domain_fail" if failing else "faults.domain_recover"
+                )
+                for sid in domain.servers:
+                    queue.push(
+                        Event(
+                            spec.time,
+                            EventKind.SERVER_FAIL if failing
+                            else EventKind.SERVER_RECOVER,
+                            sid,
+                        )
+                    )
+                    pushed += 1
+                for wid in domain.switches:
+                    queue.push(
+                        Event(
+                            spec.time,
+                            EventKind.SWITCH_FAIL if failing
+                            else EventKind.SWITCH_RECOVER,
+                            wid,
+                        )
+                    )
+                    pushed += 1
+                continue
             payload: object = spec.target
             if spec.kind is FaultKind.TASK_SLOWDOWN:
                 payload = (spec.target, spec.factor)
+            elif spec.kind is FaultKind.LINK_DEGRADE:
+                payload = (spec.target, spec.target2, spec.factor)
+            elif spec.kind in (FaultKind.LINK_FAIL, FaultKind.LINK_RECOVER):
+                payload = (spec.target, spec.target2)
             queue.push(Event(spec.time, _EVENT_KIND_OF[spec.kind], payload))
             pushed += 1
             if spec.kind is FaultKind.TASK_SLOWDOWN and spec.duration > 0:
@@ -94,6 +161,29 @@ class FaultInjector:
     @property
     def failed_switches(self) -> frozenset[int]:
         return frozenset(self._failed_switches)
+
+    @property
+    def failed_links(self) -> frozenset[tuple[int, int]]:
+        return frozenset(self._failed_links)
+
+    @property
+    def degraded_links(self) -> dict[tuple[int, int], float]:
+        """Canonical link key → current capacity factor (< 1.0 entries only)."""
+        return dict(self._degraded_links)
+
+    @property
+    def dead_links(self) -> frozenset[tuple[int, int]]:
+        """Links that carry no traffic: failed or degraded to factor 0.0."""
+        dead = set(self._failed_links)
+        dead.update(k for k, f in self._degraded_links.items() if f == 0.0)
+        return frozenset(dead)
+
+    def link_capacity_factor(self, u: int, v: int) -> float:
+        """Effective capacity multiplier for the link (0.0 when failed)."""
+        key = _canonical(u, v)
+        if key in self._failed_links:
+            return 0.0
+        return self._degraded_links.get(key, 1.0)
 
     def mark_server_failed(self, server_id: int) -> bool:
         """Record a server failure; False when it was already down."""
@@ -124,12 +214,49 @@ class FaultInjector:
         self.count("faults.switch_recover")
         return True
 
+    def mark_link_failed(self, u: int, v: int) -> bool:
+        key = _canonical(u, v)
+        if key in self._failed_links:
+            return False
+        self._failed_links.add(key)
+        self.count("faults.link_fail")
+        return True
+
+    def mark_link_recovered(self, u: int, v: int) -> bool:
+        key = _canonical(u, v)
+        if key not in self._failed_links:
+            return False
+        self._failed_links.discard(key)
+        self.count("faults.link_recover")
+        return True
+
+    def mark_link_degraded(self, u: int, v: int, factor: float) -> bool:
+        """Set the link's capacity factor; False when already at ``factor``.
+
+        Factor 1.0 restores nominal capacity (counted as a restore); any
+        value below 1.0 is a degradation episode.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"link degrade factor must be in [0, 1], got {factor}")
+        key = _canonical(u, v)
+        current = self._degraded_links.get(key, 1.0)
+        if current == factor:
+            return False
+        if factor == 1.0:
+            self._degraded_links.pop(key, None)
+            self.count("faults.link_restore")
+        else:
+            self._degraded_links[key] = factor
+            self.count("faults.link_degrade")
+        return True
+
     def assert_path_clear(self, path: Sequence[int]) -> None:
         """Hard guard: no path may traverse a currently-failed element.
 
         Called by the engine on every path install/reroute while faults are
         live; a violation is a recovery-layer bug, so it raises rather than
-        degrades.
+        degrades.  Covers failed switches and dead links (failed or
+        degraded-to-zero).
         """
         for node in path:
             if node in self._failed_switches:
@@ -137,6 +264,29 @@ class FaultInjector:
                     f"routing violation: path {tuple(path)} traverses "
                     f"failed switch {node}"
                 )
+        dead = self.dead_links
+        if dead:
+            for a, b in zip(path, path[1:]):
+                if _canonical(a, b) in dead:
+                    raise RuntimeError(
+                        f"routing violation: path {tuple(path)} traverses "
+                        f"dead link ({a}, {b})"
+                    )
+
+    # -------------------------------------------------------- parked dwell
+    def note_parked(self, flow_id: int, now: float) -> None:
+        """A flow was parked (no live route) at sim-time ``now``."""
+        self._park_time.setdefault(flow_id, now)
+
+    def note_resumed(self, flow_id: int, now: float) -> None:
+        """A parked flow left the park (resumed or killed) at ``now``.
+
+        Accumulates the flow's sim-time dwell into ``parked_dwell`` /
+        the ``faults.parked_dwell`` summary entry.
+        """
+        start = self._park_time.pop(flow_id, None)
+        if start is not None:
+            self.parked_dwell += now - start
 
     def gauges(self) -> dict[str, float]:
         """Instantaneous fault-state gauges for the telemetry plane.
@@ -148,6 +298,9 @@ class FaultInjector:
         return {
             "failed_servers": float(len(self._failed_servers)),
             "failed_switches": float(len(self._failed_switches)),
+            "failed_links": float(len(self._failed_links)),
+            "degraded_links": float(len(self._degraded_links)),
+            "parked_dwell": self.parked_dwell,
         }
 
     # -------------------------------------------------------------- counters
@@ -155,5 +308,12 @@ class FaultInjector:
         self.counters[name] = self.counters.get(name, 0) + value
 
     def summary(self) -> dict[str, int]:
-        """Counter snapshot (sorted keys, for stable reports)."""
-        return dict(sorted(self.counters.items()))
+        """Counter snapshot (sorted keys, for stable reports).
+
+        Includes the cumulative ``faults.parked_dwell`` sim-time (a float)
+        whenever any flow was ever parked.
+        """
+        out: dict[str, int] = dict(self.counters)
+        if "faults.flows_parked" in out:
+            out["faults.parked_dwell"] = round(self.parked_dwell, 9)  # type: ignore[assignment]
+        return dict(sorted(out.items()))

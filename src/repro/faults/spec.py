@@ -14,6 +14,17 @@ three sources, all deterministic:
 The same timeline can be replayed against every scheduler, which is what
 makes degradation comparisons (``repro.experiments.faults``) apples-to-
 apples: each baseline sees byte-identical failures.
+
+Beyond whole-server/whole-switch faults, the taxonomy covers:
+
+* **link faults** (``link-fail``/``link-recover``/``link-degrade``) — a
+  single physical link dies or runs at a fraction of nominal bandwidth
+  (fail-slow NICs, oversubscribed uplinks), addressed by its two endpoint
+  node ids (``target``/``target2``);
+* **correlated failure domains** (``domain-fail``/``domain-recover``) — a
+  whole rack/pod/power domain (:mod:`repro.faults.domains`) fails at once;
+  the injector expands one domain spec deterministically into per-element
+  server/switch events.
 """
 
 from __future__ import annotations
@@ -24,6 +35,8 @@ from enum import Enum
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
+
+from .domains import DOMAIN_KINDS, domains_of
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..topology.base import Topology
@@ -48,6 +61,17 @@ class FaultKind(Enum):
     #: Straggler injection: the target server's compute speed is divided by
     #: ``factor`` for tasks launched after the event (factor 1.0 restores).
     TASK_SLOWDOWN = "task-slowdown"
+    #: The physical link ``target``—``target2`` dies outright (carries no
+    #: traffic until the matching ``link-recover``).
+    LINK_FAIL = "link-fail"
+    LINK_RECOVER = "link-recover"
+    #: Fail-slow link: capacity scales to ``factor`` × nominal (0.0 = dead,
+    #: 1.0 restores nominal bandwidth).
+    LINK_DEGRADE = "link-degrade"
+    #: Correlated outage of failure domain ``domain``/``target`` (a rack,
+    #: pod or power domain index from :func:`repro.faults.domains.domains_of`).
+    DOMAIN_FAIL = "domain-fail"
+    DOMAIN_RECOVER = "domain-recover"
 
 
 #: Kinds whose target must be a server node.
@@ -56,21 +80,33 @@ _SERVER_KINDS = frozenset(
 )
 #: Kinds whose target must be a switch node.
 _SWITCH_KINDS = frozenset({FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER})
+#: Kinds whose (target, target2) must name a physical link.
+_LINK_KINDS = frozenset(
+    {FaultKind.LINK_FAIL, FaultKind.LINK_RECOVER, FaultKind.LINK_DEGRADE}
+)
+#: Kinds whose (domain, target) must name a failure domain.
+_DOMAIN_FAULT_KINDS = frozenset({FaultKind.DOMAIN_FAIL, FaultKind.DOMAIN_RECOVER})
 
 
 @dataclass(frozen=True)
 class FaultSpec:
     """One scheduled fault: *target* experiences *kind* at *time*.
 
-    ``factor`` only matters for :attr:`FaultKind.TASK_SLOWDOWN`: a factor of
-    2.0 halves the server's compute speed; 1.0 restores nominal speed.
+    ``factor`` matters for :attr:`FaultKind.TASK_SLOWDOWN` (a factor of 2.0
+    halves the server's compute speed; 1.0 restores nominal speed) and for
+    :attr:`FaultKind.LINK_DEGRADE` (the link runs at ``factor`` × nominal
+    capacity, so 0.0 kills it and 1.0 restores it).
 
-    ``duration`` (also slowdown-only) makes the degradation *timed*: a
+    ``duration`` (slowdown-only) makes the degradation *timed*: a
     positive value schedules the matching restore (factor 1.0) at
     ``time + duration`` automatically, so transient stragglers — the common
     case in production traces — need one spec instead of a hand-paired
     slowdown/restore.  Zero means the slowdown holds until another spec
     changes the server's speed.
+
+    ``target2`` is the far endpoint for link kinds (unused otherwise), and
+    ``domain`` names the failure-domain kind (``rack``/``pod``/``power``)
+    for domain kinds, in which case ``target`` is the domain *index*.
     """
 
     time: float
@@ -78,13 +114,20 @@ class FaultSpec:
     target: int
     factor: float = 1.0
     duration: float = 0.0
+    target2: int = -1
+    domain: str = ""
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError(f"fault time must be non-negative, got {self.time}")
         if self.target < 0:
             raise ValueError(f"fault target must be a node id, got {self.target}")
-        if self.factor <= 0:
+        if self.kind is FaultKind.LINK_DEGRADE:
+            if not 0.0 <= self.factor <= 1.0:
+                raise ValueError(
+                    f"link degrade factor must be in [0, 1], got {self.factor}"
+                )
+        elif self.factor <= 0:
             raise ValueError(f"slowdown factor must be positive, got {self.factor}")
         if self.duration < 0:
             raise ValueError(
@@ -94,6 +137,25 @@ class FaultSpec:
             raise ValueError(
                 f"duration only applies to task-slowdown specs, "
                 f"got {self.kind.value}"
+            )
+        if self.kind in _LINK_KINDS:
+            if self.target2 < 0:
+                raise ValueError(
+                    f"{self.kind.value} needs target2 (the far link endpoint)"
+                )
+        elif self.target2 != -1:
+            raise ValueError(
+                f"target2 only applies to link specs, got {self.kind.value}"
+            )
+        if self.kind in _DOMAIN_FAULT_KINDS:
+            if self.domain not in DOMAIN_KINDS:
+                raise ValueError(
+                    f"{self.kind.value} needs domain in {DOMAIN_KINDS}, "
+                    f"got {self.domain!r}"
+                )
+        elif self.domain:
+            raise ValueError(
+                f"domain only applies to domain specs, got {self.kind.value}"
             )
 
     # ------------------------------------------------------------- serialise
@@ -107,6 +169,12 @@ class FaultSpec:
             record["factor"] = self.factor
             if self.duration > 0:
                 record["duration"] = self.duration
+        if self.kind in _LINK_KINDS:
+            record["target2"] = self.target2
+            if self.kind is FaultKind.LINK_DEGRADE:
+                record["factor"] = self.factor
+        if self.kind in _DOMAIN_FAULT_KINDS:
+            record["domain"] = self.domain
         return record
 
     @classmethod
@@ -119,6 +187,8 @@ class FaultSpec:
                 target=int(record["target"]),  # type: ignore[arg-type]
                 factor=float(record.get("factor", 1.0)),  # type: ignore[arg-type]
                 duration=float(record.get("duration", 0.0)),  # type: ignore[arg-type]
+                target2=int(record.get("target2", -1)),  # type: ignore[arg-type]
+                domain=str(record.get("domain", "")),
             )
         except (KeyError, ValueError) as exc:
             raise ValueError(f"malformed fault record {record!r}: {exc}") from exc
@@ -130,10 +200,12 @@ def validate_timeline(
     """Check every spec against the fabric and return the sorted timeline.
 
     Targets must exist and be of the right node class (server kinds target
-    servers, switch kinds target switches).  Sorting is by (time, original
-    order) so same-instant faults keep their authored order; the event
-    queue's kind priority then decides recovery-vs-failure ordering.
+    servers, switch kinds switches, link kinds physical links, domain kinds
+    valid domain indices).  Sorting is by (time, original order) so
+    same-instant faults keep their authored order; the event queue's kind
+    priority then decides recovery-vs-failure ordering.
     """
+    domain_counts: dict[str, int] = {}
     out = []
     for spec in specs:
         if spec.kind in _SERVER_KINDS and not topology.is_server(spec.target):
@@ -146,6 +218,22 @@ def validate_timeline(
                 f"{spec.kind.value} targets node {spec.target}, "
                 f"which is not a switch"
             )
+        if spec.kind in _LINK_KINDS and not topology.has_link(
+            spec.target, spec.target2
+        ):
+            raise ValueError(
+                f"{spec.kind.value} targets ({spec.target}, {spec.target2}), "
+                f"which is not a physical link"
+            )
+        if spec.kind in _DOMAIN_FAULT_KINDS:
+            if spec.domain not in domain_counts:
+                domain_counts[spec.domain] = len(domains_of(topology, spec.domain))
+            if spec.target >= domain_counts[spec.domain]:
+                raise ValueError(
+                    f"{spec.kind.value} targets {spec.domain} domain "
+                    f"{spec.target}, but the fabric only has "
+                    f"{domain_counts[spec.domain]} {spec.domain} domains"
+                )
         out.append(spec)
     out.sort(key=lambda s: s.time)
     return tuple(out)
@@ -176,6 +264,153 @@ def load_fault_file(path: str) -> tuple[FaultSpec, ...]:
     return tuple(specs)
 
 
+# ----------------------------------------------------- partition safety pass
+def _canonical(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class _Outage:
+    """One fail→recover episode of a fabric element (or element set)."""
+
+    start: float
+    end: float
+    servers: frozenset[int]
+    switches: frozenset[int]
+    links: frozenset[tuple[int, int]]
+    droppable: bool
+    specs: tuple[FaultSpec, ...]
+
+
+def _live_servers_connected(
+    topology: "Topology",
+    adjacency: dict[int, tuple[int, ...]],
+    down_servers: dict[int, int],
+    down_switches: dict[int, int],
+    down_links: dict[tuple[int, int], int],
+) -> bool:
+    """True when every currently-live server can reach every other one."""
+    live = [s for s in topology.server_ids if down_servers.get(s, 0) == 0]
+    if len(live) <= 1:
+        return True
+    seen = {live[0]}
+    stack = [live[0]]
+    while stack:
+        u = stack.pop()
+        for v in adjacency[u]:
+            if v in seen:
+                continue
+            if down_switches.get(v, 0) > 0:
+                continue
+            if down_links.get(_canonical(u, v), 0) > 0:
+                continue
+            if topology.is_server(v) and down_servers.get(v, 0) > 0:
+                continue
+            seen.add(v)
+            stack.append(v)
+    return all(s in seen for s in live)
+
+
+def _prune_partitioning_outages(
+    topology: "Topology", outages: list[_Outage], allow_partition: bool
+) -> list[_Outage]:
+    """Drop droppable outages so live servers stay mutually reachable at
+    every instant of the timeline.
+
+    Boundaries are replayed in time order (recoveries before failures at
+    ties, matching the event queue's kind priority) and the live-server
+    connectivity of the fabric minus all currently-down elements is
+    BFS-checked after *every* boundary — onsets AND recoveries.  Checking
+    recoveries matters: a server (or whole domain) coming back while some
+    other outage still holds its last uplink down materialises a partition
+    at the recovery instant, not at either onset.
+
+    When a boundary partitions the fabric, the guard drops — whole, as if
+    its elements had stayed up — an outage open at that instant: preferably
+    the latest-starting droppable outage whose removal alone restores
+    connectivity, else the latest-starting droppable one.  The replay then
+    restarts, because removing an outage shifts which later boundaries are
+    reachable.  Non-droppable outages (plain server crashes, which cannot
+    sever paths between live servers) only contribute down-state.  The loop
+    terminates: every iteration permanently drops one outage.
+    """
+    if allow_partition:
+        return outages
+    adjacency = {
+        node: topology.neighbors(node)
+        for node in (*topology.server_ids, *topology.switch_ids)
+    }
+    dropped: set[int] = set()
+
+    def replay() -> int | None:
+        """Replay kept outages; return the index to drop, or None if the
+        whole timeline keeps live servers connected."""
+        boundaries = sorted(
+            (
+                boundary
+                for idx, outage in enumerate(outages)
+                if idx not in dropped
+                for boundary in (
+                    (outage.end, 0, idx),
+                    (outage.start, 1, idx),
+                )
+            ),
+            key=lambda b: (b[0], b[1]),
+        )
+        down_servers: dict[int, int] = {}
+        down_switches: dict[int, int] = {}
+        down_links: dict[tuple[int, int], int] = {}
+        open_now: set[int] = set()
+
+        def apply(outage: _Outage, delta: int) -> None:
+            for sid in outage.servers:
+                down_servers[sid] = down_servers.get(sid, 0) + delta
+            for wid in outage.switches:
+                down_switches[wid] = down_switches.get(wid, 0) + delta
+            for key in outage.links:
+                down_links[key] = down_links.get(key, 0) + delta
+
+        def connected() -> bool:
+            return _live_servers_connected(
+                topology, adjacency, down_servers, down_switches, down_links
+            )
+
+        for _, is_start, idx in boundaries:
+            outage = outages[idx]
+            if is_start:
+                apply(outage, +1)
+                open_now.add(idx)
+            else:
+                apply(outage, -1)
+                open_now.discard(idx)
+            if connected():
+                continue
+            # Latest-start first: the most recent cause is the natural
+            # culprit, and index breaks exact-tie starts deterministically.
+            candidates = sorted(
+                (i for i in open_now if outages[i].droppable),
+                key=lambda i: (outages[i].start, i),
+                reverse=True,
+            )
+            for i in candidates:
+                apply(outages[i], -1)
+                fixed = connected()
+                apply(outages[i], +1)
+                if fixed:
+                    return i
+            # No single removal fixes it (stacked causes): drop the most
+            # recent and re-examine on the next replay.
+            return candidates[0] if candidates else None
+        return None
+
+    while True:
+        victim = replay()
+        if victim is None:
+            break
+        dropped.add(victim)
+    return [o for i, o in enumerate(outages) if i not in dropped]
+
+
 # ---------------------------------------------------------------- generation
 def generate_timeline(
     topology: "Topology",
@@ -190,29 +425,51 @@ def generate_timeline(
     slowdown_mtbf: float | None = None,
     slowdown_mttr: float = 0.5,
     slowdown_factor: float = 4.0,
+    link_mtbf: float | None = None,
+    link_mttr: float = 1.0,
+    domain_mtbf: float | None = None,
+    domain_mttr: float = 1.0,
+    domain_kind: str = "rack",
+    link_degrade_mtbf: float | None = None,
+    link_degrade_mttr: float = 0.5,
+    link_degrade_factor: float = 0.25,
+    allow_partition: bool = False,
 ) -> tuple[FaultSpec, ...]:
     """Sample a fail/recover timeline from exponential MTBF/MTTR draws.
 
-    Each server (when ``server_mtbf`` is set) and each switch (when
-    ``switch_mtbf`` is set) alternates up/down: up-times are
-    ``Exp(mtbf)``-distributed, down-times ``Exp(mttr)``-distributed, clocks
-    start at 0 and events past ``horizon`` are dropped — except that every
-    failure drawn before the horizon always gets its matching recovery (even
-    past the horizon), so a sampled timeline never strands the fabric
-    permanently degraded.
+    Each element class is enabled by setting its ``*_mtbf``: servers and
+    switches (whole-element crash/repair), physical links (``link_mtbf``),
+    failure domains (``domain_mtbf`` over the ``domain_kind`` domains of the
+    fabric — one draw stream per domain, expanded by the injector into
+    correlated per-element events) and link degradation episodes
+    (``link_degrade_mtbf``; each episode scales one link to
+    ``link_degrade_factor`` × nominal and restores it afterwards).  Up-times
+    are ``Exp(mtbf)``-distributed, down-times ``Exp(mttr)``-distributed,
+    clocks start at 0 and events past ``horizon`` are dropped — except that
+    every failure drawn before the horizon always gets its matching recovery
+    (even past the horizon), so a sampled timeline never strands the fabric
+    permanently degraded.  An MTTR of exactly 0 is allowed and means
+    "instant repair": such outages are dropped whole at sampling time (the
+    element never observably fails).
 
     ``max_concurrent_switch_failures`` caps how many switches may be down at
-    once by *skipping* excess failure draws (the element just stays up) —
-    without the cap an unlucky seed can partition the fabric outright.
+    once by *skipping* excess failure draws (the element just stays up).
+    Independently, a **partition guard** drops any sampled switch, link or
+    domain outage whose onset would disconnect the currently-live servers
+    from each other, so a sampled timeline can only partition the fabric
+    when ``allow_partition=True``.
 
     ``slowdown_mtbf`` additionally samples transient straggler episodes:
     each server alternates nominal/degraded with ``Exp(slowdown_mtbf)``
     healthy stretches and ``Exp(slowdown_mttr)`` degraded stretches, emitted
     as *timed* :attr:`FaultKind.TASK_SLOWDOWN` specs (``factor =
     slowdown_factor``, ``duration`` = the degraded stretch) whose restores
-    the injector synthesises.  Slowdown draws happen after all fail/recover
-    draws, so enabling them never perturbs the failure portion of a
-    same-seed timeline.
+    the injector synthesises.
+
+    Draw order is fixed (servers, switches, links, domains, degradations,
+    slowdowns), so enabling a new class never perturbs the seeded streams of
+    the classes before it; with only the pre-existing knobs set the sampled
+    timeline is byte-identical to what earlier versions produced.
 
     All randomness comes from one ``numpy`` generator seeded with ``seed``;
     identical inputs give byte-identical timelines.
@@ -220,84 +477,165 @@ def generate_timeline(
     if horizon <= 0:
         raise ValueError("horizon must be positive")
     rng = np.random.default_rng(seed)
-    specs: list[FaultSpec] = []
 
-    def sample_element(
-        node: int, mtbf: float, mttr: float, fail: FaultKind, recover: FaultKind
-    ) -> list[tuple[float, FaultSpec]]:
-        events: list[tuple[float, FaultSpec]] = []
+    def check_rates(label: str, mtbf: float, mttr: float) -> None:
+        if mtbf <= 0 or mttr < 0:
+            raise ValueError(
+                f"{label} MTBF/MTTR must be positive (MTTR 0 = instant repair)"
+            )
+
+    def sample_outages(mtbf: float, mttr: float) -> list[tuple[float, float]]:
+        """(start, down-duration) episodes; zero-duration ones dropped."""
+        episodes: list[tuple[float, float]] = []
         clock = float(rng.exponential(mtbf))
         while clock < horizon:
             down = float(rng.exponential(mttr))
-            events.append((clock, FaultSpec(clock, fail, node)))
-            events.append((clock + down, FaultSpec(clock + down, recover, node)))
+            if down > 0.0:
+                episodes.append((clock, down))
             clock += down + float(rng.exponential(mtbf))
-        return events
+        return episodes
+
+    def pair(start: float, down: float, fail: FaultKind, recover: FaultKind,
+             target: int, **kw: object) -> tuple[FaultSpec, FaultSpec]:
+        return (
+            FaultSpec(start, fail, target, **kw),  # type: ignore[arg-type]
+            FaultSpec(start + down, recover, target, **kw),  # type: ignore[arg-type]
+        )
+
+    outages: list[_Outage] = []
 
     if server_mtbf is not None:
-        if server_mtbf <= 0 or server_mttr <= 0:
-            raise ValueError("server MTBF/MTTR must be positive")
+        check_rates("server", server_mtbf, server_mttr)
         for sid in topology.server_ids:
-            specs.extend(
-                spec
-                for _, spec in sample_element(
-                    sid, server_mtbf, server_mttr,
-                    FaultKind.SERVER_FAIL, FaultKind.SERVER_RECOVER,
+            for start, down in sample_outages(server_mtbf, server_mttr):
+                outages.append(
+                    _Outage(
+                        start, start + down,
+                        servers=frozenset({sid}), switches=frozenset(),
+                        links=frozenset(), droppable=False,
+                        specs=pair(start, down, FaultKind.SERVER_FAIL,
+                                   FaultKind.SERVER_RECOVER, sid),
+                    )
                 )
-            )
+
     if switch_mtbf is not None:
-        if switch_mtbf <= 0 or switch_mttr <= 0:
-            raise ValueError("switch MTBF/MTTR must be positive")
+        check_rates("switch", switch_mtbf, switch_mttr)
         switch_events: list[tuple[float, FaultSpec]] = []
         for wid in topology.switch_ids:
-            switch_events.extend(
-                sample_element(
-                    wid, switch_mtbf, switch_mttr,
-                    FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER,
-                )
-            )
+            for start, down in sample_outages(switch_mtbf, switch_mttr):
+                fail, recover = pair(start, down, FaultKind.SWITCH_FAIL,
+                                     FaultKind.SWITCH_RECOVER, wid)
+                switch_events.append((start, fail))
+                switch_events.append((start + down, recover))
         # Enforce the concurrency cap in time order: an outage that would
         # push the number of simultaneously-down switches past the cap is
         # dropped whole (its fail *and* its matching recovery), as if the
         # switch had simply stayed up.  Per-switch streams alternate
         # fail/recover strictly in time, so "matching recovery" is always
         # the switch's next recovery event.
-        switch_events.sort(key=lambda pair: pair[0])
-        down: set[int] = set()
+        switch_events.sort(key=lambda p: p[0])
+        down_set: set[int] = set()
         skip_recovery: set[int] = set()
-        kept: list[FaultSpec] = []
+        open_fail: dict[int, FaultSpec] = {}
         for _, spec in switch_events:
             if spec.kind is FaultKind.SWITCH_FAIL:
-                if len(down) >= max_concurrent_switch_failures:
+                if len(down_set) >= max_concurrent_switch_failures:
                     skip_recovery.add(spec.target)
                     continue
-                down.add(spec.target)
-                kept.append(spec)
+                down_set.add(spec.target)
+                open_fail[spec.target] = spec
             else:
                 if spec.target in skip_recovery:
                     skip_recovery.discard(spec.target)
                     continue
-                down.discard(spec.target)
-                kept.append(spec)
-        specs.extend(kept)
+                down_set.discard(spec.target)
+                fail = open_fail.pop(spec.target)
+                outages.append(
+                    _Outage(
+                        fail.time, spec.time,
+                        servers=frozenset(),
+                        switches=frozenset({spec.target}),
+                        links=frozenset(), droppable=True,
+                        specs=(fail, spec),
+                    )
+                )
+
+    if link_mtbf is not None:
+        check_rates("link", link_mtbf, link_mttr)
+        for link in topology.links:
+            u, v = link.key
+            for start, down in sample_outages(link_mtbf, link_mttr):
+                outages.append(
+                    _Outage(
+                        start, start + down,
+                        servers=frozenset(), switches=frozenset(),
+                        links=frozenset({(u, v)}), droppable=True,
+                        specs=pair(start, down, FaultKind.LINK_FAIL,
+                                   FaultKind.LINK_RECOVER, u, target2=v),
+                    )
+                )
+
+    if domain_mtbf is not None:
+        check_rates("domain", domain_mtbf, domain_mttr)
+        for dom in domains_of(topology, domain_kind):
+            for start, down in sample_outages(domain_mtbf, domain_mttr):
+                outages.append(
+                    _Outage(
+                        start, start + down,
+                        servers=frozenset(dom.servers),
+                        switches=frozenset(dom.switches),
+                        links=frozenset(), droppable=True,
+                        specs=pair(start, down, FaultKind.DOMAIN_FAIL,
+                                   FaultKind.DOMAIN_RECOVER, dom.index,
+                                   domain=dom.kind),
+                    )
+                )
+
+    if link_degrade_mtbf is not None:
+        check_rates("link degrade", link_degrade_mtbf, link_degrade_mttr)
+        if not 0.0 <= link_degrade_factor < 1.0:
+            raise ValueError("link degrade factor must be in [0, 1)")
+        dead = link_degrade_factor == 0.0
+        for link in topology.links:
+            u, v = link.key
+            for start, down in sample_outages(link_degrade_mtbf,
+                                              link_degrade_mttr):
+                outages.append(
+                    _Outage(
+                        start, start + down,
+                        servers=frozenset(), switches=frozenset(),
+                        links=frozenset({(u, v)}) if dead else frozenset(),
+                        droppable=dead,
+                        specs=(
+                            FaultSpec(start, FaultKind.LINK_DEGRADE, u,
+                                      factor=link_degrade_factor, target2=v),
+                            FaultSpec(start + down, FaultKind.LINK_DEGRADE, u,
+                                      factor=1.0, target2=v),
+                        ),
+                    )
+                )
+
+    outages = _prune_partitioning_outages(topology, outages, allow_partition)
+    specs: list[FaultSpec] = [s for outage in outages for s in outage.specs]
+
     if slowdown_mtbf is not None:
-        if slowdown_mtbf <= 0 or slowdown_mttr <= 0:
-            raise ValueError("slowdown MTBF/MTTR must be positive")
+        check_rates("slowdown", slowdown_mtbf, slowdown_mttr)
         if slowdown_factor <= 1.0:
             raise ValueError("slowdown factor must exceed 1.0")
         for sid in topology.server_ids:
             clock = float(rng.exponential(slowdown_mtbf))
             while clock < horizon:
                 degraded = float(rng.exponential(slowdown_mttr))
-                specs.append(
-                    FaultSpec(
-                        clock,
-                        FaultKind.TASK_SLOWDOWN,
-                        sid,
-                        factor=slowdown_factor,
-                        duration=degraded,
+                if degraded > 0.0:
+                    specs.append(
+                        FaultSpec(
+                            clock,
+                            FaultKind.TASK_SLOWDOWN,
+                            sid,
+                            factor=slowdown_factor,
+                            duration=degraded,
+                        )
                     )
-                )
                 clock += degraded + float(rng.exponential(slowdown_mtbf))
 
     return validate_timeline(topology, specs)

@@ -24,6 +24,10 @@ machine-checkable (paper references in parentheses):
   one non-negative rate along its whole path, remaining volume never goes
   negative, and per-resource aggregate rates respect link/switch capacities
   (the max-min allocation is feasible).
+* **path-liveness** — while faults are live, no active flow's path touches a
+  currently-failed switch or a dead link (failed, or degraded to a capacity
+  factor of 0.0) — the routing half of the survivability contract
+  (``docs/fault_model.md``).
 * **quiescence** — when a simulation drains, switch loads return to exactly
   their base values and no flow or policy is left behind.
 * **one-committed-attempt** / **no-killed-flow** — the speculative-execution
@@ -49,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.policy import PolicyController
     from ..core.preference import PreferenceMatrix
     from ..core.taa import TAAInstance
+    from ..faults.injector import FaultInjector
     from ..simulator.network import FlowNetwork
 
 __all__ = ["InvariantViolation", "InvariantError", "InvariantChecker"]
@@ -310,6 +315,44 @@ class InvariantChecker:
                     f"{cap:g}",
                     where,
                 ))
+        return self._emit(found)
+
+    def check_path_liveness(
+        self,
+        network: "FlowNetwork",
+        injector: "FaultInjector",
+        where: str = "",
+    ) -> list[InvariantViolation]:
+        """No active flow may traverse a failed switch or a dead link.
+
+        The routing half of the survivability contract: the engine's
+        recovery layer must have rerouted or parked every flow touching a
+        dead element before simulated time moves again.
+        """
+        found: list[InvariantViolation] = []
+        failed = injector.failed_switches
+        dead = injector.dead_links
+        if not failed and not dead:
+            return self._emit(found)
+        for flow in network.active_flows:
+            for node in flow.path:
+                if node in failed:
+                    found.append(InvariantViolation(
+                        "path-liveness",
+                        f"flow {flow.flow_id}: path {flow.path} traverses "
+                        f"failed switch {node}",
+                        where,
+                    ))
+                    break
+            for a, b in zip(flow.path, flow.path[1:]):
+                if ((a, b) if a <= b else (b, a)) in dead:
+                    found.append(InvariantViolation(
+                        "path-liveness",
+                        f"flow {flow.flow_id}: path {flow.path} traverses "
+                        f"dead link ({a}, {b})",
+                        where,
+                    ))
+                    break
         return self._emit(found)
 
     def check_quiescent(

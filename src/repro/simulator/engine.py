@@ -220,6 +220,9 @@ class MapReduceSimulator:
             if self.config.faults
             else None
         )
+        # Unknown-/duplicate-flow errors out of the network name the owning
+        # job and shuffle stage (diagnosable resume-after-recovery failures).
+        self.network.flow_describer = self._describe_flow
         #: Speculation subsystem (None = off, same zero-overhead contract).
         self.speculation: SpeculationState | None = (
             SpeculationState(self.config.speculation)
@@ -375,6 +378,12 @@ class MapReduceSimulator:
             self._on_switch_fail(event.time, event.payload)
         elif event.kind is EventKind.SWITCH_RECOVER:
             self._on_switch_recover(event.time, event.payload)
+        elif event.kind is EventKind.LINK_FAIL:
+            self._on_link_fail(event.time, *event.payload)
+        elif event.kind is EventKind.LINK_RECOVER:
+            self._on_link_recover(event.time, *event.payload)
+        elif event.kind is EventKind.LINK_DEGRADE:
+            self._on_link_degrade(event.time, *event.payload)
         elif event.kind is EventKind.TASK_SLOWDOWN:
             self._on_task_slowdown(event.time, *event.payload)
         elif event.kind is EventKind.TASK_RETRY:
@@ -402,6 +411,12 @@ class MapReduceSimulator:
             _OBS.checker.check_flow_conservation(
                 self.network, where=f"advance t={now:.6g}"
             )
+            if self.faults is not None:
+                # Fault-plane checkpoint: no active flow may be traversing a
+                # failed switch or a dead link at this instant.
+                _OBS.checker.check_path_liveness(
+                    self.network, self.faults, where=f"advance t={now:.6g}"
+                )
 
     def _schedule_network_checkpoint(self, now: float) -> None:
         self._net_epoch += 1
@@ -861,7 +876,7 @@ class MapReduceSimulator:
         exists (only possible while switches are failed)."""
         path = self._route(flow, src, dst)
         if path is None:
-            self._park_flow(flow.flow_id, flow.size)
+            self._park_flow(flow.flow_id, flow.size, now)
             return
         self.network.add_flow(flow.flow_id, path, flow.size, now)
 
@@ -871,10 +886,13 @@ class MapReduceSimulator:
         """Pick a path for a starting/restarting flow.
 
         Returns ``None`` (caller parks the flow) only when failed switches
-        leave no live path at all; on fault-free runs the result is always a
-        path and the logic is byte-for-byte the pre-fault behaviour.
+        or dead links leave no live path at all; on fault-free runs the
+        result is always a path and the logic is byte-for-byte the
+        pre-fault behaviour.
         """
-        faulty = self.faults is not None and bool(self.faults.failed_switches)
+        faulty = self.faults is not None and bool(
+            self.faults.failed_switches or self.faults.dead_links
+        )
         path = self._route_impl(flow, src, dst, faulty)
         if path is not None and faulty:
             self.faults.assert_path_clear(path)
@@ -924,18 +942,30 @@ class MapReduceSimulator:
     ) -> list[tuple[int, ...]]:
         """Shortest live paths for the non-policy baselines under failures:
         the first slack level whose equal-cost set contains a path avoiding
-        every failed switch (graceful degradation — any feasible path)."""
+        every failed switch and dead link (graceful degradation — any
+        feasible path)."""
         from ..topology.routing import enumerate_paths
 
         assert self.faults is not None
         failed = self.faults.failed_switches
+        dead = self.faults.dead_links
+
+        def alive_path(p: tuple[int, ...]) -> bool:
+            if any(node in failed for node in p):
+                return False
+            if dead:
+                for a, b in zip(p, p[1:]):
+                    if ((a, b) if a <= b else (b, a)) in dead:
+                        return False
+            return True
+
         for slack in range(max_slack + 1):
             alive = [
                 p
                 for p in enumerate_paths(
                     self.topology, src, dst, slack=slack, limit=64
                 )
-                if not any(node in failed for node in p)
+                if alive_path(p)
             ]
             if alive:
                 return alive
@@ -1017,7 +1047,7 @@ class MapReduceSimulator:
                 remaining = active.remaining
                 self.network.remove_flow(active.flow_id)
                 self.controller.release(active.flow_id)
-                self._park_flow(active.flow_id, remaining)
+                self._park_flow(active.flow_id, remaining, now)
             else:
                 self.network.reroute_flow(active.flow_id, path)
                 injector.count("faults.flows_rerouted")
@@ -1030,6 +1060,84 @@ class MapReduceSimulator:
         self.controller.recover_switch(switch_id)
         invalidate_topology_caches(self.topology)
         self._unpark_flows(now)
+
+    def _on_link_fail(self, now: float, u: int, v: int) -> None:
+        injector = self.faults
+        assert injector is not None
+        was_dead = ((u, v) if u <= v else (v, u)) in injector.dead_links
+        if not injector.mark_link_failed(u, v):
+            return
+        self._sync_link_state(now, u, v, was_dead)
+
+    def _on_link_recover(self, now: float, u: int, v: int) -> None:
+        injector = self.faults
+        assert injector is not None
+        was_dead = ((u, v) if u <= v else (v, u)) in injector.dead_links
+        if not injector.mark_link_recovered(u, v):
+            return
+        self._sync_link_state(now, u, v, was_dead)
+
+    def _on_link_degrade(
+        self, now: float, u: int, v: int, factor: float
+    ) -> None:
+        """Fail-slow link: scale capacity to ``factor`` × nominal.
+
+        Factor 0.0 kills the link (flows reroute or park exactly as for a
+        hard ``link-fail``), anything in (0, 1) just squeezes the max-min
+        allocation, and 1.0 restores nominal bandwidth."""
+        injector = self.faults
+        assert injector is not None
+        was_dead = ((u, v) if u <= v else (v, u)) in injector.dead_links
+        if not injector.mark_link_degraded(u, v, factor):
+            return
+        self._sync_link_state(now, u, v, was_dead)
+
+    def _sync_link_state(
+        self, now: float, u: int, v: int, was_dead: bool
+    ) -> None:
+        """Propagate a link-fault transition into network + controller.
+
+        The injector is the source of truth: the fluid network's capacity
+        follows :meth:`FaultInjector.link_capacity_factor` and the routing
+        mask follows dead-link membership (failed, or degraded to factor
+        0.0).  On a live→dead transition every flow crossing the link is
+        rerouted or parked; dead→live recoveries retry the parking lot.
+        """
+        injector = self.faults
+        assert injector is not None
+        key = (u, v) if u <= v else (v, u)
+        dead = key in injector.dead_links
+        self.network.set_link_capacity_factor(
+            u, v, injector.link_capacity_factor(u, v)
+        )
+        if dead == was_dead:
+            return
+        if dead:
+            self.controller.fail_link(u, v)
+            invalidate_topology_caches(self.topology)
+            # Reroute every flow whose path crosses the dead link; park the
+            # ones with no remaining live path until a recovery.
+            for active in self.network.active_flows:
+                if active.remaining <= 0.0:
+                    continue  # already finished awaiting drain
+                hops = zip(active.path, active.path[1:])
+                if not any(((a, b) if a <= b else (b, a)) == key
+                           for a, b in hops):
+                    continue
+                flow = self._flow_objects[active.flow_id]
+                path = self._route(flow, active.path[0], active.path[-1])
+                if path is None:
+                    remaining = active.remaining
+                    self.network.remove_flow(active.flow_id)
+                    self.controller.release(active.flow_id)
+                    self._park_flow(active.flow_id, remaining, now)
+                else:
+                    self.network.reroute_flow(active.flow_id, path)
+                    injector.count("faults.flows_rerouted")
+        else:
+            self.controller.recover_link(u, v)
+            invalidate_topology_caches(self.topology)
+            self._unpark_flows(now)
 
     def _on_task_slowdown(
         self, now: float, server_id: int, factor: float
@@ -1049,10 +1157,11 @@ class MapReduceSimulator:
             self.faults.count("faults.slowdown")
 
     # --- flow parking -------------------------------------------------------
-    def _park_flow(self, fid: int, remaining: float) -> None:
+    def _park_flow(self, fid: int, remaining: float, now: float) -> None:
         assert self.faults is not None
         self._parked[fid] = remaining
         self.faults.count("faults.flows_parked")
+        self.faults.note_parked(fid, now)
 
     def _unpark_flows(self, now: float) -> None:
         for fid in sorted(self._parked):
@@ -1075,8 +1184,19 @@ class MapReduceSimulator:
             remaining = self._parked.pop(fid)
             self.network.add_flow(fid, path, flow.size, now, remaining=remaining)
             self.faults.count("faults.flows_resumed")
+            self.faults.note_resumed(fid, now)
 
-    def _cancel_flows(self, predicate) -> None:
+    def _describe_flow(self, fid: int) -> str:
+        """Owner description for network-layer flow errors (job + stage)."""
+        flow = self._flow_objects.get(fid)
+        if flow is None:
+            return ""
+        return (
+            f"job {flow.job_id} shuffle map {flow.map_index} "
+            f"-> reduce {flow.reduce_index}"
+        )
+
+    def _cancel_flows(self, predicate, now: float) -> None:
         """Move every matching in-flight or parked flow back to the pending
         registry (its reducer still lists the fid in ``pending_flows``), so
         it restarts from zero when its endpoints are healthy again."""
@@ -1089,6 +1209,10 @@ class MapReduceSimulator:
                 continue  # not started yet — already pending
             if fid in self._parked:
                 del self._parked[fid]
+                if self.faults is not None:
+                    # The parked wait ends here: dwell stops accruing even
+                    # though the flow restarts from zero later.
+                    self.faults.note_resumed(fid, now)
             else:
                 self.network.remove_flow(fid)
                 self.controller.release(fid)
@@ -1139,7 +1263,8 @@ class MapReduceSimulator:
         job.maps_running += 1
         self._attempt[cid] = self._attempt.get(cid, 0) + 1
         self._cancel_flows(
-            lambda f: f.job_id == job.spec.job_id and f.map_index == map_index
+            lambda f: f.job_id == job.spec.job_id and f.map_index == map_index,
+            now,
         )
         if self.cluster.container(cid).is_placed:
             self.cluster.unplace(cid)
@@ -1160,7 +1285,7 @@ class MapReduceSimulator:
         self._attempt[cid] = self._attempt.get(cid, 0) + 1  # stales REDUCE_DONE
         reduce_state.scheduled = False
         # In-flight/parked inbound transfers restart from zero later.
-        self._cancel_flows(lambda f: f.dst_container == cid)
+        self._cancel_flows(lambda f: f.dst_container == cid, now)
         # Re-fetch what had already been delivered: fresh flows with the
         # original endpoints and sizes.
         for mi in sorted(reduce_state.received):

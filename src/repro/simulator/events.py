@@ -42,6 +42,9 @@ class EventKind(Enum):
     SWITCH_FAIL = auto()
     SWITCH_RECOVER = auto()
     TASK_SLOWDOWN = auto()  # straggler injection: server speed multiplier
+    LINK_FAIL = auto()      # physical link dies; payload (u, v)
+    LINK_RECOVER = auto()
+    LINK_DEGRADE = auto()   # fail-slow link; payload (u, v, capacity factor)
     # Failure-recovery retry: a task waiting out its placement backoff.
     TASK_RETRY = auto()
     # Speculative execution (see repro.speculation): the detector's periodic
@@ -64,8 +67,11 @@ class EventKind(Enum):
 EVENT_PRIORITY: dict[EventKind, int] = {
     EventKind.SERVER_RECOVER: 0,
     EventKind.SWITCH_RECOVER: 0,
+    EventKind.LINK_RECOVER: 0,
     EventKind.SERVER_FAIL: 1,
     EventKind.SWITCH_FAIL: 1,
+    EventKind.LINK_FAIL: 1,
+    EventKind.LINK_DEGRADE: 1,
     EventKind.TASK_SLOWDOWN: 1,
     EventKind.KILL_ATTEMPT: 1,
     EventKind.JOB_ARRIVAL: 2,

@@ -200,6 +200,13 @@ class FlowNetwork:
             self._switch_resource[w] = len(caps)
             caps.append(topology.switch(w).capacity)
         self._caps = np.asarray(caps, dtype=np.float64)
+        # Nominal capacities; ``_caps`` is ``_base_caps`` scaled by the
+        # current per-link degradation factors (fault plane).
+        self._base_caps = self._caps.copy()
+        # Optional callback mapping a flow id to a human-readable owner
+        # description ("job 3 map 7 -> reduce 1"); installed by the engine so
+        # unknown-flow/duplicate-flow errors name the owning job/stage.
+        self.flow_describer = None  # type: ignore[var-annotated]
         m = len(caps)
         # Aggregate allocated rate per resource (kept in lockstep with the
         # last recompute, minus the rates of flows removed/rerouted since).
@@ -254,6 +261,35 @@ class FlowNetwork:
         allocator.
         """
         return self._caps
+
+    def set_link_capacity_factor(self, u: int, v: int, factor: float) -> None:
+        """Scale the physical link ``u``—``v`` to ``factor`` × nominal.
+
+        Applies to both directed resources of the link (full duplex degrades
+        symmetrically).  Factor 0.0 models a dead link (flows still routed
+        over it would allocate rate 0.0 — the engine reroutes or parks them
+        instead), 1.0 restores nominal bandwidth.  The touched resources are
+        seeded dirty so the next recompute refills the affected max-min
+        component(s).
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"link capacity factor must be in [0, 1], got {factor}")
+        fwd = self._link_index.get((u, v))
+        if fwd is None:
+            raise ValueError(f"({u}, {v}) is not a physical link")
+        rev = self._link_index[(v, u)]
+        for res in (fwd, rev):
+            self._caps[res] = self._base_caps[res] * factor
+        self._seed_res.update((fwd, rev))
+        self._dirty = True
+
+    def link_capacity_factor(self, u: int, v: int) -> float:
+        """Current capacity factor of the physical link ``u``—``v``."""
+        res = self._link_index.get((u, v))
+        if res is None:
+            raise ValueError(f"({u}, {v}) is not a physical link")
+        base = self._base_caps[res]
+        return float(self._caps[res] / base) if base > 0 else 1.0
 
     def ensure_rates(self) -> None:
         """Recompute max-min rates if the flow set changed since the last
@@ -379,10 +415,21 @@ class FlowNetwork:
         flow = self._flows.get(flow_id)
         if flow is None:
             raise KeyError(
-                f"{operation}: unknown flow {flow_id} "
+                f"{operation}: unknown flow {flow_id}"
+                f"{self._describe(flow_id)} "
                 f"({len(self._flows)} active flows)"
             )
         return flow
+
+    def _describe(self, flow_id: int) -> str:
+        """`` [job …]`` suffix from :attr:`flow_describer`, or ``""``."""
+        if self.flow_describer is None:
+            return ""
+        try:
+            described = self.flow_describer(flow_id)
+        except Exception:  # pragma: no cover - diagnostics must not mask
+            return ""
+        return f" [{described}]" if described else ""
 
     def add_flow(
         self,
@@ -399,7 +446,9 @@ class FlowNetwork:
         resume a parked flow with its transferred bytes preserved.
         """
         if flow_id in self._flows:
-            raise ValueError(f"flow {flow_id} already active")
+            raise ValueError(
+                f"flow {flow_id}{self._describe(flow_id)} already active"
+            )
         if len(path) < 2:
             raise ValueError("network flows need a multi-node path")
         if size <= 0:

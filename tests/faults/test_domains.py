@@ -1,0 +1,90 @@
+"""Failure-domain derivation: racks, pods, power feeds from link adjacency."""
+
+import pytest
+
+from repro.faults import DOMAIN_KINDS, domains_of
+from repro.topology import TreeConfig, build_tree
+
+
+@pytest.fixture
+def deep3():
+    """64 servers, three switch tiers — pods are non-trivial here."""
+    return build_tree(TreeConfig(depth=3, fanout=4, redundancy=2))
+
+
+class TestRacks:
+    def test_partition_of_servers(self, small_tree):
+        racks = domains_of(small_tree, "rack")
+        seen = [s for r in racks for s in r.servers]
+        assert sorted(seen) == sorted(small_tree.server_ids)
+        assert len(seen) == len(set(seen))
+
+    def test_rack_switches_are_access_neighbors(self, small_tree):
+        for rack in domains_of(small_tree, "rack"):
+            for sid in rack.servers:
+                assert set(small_tree.neighbors(sid)) <= set(rack.switches)
+
+    def test_small_tree_shape(self, small_tree):
+        racks = domains_of(small_tree, "rack")
+        assert len(racks) == 4
+        assert all(len(r.servers) == 4 for r in racks)
+        # redundancy 2: each rack is served by two access switches
+        assert all(len(r.switches) == 2 for r in racks)
+
+    def test_ordering_is_deterministic(self, small_tree):
+        a = domains_of(small_tree, "rack")
+        b = domains_of(small_tree, "rack")
+        assert a == b
+        assert [r.index for r in a] == list(range(len(a)))
+        mins = [min(r.servers) for r in a]
+        assert mins == sorted(mins)
+
+
+class TestPods:
+    def test_pods_group_racks_by_aggregation(self, deep3):
+        racks = domains_of(deep3, "rack")
+        pods = domains_of(deep3, "pod")
+        # depth-3 fanout-4: 16 racks under 4 aggregation groups
+        assert len(racks) == 16
+        assert len(pods) == 4
+        pod_servers = [s for p in pods for s in p.servers]
+        assert sorted(pod_servers) == sorted(deep3.server_ids)
+
+    def test_pod_contains_whole_racks(self, deep3):
+        pods = domains_of(deep3, "pod")
+        for rack in domains_of(deep3, "rack"):
+            owners = [
+                p for p in pods if set(rack.servers) <= set(p.servers)
+            ]
+            assert len(owners) == 1
+
+    def test_two_level_tree_pods_are_racks(self, small_tree):
+        racks = domains_of(small_tree, "rack")
+        pods = domains_of(small_tree, "pod")
+        assert [p.servers for p in pods] == [r.servers for r in racks]
+
+
+class TestPower:
+    def test_pairs_of_adjacent_racks(self, small_tree):
+        power = domains_of(small_tree, "power")
+        racks = domains_of(small_tree, "rack")
+        assert len(power) == 2
+        assert power[0].servers == racks[0].servers + racks[1].servers
+
+    def test_power_covers_all_servers(self, deep3):
+        seen = [s for d in domains_of(deep3, "power") for s in d.servers]
+        assert sorted(seen) == sorted(deep3.server_ids)
+
+
+class TestApi:
+    def test_unknown_kind(self, small_tree):
+        with pytest.raises(ValueError, match="unknown failure-domain kind"):
+            domains_of(small_tree, "blast-radius")
+
+    def test_kinds_registry(self):
+        assert DOMAIN_KINDS == ("rack", "pod", "power")
+
+    def test_elements_property(self, small_tree):
+        rack = domains_of(small_tree, "rack")[0]
+        assert rack.elements == rack.servers + rack.switches
+        assert rack.name == "rack0"

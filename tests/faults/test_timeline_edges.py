@@ -1,0 +1,238 @@
+"""`generate_timeline` edge cases: degenerate knobs and the partition guard."""
+
+import pytest
+
+from repro.faults import FaultKind, domains_of, generate_timeline
+from repro.topology import TreeConfig, build_tree
+
+_FAIL_KINDS = {
+    FaultKind.SERVER_FAIL,
+    FaultKind.SWITCH_FAIL,
+    FaultKind.LINK_FAIL,
+    FaultKind.DOMAIN_FAIL,
+}
+_RECOVER_OF = {
+    FaultKind.SERVER_FAIL: FaultKind.SERVER_RECOVER,
+    FaultKind.SWITCH_FAIL: FaultKind.SWITCH_RECOVER,
+    FaultKind.LINK_FAIL: FaultKind.LINK_RECOVER,
+    FaultKind.DOMAIN_FAIL: FaultKind.DOMAIN_RECOVER,
+}
+
+
+def fragile_tree():
+    """Redundancy-1 fabric: one dead switch or uplink can cut servers off."""
+    return build_tree(
+        TreeConfig(depth=2, fanout=4, redundancy=1, server_resources=(2.0,))
+    )
+
+
+def _partitioned_at_some_point(topology, timeline) -> bool:
+    """Independent replay: walk the timeline chronologically (recoveries
+    first at ties, as the event queue orders them) and BFS the live-server
+    reachability after every state change."""
+    down_servers: dict[int, int] = {}
+    down_switches: dict[int, int] = {}
+    down_links: dict[tuple[int, int], int] = {}
+
+    def bump(table, key, delta):
+        count = table.get(key, 0) + delta
+        if count:
+            table[key] = count
+        else:
+            table.pop(key, None)
+
+    def apply(spec, delta):
+        kind = spec.kind
+        if kind in (FaultKind.SERVER_FAIL, FaultKind.SERVER_RECOVER):
+            bump(down_servers, spec.target, delta)
+        elif kind in (FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER):
+            bump(down_switches, spec.target, delta)
+        elif kind in (FaultKind.LINK_FAIL, FaultKind.LINK_RECOVER):
+            key = tuple(sorted((spec.target, spec.target2)))
+            bump(down_links, key, delta)
+        elif kind is FaultKind.LINK_DEGRADE:
+            key = tuple(sorted((spec.target, spec.target2)))
+            if spec.factor == 0.0:
+                bump(down_links, key, 1)
+            else:
+                down_links.pop(key, None)
+        elif kind in (FaultKind.DOMAIN_FAIL, FaultKind.DOMAIN_RECOVER):
+            domain = domains_of(topology, spec.domain)[spec.target]
+            for sid in domain.servers:
+                bump(down_servers, sid, delta)
+            for wid in domain.switches:
+                bump(down_switches, wid, delta)
+
+    def connected() -> bool:
+        live = [s for s in topology.server_ids if s not in down_servers]
+        if len(live) <= 1:
+            return True
+        seen = {live[0]}
+        frontier = [live[0]]
+        while frontier:
+            node = frontier.pop()
+            for peer in topology.neighbors(node):
+                if peer in down_switches or peer in down_servers:
+                    continue
+                if tuple(sorted((node, peer))) in down_links:
+                    continue
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return all(s in seen for s in live)
+
+    is_fail = {
+        FaultKind.SERVER_FAIL,
+        FaultKind.SWITCH_FAIL,
+        FaultKind.LINK_FAIL,
+        FaultKind.DOMAIN_FAIL,
+    }
+    ordered = sorted(
+        timeline, key=lambda s: (s.time, 1 if s.kind in is_fail else 0)
+    )
+    for spec in ordered:
+        if spec.kind is FaultKind.TASK_SLOWDOWN:
+            continue
+        delta = 1 if spec.kind in is_fail else -1
+        if spec.kind is FaultKind.LINK_DEGRADE:
+            delta = 0
+        apply(spec, delta if delta else 1)
+        if not connected():
+            return True
+    return False
+
+
+class TestDegenerateKnobs:
+    def test_zero_horizon_rejected(self, small_tree):
+        with pytest.raises(ValueError, match="horizon"):
+            generate_timeline(
+                small_tree, seed=0, horizon=0.0, link_mtbf=1.0
+            )
+
+    def test_no_knobs_empty(self, small_tree):
+        assert generate_timeline(small_tree, seed=0, horizon=5.0) == ()
+
+    def test_mttr_zero_is_instant_repair(self, small_tree):
+        """MTTR 0 draws zero-length outages: they are dropped whole (a
+        same-instant fail/recover pair would strand the element, since
+        recoveries dispatch before failures at equal timestamps)."""
+        for knobs in (
+            {"server_mtbf": 0.5, "server_mttr": 0.0},
+            {"switch_mtbf": 0.5, "switch_mttr": 0.0},
+            {"link_mtbf": 0.5, "link_mttr": 0.0},
+            {"domain_mtbf": 0.5, "domain_mttr": 0.0},
+        ):
+            timeline = generate_timeline(
+                small_tree, seed=3, horizon=10.0, **knobs
+            )
+            assert timeline == ()
+
+    def test_negative_mttr_rejected(self, small_tree):
+        with pytest.raises(ValueError, match="MTBF/MTTR"):
+            generate_timeline(
+                small_tree, seed=0, horizon=1.0, link_mtbf=1.0, link_mttr=-0.1
+            )
+
+    def test_every_failure_has_matching_recovery(self, small_tree):
+        timeline = generate_timeline(
+            small_tree,
+            seed=11,
+            horizon=6.0,
+            server_mtbf=4.0,
+            switch_mtbf=8.0,
+            link_mtbf=6.0,
+            domain_mtbf=10.0,
+            server_mttr=0.5,
+            switch_mttr=0.5,
+            link_mttr=0.5,
+            domain_mttr=0.5,
+        )
+        opened: dict[tuple, int] = {}
+        for spec in timeline:
+            if spec.kind in _FAIL_KINDS:
+                key = (_RECOVER_OF[spec.kind], spec.target, spec.target2, spec.domain)
+                opened[key] = opened.get(key, 0) + 1
+            elif spec.kind.name.endswith("RECOVER"):
+                key = (spec.kind, spec.target, spec.target2, spec.domain)
+                assert opened.get(key, 0) > 0, f"orphan recovery {spec}"
+                opened[key] -= 1
+        assert all(v == 0 for v in opened.values())
+
+
+class TestPartitionGuard:
+    KNOBS = dict(
+        switch_mtbf=3.0,
+        switch_mttr=0.8,
+        max_concurrent_switch_failures=2,
+        link_mtbf=3.0,
+        link_mttr=0.8,
+        domain_mtbf=6.0,
+        domain_mttr=0.8,
+        domain_kind="rack",
+    )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_guarded_timeline_never_partitions(self, seed):
+        topology = fragile_tree()
+        timeline = generate_timeline(
+            topology, seed=seed, horizon=8.0, **self.KNOBS
+        )
+        assert not _partitioned_at_some_point(topology, timeline)
+
+    def test_unguarded_timelines_do_partition(self):
+        """The same knobs with the guard off must partition for some seed —
+        otherwise the guarded property above is vacuous."""
+        topology = fragile_tree()
+        hits = sum(
+            _partitioned_at_some_point(
+                topology,
+                generate_timeline(
+                    topology,
+                    seed=seed,
+                    horizon=8.0,
+                    allow_partition=True,
+                    **self.KNOBS,
+                ),
+            )
+            for seed in range(20)
+        )
+        assert hits > 0
+
+    def test_guard_preserves_non_partitioning_outages(self):
+        """The guard drops only partitioning episodes: on a redundant
+        fabric, outages that cannot partition it (one switch at a time,
+        plus server crashes) come through untouched."""
+        topology = build_tree(TreeConfig(depth=2, fanout=4, redundancy=2))
+        kwargs = dict(
+            seed=9,
+            horizon=8.0,
+            server_mtbf=4.0,
+            server_mttr=0.5,
+            switch_mtbf=3.0,
+            switch_mttr=0.8,
+        )
+        guarded = generate_timeline(topology, **kwargs)
+        free = generate_timeline(topology, allow_partition=True, **kwargs)
+        assert guarded == free
+        assert guarded
+
+    def test_cap_still_respected_alongside_domains(self):
+        """The switch-concurrency cap applies to the independent switch
+        stream even while domain outages run; independent switch outages
+        never overlap beyond the cap."""
+        topology = fragile_tree()
+        timeline = generate_timeline(
+            topology, seed=4, horizon=8.0, **self.KNOBS
+        )
+        open_switch = 0
+        worst = 0
+        for spec in sorted(
+            timeline,
+            key=lambda s: (s.time, 0 if s.kind.name.endswith("RECOVER") else 1),
+        ):
+            if spec.kind is FaultKind.SWITCH_FAIL:
+                open_switch += 1
+                worst = max(worst, open_switch)
+            elif spec.kind is FaultKind.SWITCH_RECOVER:
+                open_switch -= 1
+        assert worst <= self.KNOBS["max_concurrent_switch_failures"]

@@ -1,0 +1,86 @@
+"""CLI surface of the chaos layer: ``repro chaos``, simulate fault knobs,
+and the sweep's chaos arm."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestChaosCommand:
+    def test_smoke_zero_violations(self, capsys):
+        assert main([
+            "chaos", "--trials", "8", "--seed", "0", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: 8 trials" in out
+        assert "0 contract violations" in out
+
+    def test_report_file_is_canonical_json(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--trials", "4", "--jobs", "2", "--no-rerun",
+            "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["trials"] == 4
+        assert doc["summary"]["violations"] == 0
+        assert len(doc["trials"]) == 4
+
+    def test_byte_identical_across_invocations(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            main([
+                "chaos", "--trials", "4", "--seed", "3", "--jobs", "2",
+                "--no-rerun", "--out", str(path),
+            ])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_scheduler_and_topology_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--schedulers", "fifo"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--topologies", "torus"])
+
+
+class TestSimulateFaultKnobs:
+    def test_link_and_domain_flags_run_clean(self, capsys):
+        assert main([
+            "simulate", "--jobs", "2", "--scheduler", "capacity",
+            "--seed", "4", "--check-invariants",
+            "--link-mtbf", "6.0", "--link-mttr", "0.5",
+            "--domain-mtbf", "8.0", "--domain-mttr", "0.5",
+            "--domain-kind", "rack",
+            "--max-task-retries", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed" in out or "mean" in out.lower()
+
+    def test_domain_kind_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "simulate", "--domain-mtbf", "5", "--domain-kind", "blast",
+            ])
+
+
+class TestSweepChaosArm:
+    def test_sweep_accepts_chaos_arm(self, tmp_path, capsys):
+        assert main([
+            "sweep",
+            "--seeds", "0",
+            "--schedulers", "capacity",
+            "--topologies", "mini",
+            "--arms", "chaos",
+            "--jobs", "2",
+            "--interarrival", "0.25",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "report.json"),
+        ]) == 0
+        report = json.loads((tmp_path / "report.json").read_text())
+        (cell,) = [
+            row for row in report["cells"] if row["config"]["arm"] == "chaos"
+        ]
+        assert cell["result"]["summary"]["violations"] == 0.0
