@@ -1,0 +1,108 @@
+"""Overload-campaign report: open-loop arrivals through the admission plane.
+
+Sweeps an arrival-rate multiplier through and past the estimated saturation
+point, for Hit vs the capacity baseline on two fabrics, with every cell
+graded against the overload contract (exhaustive accounting, bounded
+queues, liveness, byte-identical reruns — see docs/workload.md), and writes
+``BENCH_online.json``.  The run asserts the contract itself: any violation
+in any cell fails the benchmark.
+
+Everything in the report is deterministic simulated data — fingerprints,
+counters, slowdown/fairness metrics — so ``bench_regress.py`` compares it
+near-exactly against the committed baseline: a drift is a behaviour change,
+not machine noise.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_online.py [--out FILE]
+
+Scale knob: ``REPRO_BENCH_SCALE=quick`` runs a 2-multiplier grid on one
+fabric — suitable for CI smoke runs.  The default (``full``) sweeps three
+multipliers over both fabrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.online import (  # noqa: E402
+    OnlineConfig,
+    overload_campaign,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_SCALE", "full") == "quick"
+
+CONFIG = OnlineConfig(
+    multipliers=(0.75, 2.0) if QUICK else (0.5, 1.0, 2.0),
+    seed=0,
+    schedulers=("capacity", "hit"),
+    topologies=("deep",) if QUICK else ("small", "deep"),
+    tenants=2,
+    profile="poisson",
+    policy="queue-bound",
+    queue_bound=8,
+    duration=1.5 if QUICK else 3.0,
+    rerun=True,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_online.json", help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    report = overload_campaign(CONFIG)
+    s = report.summary()
+    body = {
+        "scale": "quick" if QUICK else "full",
+        "config": CONFIG.to_dict(),
+        "summary": s,
+        "cells": [c.to_dict() for c in report.cells],
+    }
+
+    print(
+        f"== Overload campaign ({len(report.cells)} cells: "
+        f"{len(CONFIG.multipliers)} multipliers x "
+        f"{len(CONFIG.schedulers)} schedulers x "
+        f"{len(CONFIG.topologies)} topologies) =="
+    )
+    for c in report.cells:
+        summary = c.summary
+        print(
+            f"  {c.multiplier:>4}x {c.scheduler:>8}/{c.topology:<5} "
+            f"submitted={c.submitted:<3} "
+            f"completed={c.counters.get('online.completed', 0):<3} "
+            f"rejected={c.counters.get('admission.rejected', 0):<3} "
+            f"queued={c.counters.get('admission.queued', 0):<2} "
+            f"mean_slowdown={summary.get('mean_slowdown', 0.0):.3f} "
+            f"p99_jct={summary.get('p99_jct', 0.0):.3f} "
+            f"fairness={summary.get('tenant_fairness', 0.0):.3f}"
+        )
+    print(
+        f"totals: submitted={s['submitted']} completed={s['completed']} "
+        f"rejected={s['rejected']} queued={s['queued']} "
+        f"violations={s['violations']}"
+    )
+
+    Path(args.out).write_text(json.dumps(body, indent=2) + "\n")
+    print(f"report written to {args.out}")
+    if s["violations"]:
+        for c in report.violations:
+            print(
+                f"VIOLATION cell {c.cell} ({c.scheduler}/{c.topology} "
+                f"at {c.multiplier}x): {'; '.join(c.violations)}"
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

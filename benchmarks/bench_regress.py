@@ -1,10 +1,11 @@
 """Bench-regression gate: diff current bench reports against baselines.
 
 Compares the JSON reports written by ``bench_perf_hotpath.py``
-(``BENCH_hotpath.json``) and ``bench_straggler_mitigation.py``
-(``BENCH_straggler.json``) against the committed baselines under
-``benchmarks/baselines/<scale>/`` and emits a machine-readable verdict
-(``BENCH_regress.json``).  Two kinds of quantity get two kinds of band:
+(``BENCH_hotpath.json``), ``bench_straggler_mitigation.py``
+(``BENCH_straggler.json``) and ``bench_online.py`` (``BENCH_online.json``)
+against the committed baselines under ``benchmarks/baselines/<scale>/``
+and emits a machine-readable verdict (``BENCH_regress.json``).  Two kinds
+of quantity get two kinds of band:
 
 * **Deterministic simulated metrics** (straggler mean/p99 JCTs, mitigation
   gains, speculation win counts; hotpath case shapes) are identical on any
@@ -179,6 +180,53 @@ def compare_straggler(
     return checks
 
 
+def compare_online(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    sim_tolerance: float,
+) -> list[dict[str, Any]]:
+    """Overload campaign: everything is deterministic simulated data.
+
+    Cell fingerprints already hash summary + counters + event count, so
+    exact fingerprint equality subsumes every per-cell metric; the summary
+    metrics are still compared individually for readable failure output.
+    """
+    checks: list[dict[str, Any]] = []
+    _exact(checks, "scale", baseline.get("scale"), current.get("scale"))
+    _exact(checks, "config", baseline.get("config"), current.get("config"))
+    base_summary = baseline.get("summary", {})
+    cur_summary = current.get("summary", {})
+    for field in ("cells", "ok", "submitted", "completed", "rejected",
+                  "queued", "violations"):
+        _exact(checks, f"summary.{field}",
+               base_summary.get(field), cur_summary.get(field))
+    # A passing baseline carries zero violations; gate the current report
+    # on that directly so a regressed-then-rebaselined report cannot hide.
+    _exact(checks, "summary.violations is zero",
+           0, cur_summary.get("violations"))
+    base_cells = {c["cell"]: c for c in baseline.get("cells", [])}
+    cur_cells = {c["cell"]: c for c in current.get("cells", [])}
+    for cell_id, base in base_cells.items():
+        cur = cur_cells.get(cell_id)
+        label = (f"cell {cell_id} ({base.get('scheduler')}/"
+                 f"{base.get('topology')} @ {base.get('multiplier')}x)")
+        if cur is None:
+            _check(checks, f"{label}: present", "exact", True, False, False,
+                   "cell missing from current report")
+            continue
+        for field in ("status", "submitted", "fingerprint"):
+            _exact(checks, f"{label}: {field}",
+                   base.get(field), cur.get(field))
+        for metric in ("mean_slowdown", "p99_jct", "tenant_fairness"):
+            _close(
+                checks, f"{label}: {metric}",
+                base.get("summary", {}).get(metric),
+                cur.get("summary", {}).get(metric),
+                sim_tolerance,
+            )
+    return checks
+
+
 def _load(path: Path) -> dict[str, Any] | None:
     try:
         return json.loads(path.read_text())
@@ -232,6 +280,10 @@ def main(argv: list[str] | None = None) -> int:
         help="current straggler report (default: repo root)",
     )
     parser.add_argument(
+        "--online", default=str(ROOT / "BENCH_online.json"),
+        help="current overload-campaign report (default: repo root)",
+    )
+    parser.add_argument(
         "--baseline-dir", default=str(BASELINE_DIR),
         help="committed baselines root (scale subdirectories)",
     )
@@ -267,6 +319,10 @@ def main(argv: list[str] | None = None) -> int:
             "straggler": diff_report(
                 "straggler", Path(args.straggler), baseline_dir,
                 compare_straggler, args.sim_tolerance,
+            ),
+            "online": diff_report(
+                "online", Path(args.online), baseline_dir,
+                compare_online, args.sim_tolerance,
             ),
         },
     }

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's workflows without writing Python:
+The subcommands cover the library's workflows without writing Python:
 
 * ``repro topology`` — build a fabric and print its structure;
 * ``repro workload`` — sample a Table-1 workload (optionally save a trace);
@@ -8,7 +8,11 @@ Six subcommands cover the library's workflows without writing Python:
 * ``repro optimize`` — static placement comparison across schedulers;
 * ``repro experiment`` — regenerate one of the paper's figures;
 * ``repro sweep`` — run a sharded, resumable, deterministically-merged
-  experiment grid (docs/experiments.md).
+  experiment grid (docs/experiments.md);
+* ``repro chaos`` — randomized fault campaign with a survivability
+  contract (docs/fault_model.md);
+* ``repro online`` — open-loop arrivals through the admission plane, with
+  per-tenant accounting under the overload contract (docs/workload.md).
 
 Every command takes ``--seed`` (or a seed axis) so runs are reproducible.
 """
@@ -492,6 +496,100 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if report.violations else 0
 
 
+def cmd_online(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.report import canonical_json
+    from .experiments.online import (
+        ONLINE_TOPOLOGIES,
+        build_arrival_plan,
+        online_fingerprint,
+    )
+    from .faults.chaos import WatchdogSimulator
+    from .obs import observe
+    from .simulator import SimulationConfig
+    from .workload import AdmissionConfig, generate_arrivals
+
+    plan = build_arrival_plan(
+        ONLINE_TOPOLOGIES[args.topology](),
+        multiplier=args.arrival_rate,
+        tenants=args.tenants,
+        profile=args.profile,
+        duration=args.duration,
+    )
+    admission = AdmissionConfig(
+        policy=args.admission,
+        queue_bound=(
+            args.queue_bound if args.admission == "queue-bound" else None
+        ),
+    )
+    config = SimulationConfig(
+        map_slots_per_job=16, seed=args.seed, admission=admission
+    )
+    checker, tracer = _make_observability(args)
+    try:
+        with observe(checker=checker, tracer=tracer):
+            jobs = generate_arrivals(plan, seed=args.seed)
+            simulator = WatchdogSimulator(
+                ONLINE_TOPOLOGIES[args.topology](),
+                make_scheduler(args.scheduler, seed=args.seed),
+                jobs,
+                config,
+                stall_limit=args.stall_limit,
+            )
+            metrics = simulator.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    assert simulator.admission is not None
+    counters = {k: int(v) for k, v in simulator.admission.counters().items()}
+    counters["online.completed"] = len(metrics.jobs)
+    summary = {k: float(v) for k, v in metrics.online_summary().items()}
+    rows = [
+        (
+            r["tenant"], r["weight"], r["submitted"], r["admitted"],
+            r["started"], r["queued"], r["max_queue"], r["rejected"],
+        )
+        for r in simulator.admission.tenant_rows()
+    ]
+    print(format_table(
+        ("tenant", "weight", "submitted", "admitted", "started",
+         "queued", "max queue", "rejected"),
+        rows,
+        title=(
+            f"online: {len(jobs)} arrivals over {args.duration} time units "
+            f"({args.profile}, {args.arrival_rate}x saturation, "
+            f"{args.admission} admission, {args.scheduler}/{args.topology})"
+        ),
+    ))
+    print(
+        f"\ncompleted={counters['online.completed']} "
+        f"rejected={counters['admission.rejected']} "
+        f"queued={counters['admission.queued']} "
+        f"deferrals={counters['admission.deferrals']} | "
+        f"mean_jct={summary['mean_jct']:.4f} "
+        f"p99_jct={summary['p99_jct']:.4f} "
+        f"mean_slowdown={summary['mean_slowdown']:.3f} "
+        f"fairness={summary['tenant_fairness']:.3f}"
+    )
+    fingerprint = online_fingerprint(
+        summary, counters, simulator.events_processed
+    )
+    print(f"fingerprint: {fingerprint[:16]}")
+    if args.out:
+        body = {
+            "summary": summary,
+            "counters": dict(sorted(counters.items())),
+            "events": simulator.events_processed,
+            "fingerprint": fingerprint,
+        }
+        Path(args.out).write_text(
+            canonical_json(body) + "\n", encoding="utf-8"
+        )
+        print(f"online report written: {args.out}")
+    return _report_observability(checker, tracer)
+
+
 # -------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -717,7 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--arms", nargs="+",
         choices=("baseline", "chaos", "faults", "faults+speculation",
-                 "static", "telemetry"),
+                 "online", "static", "telemetry"),
         default=["baseline"],
         help="fault/speculation arm axis (default: baseline)",
     )
@@ -801,6 +899,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the canonical-JSON chaos report to FILE",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "online",
+        help="open-loop arrivals through the admission plane",
+        description="Sample a seeded multi-tenant arrival stream at a "
+                    "multiple of the fabric's estimated saturation rate, "
+                    "run it through per-tenant admission queues and a "
+                    "scheduler, and print per-tenant accounting under the "
+                    "overload contract (docs/workload.md). The --out report "
+                    "is canonical JSON — byte-identical across reruns of "
+                    "the same seed.",
+    )
+    p.add_argument(
+        "--arrival-rate", type=float, default=1.5,
+        help="aggregate arrival rate as a multiple of the estimated "
+             "saturation rate (default 1.5 = overload)",
+    )
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenants sharing the cluster (default 2)")
+    p.add_argument(
+        "--profile", choices=("poisson", "diurnal", "bursty"),
+        default="poisson",
+        help="arrival process shape (default poisson)",
+    )
+    p.add_argument(
+        "--admission",
+        choices=("admit-all", "queue-bound", "load-threshold",
+                 "token-bucket"),
+        default="queue-bound",
+        help="admission policy (default queue-bound)",
+    )
+    p.add_argument(
+        "--queue-bound", type=int, default=8,
+        help="max queued jobs per tenant under queue-bound (default 8)",
+    )
+    p.add_argument("--duration", type=float, default=3.0,
+                   help="submission window in sim time (default 3.0)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scheduler", choices=SCHEDULER_CHOICES, default="hit",
+    )
+    p.add_argument(
+        "--topology", choices=("small", "deep"), default="small",
+        help="online fabric registry name (default small)",
+    )
+    p.add_argument(
+        "--stall-limit", type=int, default=50_000,
+        help="consecutive same-timestamp events before the liveness "
+             "watchdog declares a stall (default 50000)",
+    )
+    p.add_argument(
+        "--check-invariants", action="store_true",
+        help="verify runtime invariants (incl. online accounting) and "
+             "print a violations summary (non-zero exit on breaches)",
+    )
+    p.add_argument(
+        "--trace", dest="trace_file", metavar="FILE",
+        help="write counters/timers/spans as JSON lines to FILE",
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="write the canonical-JSON online report to FILE",
+    )
+    p.set_defaults(func=cmd_online)
     return parser
 
 

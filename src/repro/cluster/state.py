@@ -128,6 +128,41 @@ class ClusterState:
             raise KeyError(f"unknown server {server_id}")
         self._failed.discard(server_id)
 
+    # ------------------------------------------------------------- occupancy
+    def total_capacity(self) -> Resources:
+        """Aggregate capacity of the *live* (non-failed) servers."""
+        total = Resources.zero()
+        for sid, capacity in self._capacity.items():
+            if sid not in self._failed:
+                total = total + capacity
+        return total
+
+    def total_used(self) -> Resources:
+        """Aggregate usage on the live servers."""
+        total = Resources.zero()
+        for sid, used in self._used.items():
+            if sid not in self._failed:
+                total = total + used
+        return total
+
+    def occupancy(self) -> float:
+        """Fraction of live cluster capacity in use, in ``[0, 1]``.
+
+        The maximum over resource components with non-zero capacity (the
+        binding dimension is what admission control cares about).  Defined
+        as 1.0 when every server is failed — no capacity means full
+        pressure, so backpressure consumers defer instead of dividing by
+        zero.
+        """
+        capacity = self.total_capacity()
+        if capacity.is_zero:
+            return 1.0
+        used = self.total_used()
+        fractions = [
+            u / c for u, c in zip(used, capacity) if c > 0
+        ]
+        return min(1.0, max(fractions))
+
     def candidate_servers(self, container_id: int) -> list[int]:
         """Eq 8: servers able to host the container.
 

@@ -31,16 +31,29 @@ class RebalanceConfig:
     new route costs at most ``(1 - min_relative_gain)`` of the current one.
     ``max_migrations`` bounds one sweep so a pathological state cannot stall
     the simulation.
+
+    ``pressure_ceiling`` is the overload guard for open-loop (online)
+    workloads: when set, the simulator skips the sweep entirely while
+    cluster occupancy is at or above the ceiling — under sustained
+    saturation nearly every placement is contended, so DP sweeps burn time
+    migrating flows whose routes are invalidated by the next admission
+    anyway.  ``None`` (the default) keeps the sweep unconditional, which is
+    byte-identical to the pre-backpressure behaviour.
     """
 
     min_relative_gain: float = 0.10
     max_migrations: int = 1_000
+    pressure_ceiling: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.min_relative_gain < 1.0:
             raise ValueError("min_relative_gain must be in [0, 1)")
         if self.max_migrations < 1:
             raise ValueError("max_migrations must be >= 1")
+        if self.pressure_ceiling is not None and not (
+            0.0 < self.pressure_ceiling <= 1.0
+        ):
+            raise ValueError("pressure_ceiling must be in (0, 1]")
 
 
 @dataclass

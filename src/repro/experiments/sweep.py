@@ -92,6 +92,7 @@ ARMS = (
     "chaos",
     "faults",
     "faults+speculation",
+    "online",
     "static",
     "telemetry",
 )
@@ -133,6 +134,21 @@ DEFAULT_CHAOS: dict[str, Any] = {
     "rerun": 1,
 }
 
+#: Online-arm knobs (open-loop overload cells; ``multiplier`` is in units
+#: of the estimated saturation rate, ``rerun`` an int flag like chaos).
+DEFAULT_ONLINE: dict[str, Any] = {
+    "multiplier": 1.5,
+    "tenants": 2,
+    "profile": "poisson",
+    "policy": "queue-bound",
+    "queue_bound": 8,
+    "duration": 3.0,
+    "min_size": 2.0,
+    "max_size": 6.0,
+    "stall_limit": 50_000,
+    "rerun": 1,
+}
+
 #: Simulated-time sampling step for ``telemetry`` arm cells.
 _TELEMETRY_DT = 0.05
 
@@ -143,11 +159,11 @@ def _normalized(
 ) -> dict[str, Any]:
     """Defaults merged with ``raw``, values coerced to canonical types.
 
-    Numeric coercion (int stays int, everything else becomes float) makes
-    the hash insensitive to JSON round-trips — ``8`` and ``8.0`` for a rate
-    knob must not be two different cells.  Unknown keys are an error: a typo
-    silently ignored would *weaken* the hash (two specs differing only in
-    the typo'd knob would collide).
+    Numeric coercion (int stays int, everything else becomes float; string
+    defaults stay strings) makes the hash insensitive to JSON round-trips —
+    ``8`` and ``8.0`` for a rate knob must not be two different cells.
+    Unknown keys are an error: a typo silently ignored would *weaken* the
+    hash (two specs differing only in the typo'd knob would collide).
     """
     unknown = set(raw) - set(defaults)
     if unknown:
@@ -160,6 +176,8 @@ def _normalized(
         value = raw.get(key, default)
         if value is None:
             out[key] = None
+        elif isinstance(default, str):
+            out[key] = str(value)
         elif isinstance(default, int) and not isinstance(default, bool):
             out[key] = int(value)
         else:
@@ -202,6 +220,9 @@ class CellConfig:
     #: Chaos-campaign knobs; present only on the chaos arm (absent keys keep
     #: every pre-chaos cell hash unchanged).
     chaos: dict[str, Any] | None = None
+    #: Overload-campaign knobs; present only on the online arm (same
+    #: hash-preservation rationale).
+    online: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Canonical plain-dict form (the hashing/serialisation substrate)."""
@@ -219,6 +240,8 @@ class CellConfig:
             out["speculation"] = dict(self.speculation)
         if self.chaos is not None:
             out["chaos"] = dict(self.chaos)
+        if self.online is not None:
+            out["online"] = dict(self.online)
         return out
 
     @classmethod
@@ -253,6 +276,11 @@ class CellConfig:
             chaos=(
                 _normalized("chaos", raw.get("chaos") or {}, DEFAULT_CHAOS)
                 if arm == "chaos"
+                else None
+            ),
+            online=(
+                _normalized("online", raw.get("online") or {}, DEFAULT_ONLINE)
+                if arm == "online"
                 else None
             ),
         )
@@ -386,6 +414,27 @@ def run_cell(cell: CellConfig) -> dict[str, Any]:
             stall_limit=int(c["stall_limit"]),
             rerun=bool(int(c["rerun"])),
         )
+    if cell.arm == "online":
+        from .online import run_online_cell
+
+        o = cell.online
+        assert o is not None
+        return run_online_cell(
+            lambda: build_cell_topology(cell.topology),
+            lambda: make_scheduler(cell.scheduler, seed=cell.seed),
+            config,
+            seed=cell.seed,
+            multiplier=float(o["multiplier"]),
+            tenants=int(o["tenants"]),
+            profile=str(o["profile"]),
+            policy=str(o["policy"]),
+            queue_bound=int(o["queue_bound"]),
+            duration=float(o["duration"]),
+            min_size=float(o["min_size"]),
+            max_size=float(o["max_size"]),
+            stall_limit=int(o["stall_limit"]),
+            rerun=bool(int(o["rerun"])),
+        )
     scheduler = make_scheduler(cell.scheduler, seed=cell.seed)
     if cell.arm == "telemetry":
         import dataclasses
@@ -505,10 +554,13 @@ class SweepSpec:
     fault: dict[str, Any]
     speculation: dict[str, Any]
     chaos: dict[str, Any] = field(default_factory=lambda: dict(DEFAULT_CHAOS))
+    online: dict[str, Any] = field(
+        default_factory=lambda: dict(DEFAULT_ONLINE)
+    )
 
     _SECTIONS = (
         "seeds", "schedulers", "topologies", "arms",
-        "workload", "fault", "speculation", "chaos",
+        "workload", "fault", "speculation", "chaos", "online",
     )
 
     @classmethod
@@ -551,6 +603,9 @@ class SweepSpec:
                 "speculation", raw.get("speculation", {}), DEFAULT_SPECULATION
             ),
             chaos=_normalized("chaos", raw.get("chaos", {}), DEFAULT_CHAOS),
+            online=_normalized(
+                "online", raw.get("online", {}), DEFAULT_ONLINE
+            ),
         )
 
     @classmethod
@@ -568,6 +623,7 @@ class SweepSpec:
             "fault": dict(self.fault),
             "speculation": dict(self.speculation),
             "chaos": dict(self.chaos),
+            "online": dict(self.online),
         }
 
     def spec_hash(self) -> str:
@@ -607,6 +663,11 @@ class SweepSpec:
                                 chaos=(
                                     dict(self.chaos)
                                     if arm == "chaos"
+                                    else None
+                                ),
+                                online=(
+                                    dict(self.online)
+                                    if arm == "online"
                                     else None
                                 ),
                             )

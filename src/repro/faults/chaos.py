@@ -52,6 +52,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "ChaosTrialResult",
+    "WatchdogSimulator",
     "graded_run",
     "run_chaos",
     "run_chaos_trial",
@@ -186,13 +187,16 @@ class ChaosReport:
         return canonical_json(self.to_dict())
 
 
-class _ChaosSimulator(MapReduceSimulator):
+class WatchdogSimulator(MapReduceSimulator):
     """Engine with a liveness watchdog layered on the dispatch loop.
 
     The engine's ``max_events`` cap catches global runaway; the watchdog
     catches the sharper failure mode where simulated time stops advancing —
     e.g. a retry loop rescheduling at zero delay.  Read-only: a watchdog
     that never fires leaves the run byte-identical to the plain engine.
+    Shared by the chaos harness and the overload campaigns
+    (:mod:`repro.experiments.online`), whose liveness legs are the same
+    contract.
     """
 
     def __init__(self, *args, stall_limit: int = 20_000, **kwargs) -> None:
@@ -213,6 +217,10 @@ class _ChaosSimulator(MapReduceSimulator):
             self._stall_time = event.time
             self._stall_count = 1
         super()._dispatch(event)
+
+
+#: Backwards-compatible private alias (pre-rename importers).
+_ChaosSimulator = WatchdogSimulator
 
 
 def sample_chaos_timeline(

@@ -51,8 +51,13 @@ class JobSpec:
     reduce_rate: float = 2.0
     skew: float = 0.0
     submit_time: float = 0.0
+    #: Owning tenant in multi-tenant (online) workloads; batch workloads
+    #: leave every job on tenant 0.
+    tenant: int = 0
 
     def __post_init__(self) -> None:
+        if self.tenant < 0:
+            raise ValueError(f"job {self.name}: tenant must be >= 0")
         if self.num_maps < 1 or self.num_reduces < 1:
             raise ValueError(f"job {self.name}: needs >=1 map and reduce task")
         if self.input_size <= 0:

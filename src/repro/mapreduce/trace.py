@@ -43,6 +43,7 @@ def job_to_record(spec: JobSpec) -> dict:
         "reduce_rate": spec.reduce_rate,
         "skew": spec.skew,
         "submit_time": spec.submit_time,
+        "tenant": spec.tenant,
     }
 
 
@@ -67,6 +68,7 @@ def job_from_record(record: dict) -> JobSpec:
         reduce_rate=float(record.get("reduce_rate", 2.0)),
         skew=float(record.get("skew", 0.0)),
         submit_time=float(record.get("submit_time", 0.0)),
+        tenant=int(record.get("tenant", 0)),
     )
 
 

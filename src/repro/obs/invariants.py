@@ -34,6 +34,11 @@ machine-checkable (paper references in parentheses):
   commit protocol (``repro.speculation``): a map output commits at most once
   while a previous commit is live, and every shuffle flow reads from the
   committed output's server, never from a killed attempt.
+* **online-accounting** — the overload contract (``docs/workload.md``):
+  under the online workload plane, every submitted job is exactly one of
+  completed / still-queued / rejected-with-reason (no silent drops), every
+  admitted job either started or is still queued, and the per-tenant queue
+  length never exceeded the configured bound.
 
 The checker is deliberately dependency-light: every check takes the object
 it inspects, so it can be used standalone in tests or installed process-wide
@@ -403,6 +408,86 @@ class InvariantChecker:
             InvariantViolation(invariant, detail, where)
             for invariant, detail in speculation.drain_violations()
         ]
+        return self._emit(found)
+
+    def check_online_accounting(
+        self, admission, metrics, where: str = ""
+    ) -> list[InvariantViolation]:
+        """The overload contract's accounting identity, at end of run.
+
+        Per tenant: ``submitted == admitted + rejected`` (the controller
+        decided every arrival), ``admitted == started + queued`` (nothing
+        vanished between the queue and the engine), completions never
+        exceed starts, and with a configured ``queue_bound`` the tenant's
+        peak queue length respected it.  Takes the engine's
+        :class:`~repro.workload.admission.AdmissionController` and its
+        :class:`~repro.simulator.metrics.MetricsCollector`.
+        """
+        found: list[InvariantViolation] = []
+        counters = admission.counters()
+        completed_by_tenant: dict[int, int] = {}
+        for job in metrics.jobs:
+            completed_by_tenant[job.tenant] = (
+                completed_by_tenant.get(job.tenant, 0) + 1
+            )
+        tenant_ids = sorted(
+            {
+                int(key.split(".")[2])
+                for key in counters
+                if key.startswith("admission.tenant.")
+            }
+        )
+        for tenant in tenant_ids:
+            prefix = f"admission.tenant.{tenant}"
+            submitted = counters[f"{prefix}.submitted"]
+            admitted = counters[f"{prefix}.admitted"]
+            rejected = counters[f"{prefix}.rejected"]
+            started = counters[f"{prefix}.started"]
+            queued = counters[f"{prefix}.queued"]
+            if submitted != admitted + rejected:
+                found.append(InvariantViolation(
+                    "online-accounting",
+                    f"tenant {tenant}: submitted {submitted} != admitted "
+                    f"{admitted} + rejected {rejected}",
+                    where,
+                ))
+            if admitted != started + queued:
+                found.append(InvariantViolation(
+                    "online-accounting",
+                    f"tenant {tenant}: admitted {admitted} != started "
+                    f"{started} + queued {queued}",
+                    where,
+                ))
+            completed = completed_by_tenant.get(tenant, 0)
+            if completed > started:
+                found.append(InvariantViolation(
+                    "online-accounting",
+                    f"tenant {tenant}: {completed} completions exceed "
+                    f"{started} starts",
+                    where,
+                ))
+            bound = admission.config.queue_bound
+            if (
+                admission.config.policy == "queue-bound"
+                and bound is not None
+                and counters[f"{prefix}.max_queue_len"] > bound
+            ):
+                found.append(InvariantViolation(
+                    "online-accounting",
+                    f"tenant {tenant}: peak queue length "
+                    f"{counters[f'{prefix}.max_queue_len']} exceeds "
+                    f"configured bound {bound}",
+                    where,
+                ))
+        rejects_recorded = len(metrics.rejections)
+        rejects_counted = counters["admission.rejected"]
+        if rejects_recorded != rejects_counted:
+            found.append(InvariantViolation(
+                "online-accounting",
+                f"{rejects_counted} rejections counted but "
+                f"{rejects_recorded} rejection records kept",
+                where,
+            ))
         return self._emit(found)
 
     # --------------------------------------------------------- composite view

@@ -3,7 +3,14 @@ metrics."""
 
 from .engine import MapReduceSimulator, SimulationConfig, run_simulation
 from .events import Event, EventKind, EventQueue
-from .metrics import FlowRecord, JobRecord, MetricsCollector, TaskRecord
+from .metrics import (
+    FlowRecord,
+    JobRecord,
+    MetricsCollector,
+    RejectionRecord,
+    TaskRecord,
+    jain_fairness,
+)
 from .network import ActiveFlow, DelayModel, FlowNetwork
 from .trace import TraceEvent, dump_trace, load_trace, save_trace_file, trace_from_metrics
 
@@ -18,6 +25,8 @@ __all__ = [
     "JobRecord",
     "TaskRecord",
     "FlowRecord",
+    "RejectionRecord",
+    "jain_fairness",
     "FlowNetwork",
     "ActiveFlow",
     "DelayModel",

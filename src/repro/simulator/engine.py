@@ -61,8 +61,15 @@ from ..speculation.detector import AttemptProgress, SpeculationConfig
 from ..speculation.runtime import SpeculationState
 from ..topology.base import Topology
 from ..topology.routing import invalidate_topology_caches
+from ..workload.admission import AdmissionConfig, AdmissionController
 from .events import Event, EventKind, EventQueue
-from .metrics import FlowRecord, JobRecord, MetricsCollector, TaskRecord
+from .metrics import (
+    FlowRecord,
+    JobRecord,
+    MetricsCollector,
+    RejectionRecord,
+    TaskRecord,
+)
 from .network import DelayModel, FlowNetwork
 
 __all__ = ["SimulationConfig", "MapReduceSimulator", "run_simulation"]
@@ -112,6 +119,14 @@ class SimulationConfig:
     #: are bit-identical either way — False forces a full progressive fill
     #: on every recompute, for verification and benchmarking.
     network_incremental: bool = True
+    #: Online workload plane (None = classic batch intake: plain FIFO
+    #: admission, a run that cannot finish every job raises, and none of
+    #: the admission/backpressure code runs — byte-identical to the
+    #: pre-online engine).  With a config, arrivals flow through per-tenant
+    #: queues and pluggable admission policies (:mod:`repro.workload`), and
+    #: a run may end with jobs still queued or explicitly rejected — every
+    #: one accounted under the overload contract.
+    admission: AdmissionConfig | None = None
 
 
 @dataclass
@@ -260,6 +275,13 @@ class MapReduceSimulator:
         #: fid -> remaining bytes of a flow with no live path (parked until a
         #: switch recovery makes it routable again).
         self._parked: dict[int, float] = {}
+        #: Admission controller of the online workload plane (None = batch
+        #: FIFO intake; every plane hook below is then skipped).
+        self.admission: AdmissionController | None = (
+            AdmissionController(self.config.admission)
+            if self.config.admission is not None
+            else None
+        )
         self._queue = EventQueue()
         self._pending: list[_JobState] = []  # FIFO admission queue
         self._jobs_by_id: dict[int, _JobState] = {}
@@ -317,6 +339,15 @@ class MapReduceSimulator:
         if recorder is not None:
             recorder.finish(self, self._net_time)
         unfinished = [j for j in self._jobs_by_id.values() if not j.done]
+        if self.admission is not None:
+            # Online plane: jobs still sitting in admission queues when the
+            # event stream drains are an *accounted* outcome ("queued"), not
+            # an error — the overload contract's third leg.  Jobs that
+            # actually started but did not finish remain fatal.
+            queued_ids = {s.job_id for s in self.admission.queued_jobs()}
+            unfinished = [
+                j for j in unfinished if j.spec.job_id not in queued_ids
+            ]
         if unfinished or self._pending:
             raise RuntimeError(
                 f"simulation ended with {len(unfinished)} unfinished and "
@@ -326,6 +357,9 @@ class MapReduceSimulator:
             _OBS.tracer.event(
                 "sim.run.end", scheduler=self.scheduler.name, events=events
             )
+            if self.admission is not None:
+                for name, value in self.admission.counters().items():
+                    _OBS.tracer.count(name, value)
             if self.faults is not None:
                 for name, value in self.faults.summary().items():
                     _OBS.tracer.count(name, value)
@@ -341,6 +375,10 @@ class MapReduceSimulator:
                 if self.speculation is not None:
                     _OBS.checker.check_speculation(
                         self.speculation, where="sim.run.end"
+                    )
+                if self.admission is not None:
+                    _OBS.checker.check_online_accounting(
+                        self.admission, self.metrics, where="sim.run.end"
                     )
         return self.metrics
 
@@ -439,6 +477,11 @@ class MapReduceSimulator:
         """
         config = getattr(self.scheduler, "online_rebalance", None)
         if config is None:
+            return
+        ceiling = getattr(config, "pressure_ceiling", None)
+        if ceiling is not None and self.cluster.occupancy() >= ceiling:
+            # Backpressure: under saturation the sweep would thrash against
+            # the admission churn; defer until occupancy drops.
             return
         active_ids = {f.flow_id for f in self.network.active_flows}
         if not active_ids:
@@ -541,6 +584,26 @@ class MapReduceSimulator:
         return slots
 
     def _on_job_arrival(self, now: float, spec: JobSpec) -> None:
+        if self.admission is not None:
+            # Online plane: decide *before* materialising any job state, so
+            # a rejected job consumes no RNG draws or HDFS placements and
+            # the accepted stream is policy-independent up to the decision.
+            reason = self.admission.offer(spec, now, self.cluster.occupancy())
+            if reason is not None:
+                self.metrics.record_rejection(
+                    RejectionRecord(
+                        job_id=spec.job_id,
+                        name=spec.name,
+                        tenant=spec.tenant,
+                        time=now,
+                        reason=reason,
+                    )
+                )
+                if self.speculation is not None and self._jobs_remaining > 0:
+                    # A rejected job will never complete; without this the
+                    # detector's re-arm chain would wait for it forever.
+                    self._jobs_remaining -= 1
+                return
         state = _JobState(
             spec=spec,
             matrix=shuffle_matrix(spec, self._rng),
@@ -548,10 +611,14 @@ class MapReduceSimulator:
         )
         self.hdfs.place_job_blocks(spec)
         self._jobs_by_id[spec.job_id] = state
-        self._pending.append(state)
+        if self.admission is None:
+            self._pending.append(state)
         self._try_admit(now)
 
     def _try_admit(self, now: float) -> None:
+        if self.admission is not None:
+            self._try_admit_online(now)
+            return
         while self._pending:
             job = self._pending[0]
             spec = job.spec
@@ -564,6 +631,36 @@ class MapReduceSimulator:
                 return  # FIFO: head blocks the queue (no starvation)
             wave = min(wave, max(1, free - spec.num_reduces))
             self._pending.pop(0)
+            job.wave_size = wave
+            job.start_time = now
+            self._start_job(now, job)
+
+    def _try_admit_online(self, now: float) -> None:
+        """Online-plane queue drain: weighted-fair across tenant queues,
+        deferred entirely while the backpressure latch holds.
+
+        The fair-share head blocks its whole drain round exactly like the
+        batch FIFO head blocks `_pending` — skipping past a big job to
+        start a smaller one would starve it indefinitely under sustained
+        load.
+        """
+        admission = self.admission
+        assert admission is not None
+        while True:
+            if admission.defer(self.cluster.occupancy(), len(self._parked)):
+                return
+            spec = admission.peek()
+            if spec is None:
+                return
+            free = self._free_slots()
+            wave = spec.num_maps
+            if self.config.map_slots_per_job is not None:
+                wave = min(wave, self.config.map_slots_per_job)
+            if free < 1 + spec.num_reduces:
+                return
+            wave = min(wave, max(1, free - spec.num_reduces))
+            admission.commit(spec)
+            job = self._jobs_by_id[spec.job_id]
             job.wave_size = wave
             job.start_time = now
             self._start_job(now, job)
@@ -1470,7 +1567,12 @@ class MapReduceSimulator:
                 sp.count("spec.quota_denied")
                 continue
             self._launch_backup(now, job, cand)
-        if self._jobs_remaining > 0:
+        if self._jobs_remaining > 0 and (
+            self.admission is None or bool(self._queue)
+        ):
+            # Online plane: jobs stranded in admission queues after the last
+            # real event would otherwise keep the sweep re-arming forever —
+            # once nothing but sweeps remains, nothing can change, so stop.
             self._queue.push(
                 Event(now + sp.config.check_interval, EventKind.SPECULATE)
             )
@@ -1685,6 +1787,7 @@ class MapReduceSimulator:
                     finish_time=now,
                     shuffle_volume=job.spec.shuffle_volume,
                     remote_map_traffic=job.remote_map_traffic,
+                    tenant=job.spec.tenant,
                 )
             )
         self._try_admit(now)

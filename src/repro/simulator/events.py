@@ -8,14 +8,20 @@ pop in a two-level deterministic order:
    first (capacity returns before anything else that happens at the same
    instant), then failures (a completion that collides with a failure at the
    exact same timestamp is processed after the failure, i.e. the task is
-   conservatively lost), then every normal event kind;
+   conservatively lost), then job arrivals (an arrival that collides with a
+   completion sees the pre-completion cluster, never a half-updated one),
+   then every other normal event kind;
 2. insertion order (sequence-number tie-break) within a priority class,
    which keeps simulations bit-reproducible across runs regardless of
    payload types.
 
-Every pre-existing kind (arrivals, completions, network checkpoints) shares
-one priority class, so simulations without faults order exactly as they did
-before fault injection existed.
+Completions and network checkpoints share one priority class, so
+simulations without faults order exactly as they did before fault injection
+existed.  JOB_ARRIVAL's dedicated class is equally backward compatible for
+batch runs: batch workloads push every arrival before the first runtime
+event, so the insertion tie-break already popped arrivals first — the
+explicit class makes that ordering structural, which matters once the
+online workload plane (:mod:`repro.workload`) injects arrivals mid-run.
 """
 
 from __future__ import annotations
@@ -55,15 +61,18 @@ class EventKind(Enum):
 
 
 #: Same-timestamp ordering class per kind (lower pops first).  Recoveries
-#: (0) precede failures (1) precede all normal events (2) precede detector
-#: sweeps (3): at one instant the fabric first heals, then breaks, then the
-#: workload reacts — so a task completion that collides with its server's
-#: failure is lost, and a placement retry that collides with a recovery sees
-#: the recovered node.  KILL_ATTEMPT shares the failure class: the winning
-#: attempt's commit pushes it at the *same instant*, and it must invalidate
-#: the loser before any queued normal event (in particular the loser's own
-#: MAP_DONE) can pop.  SPECULATE sits *after* every normal event so a sweep
-#: never speculates a map whose same-instant completion is already queued.
+#: (0) precede failures (1) precede job arrivals (2) precede all other
+#: normal events (3) precede detector sweeps (4): at one instant the fabric
+#: first heals, then breaks, then new work lands, then the running workload
+#: reacts — so a task completion that collides with its server's failure is
+#: lost, a placement retry that collides with a recovery sees the recovered
+#: node, and an arrival that collides with a completion is admitted against
+#: the pre-completion cluster regardless of which event was pushed first.
+#: KILL_ATTEMPT shares the failure class: the winning attempt's commit
+#: pushes it at the *same instant*, and it must invalidate the loser before
+#: any queued normal event (in particular the loser's own MAP_DONE) can
+#: pop.  SPECULATE sits *after* every normal event so a sweep never
+#: speculates a map whose same-instant completion is already queued.
 EVENT_PRIORITY: dict[EventKind, int] = {
     EventKind.SERVER_RECOVER: 0,
     EventKind.SWITCH_RECOVER: 0,
@@ -75,11 +84,11 @@ EVENT_PRIORITY: dict[EventKind, int] = {
     EventKind.TASK_SLOWDOWN: 1,
     EventKind.KILL_ATTEMPT: 1,
     EventKind.JOB_ARRIVAL: 2,
-    EventKind.MAP_DONE: 2,
-    EventKind.NETWORK: 2,
-    EventKind.REDUCE_DONE: 2,
-    EventKind.TASK_RETRY: 2,
-    EventKind.SPECULATE: 3,
+    EventKind.MAP_DONE: 3,
+    EventKind.NETWORK: 3,
+    EventKind.REDUCE_DONE: 3,
+    EventKind.TASK_RETRY: 3,
+    EventKind.SPECULATE: 4,
 }
 
 

@@ -17,7 +17,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["JobRecord", "FlowRecord", "TaskRecord", "MetricsCollector"]
+__all__ = [
+    "JobRecord",
+    "FlowRecord",
+    "RejectionRecord",
+    "TaskRecord",
+    "MetricsCollector",
+    "jain_fairness",
+]
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``values``.
+
+    1.0 = perfectly even, ``1/n`` = one value dominates.  Defined as 1.0
+    for empty input or an all-zero vector (nothing to be unfair about), so
+    report code can call it unconditionally.
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("fairness index is defined for non-negative values")
+    square_sum = float(np.sum(x * x))
+    if square_sum == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / (x.size * square_sum)
 
 
 @dataclass
@@ -84,11 +109,56 @@ class JobRecord:
     finish_time: float
     shuffle_volume: float
     remote_map_traffic: float
+    #: Owning tenant (0 for single-tenant batch workloads).
+    tenant: int = 0
 
     @property
     def completion_time(self) -> float:
-        """JCT measured from submission (includes queueing)."""
+        """JCT measured from *arrival* (submission), so it includes the
+        admission-queue wait — the open-loop definition, not time since
+        batch start."""
         return self.finish_time - self.submit_time
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent queued between arrival and admission."""
+        return self.start_time - self.submit_time
+
+    @property
+    def service_time(self) -> float:
+        """Time from admission to completion (the in-cluster portion)."""
+        return self.finish_time - self.start_time
+
+    @property
+    def slowdown(self) -> float:
+        """Queueing slowdown: arrival-relative JCT over service time.
+
+        ``1.0`` means the job never waited; larger values measure how much
+        the admission queue stretched the job.  A zero-duration service
+        (degenerate instant job) is defined as slowdown ``1.0`` so the
+        metric is always finite and NaN-free.
+        """
+        service = self.service_time
+        if service <= 0.0:
+            return 1.0
+        return self.completion_time / service
+
+
+@dataclass
+class RejectionRecord:
+    """One job explicitly rejected by the admission controller.
+
+    ``reason`` is a machine-readable reason code (see
+    :mod:`repro.workload.admission`); rejected jobs never produce a
+    :class:`JobRecord`, but they stay accountable through these records —
+    the overload contract's "no silent drops" leg.
+    """
+
+    job_id: int
+    name: str
+    tenant: int
+    time: float
+    reason: str
 
 
 class MetricsCollector:
@@ -98,6 +168,7 @@ class MetricsCollector:
         self.jobs: list[JobRecord] = []
         self.tasks: list[TaskRecord] = []
         self.flows: list[FlowRecord] = []
+        self.rejections: list[RejectionRecord] = []
 
     # -------------------------------------------------------------- recording
     def record_job(self, record: JobRecord) -> None:
@@ -108,6 +179,9 @@ class MetricsCollector:
 
     def record_flow(self, record: FlowRecord) -> None:
         self.flows.append(record)
+
+    def record_rejection(self, record: RejectionRecord) -> None:
+        self.rejections.append(record)
 
     # ------------------------------------------------------------- aggregates
     def job_completion_times(self) -> np.ndarray:
@@ -130,6 +204,63 @@ class MetricsCollector:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         times = self.job_completion_times()
         return float(np.percentile(times, q)) if times.size else 0.0
+
+    def p99_jct(self) -> float:
+        """Tail (99th percentile) arrival-relative JCT; 0.0 with no jobs."""
+        return self.jct_percentile(99.0)
+
+    # ------------------------------------------- open-loop (online) aggregates
+    def slowdowns(self) -> np.ndarray:
+        """Per-job queueing slowdowns (arrival-relative JCT / service)."""
+        return np.array([j.slowdown for j in self.jobs])
+
+    def mean_slowdown(self) -> float:
+        values = self.slowdowns()
+        return float(values.mean()) if values.size else 0.0
+
+    def slowdown_percentile(self, q: float) -> float:
+        """Slowdown percentile ``q`` in [0, 100]; 0.0 on an empty set."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        values = self.slowdowns()
+        return float(np.percentile(values, q)) if values.size else 0.0
+
+    def mean_wait(self) -> float:
+        """Mean admission-queue wait over completed jobs; 0.0 when none."""
+        if not self.jobs:
+            return 0.0
+        return float(np.mean([j.wait_time for j in self.jobs]))
+
+    def tenants(self) -> list[int]:
+        """Sorted tenant ids present in completed or rejected records."""
+        seen = {j.tenant for j in self.jobs}
+        seen.update(r.tenant for r in self.rejections)
+        return sorted(seen)
+
+    def per_tenant_mean_slowdown(self) -> dict[int, float]:
+        """Mean slowdown per tenant, over tenants that completed jobs."""
+        by_tenant: dict[int, list[float]] = {}
+        for job in self.jobs:
+            by_tenant.setdefault(job.tenant, []).append(job.slowdown)
+        return {
+            tenant: float(np.mean(values))
+            for tenant, values in sorted(by_tenant.items())
+        }
+
+    def tenant_fairness(self) -> float:
+        """Jain fairness of per-tenant *mean slowdown* (1.0 = even stretch).
+
+        Slowdown, not raw JCT, so tenants submitting bigger jobs are not
+        counted as "unfairly" treated; 1.0 when at most one tenant ran.
+        """
+        return jain_fairness(self.per_tenant_mean_slowdown().values())
+
+    def rejection_count(self) -> dict[str, int]:
+        """Rejections grouped by reason code (sorted, deterministic)."""
+        counts: dict[str, int] = {}
+        for record in self.rejections:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return dict(sorted(counts.items()))
 
     def mean_task_duration(self, kind: str) -> float:
         """Mean duration of finished ``kind`` tasks; 0.0 when none ran."""
@@ -186,6 +317,23 @@ class MetricsCollector:
         return max(j.finish_time for j in self.jobs) - min(
             j.submit_time for j in self.jobs
         )
+
+    def online_summary(self) -> dict[str, float]:
+        """Open-loop aggregates for the online workload plane.
+
+        Kept separate from :meth:`summary` so batch-mode artifacts (sweep
+        cells, bench baselines, chaos fingerprints) stay byte-identical.
+        """
+        return {
+            "jobs": float(len(self.jobs)),
+            "rejected": float(len(self.rejections)),
+            "mean_jct": self.mean_jct(),
+            "p99_jct": self.p99_jct(),
+            "mean_slowdown": self.mean_slowdown(),
+            "p99_slowdown": self.slowdown_percentile(99.0),
+            "mean_wait": self.mean_wait(),
+            "tenant_fairness": self.tenant_fairness(),
+        }
 
     def summary(self) -> dict[str, float]:
         """One-line dictionary for experiment tables."""

@@ -1,0 +1,51 @@
+"""Open-loop (online) workload plane.
+
+Everything the batch evaluation abstracts away lives here: *who* submits
+jobs (tenants with weights and size mixes), *when* they arrive (seeded
+Poisson, diurnal, bursty and trace-driven profiles), and *what happens when
+the cluster cannot absorb them* (per-tenant admission queues, pluggable
+admission policies, backpressure).  The engine consumes the plane through
+two narrow seams — a list of :class:`~repro.mapreduce.job.JobSpec` with
+tenant stamps and submit times, and a
+:class:`~repro.workload.admission.AdmissionController` configured via
+``SimulationConfig.admission`` — so batch-mode runs remain byte-identical.
+
+The machine-checkable **overload contract** (every submitted job is exactly
+one of completed / queued / rejected-with-reason, no silent drops, bounded
+queues when bounded, no sim-time stall, byte-identical reruns) is graded by
+:mod:`repro.experiments.online`; ``docs/workload.md`` spells it out.
+"""
+
+from .arrivals import (
+    ARRIVAL_PROFILES,
+    ArrivalConfig,
+    TenantSpec,
+    estimate_saturation_rate,
+    generate_arrivals,
+    load_arrival_trace,
+    save_arrival_trace,
+)
+from .admission import (
+    ADMISSION_POLICIES,
+    REJECT_LOAD_SHED,
+    REJECT_QUEUE_FULL,
+    REJECT_THROTTLED,
+    AdmissionConfig,
+    AdmissionController,
+)
+
+__all__ = [
+    "ARRIVAL_PROFILES",
+    "ArrivalConfig",
+    "TenantSpec",
+    "estimate_saturation_rate",
+    "generate_arrivals",
+    "load_arrival_trace",
+    "save_arrival_trace",
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "REJECT_LOAD_SHED",
+    "REJECT_QUEUE_FULL",
+    "REJECT_THROTTLED",
+]

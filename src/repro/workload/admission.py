@@ -1,0 +1,331 @@
+"""Admission control and backpressure for the open-loop workload plane.
+
+The controller sits between JOB_ARRIVAL events and the engine's slot-based
+job start.  Every arriving job meets exactly one of three fates, and each
+is recorded — the accounting half of the overload contract:
+
+* **admitted to a per-tenant queue**, later started by the engine when
+  slots free up (weighted-fair across tenants);
+* **rejected** with a machine-readable reason code
+  (:data:`REJECT_QUEUE_FULL`, :data:`REJECT_LOAD_SHED`,
+  :data:`REJECT_THROTTLED`);
+* **left queued** when the run ends before the backlog drains (still
+  accounted, never silently dropped).
+
+Four pluggable policies decide rejections:
+
+``admit-all``
+    Never rejects; queues grow without bound (the degenerate baseline).
+``queue-bound``
+    Rejects when the tenant's queue already holds ``queue_bound`` jobs —
+    the bound the contract's "no unbounded growth" leg checks.
+``load-threshold``
+    Rejects while cluster occupancy is at or above ``load_threshold``
+    (instantaneous load shedding, no per-tenant memory).
+``token-bucket``
+    Per-tenant token bucket (``bucket_rate`` tokens/time, ``bucket_depth``
+    burst): sustained overload is throttled, short bursts pass.
+
+Queues drain in weighted-fair order: each tenant carries a virtual-time
+counter charged ``slots/weight`` per admitted job (slot demand, not job
+count, so a tenant of many small jobs and a tenant of few large ones get
+comparable shares).  The non-empty tenant with the smallest counter is
+served next; ties break on tenant id.  Deterministic by construction — no
+RNG anywhere in this module.
+
+Backpressure is a hysteresis latch over two signals the engine supplies:
+cluster occupancy and parked-flow count (flows with no live route under
+faults).  While latched, the engine defers queue drain (grants) entirely —
+it does not thrash the optimizer placing jobs that would immediately
+contend — and releases once pressure falls below the low watermark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..mapreduce.job import JobSpec
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "REJECT_QUEUE_FULL",
+    "REJECT_LOAD_SHED",
+    "REJECT_THROTTLED",
+    "AdmissionConfig",
+    "AdmissionController",
+]
+
+#: Pluggable policy names (CLI choices validate against this).
+ADMISSION_POLICIES: tuple[str, ...] = (
+    "admit-all",
+    "queue-bound",
+    "load-threshold",
+    "token-bucket",
+)
+
+#: Rejection reason codes — the accountable part of "no silent drops".
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_LOAD_SHED = "load-shed"
+REJECT_THROTTLED = "throttled"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission policy plus backpressure watermarks.
+
+    ``tenant_weights`` maps tenant ids to fair-share weights (unlisted
+    tenants default to 1.0); a tuple of pairs so the config stays hashable
+    and canonically serialisable.
+    """
+
+    policy: str = "admit-all"
+    #: queue-bound policy: max *queued* (not running) jobs per tenant.
+    queue_bound: int | None = None
+    #: load-threshold policy: occupancy at or above this rejects.
+    load_threshold: float = 0.95
+    #: token-bucket policy: refill rate (tokens per simulated time unit)
+    #: and burst depth; one job costs one token.
+    bucket_rate: float = 1.0
+    bucket_depth: float = 4.0
+    #: Backpressure latch: defer grants at/above high, release below low.
+    high_watermark: float = 0.98
+    low_watermark: float = 0.85
+    #: Parked flows saturating the pressure signal to 1.0.
+    parked_pressure: int = 8
+    tenant_weights: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
+        if self.policy == "queue-bound" and self.queue_bound is None:
+            raise ValueError("queue-bound policy needs an explicit queue_bound")
+        if self.queue_bound is not None and self.queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        if not 0.0 < self.load_threshold <= 1.0:
+            raise ValueError("load_threshold must be in (0, 1]")
+        if self.bucket_rate <= 0 or self.bucket_depth < 1:
+            raise ValueError("token bucket needs rate > 0 and depth >= 1")
+        if not 0.0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low <= high <= 1"
+            )
+        if self.parked_pressure < 1:
+            raise ValueError("parked_pressure must be >= 1")
+        for tenant_id, weight in self.tenant_weights:
+            if tenant_id < 0 or weight <= 0:
+                raise ValueError(
+                    f"bad tenant weight ({tenant_id}, {weight})"
+                )
+
+
+@dataclass
+class _TenantState:
+    queue: deque
+    weight: float
+    vtime: float = 0.0
+    tokens: float = 0.0
+    token_time: float = 0.0
+    submitted: int = 0
+    admitted: int = 0
+    started: int = 0
+    max_queue_len: int = 0
+    rejected: dict = None  # reason -> count
+
+    def __post_init__(self) -> None:
+        if self.rejected is None:
+            self.rejected = {}
+
+
+class AdmissionController:
+    """Per-tenant admission queues with pluggable policies.
+
+    The engine drives it with four calls: :meth:`offer` at every
+    JOB_ARRIVAL, :meth:`peek`/:meth:`commit` in its admission loop, and
+    :meth:`drain_queued` at end of run.  All state transitions are pure
+    functions of the call sequence — no RNG, no wall clock — so a rerun
+    with the same event stream reproduces the controller bit for bit.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self._weights = dict(config.tenant_weights)
+        self._tenants: dict[int, _TenantState] = {}
+        #: Backpressure latch state plus how often drain was deferred.
+        self.deferring = False
+        self.deferrals = 0
+
+    # ------------------------------------------------------------ tenant state
+    def _tenant(self, tenant_id: int) -> _TenantState:
+        state = self._tenants.get(tenant_id)
+        if state is None:
+            state = _TenantState(
+                queue=deque(),
+                weight=float(self._weights.get(tenant_id, 1.0)),
+                tokens=self.config.bucket_depth,
+            )
+            self._tenants[tenant_id] = state
+        return state
+
+    # --------------------------------------------------------------- admission
+    def offer(self, spec: JobSpec, now: float, occupancy: float) -> str | None:
+        """Decide one arrival: ``None`` = queued, else a rejection reason."""
+        state = self._tenant(spec.tenant)
+        state.submitted += 1
+        reason = self._decide(state, now, occupancy)
+        if reason is not None:
+            state.rejected[reason] = state.rejected.get(reason, 0) + 1
+            return reason
+        state.admitted += 1
+        state.queue.append(spec)
+        state.max_queue_len = max(state.max_queue_len, len(state.queue))
+        return None
+
+    def _decide(
+        self, state: _TenantState, now: float, occupancy: float
+    ) -> str | None:
+        policy = self.config.policy
+        if policy == "admit-all":
+            return None
+        if policy == "queue-bound":
+            assert self.config.queue_bound is not None
+            if len(state.queue) >= self.config.queue_bound:
+                return REJECT_QUEUE_FULL
+            return None
+        if policy == "load-threshold":
+            if occupancy >= self.config.load_threshold:
+                return REJECT_LOAD_SHED
+            return None
+        # token-bucket
+        elapsed = now - state.token_time
+        state.token_time = now
+        state.tokens = min(
+            self.config.bucket_depth,
+            state.tokens + elapsed * self.config.bucket_rate,
+        )
+        if state.tokens >= 1.0:
+            state.tokens -= 1.0
+            return None
+        return REJECT_THROTTLED
+
+    # ------------------------------------------------------------- fair drain
+    def peek(self) -> JobSpec | None:
+        """Next job in weighted-fair order, without removing it."""
+        best: tuple[float, int] | None = None
+        for tenant_id in sorted(self._tenants):
+            state = self._tenants[tenant_id]
+            if not state.queue:
+                continue
+            key = (state.vtime, tenant_id)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        return self._tenants[best[1]].queue[0]
+
+    def commit(self, spec: JobSpec) -> None:
+        """Remove a peeked job and charge its tenant's virtual time."""
+        state = self._tenants[spec.tenant]
+        if not state.queue or state.queue[0] is not spec:
+            raise ValueError(
+                f"commit out of order: job {spec.job_id} is not the "
+                f"fair-share head of tenant {spec.tenant}"
+            )
+        state.queue.popleft()
+        state.started += 1
+        cost = spec.num_maps + spec.num_reduces
+        state.vtime += cost / state.weight
+
+    # ------------------------------------------------------------ backpressure
+    def pressure(self, occupancy: float, parked: int) -> float:
+        """Combined pressure signal in [0, 1]."""
+        parked_component = min(1.0, parked / self.config.parked_pressure)
+        return max(occupancy, parked_component)
+
+    def defer(self, occupancy: float, parked: int) -> bool:
+        """Update the hysteresis latch; True = hold back queue drain."""
+        signal = self.pressure(occupancy, parked)
+        if self.deferring:
+            if signal < self.config.low_watermark:
+                self.deferring = False
+        elif signal >= self.config.high_watermark:
+            self.deferring = True
+        if self.deferring:
+            self.deferrals += 1
+        return self.deferring
+
+    # -------------------------------------------------------------- accounting
+    def queued_jobs(self) -> list[JobSpec]:
+        """Jobs still waiting, in deterministic (tenant, FIFO) order."""
+        out: list[JobSpec] = []
+        for tenant_id in sorted(self._tenants):
+            out.extend(self._tenants[tenant_id].queue)
+        return out
+
+    def drain_queued(self) -> list[JobSpec]:
+        """Remove and return every queued job (end-of-run accounting)."""
+        out = self.queued_jobs()
+        for state in self._tenants.values():
+            state.queue.clear()
+        return out
+
+    def queue_depth(self, tenant_id: int | None = None) -> int:
+        if tenant_id is not None:
+            state = self._tenants.get(tenant_id)
+            return len(state.queue) if state is not None else 0
+        return sum(len(s.queue) for s in self._tenants.values())
+
+    def counters(self) -> dict[str, int]:
+        """Flat ``admission.*`` counters (sorted keys, plain ints)."""
+        out: dict[str, int] = {
+            "admission.deferrals": self.deferrals,
+        }
+        total_submitted = total_admitted = total_rejected = 0
+        for tenant_id in sorted(self._tenants):
+            state = self._tenants[tenant_id]
+            prefix = f"admission.tenant.{tenant_id}"
+            out[f"{prefix}.submitted"] = state.submitted
+            out[f"{prefix}.admitted"] = state.admitted
+            out[f"{prefix}.started"] = state.started
+            out[f"{prefix}.queued"] = len(state.queue)
+            out[f"{prefix}.max_queue_len"] = state.max_queue_len
+            rejected = sum(state.rejected.values())
+            out[f"{prefix}.rejected"] = rejected
+            for reason in sorted(state.rejected):
+                out[f"{prefix}.rejected.{reason}"] = state.rejected[reason]
+            total_submitted += state.submitted
+            total_admitted += state.admitted
+            total_rejected += rejected
+        out["admission.submitted"] = total_submitted
+        out["admission.admitted"] = total_admitted
+        out["admission.rejected"] = total_rejected
+        out["admission.queued"] = self.queue_depth()
+        return out
+
+    def tenant_rows(self) -> list[dict[str, object]]:
+        """Per-tenant rows for the CLI's standard table."""
+        rows: list[dict[str, object]] = []
+        for tenant_id in sorted(self._tenants):
+            state = self._tenants[tenant_id]
+            rows.append(
+                {
+                    "tenant": tenant_id,
+                    "weight": state.weight,
+                    "submitted": state.submitted,
+                    "admitted": state.admitted,
+                    "started": state.started,
+                    "queued": len(state.queue),
+                    "max_queue": state.max_queue_len,
+                    "rejected": sum(state.rejected.values()),
+                }
+            )
+        return rows
+
+    def max_queue_len(self) -> int:
+        """Peak queue length across tenants (bound-compliance check)."""
+        if not self._tenants:
+            return 0
+        return max(s.max_queue_len for s in self._tenants.values())

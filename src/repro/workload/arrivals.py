@@ -1,0 +1,335 @@
+"""Seeded open-loop arrival processes over multi-tenant job mixes.
+
+A batch workload fixes *which* jobs run; an open-loop workload fixes the
+*offered load* and lets the cluster decide what it can absorb.  This module
+samples per-tenant arrival streams — each tenant has its own rate, weight
+and job-size mix — merges them into one deterministic job list, and stamps
+every :class:`~repro.mapreduce.job.JobSpec` with its tenant.  Four profiles
+cover the shapes the scheduling literature evaluates against:
+
+``poisson``
+    Homogeneous Poisson process at ``rate x rate_multiplier`` per tenant.
+``diurnal``
+    Inhomogeneous Poisson with a sinusoidal day/night rate envelope
+    (sampled by thinning, so the draw count stays seed-stable).
+``bursty``
+    On/off modulated Poisson: exponential quiet/burst episodes, with the
+    burst rate inflated by ``burst_factor`` over the quiet rate while the
+    *average* rate stays the tenant's nominal rate.
+``trace``
+    Replay of explicit ``(time, tenant)`` arrival instants (job bodies are
+    still sampled from the tenant's mix) — the hook for replaying cluster
+    traces.
+
+Everything is keyed off explicit seeds: two calls with equal config and
+seed return equal job lists, element for element, which is what the
+overload contract's byte-identical-rerun leg stands on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..mapreduce.job import JobSpec
+from ..mapreduce.workload import PUMA_BENCHMARKS, WorkloadGenerator
+
+__all__ = [
+    "ARRIVAL_PROFILES",
+    "TenantSpec",
+    "ArrivalConfig",
+    "generate_arrivals",
+    "estimate_saturation_rate",
+    "load_arrival_trace",
+    "save_arrival_trace",
+]
+
+#: Supported arrival profiles (CLI choices validate against this).
+ARRIVAL_PROFILES: tuple[str, ...] = ("poisson", "diurnal", "bursty", "trace")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the shared cluster.
+
+    ``rate`` is the tenant's nominal arrival rate in jobs per simulated
+    time unit (before the config-level ``rate_multiplier``).  ``weight``
+    feeds the admission layer's weighted-fair dequeue — it does not change
+    what the tenant *submits*, only how its queue drains.  The size mix is
+    the tenant's own window into the PUMA job sampler.
+    """
+
+    tenant_id: int
+    rate: float = 1.0
+    weight: float = 1.0
+    input_size_range: tuple[float, float] = (8.0, 32.0)
+
+    def __post_init__(self) -> None:
+        if self.tenant_id < 0:
+            raise ValueError("tenant_id must be >= 0")
+        if self.rate <= 0:
+            raise ValueError(f"tenant {self.tenant_id}: rate must be > 0")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.tenant_id}: weight must be > 0")
+        lo, hi = self.input_size_range
+        if lo <= 0 or lo > hi:
+            raise ValueError(
+                f"tenant {self.tenant_id}: invalid input_size_range"
+            )
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """One open-loop arrival plan.
+
+    ``duration`` bounds the *submission* window, not the simulation: jobs
+    stop arriving at ``duration`` and the cluster then drains its backlog.
+    ``rate_multiplier`` scales every tenant's rate uniformly — the knob the
+    overload campaign sweeps through saturation.
+    """
+
+    tenants: tuple[TenantSpec, ...] = (TenantSpec(0),)
+    profile: str = "poisson"
+    duration: float = 10.0
+    rate_multiplier: float = 1.0
+    #: Diurnal profile: rate envelope ``1 + amplitude * sin(2 pi t/period)``.
+    diurnal_period: float = 8.0
+    diurnal_amplitude: float = 0.8
+    #: Bursty profile: mean episode lengths and the on/off rate contrast.
+    burst_cycle: float = 4.0
+    burst_fraction: float = 0.25
+    burst_factor: float = 3.0
+    #: Trace profile: explicit (time, tenant_id) arrival instants.
+    trace: tuple[tuple[float, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        ids = [t.tenant_id for t in self.tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tenant ids: {sorted(ids)}")
+        if self.profile not in ARRIVAL_PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; "
+                f"choose from {ARRIVAL_PROFILES}"
+            )
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate_multiplier must be > 0")
+        if self.diurnal_period <= 0 or not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("invalid diurnal envelope")
+        if (
+            self.burst_cycle <= 0
+            or not 0 < self.burst_fraction < 1
+            or self.burst_factor <= 1
+        ):
+            raise ValueError("invalid burst envelope")
+        if self.profile == "trace" and not self.trace:
+            raise ValueError("trace profile needs explicit arrivals")
+        for time, tenant in self.trace:
+            if time < 0:
+                raise ValueError(f"trace arrival at negative time {time}")
+            if tenant not in set(ids):
+                raise ValueError(f"trace references unknown tenant {tenant}")
+
+    def tenant(self, tenant_id: int) -> TenantSpec:
+        for spec in self.tenants:
+            if spec.tenant_id == tenant_id:
+                return spec
+        raise KeyError(f"unknown tenant {tenant_id}")
+
+
+def _tenant_rng(seed: int, tenant_id: int, stream: int) -> np.random.Generator:
+    """Independent, deterministic stream per (seed, tenant, purpose)."""
+    return np.random.default_rng([seed, tenant_id, stream, 0xA221])
+
+
+def _poisson_times(
+    rng: np.random.Generator, rate: float, duration: float
+) -> list[float]:
+    times: list[float] = []
+    t = float(rng.exponential(1.0 / rate))
+    while t < duration:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate))
+    return times
+
+
+def _thinned_times(
+    rng: np.random.Generator,
+    peak_rate: float,
+    duration: float,
+    accept_prob,
+) -> list[float]:
+    """Inhomogeneous Poisson via Lewis-Shedler thinning.
+
+    The candidate process runs at the envelope's peak; each candidate is
+    kept with probability ``rate(t)/peak``.  One uniform draw per candidate
+    keeps the stream length (and thus every later draw) seed-stable.
+    """
+    times: list[float] = []
+    t = float(rng.exponential(1.0 / peak_rate))
+    while t < duration:
+        if float(rng.uniform()) < accept_prob(t):
+            times.append(t)
+        t += float(rng.exponential(1.0 / peak_rate))
+    return times
+
+
+def _burst_windows(
+    rng: np.random.Generator, config: ArrivalConfig
+) -> list[tuple[float, float]]:
+    """Alternating quiet/burst episodes covering [0, duration)."""
+    mean_on = config.burst_cycle * config.burst_fraction
+    mean_off = config.burst_cycle - mean_on
+    windows: list[tuple[float, float]] = []
+    t = 0.0
+    while t < config.duration:
+        t += float(rng.exponential(mean_off))
+        start = t
+        t += float(rng.exponential(mean_on))
+        if start < config.duration:
+            windows.append((start, min(t, config.duration)))
+    return windows
+
+
+def _tenant_arrival_times(
+    config: ArrivalConfig, tenant: TenantSpec, seed: int
+) -> list[float]:
+    rate = tenant.rate * config.rate_multiplier
+    rng = _tenant_rng(seed, tenant.tenant_id, stream=0)
+    if config.profile == "poisson":
+        return _poisson_times(rng, rate, config.duration)
+    if config.profile == "diurnal":
+        peak = rate * (1.0 + config.diurnal_amplitude)
+
+        def envelope(t: float) -> float:
+            level = rate * (
+                1.0
+                + config.diurnal_amplitude
+                * np.sin(2.0 * np.pi * t / config.diurnal_period)
+            )
+            return level / peak
+
+        return _thinned_times(rng, peak, config.duration, envelope)
+    if config.profile == "bursty":
+        windows = _burst_windows(rng, config)
+        # Split the nominal rate so the time-average stays `rate`:
+        # rate = f * on + (1-f) * off with on = factor * off.
+        f = config.burst_fraction
+        off_rate = rate / (f * config.burst_factor + (1.0 - f))
+        on_rate = off_rate * config.burst_factor
+
+        def in_burst(t: float) -> bool:
+            return any(a <= t < b for a, b in windows)
+
+        return _thinned_times(
+            rng,
+            on_rate,
+            config.duration,
+            lambda t: 1.0 if in_burst(t) else off_rate / on_rate,
+        )
+    # trace: explicit instants for this tenant, clipped to the window.
+    return sorted(
+        time
+        for time, tenant_id in config.trace
+        if tenant_id == tenant.tenant_id and time < config.duration
+    )
+
+
+def generate_arrivals(config: ArrivalConfig, seed: int = 0) -> list[JobSpec]:
+    """Sample the full multi-tenant arrival stream as one sorted job list.
+
+    Per-tenant streams are sampled independently (so adding a tenant never
+    perturbs another tenant's draws), merged by ``(time, tenant_id)``, and
+    re-numbered: job ids are globally unique and increase in arrival order,
+    which keeps downstream artifacts (traces, fingerprints) canonical.
+    """
+    per_tenant: list[tuple[float, int, JobSpec]] = []
+    for tenant in config.tenants:
+        times = _tenant_arrival_times(config, tenant, seed)
+        sampler = WorkloadGenerator(
+            seed=_tenant_rng(seed, tenant.tenant_id, stream=1),
+            benchmarks=PUMA_BENCHMARKS,
+            input_size_range=tenant.input_size_range,
+        )
+        for t in times:
+            per_tenant.append((t, tenant.tenant_id, sampler.make_job(submit_time=t)))
+    per_tenant.sort(key=lambda item: (item[0], item[1]))
+    jobs: list[JobSpec] = []
+    for k, (t, tenant_id, spec) in enumerate(per_tenant):
+        base = spec.name.rsplit("-", 1)[0]
+        jobs.append(
+            replace(
+                spec,
+                job_id=k,
+                name=f"{base}-{k}",
+                submit_time=t,
+                tenant=tenant_id,
+            )
+        )
+    return jobs
+
+
+def estimate_saturation_rate(
+    num_slots: int,
+    tenants: Sequence[TenantSpec] = (TenantSpec(0),),
+    map_rate: float = 2.0,
+    reduce_rate: float = 2.0,
+    mean_shuffle_ratio: float = 0.45,
+) -> float:
+    """Rough aggregate arrival rate (jobs/time) that saturates the cluster.
+
+    Service demand of an average job is its total map compute
+    (``input/map_rate``) plus reduce compute (``shuffle/reduce_rate``) in
+    slot-time units; ``num_slots`` slots serve that work in parallel at
+    best.  This deliberately ignores queueing at the wave barrier and the
+    reduce containers held for the whole job, so the true knee sits
+    *below* this estimate — campaigns that want guaranteed overload
+    multiply it by >= 1.5.
+    """
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    mean_input = float(
+        np.mean(
+            [0.5 * (t.input_size_range[0] + t.input_size_range[1]) for t in tenants]
+        )
+    )
+    per_job = mean_input / map_rate + mean_input * mean_shuffle_ratio / reduce_rate
+    if per_job <= 0:
+        raise ValueError("degenerate job mix: zero service demand")
+    return num_slots / per_job
+
+
+# ----------------------------------------------------------- trace round-trip
+def save_arrival_trace(
+    path: str | Path, arrivals: Iterable[tuple[float, int]]
+) -> None:
+    """Persist (time, tenant) instants as JSON lines."""
+    lines = [
+        json.dumps({"time": float(t), "tenant": int(tenant)})
+        for t, tenant in arrivals
+    ]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_arrival_trace(path: str | Path) -> tuple[tuple[float, int], ...]:
+    """Inverse of :func:`save_arrival_trace`; blank lines are skipped."""
+    out: list[tuple[float, int]] = []
+    for number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"arrival trace line {number}: invalid JSON") from exc
+        out.append((float(record["time"]), int(record["tenant"])))
+    return tuple(out)

@@ -40,6 +40,9 @@ class ApplicationMaster:
     #: Speculative backup grants, keyed like :attr:`granted` — at most one
     #: backup per task may be outstanding.
     backups: dict[str, GrantedContainer] = field(default_factory=dict)
+    #: Requests :meth:`acquire_available` could not satisfy yet; the RM holds
+    #: matching entries on its deferred queue and delivers grants later.
+    pending: list[ResourceRequest] = field(default_factory=list)
 
     def register(self) -> int:
         self.app_id = self.rm.register_application(self.job.name)
@@ -90,6 +93,45 @@ class ApplicationMaster:
             assert request.task is not None
             self.granted[str(request.task)] = grant
         return dict(self.granted)
+
+    def acquire_available(self) -> dict[str, GrantedContainer]:
+        """Overload-tolerant acquire: take what the RM can grant *now*.
+
+        Unlike :meth:`acquire_containers` this never raises on a full
+        cluster — unsatisfied requests land on the RM's deferred queue and
+        are mirrored in :attr:`pending`; the caller feeds later
+        ``rm.drain_deferred()`` grants back through
+        :meth:`record_deferred_grant`.  Returns the grants made so far.
+        """
+        if self.app_id < 0:
+            self.register()
+        requests = self.build_requests()
+        granted, deferred = self.rm.try_allocate(self.app_id, requests)
+        deferred_ids = {id(r) for r in deferred}
+        grants = iter(granted)
+        for request in requests:
+            if id(request) in deferred_ids:
+                self.pending.append(request)
+                continue
+            grant = next(grants)
+            assert request.task is not None
+            self.granted[str(request.task)] = grant
+        return dict(self.granted)
+
+    def record_deferred_grant(
+        self, request: ResourceRequest, grant: GrantedContainer
+    ) -> None:
+        """Record a grant the RM delivered from its deferred queue."""
+        assert request.task is not None
+        self.granted[str(request.task)] = grant
+        self.pending = [r for r in self.pending if r is not request]
+
+    @property
+    def fully_granted(self) -> bool:
+        """True once every task of the job holds a container."""
+        return not self.pending and len(self.granted) == (
+            self.job.num_maps + self.job.num_reduces
+        )
 
     # ------------------------------------------------------------ speculation
     def request_backup(self, task: TaskRef) -> GrantedContainer:

@@ -9,10 +9,19 @@ ApplicationMasters.  Placement policy:
   closest (fewest-switches) feasible node when ``relax_locality`` allows;
 * a plain wildcard request is granted heartbeat-round-robin, the Capacity
   Scheduler behaviour.
+
+Under an open-loop workload the all-or-error :meth:`ResourceManager.allocate`
+contract is too brittle — an overloaded cluster legitimately cannot grant
+everything at once.  :meth:`ResourceManager.try_allocate` grants what fits
+and parks the remainder on a FIFO deferred queue; callers later call
+:meth:`ResourceManager.drain_deferred` (e.g. after releases) to hand out the
+backlog in arrival order.  Strict FIFO keeps grants deterministic and
+starvation-free: the head blocks the queue until it fits.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from ..cluster.resources import Resources
@@ -61,6 +70,9 @@ class ResourceManager:
         #: until the container is released or killed — the RM-side ledger
         #: behind :meth:`speculative_load`.
         self._speculative: set[int] = set()
+        #: FIFO backlog of (app_id, request) pairs :meth:`try_allocate`
+        #: could not satisfy immediately; drained by :meth:`drain_deferred`.
+        self._deferred: deque[tuple[int, ResourceRequest]] = deque()
 
     # ----------------------------------------------------------- applications
     def register_application(self, name: str) -> int:
@@ -91,13 +103,85 @@ class ResourceManager:
                 granted.append(self._grant_one(request))
         return granted
 
+    def try_allocate(
+        self, app_id: int, requests: list[ResourceRequest]
+    ) -> tuple[list[GrantedContainer], list[ResourceRequest]]:
+        """Grant what fits now, defer the rest (overload-tolerant allocate).
+
+        Returns ``(granted, deferred)``.  Deferred requests are queued FIFO
+        internally (one entry per *container*, so multi-container requests
+        split); :meth:`drain_deferred` retries them later.  Unlike
+        :meth:`allocate`, an unsatisfiable request here is not an error —
+        under an open-loop workload it is the normal overloaded state.
+        """
+        if app_id not in self._applications:
+            raise KeyError(f"unknown application {app_id}")
+        granted: list[GrantedContainer] = []
+        deferred: list[ResourceRequest] = []
+        for request in requests:
+            for _ in range(request.num_containers):
+                grant = self._try_grant_one(request)
+                if grant is None:
+                    deferred.append(request)
+                    self._deferred.append((app_id, request))
+                else:
+                    granted.append(grant)
+        return granted, deferred
+
+    def drain_deferred(
+        self,
+    ) -> list[tuple[int, ResourceRequest, GrantedContainer]]:
+        """Grant deferred requests in strict FIFO order.
+
+        Stops at the first request that still does not fit (head-of-line
+        blocking is deliberate: it keeps the order deterministic and no
+        request can be starved by later, smaller ones).  Returns the
+        ``(app_id, request, grant)`` triples handed out this round.
+        """
+        drained: list[tuple[int, ResourceRequest, GrantedContainer]] = []
+        while self._deferred:
+            app_id, request = self._deferred[0]
+            grant = self._try_grant_one(request)
+            if grant is None:
+                break
+            self._deferred.popleft()
+            drained.append((app_id, request, grant))
+        return drained
+
+    def deferred_count(self) -> int:
+        """Containers currently waiting on the deferred-grant queue."""
+        return len(self._deferred)
+
+    def occupancy(self) -> float:
+        """Fraction of live-node memory currently held by containers.
+
+        The RM-side analogue of ``ClusterState.occupancy`` — the load signal
+        an admission layer reads to decide backpressure.  1.0 when every
+        node is lost (a dead cluster is a fully loaded cluster).
+        """
+        total = used = 0.0
+        for node in self.nodes.values():
+            if node.hostname in self._lost:
+                continue
+            total += node.capacity.memory
+            used += node.capacity.memory - node.available.memory
+        if total <= 0:
+            return 1.0
+        return min(1.0, used / total)
+
     def _grant_one(self, request: ResourceRequest) -> GrantedContainer:
-        node = self._select_node(request)
-        if node is None:
+        grant = self._try_grant_one(request)
+        if grant is None:
             raise RuntimeError(
                 f"no node can satisfy request {request.resource_name!r} "
                 f"({request.capability})"
             )
+        return grant
+
+    def _try_grant_one(self, request: ResourceRequest) -> GrantedContainer | None:
+        node = self._select_node(request)
+        if node is None:
+            return None
         cid = self._next_container_id
         self._next_container_id += 1
         node.launch(

@@ -45,6 +45,31 @@ class TestEventQueue:
         # ("fail" before "slow", "done" before "retry").
         assert order == ["heal", "revive", "fail", "slow", "done", "retry"]
 
+    def test_arrival_priority_at_colliding_timestamps(self):
+        """JOB_ARRIVAL has its own class: after recoveries and failures,
+        before every other normal event — regardless of push order.  This is
+        what makes mid-run arrival interleaving (the online workload plane)
+        deterministic rather than dependent on which subsystem pushed first.
+        """
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.MAP_DONE, payload="done"))
+        q.push(Event(1.0, EventKind.JOB_ARRIVAL, payload="arrive-a"))
+        q.push(Event(1.0, EventKind.TASK_RETRY, payload="retry"))
+        q.push(Event(1.0, EventKind.SERVER_FAIL, payload="fail"))
+        q.push(Event(1.0, EventKind.JOB_ARRIVAL, payload="arrive-b"))
+        q.push(Event(1.0, EventKind.SERVER_RECOVER, payload="heal"))
+        order = [q.pop().payload for _ in range(6)]
+        assert order == [
+            "heal", "fail", "arrive-a", "arrive-b", "done", "retry",
+        ]
+
+    def test_arrival_beats_speculation_sweep(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.SPECULATE, payload="sweep"))
+        q.push(Event(1.0, EventKind.JOB_ARRIVAL, payload="arrive"))
+        assert q.pop().payload == "arrive"
+        assert q.pop().payload == "sweep"
+
     def test_earlier_time_beats_higher_priority(self):
         q = EventQueue()
         q.push(Event(2.0, EventKind.SERVER_RECOVER, payload="late-heal"))

@@ -13,15 +13,19 @@ from repro.simulator.metrics import (
     FlowRecord,
     JobRecord,
     MetricsCollector,
+    RejectionRecord,
     TaskRecord,
+    jain_fairness,
 )
 
 
-def _job(job_id=0, submit=0.0, finish=5.0):
+def _job(job_id=0, submit=0.0, finish=5.0, start=None, tenant=0):
+    if start is None:
+        start = submit
     return JobRecord(
         job_id=job_id, name=f"j{job_id}", shuffle_class="heavy",
-        submit_time=submit, start_time=submit, finish_time=finish,
-        shuffle_volume=1.0, remote_map_traffic=0.5,
+        submit_time=submit, start_time=start, finish_time=finish,
+        shuffle_volume=1.0, remote_map_traffic=0.5, tenant=tenant,
     )
 
 
@@ -97,3 +101,101 @@ class TestZeroFlowDegenerates:
         assert collector.average_shuffle_delay_us() == 0.0
         assert collector.average_flow_duration() == 0.0
         assert collector.average_route_length() == 0.0
+
+
+class TestOnlineAggregatesEmpty:
+    """The online summary obeys the same degenerate-input contract."""
+
+    def test_empty_online_summary_finite(self):
+        collector = MetricsCollector()
+        summary = collector.online_summary()
+        for name, value in summary.items():
+            assert math.isfinite(float(value)), f"{name} not finite"
+        assert summary["jobs"] == 0
+        assert summary["rejected"] == 0
+        assert summary["mean_slowdown"] == 0.0
+        # Fairness over no tenants is perfect by convention, not NaN.
+        assert summary["tenant_fairness"] == 1.0
+
+    def test_slowdown_percentile_range_validated(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.slowdown_percentile(-0.5)
+        with pytest.raises(ValueError):
+            collector.slowdown_percentile(101.0)
+
+
+class TestSlowdown:
+    def test_zero_service_time_clamps_to_one(self):
+        """An instantly-finishing job has slowdown 1.0, never a div-by-zero."""
+        record = _job(submit=1.0, start=3.0, finish=3.0)
+        assert record.service_time == 0.0
+        assert record.wait_time == pytest.approx(2.0)
+        assert record.slowdown == 1.0
+
+    def test_waiting_inflates_slowdown(self):
+        # 1 time unit of service after 3 units of queueing: slowdown 4.
+        record = _job(submit=0.0, start=3.0, finish=4.0)
+        assert record.slowdown == pytest.approx(4.0)
+
+    def test_p99_jct_single_sample(self):
+        collector = MetricsCollector()
+        collector.record_job(_job(finish=5.0))
+        assert collector.p99_jct() == pytest.approx(5.0)
+        assert collector.slowdown_percentile(99.0) == pytest.approx(1.0)
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_maximally_unfair(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_are_fair_by_convention(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -0.5])
+
+    def test_tenant_fairness_over_mean_slowdowns(self):
+        collector = MetricsCollector()
+        # Tenant 0 runs unqueued (slowdown 1), tenant 1 waits 3x its
+        # service time (slowdown 4): fairness must dip below 1.
+        collector.record_job(_job(0, submit=0.0, finish=1.0, tenant=0))
+        collector.record_job(
+            _job(1, submit=0.0, start=3.0, finish=4.0, tenant=1)
+        )
+        per_tenant = collector.per_tenant_mean_slowdown()
+        assert per_tenant == {0: pytest.approx(1.0), 1: pytest.approx(4.0)}
+        assert collector.tenant_fairness() == pytest.approx(
+            jain_fairness([1.0, 4.0])
+        )
+        assert collector.tenant_fairness() < 1.0
+
+
+class TestRejections:
+    def test_rejections_counted_by_reason(self):
+        collector = MetricsCollector()
+        for i, reason in enumerate(("queue-full", "queue-full", "throttled")):
+            collector.record_rejection(
+                RejectionRecord(
+                    job_id=i, name=f"j{i}", tenant=i % 2, time=float(i),
+                    reason=reason,
+                )
+            )
+        assert collector.rejection_count() == {
+            "queue-full": 2, "throttled": 1,
+        }
+        assert collector.online_summary()["rejected"] == 3
+
+    def test_rejections_leave_jct_aggregates_alone(self):
+        collector = MetricsCollector()
+        collector.record_job(_job(finish=2.0))
+        collector.record_rejection(
+            RejectionRecord(1, "j1", tenant=0, time=0.5, reason="load-shed")
+        )
+        assert collector.mean_jct() == pytest.approx(2.0)
+        assert collector.online_summary()["jobs"] == 1

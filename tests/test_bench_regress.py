@@ -12,11 +12,14 @@ SCRIPT = ROOT / "benchmarks" / "bench_regress.py"
 BASELINES = ROOT / "benchmarks" / "baselines"
 
 
-def run_gate(tmp_path, hotpath, straggler, extra=()):
+def run_gate(tmp_path, hotpath, straggler, online=None, extra=()):
     out = tmp_path / "BENCH_regress.json"
+    if online is None:
+        online = BASELINES / "quick" / "BENCH_online.json"
     proc = subprocess.run(
         [sys.executable, str(SCRIPT), "--check",
          "--hotpath", str(hotpath), "--straggler", str(straggler),
+         "--online", str(online),
          "--out", str(out), *extra],
         capture_output=True, text=True, cwd=ROOT,
     )
@@ -30,6 +33,7 @@ def test_committed_baselines_pass_against_themselves(tmp_path, scale):
         tmp_path,
         BASELINES / scale / "BENCH_hotpath.json",
         BASELINES / scale / "BENCH_straggler.json",
+        BASELINES / scale / "BENCH_online.json",
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert verdict["verdict"] == "pass"
@@ -84,6 +88,49 @@ def test_synthetic_speedup_collapse_fails(tmp_path):
     failed = [c for c in verdict["benchmarks"]["hotpath"]["checks"]
               if not c["ok"]]
     assert len(failed) == 1 and failed[0]["kind"] == "ratio-min"
+
+
+def test_synthetic_online_fingerprint_drift_fails(tmp_path):
+    """Overload-campaign cells are deterministic: a fingerprint change is a
+    behaviour change and must fail the gate."""
+    report = json.loads(
+        (BASELINES / "quick" / "BENCH_online.json").read_text()
+    )
+    report["cells"][0]["fingerprint"] = "0" * 64
+    bad = tmp_path / "BENCH_online.json"
+    bad.write_text(json.dumps(report))
+    proc, verdict = run_gate(
+        tmp_path,
+        BASELINES / "quick" / "BENCH_hotpath.json",
+        BASELINES / "quick" / "BENCH_straggler.json",
+        bad,
+    )
+    assert proc.returncode == 1
+    assert verdict["verdict"] == "fail"
+    failed = [c["name"] for c in verdict["benchmarks"]["online"]["checks"]
+              if not c["ok"]]
+    assert failed and all("fingerprint" in name for name in failed)
+
+
+def test_synthetic_online_violation_fails(tmp_path):
+    """A report carrying contract violations never passes, even if it were
+    rebaselined to match itself."""
+    report = json.loads(
+        (BASELINES / "quick" / "BENCH_online.json").read_text()
+    )
+    report["summary"]["violations"] = 2
+    bad = tmp_path / "BENCH_online.json"
+    bad.write_text(json.dumps(report))
+    proc, verdict = run_gate(
+        tmp_path,
+        BASELINES / "quick" / "BENCH_hotpath.json",
+        BASELINES / "quick" / "BENCH_straggler.json",
+        bad,
+    )
+    assert proc.returncode == 1
+    failed = [c["name"] for c in verdict["benchmarks"]["online"]["checks"]
+              if not c["ok"]]
+    assert "summary.violations is zero" in failed
 
 
 def test_missing_report_fails_check_mode(tmp_path):

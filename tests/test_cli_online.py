@@ -1,0 +1,83 @@
+"""CLI surface of the online workload plane: ``repro online``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "online", "--arrival-rate", "1.5", "--tenants", "2",
+    "--duration", "1.0", "--seed", "0",
+    "--scheduler", "hit", "--topology", "small",
+]
+
+
+class TestOnlineCommand:
+    def test_smoke_prints_table_and_summary(self, capsys):
+        assert main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out and "max queue" in out
+        assert "1.5x saturation" in out
+        assert "completed=" in out and "rejected=" in out
+        assert "fingerprint:" in out
+
+    def test_report_file_accounts_every_job(self, tmp_path, capsys):
+        report = tmp_path / "online.json"
+        assert main(FAST + ["--out", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        counters = doc["counters"]
+        assert counters["admission.submitted"] == (
+            counters["online.completed"]
+            + counters["admission.rejected"]
+            + counters["admission.queued"]
+        )
+        assert doc["fingerprint"]
+        assert doc["summary"]["jobs"] == counters["online.completed"]
+
+    def test_byte_identical_across_invocations(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            main(FAST + ["--out", str(path)])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_check_invariants_runs_clean(self, capsys):
+        assert main(FAST + ["--check-invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant" in out.lower()
+
+    def test_overload_rejects_with_bounded_queue(self, tmp_path, capsys):
+        report = tmp_path / "hot.json"
+        assert main([
+            "online", "--arrival-rate", "3.0", "--tenants", "2",
+            "--duration", "1.5", "--seed", "0",
+            "--admission", "queue-bound", "--queue-bound", "2",
+            "--scheduler", "capacity", "--topology", "small",
+            "--out", str(report),
+        ]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["counters"]["admission.rejected"] > 0
+        for tenant in (0, 1):
+            key = f"admission.tenant.{tenant}.max_queue_len"
+            assert doc["counters"][key] <= 2
+
+    def test_choices_validated(self):
+        for bad in (
+            ["online", "--profile", "weibull"],
+            ["online", "--admission", "fifo"],
+            ["online", "--topology", "torus"],
+            ["online", "--scheduler", "elevator"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(bad)
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["online"])
+        assert args.arrival_rate == 1.5
+        assert args.tenants == 2
+        assert args.profile == "poisson"
+        assert args.admission == "queue-bound"
+        assert args.queue_bound == 8
+        assert args.scheduler == "hit"

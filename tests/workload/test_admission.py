@@ -1,0 +1,237 @@
+"""Admission controller: policies, weighted-fair drain, backpressure latch.
+
+Everything here is deterministic by construction (no RNG in the module);
+the tests drive the controller through explicit offer/peek/commit call
+sequences and check the accounting that the overload contract relies on.
+"""
+
+import pytest
+
+from repro.mapreduce.job import JobSpec, ShuffleClass
+from repro.workload.admission import (
+    ADMISSION_POLICIES,
+    REJECT_LOAD_SHED,
+    REJECT_QUEUE_FULL,
+    REJECT_THROTTLED,
+    AdmissionConfig,
+    AdmissionController,
+)
+
+
+def _job(job_id, tenant=0, num_maps=4, num_reduces=2):
+    return JobSpec(
+        job_id=job_id, name=f"j{job_id}", shuffle_class=ShuffleClass.MEDIUM,
+        num_maps=num_maps, num_reduces=num_reduces,
+        input_size=8.0, shuffle_ratio=0.5, tenant=tenant,
+    )
+
+
+def _offer_n(controller, n, tenant=0, start_id=0, now=0.0, occupancy=0.0):
+    return [
+        controller.offer(_job(start_id + i, tenant=tenant), now, occupancy)
+        for i in range(n)
+    ]
+
+
+class TestPolicies:
+    def test_registry_is_exhaustive(self):
+        assert set(ADMISSION_POLICIES) == {
+            "admit-all", "queue-bound", "load-threshold", "token-bucket",
+        }
+
+    def test_admit_all_never_rejects(self):
+        controller = AdmissionController(AdmissionConfig(policy="admit-all"))
+        reasons = _offer_n(controller, 50, occupancy=1.0)
+        assert reasons == [None] * 50
+        assert controller.queue_depth() == 50
+
+    def test_queue_bound_rejects_past_the_bound(self):
+        controller = AdmissionController(
+            AdmissionConfig(policy="queue-bound", queue_bound=3)
+        )
+        reasons = _offer_n(controller, 5)
+        assert reasons == [None, None, None,
+                           REJECT_QUEUE_FULL, REJECT_QUEUE_FULL]
+        assert controller.max_queue_len() == 3
+        # Draining one slot frees exactly one admission.
+        head = controller.peek()
+        controller.commit(head)
+        assert _offer_n(controller, 2, start_id=10) == [
+            None, REJECT_QUEUE_FULL,
+        ]
+
+    def test_queue_bound_is_per_tenant(self):
+        controller = AdmissionController(
+            AdmissionConfig(policy="queue-bound", queue_bound=1)
+        )
+        assert controller.offer(_job(0, tenant=0), 0.0, 0.0) is None
+        # Tenant 1's queue is empty; tenant 0's bound does not spill over.
+        assert controller.offer(_job(1, tenant=1), 0.0, 0.0) is None
+        assert controller.offer(_job(2, tenant=0), 0.0, 0.0) == (
+            REJECT_QUEUE_FULL
+        )
+
+    def test_load_threshold_sheds_on_occupancy(self):
+        controller = AdmissionController(
+            AdmissionConfig(policy="load-threshold", load_threshold=0.9)
+        )
+        assert controller.offer(_job(0), 0.0, 0.5) is None
+        assert controller.offer(_job(1), 0.0, 0.9) == REJECT_LOAD_SHED
+        assert controller.offer(_job(2), 0.0, 0.95) == REJECT_LOAD_SHED
+        assert controller.offer(_job(3), 0.0, 0.89) is None
+
+    def test_token_bucket_passes_bursts_throttles_sustained(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                policy="token-bucket", bucket_rate=1.0, bucket_depth=2.0
+            )
+        )
+        # Burst of 3 at t=0: depth 2 admits two, third is throttled.
+        assert _offer_n(controller, 3, now=0.0) == [
+            None, None, REJECT_THROTTLED,
+        ]
+        # After 1 time unit one token has refilled.
+        assert controller.offer(_job(3), 1.0, 0.0) is None
+        assert controller.offer(_job(4), 1.0, 0.0) == REJECT_THROTTLED
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(policy="fifo")
+        with pytest.raises(ValueError):
+            AdmissionConfig(policy="queue-bound")  # bound required
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_bound=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(load_threshold=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(high_watermark=0.5, low_watermark=0.9)
+        with pytest.raises(ValueError):
+            AdmissionConfig(tenant_weights=((0, -1.0),))
+
+
+class TestWeightedFairDrain:
+    def _drain_order(self, controller):
+        order = []
+        while (head := controller.peek()) is not None:
+            controller.commit(head)
+            order.append((head.tenant, head.job_id))
+        return order
+
+    def test_equal_weights_interleave(self):
+        controller = AdmissionController(AdmissionConfig())
+        _offer_n(controller, 3, tenant=0, start_id=0)
+        _offer_n(controller, 3, tenant=1, start_id=10)
+        tenants = [t for t, _ in self._drain_order(controller)]
+        assert tenants == [0, 1, 0, 1, 0, 1]
+
+    def test_heavier_tenant_drains_more_often(self):
+        controller = AdmissionController(
+            AdmissionConfig(tenant_weights=((0, 3.0), (1, 1.0)))
+        )
+        _offer_n(controller, 6, tenant=0, start_id=0)
+        _offer_n(controller, 6, tenant=1, start_id=10)
+        first_eight = [t for t, _ in self._drain_order(controller)][:8]
+        # Weight 3:1 over equal-sized jobs: tenant 0 gets ~3 of every 4.
+        assert first_eight.count(0) == 6
+        assert first_eight.count(1) == 2
+
+    def test_vtime_charges_slot_demand_not_job_count(self):
+        """A tenant of big jobs pays more virtual time per commit, so the
+        small-job tenant gets multiple turns in between."""
+        controller = AdmissionController(AdmissionConfig())
+        for i in range(2):
+            controller.offer(
+                _job(i, tenant=0, num_maps=12, num_reduces=4), 0.0, 0.0
+            )
+        for i in range(4):
+            controller.offer(
+                _job(10 + i, tenant=1, num_maps=2, num_reduces=2), 0.0, 0.0
+            )
+        order = [t for t, _ in self._drain_order(controller)]
+        # t0 job costs 16/1, t1 job costs 4/1: after one t0 commit the
+        # fair scheduler owes tenant 1 four commits.
+        assert order == [0, 1, 1, 1, 1, 0]
+
+    def test_fifo_within_tenant(self):
+        controller = AdmissionController(AdmissionConfig())
+        _offer_n(controller, 4, tenant=0)
+        ids = [j for _, j in self._drain_order(controller)]
+        assert ids == [0, 1, 2, 3]
+
+    def test_commit_out_of_order_raises(self):
+        controller = AdmissionController(AdmissionConfig())
+        _offer_n(controller, 2, tenant=0)
+        with pytest.raises(ValueError, match="out of order"):
+            controller.commit(_job(1, tenant=0))
+
+    def test_peek_empty_returns_none(self):
+        controller = AdmissionController(AdmissionConfig())
+        assert controller.peek() is None
+
+
+class TestBackpressure:
+    def test_hysteresis_latch(self):
+        config = AdmissionConfig(high_watermark=0.9, low_watermark=0.7)
+        controller = AdmissionController(config)
+        assert not controller.defer(0.85, parked=0)  # below high: run
+        assert controller.defer(0.92, parked=0)      # latched
+        assert controller.defer(0.8, parked=0)       # still latched (>= low)
+        assert not controller.defer(0.69, parked=0)  # released
+        assert controller.deferrals == 2
+
+    def test_parked_flows_alone_can_latch(self):
+        config = AdmissionConfig(
+            high_watermark=0.9, low_watermark=0.7, parked_pressure=4
+        )
+        controller = AdmissionController(config)
+        assert controller.pressure(0.0, parked=4) == 1.0
+        assert controller.pressure(0.0, parked=2) == pytest.approx(0.5)
+        assert controller.defer(0.1, parked=4)
+        assert not controller.defer(0.1, parked=0)
+
+
+class TestAccounting:
+    def test_counters_close_the_identity(self):
+        controller = AdmissionController(
+            AdmissionConfig(policy="queue-bound", queue_bound=2)
+        )
+        _offer_n(controller, 4, tenant=0)           # 2 queued, 2 rejected
+        _offer_n(controller, 1, tenant=1, start_id=10)
+        controller.commit(controller.peek())        # start one
+        counters = controller.counters()
+        assert counters["admission.submitted"] == 5
+        assert counters["admission.admitted"] == 3
+        assert counters["admission.rejected"] == 2
+        assert counters["admission.queued"] == 2
+        assert counters["admission.tenant.0.rejected.queue-full"] == 2
+        started = sum(
+            counters[f"admission.tenant.{t}.started"] for t in (0, 1)
+        )
+        # submitted == started + queued + rejected, per the contract.
+        assert counters["admission.submitted"] == (
+            started + counters["admission.queued"]
+            + counters["admission.rejected"]
+        )
+
+    def test_drain_queued_empties_and_returns_in_order(self):
+        controller = AdmissionController(AdmissionConfig())
+        _offer_n(controller, 2, tenant=1, start_id=10)
+        _offer_n(controller, 2, tenant=0)
+        leftovers = controller.drain_queued()
+        assert [(j.tenant, j.job_id) for j in leftovers] == [
+            (0, 0), (0, 1), (1, 10), (1, 11),
+        ]
+        assert controller.queue_depth() == 0
+        assert controller.queued_jobs() == []
+
+    def test_tenant_rows_match_counters(self):
+        controller = AdmissionController(
+            AdmissionConfig(tenant_weights=((1, 2.0),))
+        )
+        _offer_n(controller, 3, tenant=1)
+        (row,) = controller.tenant_rows()
+        assert row["tenant"] == 1
+        assert row["weight"] == 2.0
+        assert row["submitted"] == 3
+        assert row["queued"] == 3
+        assert row["rejected"] == 0

@@ -1,0 +1,171 @@
+"""Open-loop arrival generator: determinism, profiles, saturation estimate.
+
+The arrival plane underpins the overload contract's byte-identical-rerun
+leg, so the core property here is seed-stability: equal (config, seed)
+yields equal job lists, element for element.
+"""
+
+import pytest
+
+from repro.mapreduce.job import JobSpec
+from repro.workload.arrivals import (
+    ARRIVAL_PROFILES,
+    ArrivalConfig,
+    TenantSpec,
+    estimate_saturation_rate,
+    generate_arrivals,
+    load_arrival_trace,
+    save_arrival_trace,
+)
+
+TWO_TENANTS = (
+    TenantSpec(0, rate=2.0, weight=2.0),
+    TenantSpec(1, rate=1.0, input_size_range=(4.0, 8.0)),
+)
+
+
+def _config(**kwargs):
+    defaults = dict(tenants=TWO_TENANTS, profile="poisson", duration=6.0)
+    defaults.update(kwargs)
+    return ArrivalConfig(**defaults)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("profile", ["poisson", "diurnal", "bursty"])
+    def test_same_seed_same_jobs(self, profile):
+        config = _config(profile=profile)
+        a = generate_arrivals(config, seed=3)
+        b = generate_arrivals(config, seed=3)
+        assert a == b
+        assert a, "sampled an empty stream at rate 3 jobs/unit over 6 units"
+
+    def test_different_seeds_differ(self):
+        config = _config()
+        a = generate_arrivals(config, seed=0)
+        b = generate_arrivals(config, seed=1)
+        assert [j.submit_time for j in a] != [j.submit_time for j in b]
+
+    def test_adding_a_tenant_leaves_existing_streams_alone(self):
+        """Per-tenant RNG streams are independent: tenant 0's arrival
+        instants must not move when tenant 1 joins the mix."""
+        solo = generate_arrivals(
+            _config(tenants=(TWO_TENANTS[0],)), seed=7
+        )
+        both = generate_arrivals(_config(), seed=7)
+        solo_times = [j.submit_time for j in solo]
+        both_t0 = [j.submit_time for j in both if j.tenant == 0]
+        assert both_t0 == solo_times
+
+
+class TestStreamShape:
+    def test_sorted_contiguous_ids_and_tenant_stamps(self):
+        jobs = generate_arrivals(_config(), seed=0)
+        assert [j.job_id for j in jobs] == list(range(len(jobs)))
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 6.0 for t in times)
+        assert {j.tenant for j in jobs} == {0, 1}
+        assert all(isinstance(j, JobSpec) for j in jobs)
+
+    def test_rate_multiplier_scales_offered_load(self):
+        config = _config(duration=20.0)
+        base = len(generate_arrivals(config, seed=0))
+        heavy = len(
+            generate_arrivals(
+                _config(duration=20.0, rate_multiplier=3.0), seed=0
+            )
+        )
+        assert heavy > 2 * base
+
+    def test_tenant_size_mix_respected(self):
+        jobs = generate_arrivals(_config(duration=20.0), seed=0)
+        t1_sizes = [j.input_size for j in jobs if j.tenant == 1]
+        assert t1_sizes
+        assert all(4.0 <= s <= 8.0 for s in t1_sizes)
+
+    def test_bursty_keeps_average_rate(self):
+        """The on/off modulation redistributes arrivals in time but holds
+        the time-average near the nominal rate."""
+        config = _config(profile="bursty", duration=200.0)
+        jobs = generate_arrivals(config, seed=0)
+        nominal = sum(t.rate for t in TWO_TENANTS) * 200.0
+        assert 0.7 * nominal < len(jobs) < 1.3 * nominal
+
+
+class TestTraceProfile:
+    def test_round_trip_and_replay(self, tmp_path):
+        instants = ((0.5, 0), (1.25, 1), (1.25, 0), (9.0, 1))
+        path = tmp_path / "arrivals.jsonl"
+        save_arrival_trace(path, instants)
+        loaded = load_arrival_trace(path)
+        assert loaded == instants
+
+        config = _config(profile="trace", trace=loaded)
+        jobs = generate_arrivals(config, seed=0)
+        # The 9.0 instant falls outside duration=6 and is clipped.
+        assert [(j.submit_time, j.tenant) for j in jobs] == [
+            (0.5, 0), (1.25, 0), (1.25, 1),
+        ]
+
+    def test_corrupt_trace_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "tenant": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_arrival_trace(path)
+
+
+class TestValidation:
+    def test_profiles_registry_is_exhaustive(self):
+        assert set(ARRIVAL_PROFILES) == {
+            "poisson", "diurnal", "bursty", "trace",
+        }
+
+    @pytest.mark.parametrize("bad", [
+        dict(tenants=()),
+        dict(tenants=(TenantSpec(0), TenantSpec(0))),
+        dict(profile="weibull"),
+        dict(duration=0.0),
+        dict(rate_multiplier=0.0),
+        dict(diurnal_amplitude=1.0),
+        dict(burst_factor=1.0),
+        dict(profile="trace"),  # trace profile without instants
+        dict(profile="trace", trace=((-1.0, 0),)),
+        dict(profile="trace", trace=((1.0, 99),)),  # unknown tenant
+    ])
+    def test_config_rejects(self, bad):
+        with pytest.raises(ValueError):
+            _config(**bad)
+
+    @pytest.mark.parametrize("bad", [
+        dict(tenant_id=-1),
+        dict(rate=0.0),
+        dict(weight=0.0),
+        dict(input_size_range=(0.0, 4.0)),
+        dict(input_size_range=(8.0, 4.0)),
+    ])
+    def test_tenant_rejects(self, bad):
+        kwargs = dict(tenant_id=0)
+        kwargs.update(bad)
+        with pytest.raises(ValueError):
+            TenantSpec(**kwargs)
+
+
+class TestSaturationEstimate:
+    def test_scales_linearly_with_slots(self):
+        one = estimate_saturation_rate(10, TWO_TENANTS)
+        two = estimate_saturation_rate(20, TWO_TENANTS)
+        assert two == pytest.approx(2 * one)
+        assert one > 0
+
+    def test_bigger_jobs_saturate_sooner(self):
+        small = estimate_saturation_rate(
+            16, (TenantSpec(0, input_size_range=(2.0, 4.0)),)
+        )
+        large = estimate_saturation_rate(
+            16, (TenantSpec(0, input_size_range=(20.0, 40.0)),)
+        )
+        assert large < small
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_saturation_rate(0)

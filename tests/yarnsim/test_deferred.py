@@ -1,0 +1,154 @@
+"""Overload-tolerant allocation: RM deferred-grant queue and AM pending set.
+
+``allocate`` stays all-or-error for batch workloads; ``try_allocate`` /
+``drain_deferred`` are the open-loop path where a full cluster is a normal
+state, not a bug.  The properties pinned here: grants are strict FIFO with
+head-of-line blocking (deterministic, starvation-free), nothing is lost
+between the RM queue and the AM's ``pending`` mirror, and ``occupancy``
+tracks live-node memory.
+"""
+
+import pytest
+
+from repro.cluster import Resources
+from repro.yarnsim import ApplicationMaster, ResourceManager, ResourceRequest
+
+from ..conftest import make_job
+
+
+@pytest.fixture
+def rm(flat_tree):
+    """4 servers x 2.0 memory = 8 unit-containers of headroom."""
+    return ResourceManager(flat_tree)
+
+
+def _request(memory=1.0, **kwargs):
+    return ResourceRequest(
+        priority=1, capability=Resources(memory, 0.0), **kwargs
+    )
+
+
+class TestTryAllocate:
+    def test_all_fit_nothing_deferred(self, rm):
+        app = rm.register_application("a")
+        granted, deferred = rm.try_allocate(app, [_request()] * 3)
+        assert len(granted) == 3
+        assert deferred == []
+        assert rm.deferred_count() == 0
+
+    def test_overflow_defers_instead_of_raising(self, rm):
+        app = rm.register_application("a")
+        granted, deferred = rm.try_allocate(app, [_request()] * 10)
+        assert len(granted) == 8
+        assert len(deferred) == 2
+        assert rm.deferred_count() == 2
+        # The strict allocate on the same state would have raised.
+        with pytest.raises(RuntimeError):
+            rm.allocate(app, [_request()])
+
+    def test_multi_container_request_splits_per_container(self, rm):
+        app = rm.register_application("a")
+        granted, deferred = rm.try_allocate(
+            app, [_request(num_containers=10)]
+        )
+        assert len(granted) == 8
+        assert len(deferred) == 2
+        assert rm.deferred_count() == 2
+
+    def test_unknown_app_rejected(self, rm):
+        with pytest.raises(KeyError):
+            rm.try_allocate(99, [_request()])
+
+
+class TestDrainDeferred:
+    def test_fifo_order_across_apps(self, rm):
+        a = rm.register_application("a")
+        b = rm.register_application("b")
+        filler, _ = rm.try_allocate(a, [_request()] * 8)  # cluster now full
+        rm.try_allocate(a, [_request()])                  # deferred first
+        rm.try_allocate(b, [_request()])                  # deferred second
+        # Free two containers, drain: grants come back in arrival order.
+        rm.release(filler[0])
+        rm.release(filler[1])
+        drained = rm.drain_deferred()
+        assert [app for app, _, _ in drained] == [a, b]
+        assert rm.deferred_count() == 0
+
+    def test_head_of_line_blocks_smaller_followers(self, rm):
+        """A big head request must not be starved by later small ones:
+        drain stops at the head until it fits."""
+        app = rm.register_application("a")
+        filler, _ = rm.try_allocate(app, [_request()] * 8)  # full
+        rm.try_allocate(app, [_request(memory=2.0)])        # big head
+        rm.try_allocate(app, [_request(memory=1.0)])        # small follower
+        # One unit free: the small follower would fit, the head does not.
+        on_node = [g for g in filler if g.hostname == filler[0].hostname]
+        rm.release(on_node[0])
+        assert rm.drain_deferred() == []
+        assert rm.deferred_count() == 2
+        # Free the rest of that node plus one unit elsewhere: the head
+        # fits first, then the follower.
+        for grant in on_node[1:]:
+            rm.release(grant)
+        rm.release(next(g for g in filler if g.hostname != on_node[0].hostname))
+        drained = rm.drain_deferred()
+        assert [r.capability.memory for _, r, _ in drained] == [2.0, 1.0]
+
+    def test_drain_empty_queue_is_noop(self, rm):
+        assert rm.drain_deferred() == []
+
+
+class TestOccupancy:
+    def test_tracks_used_memory(self, rm):
+        assert rm.occupancy() == 0.0
+        app = rm.register_application("a")
+        rm.try_allocate(app, [_request()] * 4)
+        assert rm.occupancy() == pytest.approx(0.5)
+        rm.try_allocate(app, [_request()] * 4)
+        assert rm.occupancy() == 1.0
+
+    def test_lost_nodes_leave_the_denominator(self, flat_tree):
+        rm = ResourceManager(flat_tree, heartbeat_expiry=1.0)
+        app = rm.register_application("a")
+        (grant,), _ = rm.try_allocate(app, [_request(memory=2.0)])
+        for name in rm.nodes:
+            rm.record_heartbeat(name, 0.0)
+        assert rm.occupancy() == pytest.approx(0.25)
+        # Only the (fully) loaded node heartbeats on; the others expire.
+        rm.record_heartbeat(grant.hostname, 5.0)
+        rm.expire_nodes(5.0)
+        assert rm.lost_nodes == set(rm.nodes) - {grant.hostname}
+        assert rm.occupancy() == 1.0
+
+
+class TestApplicationMaster:
+    def test_acquire_available_partial_then_deferred_grants(self, flat_tree):
+        rm = ResourceManager(flat_tree)
+        blocker = ApplicationMaster(rm, make_job(0, num_maps=5, num_reduces=1))
+        blocker.acquire_containers()  # 6 of 8 units taken
+        am = ApplicationMaster(rm, make_job(1, num_maps=3, num_reduces=1))
+        granted = am.acquire_available()
+        assert len(granted) == 2
+        assert len(am.pending) == 2
+        assert not am.fully_granted
+        assert rm.deferred_count() == 2
+
+        blocker.release_all()
+        for app_id, request, grant in rm.drain_deferred():
+            assert app_id == am.app_id
+            am.record_deferred_grant(request, grant)
+        assert am.pending == []
+        assert am.fully_granted
+        assert len(am.granted) == 4
+        # Every task key holds exactly one grant, no duplicates.
+        ids = [g.container_id for g in am.granted.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_acquire_available_on_idle_cluster_matches_strict(self, flat_tree):
+        rm = ResourceManager(flat_tree)
+        am = ApplicationMaster(rm, make_job(0, num_maps=4, num_reduces=2))
+        granted = am.acquire_available()
+        assert len(granted) == 6
+        assert am.fully_granted
+        assert am.pending == []
+        assert rm.deferred_count() == 0
