@@ -12,7 +12,10 @@ The subcommands cover the library's workflows without writing Python:
 * ``repro chaos`` — randomized fault campaign with a survivability
   contract (docs/fault_model.md);
 * ``repro online`` — open-loop arrivals through the admission plane, with
-  per-tenant accounting under the overload contract (docs/workload.md).
+  per-tenant accounting under the overload contract (docs/workload.md);
+* ``repro explain`` — query a decision-provenance log: reconstruct one
+  task's decision chain or aggregate reason codes per scheduler
+  (docs/observability.md).
 
 Every command takes ``--seed`` (or a seed axis) so runs are reproducible.
 """
@@ -148,6 +151,7 @@ def _report_observability(checker, tracer) -> int:
     if tracer is not None:
         tracer.close()
         print(f"trace written: {tracer.events_written} events")
+        print(tracer.format_report())
     return status
 
 
@@ -219,9 +223,10 @@ def _make_speculation(args: argparse.Namespace):
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     import dataclasses
+    from pathlib import Path
 
     from .experiments import configs
-    from .obs import observe
+    from .obs import ProvenanceConfig, observe
     from .simulator import MapReduceSimulator, save_trace_file
 
     jobs = _load_or_generate_jobs(args)
@@ -240,7 +245,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, speculation=speculation)
     timeline_dt = _timeline_dt(args)
     if timeline_dt is not None:
-        config = dataclasses.replace(config, timeline_dt=timeline_dt)
+        config = dataclasses.replace(
+            config,
+            timeline_dt=timeline_dt,
+            timeline_max_samples=args.timeline_max_samples,
+        )
+    provenance_dir = None
+    if args.provenance:
+        provenance_dir = Path(args.provenance)
+        provenance_dir.mkdir(parents=True, exist_ok=True)
     checker, tracer = _make_observability(args)
     rows = []
     critical_by_scheduler: dict[str, list] = {}
@@ -251,13 +264,38 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     try:
         with observe(checker=checker, tracer=tracer):
             for name in args.scheduler:
+                run_config = config
+                if provenance_dir is not None:
+                    run_config = dataclasses.replace(
+                        run_config,
+                        provenance=ProvenanceConfig(
+                            path=str(
+                                provenance_dir / f"decisions.{name}.jsonl"
+                            ),
+                            ring_size=args.provenance_ring,
+                        ),
+                    )
+                if args.timeline_spill and timeline_dt is not None:
+                    run_config = dataclasses.replace(
+                        run_config,
+                        timeline_spill_path=(
+                            f"{args.timeline_spill}.{name}.jsonl"
+                        ),
+                    )
                 simulator = MapReduceSimulator(
                     topology,
                     make_scheduler(name, seed=args.seed),
                     list(jobs),
-                    config,
+                    run_config,
                 )
                 metrics = simulator.run()
+                if simulator.provenance is not None:
+                    prov = simulator.provenance
+                    print(
+                        f"{name} decisions: {prov.emitted} emitted "
+                        f"(ring keeps {len(prov.ring)}) -> {prov.path} "
+                        f"[sha256 {prov.fingerprint()[:16]}]"
+                    )
                 counters: dict[str, int] = {}
                 if simulator.faults is not None:
                     counters.update(simulator.faults.summary())
@@ -291,7 +329,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
                     path = f"{args.export_trace}.{name}.json"
                     save_chrome_trace(
-                        path, metrics, simulator.timeline, scheduler=name
+                        path,
+                        metrics,
+                        simulator.timeline,
+                        scheduler=name,
+                        provenance=simulator.provenance,
                     )
                     print(f"perfetto trace saved: {path}")
                 if args.html_report:
@@ -526,6 +568,21 @@ def cmd_online(args: argparse.Namespace) -> int:
     config = SimulationConfig(
         map_slots_per_job=16, seed=args.seed, admission=admission
     )
+    if args.provenance:
+        import dataclasses
+
+        from .obs import ProvenanceConfig
+
+        provenance_dir = Path(args.provenance)
+        provenance_dir.mkdir(parents=True, exist_ok=True)
+        config = dataclasses.replace(
+            config,
+            provenance=ProvenanceConfig(
+                path=str(
+                    provenance_dir / f"decisions.{args.scheduler}.jsonl"
+                ),
+            ),
+        )
     checker, tracer = _make_observability(args)
     try:
         with observe(checker=checker, tracer=tracer):
@@ -542,6 +599,12 @@ def cmd_online(args: argparse.Namespace) -> int:
         if tracer is not None:
             tracer.close()
     assert simulator.admission is not None
+    if simulator.provenance is not None:
+        prov = simulator.provenance
+        print(
+            f"decisions: {prov.emitted} emitted -> {prov.path} "
+            f"[sha256 {prov.fingerprint()[:16]}]"
+        )
     counters = {k: int(v) for k, v in simulator.admission.counters().items()}
     counters["online.completed"] = len(metrics.jobs)
     summary = {k: float(v) for k, v in metrics.online_summary().items()}
@@ -588,6 +651,80 @@ def cmd_online(args: argparse.Namespace) -> int:
         )
         print(f"online report written: {args.out}")
     return _report_observability(checker, tracer)
+
+
+def _decision_logs(args: argparse.Namespace) -> list:
+    """Resolve ``--run`` into decision-log paths (sorted, deterministic)."""
+    from pathlib import Path
+
+    run = Path(args.run)
+    if run.is_file():
+        return [run]
+    if run.is_dir():
+        paths = sorted(run.glob("decisions.*.jsonl"))
+        if args.scheduler:
+            paths = [
+                p for p in paths
+                if p.name == f"decisions.{args.scheduler}.jsonl"
+            ]
+        return paths
+    return []
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .obs import (
+        explain_task,
+        format_record,
+        load_decisions,
+        summarize_decisions,
+    )
+
+    paths = _decision_logs(args)
+    if not paths:
+        print(f"no decision logs found under {args.run!r} "
+              "(expected decisions.<scheduler>.jsonl)", file=sys.stderr)
+        return 2
+    records = []
+    for path in paths:
+        records.extend(load_decisions(path))
+    if args.summary:
+        rows = [
+            (scheduler, key, count)
+            for scheduler, buckets in summarize_decisions(records).items()
+            for key, count in buckets.items()
+        ]
+        print(format_table(
+            ("scheduler", "decision", "count"),
+            rows,
+            title=f"decision summary ({len(records)} records, "
+                  f"{len(paths)} log(s))",
+        ))
+        return 0
+    if args.job is None:
+        print("explain needs --job (or --summary)", file=sys.stderr)
+        return 2
+    target = f"job {args.job}" + (f" task {args.task}" if args.task else "")
+    # Sequence numbers are per-scheduler streams, so chains from a
+    # multi-scheduler run directory must not interleave.
+    by_scheduler: dict[str, list] = {}
+    for record in records:
+        by_scheduler.setdefault(record.scheduler, []).append(record)
+    found = False
+    for scheduler in sorted(by_scheduler):
+        chain = explain_task(by_scheduler[scheduler], args.job, args.task)
+        if not chain:
+            continue
+        found = True
+        print(
+            f"decision chain for {target} "
+            f"({scheduler}, {len(chain)} records):"
+        )
+        for record in chain:
+            print(f"  {format_record(record)}")
+    if not found:
+        print(f"no decisions recorded for {target}")
+        return 1
+    return 0
 
 
 # -------------------------------------------------------------------- parser
@@ -661,6 +798,31 @@ def build_parser() -> argparse.ArgumentParser:
                 "--timeline-dt", type=float, default=None, metavar="DT",
                 help="sampling grid step in simulated time (implies "
                      "--timeline)",
+            )
+            telemetry_group.add_argument(
+                "--timeline-max-samples", type=int, default=None, metavar="N",
+                help="bound the in-memory timeline buffer to N samples; "
+                     "overflow spills to --timeline-spill (or is dropped)",
+            )
+            telemetry_group.add_argument(
+                "--timeline-spill", metavar="PREFIX",
+                help="stream overflowing timeline samples to "
+                     "PREFIX.<scheduler>.jsonl (needs --timeline-max-samples)",
+            )
+            provenance_group = p.add_argument_group(
+                "decision provenance",
+                "opt-in, non-perturbing decision-audit records; query with "
+                "`repro explain` (docs/observability.md)",
+            )
+            provenance_group.add_argument(
+                "--provenance", metavar="DIR",
+                help="record one DecisionRecord per runtime choice to "
+                     "DIR/decisions.<scheduler>.jsonl",
+            )
+            provenance_group.add_argument(
+                "--provenance-ring", type=int, default=4096, metavar="N",
+                help="in-memory decision ring size (default 4096; the "
+                     "JSONL log always has every record)",
             )
             telemetry_group.add_argument(
                 "--export-trace", metavar="PREFIX",
@@ -959,10 +1121,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="write counters/timers/spans as JSON lines to FILE",
     )
     p.add_argument(
+        "--provenance", metavar="DIR",
+        help="record decision provenance to DIR/decisions.<scheduler>.jsonl "
+             "(non-perturbing; query with `repro explain`)",
+    )
+    p.add_argument(
         "--out", metavar="FILE",
         help="write the canonical-JSON online report to FILE",
     )
     p.set_defaults(func=cmd_online)
+
+    p = sub.add_parser(
+        "explain",
+        help="query a decision-provenance log",
+        description="Read the DIR/decisions.<scheduler>.jsonl logs a "
+                    "--provenance run wrote and either reconstruct the "
+                    "decision chain of one job/task (--job/--task) or "
+                    "aggregate reason codes per scheduler (--summary). "
+                    "Output is deterministic: records print in sequence "
+                    "order with sorted detail keys.",
+    )
+    p.add_argument(
+        "--run", required=True, metavar="PATH",
+        help="a decisions .jsonl file, or a directory containing "
+             "decisions.*.jsonl logs",
+    )
+    p.add_argument(
+        "--scheduler", metavar="NAME",
+        help="restrict to one scheduler's log (directory runs only)",
+    )
+    p.add_argument("--job", type=int, default=None, help="job id to explain")
+    p.add_argument(
+        "--task", metavar="TASK",
+        help="task identity (m3 / r1); flow records match both endpoints",
+    )
+    p.add_argument(
+        "--summary", action="store_true",
+        help="print aggregated kind:reason counts per scheduler instead "
+             "of a chain",
+    )
+    p.set_defaults(func=cmd_explain)
     return parser
 
 

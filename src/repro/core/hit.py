@@ -67,6 +67,17 @@ class HitResult:
             return 0.0
         return 1.0 - self.final_cost / self.initial_cost
 
+    def to_provenance(self) -> dict[str, object]:
+        """Wave-level optimisation evidence for the decision-audit plane:
+        cost trace endpoints plus each matching round's tie-break path."""
+        return {
+            "rounds": max(len(self.cost_trace) - 1, 0),
+            "initial_cost": float(self.cost_trace[0]) if self.cost_trace else 0.0,
+            "final_cost": float(self.cost_trace[-1]) if self.cost_trace else 0.0,
+            "improvement": float(self.improvement) if self.cost_trace else 0.0,
+            "matchings": [m.to_provenance() for m in self.matchings],
+        }
+
 
 class HitOptimizer:
     """Runs Hit-Scheduler's TAA optimisation over a live instance."""

@@ -49,6 +49,16 @@ class MatchingResult:
     proposals: int
     evictions: int
 
+    def to_provenance(self) -> dict[str, int]:
+        """Tie-break path of one matching round, as a decision-record
+        payload (see ``repro.obs.provenance``)."""
+        return {
+            "matched": len(self.assignment),
+            "unmatched": len(self.unmatched),
+            "proposals": self.proposals,
+            "evictions": self.evictions,
+        }
+
 
 def stable_match(
     preferences: PreferenceMatrix,

@@ -151,6 +151,13 @@ class PolicyController:
         # pays one truthiness check.
         self._failed_switches: set[int] = set()
         self._failed_mask = np.zeros(topology.num_nodes, dtype=bool)
+        # Decision-provenance breadcrumb channel: when the engine's audit
+        # plane enables `provenance_notes`, every `route_flow` leaves the
+        # path cost and capacity mode it decided with in `last_route`.  A
+        # pure annotation — routing never reads it — so enabling it cannot
+        # perturb a run.
+        self.provenance_notes = False
+        self.last_route: dict[str, object] | None = None
         # Physical links currently failed (canonical (min, max) keys) plus a
         # dense (n, n) boolean hop mask for the vectorised DP.  The mask is
         # allocated lazily on the first link failure, so fabrics that never
@@ -695,11 +702,16 @@ class PolicyController:
     ) -> Policy:
         """Compute + install the optimal policy for a flow (Algorithm 1 body)."""
         self.release(flow.flow_id)
-        path, _ = self.optimal_path(
+        path, cost = self.optimal_path(
             src_server, dst_server, flow.rate, enforce_capacity
         )
         policy = self.make_policy(flow, path)
         self.assign(flow, policy, capacitated=enforce_capacity)
+        if self.provenance_notes:
+            self.last_route = {
+                "cost": float(cost),
+                "capacitated": enforce_capacity,
+            }
         return policy
 
     def total_cost(self, flows: Iterable[ShuffleFlow]) -> float:

@@ -18,6 +18,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from ..faults import FaultKind, FaultSpec, generate_timeline
+from ..obs import ProvenanceConfig, decision_digest
 from ..schedulers import make_scheduler
 from ..simulator import MapReduceSimulator, MetricsCollector
 from ..speculation import SpeculationConfig
@@ -116,22 +117,32 @@ def run_chaos_cell(
             allow_partition=allow_partition,
         )
 
-        def build(timeline=timeline, trial_seed=trial_seed):
-            jobs = jobs_factory()
-            sim = _ChaosSimulator(
-                topology_factory(),
-                scheduler_factory(),
-                jobs,
-                dataclasses.replace(
-                    config,
-                    seed=trial_seed,
-                    faults=tuple(timeline),
-                    max_task_retries=max_task_retries,
-                ),
-                stall_limit=stall_limit,
-            )
-            return sim, len(jobs)
+        def make_build(
+            provenance=None, sink=None, timeline=timeline,
+            trial_seed=trial_seed,
+        ):
+            def build():
+                jobs = jobs_factory()
+                sim = _ChaosSimulator(
+                    topology_factory(),
+                    scheduler_factory(),
+                    jobs,
+                    dataclasses.replace(
+                        config,
+                        seed=trial_seed,
+                        faults=tuple(timeline),
+                        max_task_retries=max_task_retries,
+                        provenance=provenance,
+                    ),
+                    stall_limit=stall_limit,
+                )
+                if sink is not None:
+                    sink.append(sim)
+                return sim, len(jobs)
 
+            return build
+
+        build = make_build()
         status, reason, fingerprint, counters, violations = graded_run(
             build, max_task_retries=max_task_retries
         )
@@ -145,18 +156,30 @@ def run_chaos_cell(
                 )
         for key, value in counters.items():
             totals[key] = totals.get(key, 0) + value
-        trial_rows.append(
-            {
-                "trial": i,
-                "seed": trial_seed,
-                "allow_partition": allow_partition,
-                "num_specs": len(timeline),
-                "status": status,
-                "reason": reason,
-                "fingerprint": fingerprint,
-                "violations": violations,
-            }
-        )
+        row = {
+            "trial": i,
+            "seed": trial_seed,
+            "allow_partition": allow_partition,
+            "num_specs": len(timeline),
+            "status": status,
+            "reason": reason,
+            "fingerprint": fingerprint,
+            "violations": violations,
+        }
+        if status == "failed" or violations:
+            # Ship the trial's own explanation: a provenance-enabled
+            # rerun (faithful by byte-identity) yields the decision
+            # fingerprint and reason-code tallies.
+            sims: list = []
+            graded_run(
+                make_build(ProvenanceConfig(ring_size=1024), sims),
+                max_task_retries=max_task_retries,
+            )
+            if sims:
+                digest = decision_digest(sims[-1].provenance)
+                if digest:
+                    row["provenance"] = digest
+        trial_rows.append(row)
     return {
         "summary": {
             "trials": float(trials),

@@ -39,7 +39,12 @@ from typing import Any, Callable
 from ..analysis.report import canonical_json
 from ..faults.chaos import CHAOS_TOPOLOGIES, WatchdogSimulator
 from ..mapreduce.job import JobSpec
-from ..obs import InvariantChecker, observe
+from ..obs import (
+    InvariantChecker,
+    ProvenanceConfig,
+    decision_digest,
+    observe,
+)
 from ..schedulers import make_scheduler
 from ..simulator import MapReduceSimulator, SimulationConfig
 from ..topology.base import Topology
@@ -150,9 +155,12 @@ class OnlineCellResult:
     counters: dict[str, int] = field(default_factory=dict)
     #: Overload-contract violations — empty on a passing cell.
     violations: tuple[str, ...] = ()
+    #: Decision-provenance digest from a provenance-enabled rerun;
+    #: attached only to failed/violating cells.
+    provenance: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        body = {
             "cell": self.cell,
             "seed": self.seed,
             "scheduler": self.scheduler,
@@ -166,6 +174,9 @@ class OnlineCellResult:
             "counters": dict(sorted(self.counters.items())),
             "violations": list(self.violations),
         }
+        if self.provenance:
+            body["provenance"] = self.provenance
+        return body
 
 
 @dataclass
@@ -390,21 +401,31 @@ def run_online_cell(
         memory_per_container=config.container_demand.memory,
     )
 
-    def build() -> tuple[MapReduceSimulator, list[JobSpec]]:
-        jobs = generate_arrivals(plan, seed=seed)
-        sim = WatchdogSimulator(
-            topology_factory(),
-            scheduler_factory(),
-            jobs,
-            dataclasses.replace(
-                config,
-                seed=seed,
-                admission=_admission_config(policy, queue_bound),
-            ),
-            stall_limit=stall_limit,
-        )
-        return sim, jobs
+    def make_build(
+        provenance: ProvenanceConfig | None = None,
+        sink: list | None = None,
+    ) -> Callable[[], tuple[MapReduceSimulator, list[JobSpec]]]:
+        def build() -> tuple[MapReduceSimulator, list[JobSpec]]:
+            jobs = generate_arrivals(plan, seed=seed)
+            sim = WatchdogSimulator(
+                topology_factory(),
+                scheduler_factory(),
+                jobs,
+                dataclasses.replace(
+                    config,
+                    seed=seed,
+                    admission=_admission_config(policy, queue_bound),
+                    provenance=provenance,
+                ),
+                stall_limit=stall_limit,
+            )
+            if sink is not None:
+                sink.append(sim)
+            return sim, jobs
 
+        return build
+
+    build = make_build()
     status, reason, fingerprint, summary, counters, violations = (
         graded_online_run(build)
     )
@@ -415,7 +436,7 @@ def run_online_cell(
             violations.append(
                 f"nondeterministic rerun: {fingerprint[:12]} vs {again[2][:12]}"
             )
-    return {
+    result = {
         "summary": {k: float(v) for k, v in sorted(summary.items())},
         "counters": dict(sorted(counters.items())),
         "status": status,
@@ -423,6 +444,17 @@ def run_online_cell(
         "fingerprint": fingerprint,
         "violations": violations,
     }
+    if status == "failed" or violations:
+        # A failed/violating cell ships its own explanation: one more
+        # pass with the decision-audit plane on (faithful by the
+        # byte-identity contract) yields the decision fingerprint.
+        sims: list[MapReduceSimulator] = []
+        graded_online_run(make_build(ProvenanceConfig(ring_size=1024), sims))
+        if sims:
+            digest = decision_digest(sims[-1].provenance)
+            if digest:
+                result["provenance"] = digest
+    return result
 
 
 # ------------------------------------------------------------------ campaign
@@ -475,6 +507,7 @@ def overload_campaign(config: OnlineConfig | None = None) -> OnlineReport:
                         summary=result["summary"],
                         counters=result["counters"],
                         violations=tuple(result["violations"]),
+                        provenance=result.get("provenance", {}),
                     )
                 )
                 index += 1

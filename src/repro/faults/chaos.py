@@ -40,7 +40,12 @@ import numpy as np
 
 from ..analysis.report import canonical_json
 from ..mapreduce import WorkloadGenerator
-from ..obs import InvariantChecker, observe
+from ..obs import (
+    InvariantChecker,
+    ProvenanceConfig,
+    decision_digest,
+    observe,
+)
 from ..schedulers import make_scheduler
 from ..simulator import MapReduceSimulator, SimulationConfig
 from ..topology.base import Topology
@@ -136,9 +141,13 @@ class ChaosTrialResult:
     counters: dict[str, float] = field(default_factory=dict)
     #: Survivability-contract violations — empty on a passing trial.
     violations: tuple[str, ...] = ()
+    #: Decision-provenance digest (fingerprint + kind:reason tallies) from
+    #: a provenance-enabled rerun; attached only to failed/violating
+    #: trials so they ship their own explanation.
+    provenance: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        body = {
             "trial": self.trial,
             "seed": self.seed,
             "scheduler": self.scheduler,
@@ -151,6 +160,9 @@ class ChaosTrialResult:
             "counters": dict(sorted(self.counters.items())),
             "violations": list(self.violations),
         }
+        if self.provenance:
+            body["provenance"] = self.provenance
+        return body
 
 
 @dataclass
@@ -359,25 +371,35 @@ def run_chaos_trial(
         allow_partition=allow_partition,
     )
 
-    def build() -> tuple[MapReduceSimulator, int]:
-        jobs = WorkloadGenerator(
-            seed=seed, input_size_range=(2.0, 4.0)
-        ).make_workload(jobs_per_trial, interarrival=0.5)
-        config = SimulationConfig(
-            seed=seed,
-            faults=tuple(timeline),
-            max_task_retries=max_task_retries,
-            server_speed_spread=0.2,
-        )
-        sim = _ChaosSimulator(
-            CHAOS_TOPOLOGIES[topology](),
-            make_scheduler(scheduler, seed=seed),
-            jobs,
-            config,
-            stall_limit=stall_limit,
-        )
-        return sim, len(jobs)
+    def make_build(
+        provenance: ProvenanceConfig | None = None,
+        sink: list | None = None,
+    ) -> Callable[[], tuple[MapReduceSimulator, int]]:
+        def build() -> tuple[MapReduceSimulator, int]:
+            jobs = WorkloadGenerator(
+                seed=seed, input_size_range=(2.0, 4.0)
+            ).make_workload(jobs_per_trial, interarrival=0.5)
+            config = SimulationConfig(
+                seed=seed,
+                faults=tuple(timeline),
+                max_task_retries=max_task_retries,
+                server_speed_spread=0.2,
+                provenance=provenance,
+            )
+            sim = _ChaosSimulator(
+                CHAOS_TOPOLOGIES[topology](),
+                make_scheduler(scheduler, seed=seed),
+                jobs,
+                config,
+                stall_limit=stall_limit,
+            )
+            if sink is not None:
+                sink.append(sim)
+            return sim, len(jobs)
 
+        return build
+
+    build = make_build()
     status, reason, fingerprint, counters, violations = graded_run(
         build, max_task_retries=max_task_retries
     )
@@ -391,6 +413,18 @@ def run_chaos_trial(
                 "nondeterministic rerun: "
                 f"{(status, fingerprint[:12])} vs {(status2, fingerprint2[:12])}"
             )
+    provenance: dict = {}
+    if status == "failed" or violations:
+        # Failed/violating trials ship their own explanation: one more
+        # pass with the decision-audit plane on (faithful by the
+        # byte-identity contract) yields the decision fingerprint.
+        sims: list[MapReduceSimulator] = []
+        graded_run(
+            make_build(ProvenanceConfig(ring_size=1024), sims),
+            max_task_retries=max_task_retries,
+        )
+        if sims:
+            provenance = decision_digest(sims[-1].provenance)
     return ChaosTrialResult(
         trial=trial,
         seed=seed,
@@ -403,6 +437,7 @@ def run_chaos_trial(
         fingerprint=fingerprint,
         counters=counters,
         violations=tuple(violations),
+        provenance=provenance,
     )
 
 

@@ -303,6 +303,19 @@ class FaultInjector:
             "parked_dwell": self.parked_dwell,
         }
 
+    def provenance_context(self) -> dict[str, int]:
+        """Failure-state snapshot for reroute/park decision records.
+
+        Pure read of the live failed-element sets; attached by the engine
+        so each repair decision records the fault pressure it was taken
+        under."""
+        return {
+            "failed_servers": len(self._failed_servers),
+            "failed_switches": len(self._failed_switches),
+            "failed_links": len(self._failed_links),
+            "degraded_links": len(self._degraded_links),
+        }
+
     # -------------------------------------------------------------- counters
     def count(self, name: str, value: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value

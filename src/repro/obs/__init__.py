@@ -23,6 +23,20 @@ from .export import (
     validate_chrome_trace,
 )
 from .invariants import InvariantChecker, InvariantError, InvariantViolation
+from .provenance import (
+    DECISION_KINDS,
+    REASON_CODES,
+    DecisionRecord,
+    ProvenanceConfig,
+    ProvenanceRecorder,
+    decision_digest,
+    explain_task,
+    flow_label,
+    format_record,
+    load_decisions,
+    summarize_decisions,
+    task_label,
+)
 from .runtime import STATE, ObsState, install, observe, uninstall
 from .timeline import TimelineMarker, TimelineRecorder, TimelineSample
 from .tracer import NULL_TRACER, NullTracer, Tracer, TimerStat
@@ -43,6 +57,18 @@ __all__ = [
     "TimelineRecorder",
     "TimelineSample",
     "TimelineMarker",
+    "DECISION_KINDS",
+    "REASON_CODES",
+    "DecisionRecord",
+    "ProvenanceConfig",
+    "ProvenanceRecorder",
+    "decision_digest",
+    "explain_task",
+    "flow_label",
+    "format_record",
+    "load_decisions",
+    "summarize_decisions",
+    "task_label",
     "build_chrome_trace",
     "save_chrome_trace",
     "validate_chrome_trace",

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.critical_path import JobCriticalPath
     from ..simulator.metrics import MetricsCollector
+    from .provenance import ProvenanceRecorder
     from .timeline import TimelineRecorder
 
 __all__ = [
@@ -56,6 +57,7 @@ _PID_JOBS = 1
 _PID_SERVERS = 2
 _PID_FLOWS = 3
 _PID_TELEMETRY = 4
+_PID_DECISIONS = 5
 
 
 # ----------------------------------------------------------------- trace JSON
@@ -114,8 +116,18 @@ def build_chrome_trace(
     metrics: "MetricsCollector",
     timeline: "TimelineRecorder | None" = None,
     scheduler: str = "run",
+    provenance: "ProvenanceRecorder | None" = None,
 ) -> dict[str, Any]:
-    """Assemble the trace-event JSON object for one run."""
+    """Assemble the trace-event JSON object for one run.
+
+    With a ``provenance`` recorder, its buffered decision records become
+    instant events on a dedicated "decisions" process — one thread per
+    decision kind, ``args`` carrying the full record — so a Perfetto
+    timeline shows *why* each placement/route/reroute happened right next
+    to the task and flow slices it produced.  Only the in-memory ring is
+    exported; a spilled long run keeps its tail (the JSONL spill file has
+    everything).
+    """
     events: list[dict[str, Any]] = []
     events.append(_meta(_PID_JOBS, f"jobs — {scheduler}"))
     events.append(_meta(_PID_SERVERS, "servers"))
@@ -245,6 +257,36 @@ def build_chrome_trace(
                 }
             )
 
+    if provenance is not None:
+        records = provenance.records()
+        if records:
+            events.append(
+                _meta(_PID_DECISIONS, f"decisions — {provenance.scheduler}")
+            )
+            kind_tid = {
+                kind: tid
+                for tid, kind in enumerate(
+                    sorted({r.kind for r in records}), start=1
+                )
+            }
+            for kind, tid in sorted(kind_tid.items()):
+                events.append(_meta(_PID_DECISIONS, kind, tid=tid))
+            for record in records:
+                args = record.to_dict()
+                args.pop("t", None)
+                args.pop("kind", None)
+                events.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "name": f"{record.kind}: {record.reason}",
+                        "pid": _PID_DECISIONS,
+                        "tid": kind_tid[record.kind],
+                        "ts": record.t * TIME_SCALE_US,
+                        "args": args,
+                    }
+                )
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -263,9 +305,12 @@ def save_chrome_trace(
     metrics: "MetricsCollector",
     timeline: "TimelineRecorder | None" = None,
     scheduler: str = "run",
+    provenance: "ProvenanceRecorder | None" = None,
 ) -> dict[str, Any]:
     """Write the trace JSON to ``path`` and return the object."""
-    trace = build_chrome_trace(metrics, timeline, scheduler=scheduler)
+    trace = build_chrome_trace(
+        metrics, timeline, scheduler=scheduler, provenance=provenance
+    )
     Path(path).write_text(json.dumps(trace), encoding="utf-8")
     return trace
 

@@ -30,10 +30,14 @@ The gauge catalogue is documented in ``docs/observability.md``; exports
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any
 
 import numpy as np
+
+from .runtime import STATE as _OBS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulator.engine import MapReduceSimulator
@@ -101,6 +105,21 @@ class TimelineMarker:
     detail: str
 
 
+def _sample_to_dict(sample: TimelineSample) -> dict[str, Any]:
+    """JSON-serialisable form of one sample (for the spill sink)."""
+    return {
+        "t": sample.t,
+        "switch_util": sample.switch_util.tolist(),
+        "link_util": sample.link_util.tolist(),
+        "server_occupancy": sample.server_occupancy.tolist(),
+        "running_containers": sample.running_containers,
+        "queue_depth": sample.queue_depth,
+        "active_flows": sample.active_flows,
+        "parked_flows": sample.parked_flows,
+        "gauges": sample.gauges,
+    }
+
+
 class TimelineRecorder:
     """Samples gauges on a fixed simulated-time grid during a run.
 
@@ -110,19 +129,50 @@ class TimelineRecorder:
     argument.
     """
 
-    def __init__(self, topology: "Topology", dt: float = 0.05) -> None:
+    def __init__(
+        self,
+        topology: "Topology",
+        dt: float = 0.05,
+        *,
+        max_samples: int | None = None,
+        spill_path: str | Path | None = None,
+    ) -> None:
         if dt <= 0:
             raise ValueError(f"timeline dt must be positive, got {dt}")
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("timeline max_samples must be >= 1")
         self.topology = topology
         self.dt = float(dt)
+        #: In-memory sample buffer.  With ``max_samples`` set this holds at
+        #: most that many recent samples — the overflow streams to
+        #: ``spill_path`` as JSONL (or is dropped when no path is given), so
+        #: memory stays bounded on fat-tree k=16 / 10k-flow runs.  Queries
+        #: (:meth:`times`, :meth:`series`, :meth:`switch_series`) cover the
+        #: buffered tail only; :meth:`summary` stays exact via running
+        #: aggregates.
         self.samples: list[TimelineSample] = []
         self.markers: list[TimelineMarker] = []
         self.switch_ids: tuple[int, ...] = tuple(topology.switch_ids)
         self.server_ids: tuple[int, ...] = tuple(topology.server_ids)
         #: Directed-link keys in sample order (fixed on the first sample).
         self.link_keys: tuple[tuple[int, int], ...] | None = None
+        self.max_samples = max_samples
+        self.spill_path = None if spill_path is None else Path(spill_path)
+        #: Samples moved out of memory (spilled to disk or dropped).
+        self.spilled_samples = 0
+        #: Times the overflow handling engaged (one flush of the buffer).
+        self.spill_events = 0
+        #: Samples taken over the whole run, buffered or not.
+        self.total_samples = 0
+        self._sink: IO[str] | None = None
         self._tick = 0
         self._finished = False
+        # Running aggregates so summary() is exact regardless of spill.
+        self._peak_switch_util = 0.0
+        self._peak_link_util = 0.0
+        self._peak_queue_depth = 0
+        self._peak_active_flows = 0
+        self._peak_occupancy = 0.0
 
     # -------------------------------------------------------------- recording
     def observe(self, sim: "MapReduceSimulator", event: "Event") -> None:
@@ -142,6 +192,14 @@ class TimelineRecorder:
             return
         self._finished = True
         self._sample(sim, t_end)
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the spill sink (idempotent)."""
+        if self._sink is not None:
+            self._sink.flush()
+            self._sink.close()
+            self._sink = None
 
     def _sample(self, sim: "MapReduceSimulator", t: float) -> None:
         network = sim.network
@@ -162,23 +220,63 @@ class TimelineRecorder:
             gauges.update(sim.faults.gauges())
         if sim.speculation is not None:
             gauges.update(sim.speculation.gauges())
-        self.samples.append(
-            TimelineSample(
-                t=t,
-                switch_util=np.array(
-                    [by_switch[w] for w in self.switch_ids], dtype=np.float64
-                ),
-                link_util=np.array(
-                    [by_link[k] for k in self.link_keys], dtype=np.float64
-                ),
-                server_occupancy=occupancy,
-                running_containers=running,
-                queue_depth=len(sim._queue),
-                active_flows=len(network.active_flows),
-                parked_flows=len(sim._parked),
-                gauges=gauges,
-            )
+        sample = TimelineSample(
+            t=t,
+            switch_util=np.array(
+                [by_switch[w] for w in self.switch_ids], dtype=np.float64
+            ),
+            link_util=np.array(
+                [by_link[k] for k in self.link_keys], dtype=np.float64
+            ),
+            server_occupancy=occupancy,
+            running_containers=running,
+            queue_depth=len(sim._queue),
+            active_flows=len(network.active_flows),
+            parked_flows=len(sim._parked),
+            gauges=gauges,
         )
+        self.total_samples += 1
+        self._peak_switch_util = max(
+            self._peak_switch_util, sample.max_switch_util
+        )
+        self._peak_link_util = max(self._peak_link_util, sample.max_link_util)
+        self._peak_queue_depth = max(self._peak_queue_depth, sample.queue_depth)
+        self._peak_active_flows = max(
+            self._peak_active_flows, sample.active_flows
+        )
+        if occupancy.size:
+            self._peak_occupancy = max(
+                self._peak_occupancy, float(occupancy.max())
+            )
+        if (
+            self.max_samples is not None
+            and len(self.samples) >= self.max_samples
+        ):
+            self._spill()
+        self.samples.append(sample)
+
+    def _spill(self) -> None:
+        """Flush the in-memory buffer to the JSONL sink (or drop it).
+
+        Counted once per flush under ``obs.timeline_spilled`` so a bounded
+        run is visible in the tracer report even when nobody inspects the
+        recorder directly."""
+        if self.spill_path is not None:
+            if self._sink is None:
+                self._sink = self.spill_path.open("w", encoding="utf-8")
+            for sample in self.samples:
+                self._sink.write(
+                    json.dumps(
+                        _sample_to_dict(sample),
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        self.spilled_samples += len(self.samples)
+        self.spill_events += 1
+        self.samples.clear()
+        _OBS.tracer.count("obs.timeline_spilled")
 
     # ---------------------------------------------------------------- queries
     def times(self) -> np.ndarray:
@@ -213,33 +311,24 @@ class TimelineRecorder:
         return np.array([s.switch_util[idx] for s in self.samples])
 
     def summary(self) -> dict[str, Any]:
-        """Aggregates for reports: peaks and means over the run."""
-        if not self.samples:
+        """Aggregates for reports: peaks and means over the run.
+
+        Computed from running aggregates maintained at sample time, so the
+        values cover *every* sample taken — identical whether or not the
+        bounded-memory mode spilled part of the run out of the buffer.
+        """
+        if self.total_samples == 0:
             return {"samples": 0, "markers": len(self.markers)}
-        return {
-            "samples": len(self.samples),
+        out: dict[str, Any] = {
+            "samples": self.total_samples,
             "markers": len(self.markers),
             "dt": self.dt,
-            "peak_switch_util": float(
-                max(s.max_switch_util for s in self.samples)
-            ),
-            "peak_link_util": float(
-                max(s.max_link_util for s in self.samples)
-            ),
-            "peak_queue_depth": int(
-                max(s.queue_depth for s in self.samples)
-            ),
-            "peak_active_flows": int(
-                max(s.active_flows for s in self.samples)
-            ),
-            "peak_occupancy": float(
-                max(
-                    (
-                        float(s.server_occupancy.max())
-                        if s.server_occupancy.size
-                        else 0.0
-                    )
-                    for s in self.samples
-                )
-            ),
+            "peak_switch_util": float(self._peak_switch_util),
+            "peak_link_util": float(self._peak_link_util),
+            "peak_queue_depth": int(self._peak_queue_depth),
+            "peak_active_flows": int(self._peak_active_flows),
+            "peak_occupancy": float(self._peak_occupancy),
         }
+        if self.spilled_samples:
+            out["spilled_samples"] = self.spilled_samples
+        return out

@@ -172,6 +172,71 @@ class Tracer:
             },
         }
 
+    # ----------------------------------------------------------- run report
+    def top_timers(self, n: int = 10) -> list[tuple[str, TimerStat]]:
+        """The ``n`` timers with the largest cumulative wall time.
+
+        Ties break alphabetically so the report is deterministic across
+        runs with equal totals (e.g. two untriggered zero-call timers).
+        """
+        if n < 1:
+            raise ValueError(f"top_timers needs n >= 1, got {n}")
+        ranked = sorted(
+            self.timers.items(), key=lambda kv: (-kv[1].total_s, kv[0])
+        )
+        return ranked[:n]
+
+    def counter_deltas(
+        self, baseline: dict[str, int] | None = None
+    ) -> dict[str, int]:
+        """Counter changes since ``baseline`` (a prior ``dict(counters)``).
+
+        With no baseline this is simply the sorted counter snapshot; with
+        one, counters equal to their baseline value are dropped so the
+        report shows only what moved during the measured phase.
+        """
+        if baseline is None:
+            return dict(sorted(self.counters.items()))
+        out: dict[str, int] = {}
+        for name in sorted(set(self.counters) | set(baseline)):
+            delta = self.counters.get(name, 0) - baseline.get(name, 0)
+            if delta != 0:
+                out[name] = delta
+        return out
+
+    def format_report(
+        self, *, top: int = 10, baseline: dict[str, int] | None = None
+    ) -> str:
+        """Human-readable end-of-run digest: top timers + counter deltas.
+
+        One line per timer (``name  calls  total_ms  mean_ms``) followed by
+        the counters that moved; intended for CLI ``--observe`` output and
+        log tails, not for machine parsing (that is :meth:`summary`).
+        """
+        lines: list[str] = []
+        timers = self.top_timers(top) if self.timers else []
+        if timers:
+            lines.append(f"top {len(timers)} timers by cumulative time:")
+            width = max(len(name) for name, _ in timers)
+            for name, stat in timers:
+                lines.append(
+                    f"  {name:<{width}}  {stat.calls:>8} calls"
+                    f"  {stat.total_ms:>12.3f} ms total"
+                    f"  {stat.mean_ms:>10.6f} ms/call"
+                )
+        else:
+            lines.append("no timers recorded")
+        deltas = self.counter_deltas(baseline)
+        if deltas:
+            label = "counter deltas" if baseline is not None else "counters"
+            lines.append(f"{label}:")
+            width = max(len(name) for name in deltas)
+            for name, value in deltas.items():
+                lines.append(f"  {name:<{width}}  {value}")
+        else:
+            lines.append("no counters moved")
+        return "\n".join(lines)
+
     def flush(self) -> None:
         if self._sink is not None:
             self._sink.flush()

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.taa import TAAInstance
 from ..mapreduce.hdfs import HdfsModel
 from ..mapreduce.job import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.provenance import ProvenanceRecorder
 
 __all__ = ["SchedulingContext", "Scheduler"]
 
@@ -39,6 +43,12 @@ class SchedulingContext:
     taa: TAAInstance
     hdfs: HdfsModel | None = None
     rng: np.random.Generator | None = None
+    #: Opt-in decision-audit sink (:class:`repro.obs.ProvenanceRecorder`).
+    #: ``None`` in ordinary runs; when set, schedulers append one placement
+    #: record per decision.  Emission must be a pure read of scheduler
+    #: state — no RNG draws, no control-flow changes — so provenance-on
+    #: runs stay byte-identical to provenance-off runs.
+    provenance: "ProvenanceRecorder | None" = None
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -63,6 +73,35 @@ class Scheduler(ABC):
     #: on a random equal-cost shortest path (ECMP hashing) instead of the
     #: deterministic static route.
     ecmp: bool = False
+    #: Reason code the engine stamps on this scheduler's route-provenance
+    #: records when it is not network-aware (see ``repro.obs.provenance``).
+    route_reason: str = "static-shortest"
+
+    @staticmethod
+    def emit_placement(
+        ctx: SchedulingContext,
+        reason: str,
+        *,
+        job_id: int,
+        task: str | None,
+        chosen: int,
+        **detail,
+    ) -> None:
+        """Append one placement decision to the audit plane, if enabled.
+
+        A no-op unless the run carries a provenance recorder; callers must
+        invoke it *after* the placement is committed and pass only values
+        they already computed (pure read — see ``SchedulingContext``).
+        """
+        if ctx.provenance is not None:
+            ctx.provenance.emit(
+                "placement",
+                reason,
+                job=job_id,
+                task=task,
+                chosen=chosen,
+                **detail,
+            )
 
     @abstractmethod
     def place_initial_wave(

@@ -16,6 +16,7 @@ cluster does (one container per node per heartbeat round).
 from __future__ import annotations
 
 from ..mapreduce.job import JobSpec
+from ..obs.provenance import task_label
 from .base import Scheduler, SchedulingContext
 
 __all__ = ["CapacityScheduler"]
@@ -67,6 +68,14 @@ class CapacityScheduler(Scheduler):
                         if cluster.fits(cid, sid):
                             cluster.place(cid, sid)
                             placed = True
+                            self.emit_placement(
+                                ctx,
+                                "node-local",
+                                job_id=job.job_id,
+                                task=task_label(task.kind, task.index),
+                                chosen=sid,
+                                candidates=list(blocks[task.index].replicas),
+                            )
                             break
             if not placed:
                 leftovers.append(cid)
@@ -82,6 +91,21 @@ class CapacityScheduler(Scheduler):
                 sid = servers[(self._cursor + offset) % n]
                 if cluster.fits(cid, sid):
                     cluster.place(cid, sid)
+                    if ctx.provenance is not None:
+                        task = cluster.container(cid).task
+                        self.emit_placement(
+                            ctx,
+                            "round-robin",
+                            job_id=task.job_id if task is not None else -1,
+                            task=(
+                                task_label(task.kind, task.index)
+                                if task is not None
+                                else None
+                            ),
+                            chosen=sid,
+                            skipped=offset,
+                            cursor=self._cursor,
+                        )
                     self._cursor = (self._cursor + offset + 1) % n
                     placed = True
                     break

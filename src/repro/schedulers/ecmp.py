@@ -27,6 +27,9 @@ class EcmpCapacityScheduler(CapacityScheduler):
     #: Engine hook: baselines with this flag get per-flow random equal-cost
     #: routes instead of the deterministic static shortest path.
     ecmp = True
+    #: Route-provenance records for this scheduler carry the hash-spread
+    #: reason code instead of the static-route default.
+    route_reason = "ecmp-hash"
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()

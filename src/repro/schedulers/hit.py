@@ -11,6 +11,7 @@ from ..core.hit import HitConfig, HitOptimizer, HitResult
 from ..core.rebalance import RebalanceConfig
 from ..core.taa import TAAInstance
 from ..mapreduce.job import JobSpec
+from ..obs.provenance import task_label
 from ..speculation.placement import rank_backup_servers_by_cost
 from .base import Scheduler, SchedulingContext
 
@@ -46,6 +47,7 @@ class HitScheduler(Scheduler):
         self.last_result = optimizer.optimize_initial_wave(
             container_ids=map_containers + reduce_containers
         )
+        self._emit_wave(ctx, job, map_containers + reduce_containers, "initial")
 
     def place_map_wave(
         self,
@@ -55,6 +57,46 @@ class HitScheduler(Scheduler):
     ) -> None:
         optimizer = HitOptimizer(ctx.taa, self.config)
         self.last_result = optimizer.optimize_subsequent_wave(map_containers)
+        self._emit_wave(ctx, job, map_containers, "map")
+
+    def _emit_wave(
+        self,
+        ctx: SchedulingContext,
+        job: JobSpec,
+        containers: list[int],
+        wave: str,
+    ) -> None:
+        """Audit the wave that just ran: one job-level record carrying the
+        optimiser's cost trace + matching tie-break path, then one record
+        per container with its committed server.  Reads ``last_result`` and
+        the cluster only — recomputes nothing, consumes no randomness."""
+        if ctx.provenance is None or self.last_result is None:
+            return
+        result = self.last_result
+        cluster = ctx.taa.cluster
+        ctx.provenance.emit(
+            "placement",
+            "hit-wave",
+            job=job.job_id,
+            wave=wave,
+            containers=len(containers),
+            servers=len(cluster.server_ids),
+            **result.to_provenance(),
+        )
+        for cid in containers:
+            container = cluster.container(cid)
+            task = container.task
+            self.emit_placement(
+                ctx,
+                "alg2-stable-match",
+                job_id=job.job_id,
+                task=(
+                    task_label(task.kind, task.index)
+                    if task is not None
+                    else None
+                ),
+                chosen=-1 if container.server_id is None else container.server_id,
+            )
 
     def route_flows(self, taa: TAAInstance) -> None:
         """Install the optimal (capacity-aware) policies for every flow."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mapreduce.job import JobSpec
+from ..obs.provenance import task_label
 from .base import Scheduler, SchedulingContext
 
 __all__ = ["PNAScheduler"]
@@ -94,23 +95,35 @@ class PNAScheduler(Scheduler):
                 blocks = ctx.hdfs.blocks_of(job.job_id)
                 if task.index < len(blocks):
                     replicas = blocks[task.index].replicas
-            sid = self._map_target(ctx, cid, replicas)
+            sid, tier = self._map_target(ctx, cid, replicas)
             cluster.place(cid, sid)
+            if ctx.provenance is not None and task is not None:
+                self.emit_placement(
+                    ctx,
+                    tier,
+                    job_id=job.job_id,
+                    task=task_label(task.kind, task.index),
+                    chosen=sid,
+                    replicas=list(replicas),
+                )
 
     def _map_target(
         self, ctx: SchedulingContext, cid: int, replicas: tuple[int, ...]
-    ) -> int:
+    ) -> tuple[int, str]:
+        """Pick a map server; also names the locality tier that won (the
+        provenance reason code — ``node-local``/``rack-local``/
+        ``static-min-cost``)."""
         cluster = ctx.taa.cluster
         # 1. node-local replica with room.
         for sid in replicas:
             if cluster.fits(cid, sid):
-                return sid
+                return sid, "node-local"
         # 2. rack-local server with room.
         if ctx.hdfs is not None and replicas:
             replica_racks = {ctx.hdfs.rack_of(s) for s in replicas}
             for sid in cluster.server_ids:
                 if ctx.hdfs.rack_of(sid) in replica_racks and cluster.fits(cid, sid):
-                    return sid
+                    return sid, "rack-local"
         # 3. cheapest feasible server by static cost to the nearest replica.
         best_sid, best_cost = None, float("inf")
         for sid in cluster.server_ids:
@@ -125,7 +138,7 @@ class PNAScheduler(Scheduler):
                 best_cost, best_sid = cost, sid
         if best_sid is None:
             raise RuntimeError(f"PNA: no server can host map container {cid}")
-        return best_sid
+        return best_sid, "static-min-cost"
 
     # --------------------------------------------------------------- reduces
     def _place_reduces(
@@ -139,7 +152,25 @@ class PNAScheduler(Scheduler):
             costs = np.array(
                 [self._expected_cost(ctx, cid, s) for s in feasible]
             )
-            cluster.place(cid, self._sample(feasible, costs))
+            sid = self._sample(feasible, costs)
+            cluster.place(cid, sid)
+            if ctx.provenance is not None:
+                task = cluster.container(cid).task
+                zero = bool((costs <= 1e-12).any())
+                self.emit_placement(
+                    ctx,
+                    "zero-cost" if zero else "inverse-cost-sample",
+                    job_id=task.job_id if task is not None else -1,
+                    task=(
+                        task_label(task.kind, task.index)
+                        if task is not None
+                        else None
+                    ),
+                    chosen=sid,
+                    candidates=len(feasible),
+                    cost=float(costs[feasible.index(sid)]),
+                    beta=self.beta,
+                )
 
     def _expected_cost(self, ctx: SchedulingContext, cid: int, sid: int) -> float:
         """Expected transmission cost of hosting reduce container ``cid`` on

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..mapreduce.hdfs import rack_of_servers
 from ..mapreduce.job import JobSpec
+from ..obs.provenance import task_label
 from .base import Scheduler, SchedulingContext
 
 __all__ = ["RackPackScheduler"]
@@ -90,8 +91,25 @@ class RackPackScheduler(Scheduler):
             for rack in candidates:
                 for sid in sorted(servers_by_rack[rack]):
                     while pending and cluster.fits(pending[0], sid):
-                        cluster.place(pending.pop(0), sid)
+                        cid = pending.pop(0)
+                        cluster.place(cid, sid)
                         placed_any = True
+                        if ctx.provenance is not None:
+                            task = cluster.container(cid).task
+                            self.emit_placement(
+                                ctx,
+                                "rack-pack",
+                                job_id=job.job_id,
+                                task=(
+                                    task_label(task.kind, task.index)
+                                    if task is not None
+                                    else None
+                                ),
+                                chosen=sid,
+                                rack=rack,
+                                rack_reused=rack in job_racks,
+                                rack_candidates=len(candidates),
+                            )
                     if not pending:
                         return
                 if placed_any:

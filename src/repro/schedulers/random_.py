@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mapreduce.job import JobSpec
+from ..obs.provenance import task_label
 from .base import Scheduler, SchedulingContext
 
 __all__ = ["RandomScheduler"]
@@ -37,6 +38,20 @@ class RandomScheduler(Scheduler):
             for sid in servers:
                 if cluster.fits(cid, sid):
                     cluster.place(cid, sid)
+                    if ctx.provenance is not None:
+                        task = cluster.container(cid).task
+                        self.emit_placement(
+                            ctx,
+                            "random",
+                            job_id=job.job_id,
+                            task=(
+                                task_label(task.kind, task.index)
+                                if task is not None
+                                else None
+                            ),
+                            chosen=sid,
+                            candidates=len(servers),
+                        )
                     break
             else:
                 raise RuntimeError(f"random scheduler: nowhere to put {cid}")

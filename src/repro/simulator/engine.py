@@ -55,6 +55,12 @@ from ..faults.spec import FaultSpec
 from ..mapreduce.hdfs import HdfsModel
 from ..mapreduce.job import JobSpec, shuffle_matrix
 from ..mapreduce.shuffle import ShuffleFlow
+from ..obs.provenance import (
+    ProvenanceConfig,
+    ProvenanceRecorder,
+    flow_label,
+    task_label,
+)
 from ..obs.runtime import STATE as _OBS
 from ..schedulers.base import Scheduler, SchedulingContext
 from ..speculation.detector import AttemptProgress, SpeculationConfig
@@ -115,6 +121,21 @@ class SimulationConfig:
     #: ``timeline_dt`` simulated time units — reads only, so a recorded run
     #: is byte-identical to an unrecorded one.
     timeline_dt: float | None = None
+    #: In-memory cap on telemetry samples (None = unbounded buffering, the
+    #: classic behaviour).  When the buffer reaches the cap, the oldest
+    #: samples are spilled to ``timeline_spill_path`` as JSONL (or dropped
+    #: when no path is configured) so ``--timeline`` survives fat-tree
+    #: k=16 / 10k-flow runs; the recorder's running aggregates keep
+    #: ``summary()`` exact either way.
+    timeline_max_samples: int | None = None
+    #: JSONL sink for spilled telemetry samples (None = drop on overflow).
+    timeline_spill_path: str | None = None
+    #: Decision-provenance plane (None = off: no recorder is constructed
+    #: and every audit hook below is skipped).  Opt-in and non-perturbing —
+    #: all hooks are pure reads that consume no randomness, so a
+    #: provenance-on run is byte-identical to a provenance-off run
+    #: (``tests/simulator/test_provenance.py``).
+    provenance: ProvenanceConfig | None = None
     #: Use the incremental (dirty-component) max-min allocator.  Allocations
     #: are bit-identical either way — False forces a full progressive fill
     #: on every recompute, for verification and benchmarking.
@@ -250,10 +271,25 @@ class MapReduceSimulator:
             from ..obs.timeline import TimelineRecorder
 
             self.timeline: TimelineRecorder | None = TimelineRecorder(
-                topology, self.config.timeline_dt
+                topology,
+                self.config.timeline_dt,
+                max_samples=self.config.timeline_max_samples,
+                spill_path=self.config.timeline_spill_path,
             )
         else:
             self.timeline = None
+        #: Decision-audit recorder (None = off; every provenance hook below
+        #: is a no-op branch).  Emission is append-only into a bounded ring
+        #: plus an incremental JSONL spill — see ``repro.obs.provenance``.
+        self.provenance: ProvenanceRecorder | None = (
+            ProvenanceRecorder.from_config(self.config.provenance, scheduler.name)
+            if self.config.provenance is not None
+            else None
+        )
+        if self.provenance is not None:
+            # Pure annotation channel: the controller leaves a cost/slack
+            # breadcrumb after each route_flow that the audit hook reads.
+            self.controller.provenance_notes = True
         #: Events dispatched by the last :meth:`run` (non-perturbation tests
         #: compare this across recorded/unrecorded runs).
         self.events_processed = 0
@@ -314,6 +350,7 @@ class MapReduceSimulator:
         events = 0
         observed = _OBS.enabled
         recorder = self.timeline
+        prov = self.provenance
         if observed:
             _OBS.tracer.event(
                 "sim.run.start",
@@ -331,6 +368,10 @@ class MapReduceSimulator:
                 # the previous event, so the grid points covered by this
                 # event's timestamp see exactly the live allocation.
                 recorder.observe(self, event)
+            if prov is not None:
+                # Stamp the audit clock so hooks deep inside schedulers and
+                # handlers never need one of their own.
+                prov.now = event.time
             if observed:
                 self._dispatch_traced(event)
                 continue
@@ -338,6 +379,8 @@ class MapReduceSimulator:
         self.events_processed = events
         if recorder is not None:
             recorder.finish(self, self._net_time)
+        if prov is not None:
+            prov.close()
         unfinished = [j for j in self._jobs_by_id.values() if not j.done]
         if self.admission is not None:
             # Online plane: jobs still sitting in admission queues when the
@@ -589,6 +632,15 @@ class MapReduceSimulator:
             # a rejected job consumes no RNG draws or HDFS placements and
             # the accepted stream is policy-independent up to the decision.
             reason = self.admission.offer(spec, now, self.cluster.occupancy())
+            if self.provenance is not None:
+                self.provenance.emit(
+                    "admission",
+                    reason if reason is not None else "accepted",
+                    job=spec.job_id,
+                    tenant=spec.tenant,
+                    occupancy=round(self.cluster.occupancy(), 9),
+                    **self.admission.provenance_context(spec.tenant),
+                )
             if reason is not None:
                 self.metrics.record_rejection(
                     RejectionRecord(
@@ -604,6 +656,8 @@ class MapReduceSimulator:
                     # detector's re-arm chain would wait for it forever.
                     self._jobs_remaining -= 1
                 return
+        elif self.provenance is not None:
+            self.provenance.emit("admission", "batch-fifo", job=spec.job_id)
         state = _JobState(
             spec=spec,
             matrix=shuffle_matrix(spec, self._rng),
@@ -716,10 +770,31 @@ class MapReduceSimulator:
             cluster=self.cluster,
             controller=planner,
         )
-        return SchedulingContext(taa=taa, hdfs=self.hdfs, rng=self._rng)
+        return SchedulingContext(
+            taa=taa,
+            hdfs=self.hdfs,
+            rng=self._rng,
+            provenance=self.provenance,
+        )
 
     def _start_job(self, now: float, job: _JobState) -> None:
         spec = job.spec
+        if self.provenance is not None:
+            context = (
+                self.admission.provenance_context(spec.tenant)
+                if self.admission is not None
+                else {}
+            )
+            self.provenance.emit(
+                "admission",
+                "started",
+                job=spec.job_id,
+                wave_size=job.wave_size,
+                maps=spec.num_maps,
+                reduces=spec.num_reduces,
+                free_slots=self._free_slots(),
+                **context,
+            )
         for ri in range(spec.num_reduces):
             cid = self._new_container(TaskRef(spec.job_id, TaskKind.REDUCE, ri))
             job.reduces[ri] = _ReduceState(
@@ -990,18 +1065,34 @@ class MapReduceSimulator:
         faulty = self.faults is not None and bool(
             self.faults.failed_switches or self.faults.dead_links
         )
-        path = self._route_impl(flow, src, dst, faulty)
+        path, reason, detail = self._route_impl(flow, src, dst, faulty)
         if path is not None and faulty:
             self.faults.assert_path_clear(path)
+        if self.provenance is not None:
+            self.provenance.emit(
+                "route",
+                reason,
+                job=flow.job_id,
+                task=flow_label(flow.map_index, flow.reduce_index),
+                src=src,
+                dst=dst,
+                hops=0 if path is None else len(path) - 1,
+                path=None if path is None else list(path),
+                **detail,
+            )
         return path
 
     def _route_impl(
         self, flow: ShuffleFlow, src: int, dst: int, faulty: bool
-    ) -> tuple[int, ...] | None:
+    ) -> tuple[tuple[int, ...] | None, str, dict]:
+        """Route one flow; also names the branch that decided (the
+        route-provenance reason code) and its evidence.  The extra return
+        values are computed from work the routing already did — assembling
+        them changes no control flow and consumes no randomness."""
         if self.scheduler.network_aware:
             try:
                 policy = self.controller.route_flow(flow, src, dst)
-                return policy.path
+                return policy.path, "policy-optimal", self._route_note()
             except NoFeasiblePathError:
                 pass
             try:
@@ -1010,12 +1101,12 @@ class MapReduceSimulator:
                 policy = self.controller.route_flow(
                     flow, src, dst, enforce_capacity=False
                 )
-                return policy.path
+                return policy.path, "policy-uncapacitated", self._route_note()
             except NoFeasiblePathError:
                 # Even uncapacitated routing found nothing — only possible
                 # when failures disconnect the pair; park until recovery.
                 if self.faults is not None:
-                    return None
+                    return None, "no-path", {}
                 raise
         if getattr(self.scheduler, "ecmp", False):
             # ECMP hashing: uniform choice over the equal-cost path set.
@@ -1024,15 +1115,36 @@ class MapReduceSimulator:
             if faulty:
                 candidates = self._alive_paths(src, dst)
                 if not candidates:
-                    return None
+                    return None, "no-path", {}
             else:
                 candidates = enumerate_paths(self.topology, src, dst, slack=0,
                                              limit=64)
-            return candidates[int(self._ecmp_rng.integers(len(candidates)))]
+            drawn = int(self._ecmp_rng.integers(len(candidates)))
+            return (
+                candidates[drawn],
+                self.scheduler.route_reason,
+                {"candidates": len(candidates), "drawn": drawn},
+            )
         if faulty:
             candidates = self._alive_paths(src, dst)
-            return candidates[0] if candidates else None
-        return self.topology.shortest_path(src, dst)
+            if not candidates:
+                return None, "no-path", {}
+            return (
+                candidates[0],
+                self.scheduler.route_reason,
+                {"candidates": len(candidates)},
+            )
+        return (
+            self.topology.shortest_path(src, dst),
+            self.scheduler.route_reason,
+            {},
+        )
+
+    def _route_note(self) -> dict:
+        """The controller's post-install breadcrumb (cost, capacity mode),
+        populated only when provenance enabled it — empty otherwise."""
+        note = getattr(self.controller, "last_route", None)
+        return dict(note) if note else {}
 
     def _alive_paths(
         self, src: int, dst: int, max_slack: int = 4
@@ -1080,6 +1192,13 @@ class MapReduceSimulator:
         assert injector is not None
         if not injector.mark_server_failed(server_id):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "server-fail",
+                server=server_id,
+                **injector.provenance_context(),
+            )
         hosted = self.cluster.hosted_on(server_id)  # sorted => deterministic
         self.cluster.fail_server(server_id)
         # Kill resident tasks.  Completed maps still holding their wave slot
@@ -1118,6 +1237,13 @@ class MapReduceSimulator:
         assert injector is not None
         if not injector.mark_server_recovered(server_id):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "server-recover",
+                server=server_id,
+                **injector.provenance_context(),
+            )
         self.cluster.recover_server(server_id)
         self.server_speeds[server_id] = self._base_speeds[server_id]
         # Capacity returned: wake every task stuck in placement backoff (the
@@ -1131,6 +1257,13 @@ class MapReduceSimulator:
         assert injector is not None
         if not injector.mark_switch_failed(switch_id):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "switch-fail",
+                switch=switch_id,
+                **injector.provenance_context(),
+            )
         self.controller.fail_switch(switch_id)
         invalidate_topology_caches(self.topology)
         # Reroute every flow crossing the dead switch; park the ones with no
@@ -1140,6 +1273,16 @@ class MapReduceSimulator:
                 continue  # unaffected, or already finished awaiting drain
             flow = self._flow_objects[active.flow_id]
             path = self._route(flow, active.path[0], active.path[-1])
+            if self.provenance is not None:
+                self.provenance.emit(
+                    "reroute",
+                    "switch-fail-reroute",
+                    job=flow.job_id,
+                    task=flow_label(flow.map_index, flow.reduce_index),
+                    switch=switch_id,
+                    outcome="parked" if path is None else "rerouted",
+                    remaining=active.remaining,
+                )
             if path is None:
                 remaining = active.remaining
                 self.network.remove_flow(active.flow_id)
@@ -1154,6 +1297,13 @@ class MapReduceSimulator:
         assert injector is not None
         if not injector.mark_switch_recovered(switch_id):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "switch-recover",
+                switch=switch_id,
+                **injector.provenance_context(),
+            )
         self.controller.recover_switch(switch_id)
         invalidate_topology_caches(self.topology)
         self._unpark_flows(now)
@@ -1164,6 +1314,13 @@ class MapReduceSimulator:
         was_dead = ((u, v) if u <= v else (v, u)) in injector.dead_links
         if not injector.mark_link_failed(u, v):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "link-fail",
+                link=[u, v],
+                **injector.provenance_context(),
+            )
         self._sync_link_state(now, u, v, was_dead)
 
     def _on_link_recover(self, now: float, u: int, v: int) -> None:
@@ -1172,6 +1329,13 @@ class MapReduceSimulator:
         was_dead = ((u, v) if u <= v else (v, u)) in injector.dead_links
         if not injector.mark_link_recovered(u, v):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "link-recover",
+                link=[u, v],
+                **injector.provenance_context(),
+            )
         self._sync_link_state(now, u, v, was_dead)
 
     def _on_link_degrade(
@@ -1187,6 +1351,14 @@ class MapReduceSimulator:
         was_dead = ((u, v) if u <= v else (v, u)) in injector.dead_links
         if not injector.mark_link_degraded(u, v, factor):
             return
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault",
+                "link-degrade",
+                link=[u, v],
+                factor=factor,
+                **injector.provenance_context(),
+            )
         self._sync_link_state(now, u, v, was_dead)
 
     def _sync_link_state(
@@ -1223,6 +1395,16 @@ class MapReduceSimulator:
                     continue
                 flow = self._flow_objects[active.flow_id]
                 path = self._route(flow, active.path[0], active.path[-1])
+                if self.provenance is not None:
+                    self.provenance.emit(
+                        "reroute",
+                        "link-fail-reroute",
+                        job=flow.job_id,
+                        task=flow_label(flow.map_index, flow.reduce_index),
+                        link=[u, v],
+                        outcome="parked" if path is None else "rerouted",
+                        remaining=active.remaining,
+                    )
                 if path is None:
                     remaining = active.remaining
                     self.network.remove_flow(active.flow_id)
@@ -1248,6 +1430,10 @@ class MapReduceSimulator:
         injector scheduled must eventually fire."""
         assert self.faults is not None
         self.server_speeds[server_id] = self._base_speeds[server_id] / factor
+        if self.provenance is not None:
+            self.provenance.emit(
+                "fault", "task-slowdown", server=server_id, factor=factor
+            )
         if factor == 1.0:
             self.faults.count("faults.slowdown_restore")
         else:
@@ -1257,6 +1443,17 @@ class MapReduceSimulator:
     def _park_flow(self, fid: int, remaining: float, now: float) -> None:
         assert self.faults is not None
         self._parked[fid] = remaining
+        if self.provenance is not None:
+            flow = self._flow_objects[fid]
+            self.provenance.emit(
+                "park",
+                "flow-parked",
+                job=flow.job_id,
+                task=flow_label(flow.map_index, flow.reduce_index),
+                remaining=remaining,
+                parked=len(self._parked),
+                **self.faults.provenance_context(),
+            )
         self.faults.count("faults.flows_parked")
         self.faults.note_parked(fid, now)
 
@@ -1280,6 +1477,15 @@ class MapReduceSimulator:
                 self.speculation.note_flow(flow.job_id, flow.map_index, src)
             remaining = self._parked.pop(fid)
             self.network.add_flow(fid, path, flow.size, now, remaining=remaining)
+            if self.provenance is not None:
+                self.provenance.emit(
+                    "park",
+                    "flow-resumed",
+                    job=flow.job_id,
+                    task=flow_label(flow.map_index, flow.reduce_index),
+                    remaining=remaining,
+                    parked=len(self._parked),
+                )
             self.faults.count("faults.flows_resumed")
             self.faults.note_resumed(fid, now)
 
@@ -1462,10 +1668,30 @@ class MapReduceSimulator:
             exponent = self._backoff.get(cid, 0)
             self._backoff[cid] = exponent + 1
             delay = self.config.retry_backoff * (2.0 ** min(exponent, 20))
+            if self.provenance is not None:
+                self.provenance.emit(
+                    "retry",
+                    "retry-blocked",
+                    job=task.job_id,
+                    task=task_label(task.kind, task.index),
+                    attempt=self._attempt.get(cid, 0),
+                    backoff_exponent=exponent,
+                    delay=delay,
+                )
             self._schedule_retry(now, cid, delay)
             return
         self._backoff.pop(cid, None)
         self.cluster.place(cid, server)
+        if self.provenance is not None:
+            self.provenance.emit(
+                "retry",
+                "retry-placed",
+                job=task.job_id,
+                task=task_label(task.kind, task.index),
+                attempt=self._attempt.get(cid, 0),
+                chosen=server,
+                retries_charged=self._retries.get(cid, 0),
+            )
         if task.kind is TaskKind.MAP:
             self._relaunch_map(now, job, cid, task.index)
         else:
@@ -1565,6 +1791,16 @@ class MapReduceSimulator:
             allowed = sp.config.backups_allowed(job.spec.num_maps)
             if sp.live_backups.get(cand.job_id, 0) >= allowed:
                 sp.count("spec.quota_denied")
+                if self.provenance is not None:
+                    self.provenance.emit(
+                        "speculation",
+                        "quota-denied",
+                        job=cand.job_id,
+                        task=task_label(TaskKind.MAP, cand.map_index),
+                        rate=cand.rate,
+                        allowed=allowed,
+                        **sp.provenance_context(cand.job_id),
+                    )
                 continue
             self._launch_backup(now, job, cand)
         if self._jobs_remaining > 0 and (
@@ -1593,6 +1829,16 @@ class MapReduceSimulator:
         candidates = self._backup_candidates(origin)
         if not candidates:
             sp.count("spec.no_slot")
+            if self.provenance is not None:
+                self.provenance.emit(
+                    "speculation",
+                    "no-slot",
+                    job=job.spec.job_id,
+                    task=task_label(TaskKind.MAP, cand.map_index),
+                    origin=origin,
+                    rate=cand.rate,
+                    **sp.provenance_context(job.spec.job_id),
+                )
             return
         map_index = cand.map_index
         flows = self._pending_output_flows(job, job.map_cid_of[map_index])
@@ -1615,6 +1861,17 @@ class MapReduceSimulator:
         )
         if now + probe >= cand.expected_finish:
             sp.count("spec.too_late")
+            if self.provenance is not None:
+                self.provenance.emit(
+                    "speculation",
+                    "too-late",
+                    job=job.spec.job_id,
+                    task=task_label(TaskKind.MAP, map_index),
+                    chosen=server,
+                    probe=probe,
+                    expected_finish=cand.expected_finish,
+                    rate=cand.rate,
+                )
             return
         bcid = self._new_container(
             TaskRef(job.spec.job_id, TaskKind.MAP, map_index)
@@ -1641,6 +1898,21 @@ class MapReduceSimulator:
             )
         )
         sp.count("spec.launched")
+        if self.provenance is not None:
+            self.provenance.emit(
+                "speculation",
+                "backup-launched",
+                job=job.spec.job_id,
+                task=task_label(TaskKind.MAP, map_index),
+                attempt=self._attempt.get(bcid, 0),
+                chosen=server,
+                origin=origin,
+                candidates=len(candidates),
+                ranked=bool(ranked),
+                rate=cand.rate,
+                expected_finish=cand.expected_finish,
+                **sp.provenance_context(job.spec.job_id),
+            )
 
     def _backup_candidates(self, origin: int) -> list[int]:
         """Live servers with headroom, excluding the straggler's own."""
@@ -1689,6 +1961,7 @@ class MapReduceSimulator:
             loser = backup
             sp.unpair(job.spec.job_id, winner_cid, backup)
             sp.count("spec.losses")
+            verdict = "spec-loss"
         else:
             original = sp.primary_of.get(winner_cid)
             if original is None:
@@ -1696,6 +1969,21 @@ class MapReduceSimulator:
             loser = original
             sp.unpair(job.spec.job_id, original, winner_cid)
             sp.count("spec.wins")
+            verdict = "spec-win"
+        if self.provenance is not None:
+            task = self.cluster.container(winner_cid).task
+            self.provenance.emit(
+                "speculation",
+                verdict,
+                job=job.spec.job_id,
+                task=(
+                    task_label(task.kind, task.index)
+                    if task is not None
+                    else None
+                ),
+                winner=winner_cid,
+                loser=loser,
+            )
         self._queue.push(
             Event(
                 now,
@@ -1720,6 +2008,19 @@ class MapReduceSimulator:
         if self.cluster.container(cid).is_placed:
             self.cluster.unplace(cid)
         sp.count("spec.kills")
+        if self.provenance is not None:
+            task = self.cluster.container(cid).task
+            self.provenance.emit(
+                "speculation",
+                "backup-killed",
+                job=task.job_id if task is not None else None,
+                task=(
+                    task_label(task.kind, task.index)
+                    if task is not None
+                    else None
+                ),
+                attempt=expected_attempt,
+            )
 
     def _cancel_backup(self, now: float, job: _JobState, bcid: int) -> None:
         """The backup died with its server; the original runs on alone."""

@@ -135,6 +135,14 @@ class SpeculationState:
             "live_pairs": float(len(self.backup_of)),
         }
 
+    def provenance_context(self, job_id: int) -> dict[str, object]:
+        """Quota state for a speculation decision record — pure read."""
+        return {
+            "job_live_backups": int(self.live_backups.get(job_id, 0)),
+            "live_pairs": len(self.backup_of),
+            "quota": self.config.quota,
+        }
+
     # --------------------------------------------------------------- counters
     def count(self, name: str, value: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value

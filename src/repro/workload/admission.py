@@ -329,3 +329,17 @@ class AdmissionController:
         if not self._tenants:
             return 0
         return max(s.max_queue_len for s in self._tenants.values())
+
+    def provenance_context(self, tenant_id: int | None = None) -> dict[str, object]:
+        """Queue/backpressure state for a decision record — pure read.
+
+        Attached to admission-verdict records by the engine so ``repro
+        explain`` can show *why* a job was rejected or held (policy, the
+        tenant's queue depth against its bound, and the defer latch)."""
+        return {
+            "policy": self.config.policy,
+            "queue_depth": self.queue_depth(tenant_id),
+            "total_queued": self.queue_depth(),
+            "queue_bound": self.config.queue_bound,
+            "deferring": self.deferring,
+        }

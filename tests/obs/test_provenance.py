@@ -1,0 +1,194 @@
+"""Unit contract of the decision-provenance plane.
+
+Covers the record schema round-trip, the closed reason-code vocabulary,
+the memory bound (fixed ring + incremental JSONL spill at a 10k-decision
+run), fingerprint determinism, and the explain/summarize queries.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.provenance import (
+    DECISION_KINDS,
+    REASON_CODES,
+    DecisionRecord,
+    ProvenanceConfig,
+    ProvenanceRecorder,
+    decision_digest,
+    explain_task,
+    flow_label,
+    format_record,
+    load_decisions,
+    summarize_decisions,
+    task_label,
+)
+
+
+def test_labels():
+    class Kind:
+        name = "MAP"
+
+    class RKind:
+        name = "REDUCE"
+
+    assert task_label(Kind, 3) == "m3"
+    assert task_label(RKind, 1) == "r1"
+    assert task_label("map", 0) == "m0"
+    assert task_label("reduce", 7) == "r7"
+    assert flow_label(3, 1) == "m3->r1"
+
+
+def test_every_reason_documented():
+    for code, doc in REASON_CODES.items():
+        assert doc, f"reason {code!r} has no description"
+    for kind, doc in DECISION_KINDS.items():
+        assert doc, f"kind {kind!r} has no description"
+
+
+def test_emit_rejects_unknown_vocabulary():
+    recorder = ProvenanceRecorder("test")
+    with pytest.raises(ValueError, match="unknown decision kind"):
+        recorder.emit("telepathy", "accepted")
+    with pytest.raises(ValueError, match="unknown reason code"):
+        recorder.emit("placement", "because-i-felt-like-it")
+
+
+def test_record_round_trip(tmp_path):
+    path = tmp_path / "decisions.jsonl"
+    recorder = ProvenanceRecorder("hit", ring_size=8, path=path)
+    recorder.now = 1.25
+    emitted = recorder.emit(
+        "placement",
+        "node-local",
+        job=3,
+        task="m7",
+        attempt=0,
+        chosen=11,
+        candidates=(11, 49),
+    )
+    recorder.close()
+
+    assert emitted.seq == 0
+    assert emitted.t == 1.25
+    assert emitted.detail == {"chosen": 11, "candidates": [11, 49]}
+    loaded = load_decisions(path)
+    assert loaded == [emitted]
+    assert DecisionRecord.from_dict(emitted.to_dict()) == emitted
+
+
+def test_ring_bound_and_spill_at_10k(tmp_path):
+    path = tmp_path / "decisions.jsonl"
+    recorder = ProvenanceRecorder("hit", ring_size=64, path=path)
+    for i in range(10_000):
+        recorder.now = i * 0.001
+        recorder.emit("route", "static-shortest", job=i % 5, hops=4)
+    recorder.close()
+
+    # Memory stays bounded by the ring; the file has every record.
+    assert recorder.emitted == 10_000
+    assert len(recorder.records()) == 64
+    assert [r.seq for r in recorder.records()] == list(range(9936, 10_000))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 10_000
+    assert json.loads(lines[0])["seq"] == 0
+    assert recorder.counters() == {"route:static-shortest": 10_000}
+
+
+def test_fingerprint_deterministic(tmp_path):
+    def run(path=None):
+        recorder = ProvenanceRecorder("hit", ring_size=4, path=path)
+        for i in range(10):
+            recorder.now = float(i)
+            recorder.emit("admission", "accepted", job=i, occupancy=0.5)
+        recorder.close()
+        return recorder.fingerprint()
+
+    # Identical streams hash identically, with or without a sink; the
+    # fingerprint covers *all* records, not just the ring's tail.
+    assert run() == run(tmp_path / "a.jsonl")
+    other = ProvenanceRecorder("hit")
+    other.now = 0.0
+    other.emit("admission", "queue-full", job=0)
+    assert other.fingerprint() != run()
+
+
+def test_explain_task_matches_flows_and_job_level():
+    recorder = ProvenanceRecorder("hit")
+    recorder.now = 0.0
+    recorder.emit("admission", "started", job=1)
+    recorder.emit("placement", "node-local", job=1, task="m3")
+    recorder.emit("route", "policy-optimal", job=1, task="m3->r0")
+    recorder.emit("route", "policy-optimal", job=1, task="m2->r0")
+    recorder.emit("placement", "node-local", job=2, task="m3")
+
+    chain = explain_task(recorder.records(), job=1, task="m3")
+    assert [r.seq for r in chain] == [0, 1, 2]
+    r0 = explain_task(recorder.records(), job=1, task="r0")
+    assert [r.task for r in r0 if r.task] == ["m3->r0", "m2->r0"]
+    whole_job = explain_task(recorder.records(), job=1)
+    assert len(whole_job) == 4
+    assert explain_task(recorder.records(), job=9) == []
+
+
+def test_summarize_decisions_groups_by_scheduler():
+    a = ProvenanceRecorder("hit")
+    b = ProvenanceRecorder("capacity")
+    for recorder in (a, b):
+        recorder.now = 0.0
+        recorder.emit("route", "static-shortest", job=0)
+    a.emit("placement", "alg2-stable-match", job=0, task="m0")
+    summary = summarize_decisions(a.records() + b.records())
+    assert summary == {
+        "capacity": {"route:static-shortest": 1},
+        "hit": {
+            "placement:alg2-stable-match": 1,
+            "route:static-shortest": 1,
+        },
+    }
+
+
+def test_format_record_golden():
+    record = DecisionRecord(
+        seq=7,
+        t=0.5,
+        kind="placement",
+        scheduler="hit",
+        reason="node-local",
+        job=3,
+        task="m7",
+        attempt=0,
+        detail={"chosen": 11, "candidates": [11, 49]},
+    )
+    assert format_record(record) == (
+        '#7 t=0.500000 placement node-local job=3 task=m7 attempt=0 '
+        '{"candidates":[11,49],"chosen":11}'
+    )
+    bare = DecisionRecord(
+        seq=0, t=0.0, kind="admission", scheduler="hit", reason="batch-fifo"
+    )
+    assert format_record(bare) == "#0 t=0.000000 admission batch-fifo"
+
+
+def test_decision_digest():
+    assert decision_digest(None) == {}
+    recorder = ProvenanceRecorder("hit")
+    recorder.now = 0.0
+    recorder.emit("fault", "server-fail", server=2)
+    digest = decision_digest(recorder)
+    assert digest["decisions"] == 1
+    assert digest["counters"] == {"fault:server-fail": 1}
+    assert digest["fingerprint"] == recorder.fingerprint()
+
+
+def test_from_config(tmp_path):
+    config = ProvenanceConfig(
+        path=str(tmp_path / "sub" / "d.jsonl"), ring_size=16
+    )
+    recorder = ProvenanceRecorder.from_config(config, "pna")
+    recorder.now = 0.0
+    recorder.emit("admission", "batch-fifo", job=0)
+    recorder.close()
+    # Parent directories are created; close is idempotent.
+    recorder.close()
+    assert len(load_decisions(tmp_path / "sub" / "d.jsonl")) == 1

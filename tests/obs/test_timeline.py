@@ -1,5 +1,7 @@
 """TimelineRecorder unit behaviour: grid, gauges, queries, summaries."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -117,3 +119,66 @@ def test_finish_is_idempotent():
     n = len(recorder.samples)
     recorder.finish(sim, 99.0)  # engine already finished the recorder
     assert len(recorder.samples) == n
+
+
+def _bounded_sim(max_samples, spill_path=None, dt=0.05, seed=0):
+    jobs = WorkloadGenerator(
+        seed=seed, input_size_range=(4.0, 8.0), map_rate=8.0, reduce_rate=8.0
+    ).make_workload(3, interarrival=0.3)
+    sim = MapReduceSimulator(
+        _topology(),
+        make_scheduler("hit-online", seed=seed),
+        jobs,
+        SimulationConfig(
+            seed=seed,
+            timeline_dt=dt,
+            timeline_max_samples=max_samples,
+            timeline_spill_path=None if spill_path is None else str(spill_path),
+        ),
+    )
+    sim.run()
+    return sim
+
+
+def test_max_samples_must_be_positive():
+    with pytest.raises(ValueError):
+        TimelineRecorder(_topology(), max_samples=0)
+
+
+def test_spill_bounds_memory_and_keeps_every_sample(tmp_path):
+    spill = tmp_path / "timeline.jsonl"
+    unbounded = _recorded_sim(dt=0.05).timeline
+    total = len(unbounded.samples)
+    assert total > 16, "scenario too small to exercise the bound"
+
+    bounded = _bounded_sim(16, spill).timeline
+    assert len(bounded.samples) < 16
+    assert bounded.spilled_samples + len(bounded.samples) == total
+    assert bounded.spill_events == bounded.spilled_samples // 16
+    lines = [json.loads(l) for l in spill.read_text().splitlines()]
+    assert len(lines) == bounded.spilled_samples
+    # Spilled rows + the in-memory tail reproduce the unbounded grid.
+    spilled_t = [row["t"] for row in lines]
+    tail_t = [s.t for s in bounded.samples]
+    assert spilled_t + tail_t == [s.t for s in unbounded.samples]
+    assert set(lines[0]) >= {"t", "switch_util", "link_util",
+                             "server_occupancy", "active_flows"}
+
+
+def test_bounded_summary_matches_unbounded(tmp_path):
+    unbounded = _recorded_sim(dt=0.05).timeline
+    bounded = _bounded_sim(16, tmp_path / "tl.jsonl").timeline
+    expect = unbounded.summary()
+    got = bounded.summary()
+    spilled = got.pop("spilled_samples")
+    assert spilled == bounded.spilled_samples
+    # Peaks and counts come from running aggregates, not the ring.
+    assert got == pytest.approx(expect)
+
+
+def test_spill_without_path_drops_but_counts(tmp_path):
+    bounded = _bounded_sim(16, spill_path=None).timeline
+    assert bounded.spill_path is None
+    assert bounded.spilled_samples > 0
+    assert len(bounded.samples) < 16
+    assert bounded.summary()["spilled_samples"] == bounded.spilled_samples

@@ -3,7 +3,9 @@
 import io
 import json
 
-from repro.obs import NULL_TRACER, NullTracer, Tracer
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, TimerStat, Tracer
 
 
 class TestNullTracer:
@@ -104,3 +106,52 @@ class TestJsonLinesOutput:
         records = [json.loads(l) for l in path.read_text().splitlines()]
         assert [r["ev"] for r in records] == ["event", "summary"]
         t.close()  # idempotent once the sink is gone
+
+
+class TestRunReport:
+    def _traced(self):
+        tracer = Tracer()
+        tracer.timers.setdefault("slow", TimerStat()).add(0.5)
+        tracer.timers["slow"].add(0.5)
+        tracer.timers.setdefault("fast", TimerStat()).add(0.001)
+        tracer.timers.setdefault("tied", TimerStat()).add(0.001)
+        tracer.count("events", 10)
+        tracer.count("retries", 2)
+        return tracer
+
+    def test_top_timers_orders_by_total_then_name(self):
+        tracer = self._traced()
+        names = [name for name, _ in tracer.top_timers(3)]
+        assert names == ["slow", "fast", "tied"]
+        assert [n for n, _ in tracer.top_timers(1)] == ["slow"]
+        with pytest.raises(ValueError):
+            tracer.top_timers(0)
+
+    def test_counter_deltas(self):
+        tracer = self._traced()
+        assert tracer.counter_deltas() == {"events": 10, "retries": 2}
+        baseline = dict(tracer.counters)
+        tracer.count("events", 5)
+        tracer.count("new", 1)
+        assert tracer.counter_deltas(baseline) == {"events": 5, "new": 1}
+
+    def test_format_report_content(self):
+        tracer = self._traced()
+        report = tracer.format_report(top=2)
+        assert "top 2 timers by cumulative time:" in report
+        lines = report.splitlines()
+        assert lines[1].lstrip().startswith("slow")
+        assert "2 calls" in lines[1]
+        assert "counters:" in report
+        assert "events" in report
+
+    def test_format_report_empty(self):
+        report = Tracer().format_report()
+        assert "no timers recorded" in report
+        assert "no counters moved" in report
+
+    def test_format_report_with_baseline_label(self):
+        tracer = self._traced()
+        baseline = dict(tracer.counters)
+        tracer.count("events")
+        assert "counter deltas:" in tracer.format_report(baseline=baseline)

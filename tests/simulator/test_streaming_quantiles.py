@@ -1,0 +1,101 @@
+"""P² streaming quantile estimator vs the exact ``np.percentile``.
+
+The estimator must track the exact tail within a small relative error at
+realistic sample counts, fall back to the exact answer below five
+samples, and stay completely out of the way unless a collector opts in
+with ``streaming_quantiles=True`` (exact percentiles remain the
+default).
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator.metrics import JobRecord, MetricsCollector, P2Quantile
+
+
+def _feed(estimator, values):
+    for v in values:
+        estimator.add(float(v))
+    return estimator
+
+
+class TestP2Quantile:
+    def test_empty_and_tiny(self):
+        est = P2Quantile(0.99)
+        assert est.value() == 0.0
+        _feed(est, [3.0, 1.0])
+        # Below five samples the estimator answers exactly.
+        assert est.value() == pytest.approx(np.percentile([3.0, 1.0], 99))
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            lambda rng: rng.uniform(0.0, 100.0, 20_000),
+            lambda rng: rng.exponential(5.0, 20_000),
+            lambda rng: rng.lognormal(1.0, 0.75, 20_000),
+        ],
+        ids=["uniform", "exponential", "lognormal"],
+    )
+    def test_tracks_exact_within_tolerance(self, q, dist):
+        rng = np.random.default_rng(7)
+        values = dist(rng)
+        est = _feed(P2Quantile(q), values)
+        exact = float(np.percentile(values, q * 100.0))
+        assert est.value() == pytest.approx(exact, rel=0.05)
+
+    def test_monotone_input_is_exactish(self):
+        est = _feed(P2Quantile(0.5), range(1, 1002))
+        assert est.value() == pytest.approx(501.0, rel=0.01)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+def _record_jobs(collector, completion_times):
+    for i, jct in enumerate(completion_times):
+        collector.record_job(
+            JobRecord(
+                job_id=i,
+                name=f"job-{i}",
+                shuffle_class="uniform",
+                submit_time=0.0,
+                start_time=float(jct) * 0.25,
+                finish_time=float(jct),
+                shuffle_volume=1.0,
+                remote_map_traffic=0.0,
+            )
+        )
+
+
+class TestCollectorOptIn:
+    def test_default_stays_exact(self):
+        collector = MetricsCollector()
+        _record_jobs(collector, [1.0, 2.0, 3.0, 4.0, 100.0])
+        assert collector._p2_jct is None
+        exact = float(np.percentile([1.0, 2.0, 3.0, 4.0, 100.0], 99))
+        assert collector.jct_percentile(99.0) == pytest.approx(exact)
+
+    def test_streaming_p99_close_to_exact(self):
+        rng = np.random.default_rng(11)
+        jcts = rng.exponential(4.0, 5_000) + 0.5
+        streaming = MetricsCollector(streaming_quantiles=True)
+        exact = MetricsCollector()
+        _record_jobs(streaming, jcts)
+        _record_jobs(exact, jcts)
+        assert streaming.jct_percentile(99.0) == pytest.approx(
+            exact.jct_percentile(99.0), rel=0.05
+        )
+        assert streaming.slowdown_percentile(99.0) == pytest.approx(
+            exact.slowdown_percentile(99.0), rel=0.05
+        )
+
+    def test_other_percentiles_stay_exact_even_when_streaming(self):
+        streaming = MetricsCollector(streaming_quantiles=True)
+        _record_jobs(streaming, range(1, 101))
+        assert streaming.jct_percentile(50.0) == pytest.approx(
+            np.percentile(np.arange(1.0, 101.0), 50)
+        )
